@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses: fixed
+ * print formats so every bench emits the same kind of row the paper
+ * reports, plus the standard sweep points.
+ */
+
+#ifndef VREX_BENCH_BENCH_UTIL_HH
+#define VREX_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vrex::bench
+{
+
+/** The paper's KV cache sweep: 1K, 5K, 10K, 20K, 40K. */
+inline std::vector<uint32_t>
+cacheSweep()
+{
+    return {1000, 5000, 10000, 20000, 40000};
+}
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("--- %s\n", text.c_str());
+}
+
+/** "1K", "40K" labels for cache lengths. */
+inline std::string
+kLabel(uint32_t tokens)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%uK", tokens / 1000);
+    return buf;
+}
+
+} // namespace vrex::bench
+
+#endif // VREX_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Fig. 13a reproduction: per-frame latency, TPOT, and energy
+ * efficiency on the edge platform (AGX Orin vs. V-Rex8) across KV
+ * cache lengths 1K-40K for all five methods, at batch 1 and batch 4.
+ *
+ * Paper anchors: V-Rex8 per-frame 121/123/198/200/254 ms (batch 1),
+ * 3.9-8.3 FPS, 2.2-7.3x over AGX+FlexGen; TPOT 89-97 ms with
+ * 1.9-15.1x speedups; energy efficiency 5.5-10.2x (frame, batch 1).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/hw_config.hh"
+#include "sim/method_model.hh"
+#include "sim/system_model.hh"
+
+using namespace vrex;
+
+namespace
+{
+
+struct Entry
+{
+    std::string label;
+    AcceleratorConfig hw;
+    MethodModel method;
+};
+
+std::vector<Entry>
+edgeEntries()
+{
+    return {
+        {"AGX+FlexGen", AcceleratorConfig::agxOrin(),
+         MethodModel::flexgen()},
+        {"AGX+InfiniGen", AcceleratorConfig::agxOrin(),
+         MethodModel::infinigen()},
+        {"AGX+InfiniGenP", AcceleratorConfig::agxOrin(),
+         MethodModel::infinigenP()},
+        {"AGX+ReKV", AcceleratorConfig::agxOrin(),
+         MethodModel::rekv()},
+        {"V-Rex8", AcceleratorConfig::vrex8(),
+         MethodModel::resvFull()},
+    };
+}
+
+void
+sweep(const char *title, uint32_t batch, bool decode)
+{
+    bench::header(title);
+    auto entries = edgeEntries();
+    std::printf("%-16s", "method");
+    for (uint32_t c : bench::cacheSweep())
+        std::printf(" %10s", bench::kLabel(c).c_str());
+    std::printf("\n");
+
+    std::vector<std::vector<double>> lat(entries.size());
+    for (size_t e = 0; e < entries.size(); ++e) {
+        std::printf("%-16s", entries[e].label.c_str());
+        for (uint32_t cache : bench::cacheSweep()) {
+            RunConfig rc;
+            rc.hw = entries[e].hw;
+            rc.method = entries[e].method;
+            rc.cacheTokens = cache;
+            rc.batch = batch;
+            SystemModel sm(rc);
+            PhaseResult r =
+                decode ? sm.decodePhase() : sm.framePhase();
+            lat[e].push_back(r.totalMs);
+            std::printf(" %9.0fms", r.totalMs);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-16s", "V-Rex speedup");
+    for (size_t i = 0; i < bench::cacheSweep().size(); ++i)
+        std::printf(" %9.1fx ", lat[0][i] / lat.back()[i]);
+    std::printf("\n");
+    if (!decode) {
+        std::printf("%-16s", "V-Rex FPS");
+        for (size_t i = 0; i < bench::cacheSweep().size(); ++i)
+            std::printf(" %10.1f",
+                        batch * 1000.0 / lat.back()[i]);
+        std::printf("\n");
+    }
+}
+
+void
+energySweep(const char *title, uint32_t batch, bool decode)
+{
+    bench::header(title);
+    auto entries = edgeEntries();
+    std::printf("%-16s", "method");
+    for (uint32_t c : bench::cacheSweep())
+        std::printf(" %10s", bench::kLabel(c).c_str());
+    std::printf("\n");
+    std::vector<std::vector<double>> eff(entries.size());
+    for (size_t e = 0; e < entries.size(); ++e) {
+        std::printf("%-16s", entries[e].label.c_str());
+        for (uint32_t cache : bench::cacheSweep()) {
+            RunConfig rc;
+            rc.hw = entries[e].hw;
+            rc.method = entries[e].method;
+            rc.cacheTokens = cache;
+            rc.batch = batch;
+            SystemModel sm(rc);
+            PhaseResult r =
+                decode ? sm.decodePhase() : sm.framePhase();
+            eff[e].push_back(r.gopsPerW());
+            std::printf(" %10.1f", r.gopsPerW());
+        }
+        std::printf("\n");
+    }
+    std::printf("%-16s", "V-Rex gain");
+    for (size_t i = 0; i < bench::cacheSweep().size(); ++i)
+        std::printf(" %9.1fx ", eff.back()[i] / eff[0][i]);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    sweep("Fig. 13a: per-frame latency, batch 1 (edge)", 1, false);
+    sweep("Fig. 13a: TPOT latency, batch 1 (edge)", 1, true);
+    sweep("Fig. 13a: per-frame latency, batch 4 (edge)", 4, false);
+    energySweep("Fig. 13a: energy efficiency GOPS/W, frame batch 1",
+                1, false);
+    energySweep("Fig. 13a: energy efficiency GOPS/W, text batch 1",
+                1, true);
+    energySweep("Fig. 13a: energy efficiency GOPS/W, frame batch 4",
+                4, false);
+    bench::note("paper anchors: V-Rex8 frame 121-254 ms (3.9-8.3 FPS), "
+                "speedup 2.2-7.3x (b1) / 2.1-13.8x (b4); TPOT 89-97 ms "
+                "1.9-15.1x; energy 5.5-10.2x (b1), 3.1-12.8x (b4), "
+                "4.3-18.5x (text)");
+    return 0;
+}

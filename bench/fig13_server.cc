@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fig. 13b reproduction: the server-level comparison (A100 vs.
+ * V-Rex48) — per-frame latency, TPOT, and energy efficiency across
+ * 1K-40K at batch 1 and batch 8.
+ *
+ * Paper anchors: V-Rex48 20-48 ms/frame (2.6-7.3x at b1, 3.4-19.7x
+ * at b8), TPOT 14-15 ms (2.8-16.8x), energy 9.0-29.7x (b1 frame),
+ * 5.9-52.2x (b8), 13.2-70.6x (text), 1.1-1.4 TOPS/W at b8.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/hw_config.hh"
+#include "sim/method_model.hh"
+#include "sim/system_model.hh"
+
+using namespace vrex;
+
+namespace
+{
+
+struct Entry
+{
+    std::string label;
+    AcceleratorConfig hw;
+    MethodModel method;
+};
+
+std::vector<Entry>
+serverEntries()
+{
+    return {
+        {"A100+FlexGen", AcceleratorConfig::a100(),
+         MethodModel::flexgen()},
+        {"A100+InfiniGen", AcceleratorConfig::a100(),
+         MethodModel::infinigen()},
+        {"A100+InfiniGenP", AcceleratorConfig::a100(),
+         MethodModel::infinigenP()},
+        {"A100+ReKV", AcceleratorConfig::a100(),
+         MethodModel::rekv()},
+        {"V-Rex48", AcceleratorConfig::vrex48(),
+         MethodModel::resvFull()},
+    };
+}
+
+void
+sweep(const char *title, uint32_t batch, bool decode, bool energy)
+{
+    bench::header(title);
+    auto entries = serverEntries();
+    std::printf("%-16s", "method");
+    for (uint32_t c : bench::cacheSweep())
+        std::printf(" %10s", bench::kLabel(c).c_str());
+    std::printf("\n");
+    std::vector<std::vector<double>> vals(entries.size());
+    for (size_t e = 0; e < entries.size(); ++e) {
+        std::printf("%-16s", entries[e].label.c_str());
+        for (uint32_t cache : bench::cacheSweep()) {
+            RunConfig rc;
+            rc.hw = entries[e].hw;
+            rc.method = entries[e].method;
+            rc.cacheTokens = cache;
+            rc.batch = batch;
+            SystemModel sm(rc);
+            PhaseResult r =
+                decode ? sm.decodePhase() : sm.framePhase();
+            double v = energy ? r.gopsPerW() : r.totalMs;
+            vals[e].push_back(v);
+            if (energy)
+                std::printf(" %10.1f", v);
+            else
+                std::printf(" %9.1fms", v);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-16s", energy ? "V-Rex gain" : "V-Rex speedup");
+    for (size_t i = 0; i < bench::cacheSweep().size(); ++i) {
+        double gain = energy ? vals.back()[i] / vals[0][i]
+                             : vals[0][i] / vals.back()[i];
+        std::printf(" %9.1fx ", gain);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    sweep("Fig. 13b: per-frame latency, batch 1 (server)", 1, false,
+          false);
+    sweep("Fig. 13b: TPOT latency, batch 1 (server)", 1, true, false);
+    sweep("Fig. 13b: per-frame latency, batch 8 (server)", 8, false,
+          false);
+    sweep("Fig. 13b: energy efficiency, frame batch 1", 1, false,
+          true);
+    sweep("Fig. 13b: energy efficiency, text batch 1", 1, true, true);
+    sweep("Fig. 13b: energy efficiency, frame batch 8", 8, false,
+          true);
+    bench::note("paper anchors: V-Rex48 20-48 ms/frame, TPOT 14-15 ms; "
+                "speedups 2.6-7.3x (b1) to 3.4-19.7x (b8); energy "
+                "9.0-29.7x (b1) / 5.9-52.2x (b8) / 13.2-70.6x (text)");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fig. 14 reproduction: normalized end-to-end latency breakdown
+ * (vision+MLP / prefill / generation) of AGX Orin systems vs. V-Rex8
+ * across 1K-40K, using the COIN average scenario (26 frames, 25
+ * question tokens, 39 answer tokens).
+ *
+ * Paper anchors: V-Rex8 end-to-end gain grows 2x -> 5.4x with cache
+ * length; InfiniGenP and ReKV run *slower* than FlexGen from 1K to
+ * 20K because of KV prediction overhead.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/hw_config.hh"
+#include "sim/method_model.hh"
+#include "sim/system_model.hh"
+
+using namespace vrex;
+
+namespace
+{
+
+struct Entry
+{
+    std::string label;
+    AcceleratorConfig hw;
+    MethodModel method;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::vector<Entry> entries = {
+        {"AGX+FlexGen", AcceleratorConfig::agxOrin(),
+         MethodModel::flexgen()},
+        {"AGX+InfiniGenP", AcceleratorConfig::agxOrin(),
+         MethodModel::infinigenP()},
+        {"AGX+ReKV", AcceleratorConfig::agxOrin(),
+         MethodModel::rekv()},
+        {"V-Rex8", AcceleratorConfig::vrex8(),
+         MethodModel::resvFull()},
+    };
+
+    bench::header("Fig. 14: E2E latency breakdown (COIN average "
+                  "scenario), normalized to V-Rex8");
+    std::printf("%8s %-16s %10s %9s %9s %9s %9s\n", "cache", "system",
+                "total s", "vision%", "prefill%", "gen%", "norm");
+
+    for (uint32_t cache : bench::cacheSweep()) {
+        double vrex_total = 0.0;
+        std::vector<SessionResult> results;
+        for (const auto &e : entries) {
+            RunConfig rc;
+            rc.hw = e.hw;
+            rc.method = e.method;
+            rc.cacheTokens = cache;
+            results.push_back(SystemModel(rc).session(26, 25, 39));
+        }
+        vrex_total = results.back().totalMs();
+        for (size_t i = 0; i < entries.size(); ++i) {
+            const SessionResult &s = results[i];
+            double total = s.totalMs();
+            std::printf("%7uK %-16s %10.2f %8.1f%% %8.1f%% %8.1f%% "
+                        "%8.2fx\n",
+                        cache / 1000, entries[i].label.c_str(),
+                        total / 1e3, 100.0 * s.visionMs / total,
+                        100.0 * s.prefillMs / total,
+                        100.0 * s.generationMs / total,
+                        total / vrex_total);
+        }
+        std::printf("\n");
+    }
+    bench::note("paper: V-Rex8 gain 2x at 1K growing to 5.4x at 40K; "
+                "InfiniGenP/ReKV slower than FlexGen at 1K-20K");
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the DRE kernels: hash-bit
+ * encoding, packed Hamming distance vs. float cosine similarity,
+ * HC-table insertion, and WiCSum (reference sort vs. early-exit
+ * bucket sweep) — the software-side counterparts of the HCU and WTU.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/hash_encoder.hh"
+#include "core/hc_table.hh"
+#include "core/wicsum.hh"
+#include "tensor/ops.hh"
+
+using namespace vrex;
+
+namespace
+{
+
+std::vector<float>
+randomKeys(uint32_t n, uint32_t dim, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> keys(size_t(n) * dim);
+    rng.fillGaussian(keys.data(), keys.size(), 1.0f);
+    return keys;
+}
+
+} // namespace
+
+static void
+BM_HashEncode(benchmark::State &state)
+{
+    const uint32_t dim = 128;
+    HashEncoder enc(dim, 32, 7);
+    auto keys = randomKeys(256, dim, 1);
+    uint32_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            enc.encode(keys.data() + (i++ % 256) * dim));
+    }
+}
+BENCHMARK(BM_HashEncode);
+
+static void
+BM_HammingDistance(benchmark::State &state)
+{
+    HashEncoder enc(128, 32, 7);
+    auto keys = randomKeys(2, 128, 2);
+    BitSig a = enc.encode(keys.data());
+    BitSig b = enc.encode(keys.data() + 128);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.hamming(b));
+}
+BENCHMARK(BM_HammingDistance);
+
+static void
+BM_CosineSimilarityFullPrecision(benchmark::State &state)
+{
+    // The expensive operation hash bits replace.
+    auto keys = randomKeys(2, 128, 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cosineSimilarity(keys.data(), keys.data() + 128, 128));
+}
+BENCHMARK(BM_CosineSimilarityFullPrecision);
+
+static void
+BM_HcTableInsert(benchmark::State &state)
+{
+    const uint32_t dim = 128;
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    HashEncoder enc(dim, 32, 7);
+    auto keys = randomKeys(n, dim, 4);
+    std::vector<BitSig> sigs;
+    for (uint32_t t = 0; t < n; ++t)
+        sigs.push_back(enc.encode(keys.data() + size_t(t) * dim));
+    for (auto _ : state) {
+        HCTable tab(dim, 32, 7);
+        for (uint32_t t = 0; t < n; ++t)
+            tab.insert(t, keys.data() + size_t(t) * dim, sigs[t]);
+        benchmark::DoNotOptimize(tab.clusterCount());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HcTableInsert)->Arg(64)->Arg(256)->Arg(1024);
+
+static void
+BM_WicsumReference(benchmark::State &state)
+{
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    Rng rng(5);
+    std::vector<float> scores(n);
+    std::vector<uint32_t> counts(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        scores[i] = static_cast<float>(rng.uniform());
+        counts[i] = 1 + static_cast<uint32_t>(rng.uniformInt(32));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            wicsumSelectReference(scores, counts, 0.3f));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WicsumReference)->Arg(256)->Arg(1024)->Arg(4096);
+
+static void
+BM_WicsumEarlyExit(benchmark::State &state)
+{
+    const uint32_t n = static_cast<uint32_t>(state.range(0));
+    Rng rng(5);
+    std::vector<float> scores(n);
+    std::vector<uint32_t> counts(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        scores[i] = static_cast<float>(rng.uniform());
+        counts[i] = 1 + static_cast<uint32_t>(rng.uniformInt(32));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            wicsumSelectEarlyExit(scores, counts, 0.3f, 16));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WicsumEarlyExit)->Arg(256)->Arg(1024)->Arg(4096);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table I reproduction: hardware specifications of the compared
+ * platforms, as configured in the simulator.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/hw_config.hh"
+
+using namespace vrex;
+
+namespace
+{
+
+void
+row(const AcceleratorConfig &hw)
+{
+    std::printf("%-10s %10.1f %12.1f %10.0f %12.1f %10.1f %7u\n",
+                hw.name.c_str(), hw.peakTflops, hw.memBandwidthGBs,
+                hw.memCapacityGB, hw.pcieBandwidthGBs,
+                hw.systemPowerW, hw.nCores);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Table I: Hardware Specifications of GPUs and V-Rex");
+    std::printf("%-10s %10s %12s %10s %12s %10s %7s\n", "Platform",
+                "TFLOPS", "MemBW GB/s", "Mem GB", "PCIe GB/s",
+                "Power W", "Cores");
+    row(AcceleratorConfig::agxOrin());
+    row(AcceleratorConfig::a100());
+    row(AcceleratorConfig::vrex8());
+    row(AcceleratorConfig::vrex48());
+    bench::note("paper: AGX 54/204.8/32/4/40; A100 312/1935/80/32/300; "
+                "V-Rex8 53.3/204.8/-/4/35; V-Rex48 319.5/1935/-/32/203.68");
+    return 0;
+}

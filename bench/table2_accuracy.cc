@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Table II reproduction: accuracy and retrieval ratio of each
+ * retrieval method across the five COIN task archetypes.
+ *
+ * Substitution (see DESIGN.md): COIN Top-1 accuracy is replaced by
+ * the attention-fidelity proxy mapped onto the paper's published
+ * vanilla (VideoLLM-Online) accuracies; retrieval ratios are measured
+ * directly from the functional pipeline. The orderings to check
+ * against the paper: ReSV achieves the lowest ratios with the
+ * smallest accuracy drop; InfiniGen holds accuracy but retrieves
+ * 100% during frame processing; InfiniGenP/ReKV lose more accuracy.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/resv.hh"
+#include "pipeline/accuracy_eval.hh"
+#include "retrieval/policies.hh"
+#include "video/workload.hh"
+
+using namespace vrex;
+
+namespace
+{
+
+/** Paper Table II vanilla (VideoLLM-Online) Top-1 per task. */
+const std::map<CoinTask, double> vanillaAcc = {
+    {CoinTask::Step, 49.0},  {CoinTask::Next, 62.1},
+    {CoinTask::Proc, 51.6},  {CoinTask::ProcPlus, 92.5},
+    {CoinTask::Task, 49.5},
+};
+
+struct MethodEntry
+{
+    std::string name;
+    std::function<std::unique_ptr<SelectionPolicy>(
+        const ModelConfig &)> make;
+};
+
+} // namespace
+
+int
+main()
+{
+    const ModelConfig cfg = ModelConfig::tiny();
+    const uint64_t seed = 42;
+
+    std::vector<MethodEntry> methods;
+    methods.push_back({"VideoLLM-Online", [](const ModelConfig &) {
+        return std::unique_ptr<SelectionPolicy>();
+    }});
+    methods.push_back({"InfiniGen", [](const ModelConfig &m) {
+        InfiniGenConfig c;
+        c.ratio = 0.5f;
+        return std::unique_ptr<SelectionPolicy>(
+            new InfiniGenPolicy(m, c));
+    }});
+    methods.push_back({"InfiniGenP", [](const ModelConfig &m) {
+        InfiniGenConfig c;
+        c.ratio = 0.5f;
+        c.prefill = true;
+        return std::unique_ptr<SelectionPolicy>(
+            new InfiniGenPolicy(m, c));
+    }});
+    methods.push_back({"ReKV", [](const ModelConfig &m) {
+        ReKVConfig c;
+        c.ratio = 0.5f;
+        return std::unique_ptr<SelectionPolicy>(
+            new ReKVPolicy(m, c));
+    }});
+    methods.push_back({"V-Rex's ReSV", [](const ModelConfig &m) {
+        ResvConfig c;  // N_hp=32, Th_hd=7, Th_r-wics=0.3.
+        return std::unique_ptr<SelectionPolicy>(
+            new ResvPolicy(m, c));
+    }});
+
+    bench::header("Table II: COIN accuracy proxy (Top-1) per method");
+    std::printf("%-16s", "Method");
+    for (CoinTask t : allCoinTasks())
+        std::printf(" %8s", coinTaskName(t).c_str());
+    std::printf(" %8s\n", "Avg");
+
+    struct Ratios { double frame, text; };
+    std::map<std::string, std::vector<Ratios>> ratio_table;
+
+    for (const auto &m : methods) {
+        std::printf("%-16s", m.name.c_str());
+        double acc_sum = 0.0;
+        for (CoinTask t : allCoinTasks()) {
+            SessionScript script = WorkloadGenerator::coinTask(t, 3);
+            auto policy = m.make(cfg);
+            FidelityResult f = evaluateFidelity(cfg, script,
+                                                policy.get(), seed);
+            double acc = proxyAccuracy(vanillaAcc.at(t), f);
+            acc_sum += acc;
+            std::printf(" %8.1f", acc);
+            ratio_table[m.name].push_back(
+                {f.frameRatio, f.textRatio});
+        }
+        std::printf(" %8.1f\n", acc_sum / 5.0);
+    }
+
+    bench::header(
+        "Table II: retrieval ratio [frame stage / text stage] %");
+    for (const auto &m : methods) {
+        if (m.name == "VideoLLM-Online")
+            continue;  // No retrieval.
+        std::printf("%-16s", m.name.c_str());
+        double fs = 0.0, ts = 0.0;
+        for (const auto &r : ratio_table[m.name]) {
+            std::printf(" %5.1f/%-5.1f", 100.0 * r.frame,
+                        100.0 * r.text);
+            fs += r.frame;
+            ts += r.text;
+        }
+        std::printf(" %5.1f/%-5.1f\n", 100.0 * fs / 5.0,
+                    100.0 * ts / 5.0);
+    }
+    bench::note("paper averages: InfiniGen 100/6.8, InfiniGenP "
+                "50.8/6.8, ReKV 58.4/31.2, ReSV 32.7/2.5; ReSV drops "
+                "only 0.8% accuracy vs vanilla");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table III reproduction: area and power breakdown of one V-Rex core
+ * (14 nm, 0.8 V, 800 MHz) and the derived system-level comparisons
+ * (§VI-F): DRE is ~2.0% of area / ~2.2% of power; V-Rex8 is far
+ * smaller than AGX Orin, V-Rex48 far smaller than A100.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/energy_model.hh"
+#include "sim/hw_config.hh"
+
+using namespace vrex;
+
+int
+main()
+{
+    VRexCoreSpec spec;
+    bench::header("Table III: breakdown of area and power (1 core)");
+    std::printf("%-18s %10s %8s %12s %8s\n", "Component",
+                "Area[mm2]", "Area%", "Power[mW]", "Power%");
+    for (const auto &c : spec.all()) {
+        std::printf("%-18s %10.2f %7.2f%% %12.2f %7.2f%%\n",
+                    c.name.c_str(), c.areaMm2,
+                    100.0 * c.areaMm2 / spec.totalAreaMm2(),
+                    c.powerMw,
+                    100.0 * c.powerMw / spec.totalPowerMw());
+    }
+    std::printf("%-18s %10.2f %8s %12.2f %8s\n", "Total",
+                spec.totalAreaMm2(), "100%", spec.totalPowerMw(),
+                "100%");
+
+    std::printf("\nDRE share: %.1f%% area, %.1f%% power "
+                "(paper: 2.0%% / 2.2%%)\n",
+                100.0 * spec.dreAreaFraction(),
+                100.0 * spec.drePowerFraction());
+
+    std::printf("\nScaled configurations:\n");
+    std::printf("  V-Rex8 : %6.2f mm2 vs AGX Orin ~200 mm2\n",
+                8 * spec.totalAreaMm2());
+    std::printf("  V-Rex48: %6.2f mm2 vs A100 ~826 mm2\n",
+                48 * spec.totalAreaMm2());
+    auto v8 = AcceleratorConfig::vrex8();
+    auto v48 = AcceleratorConfig::vrex48();
+    auto agx = AcceleratorConfig::agxOrin();
+    auto a100 = AcceleratorConfig::a100();
+    std::printf("  system power: V-Rex8 %.0f W vs AGX %.0f W "
+                "(%.1f%% lower)\n", v8.systemPowerW, agx.systemPowerW,
+                100.0 * (1.0 - v8.systemPowerW / agx.systemPowerW));
+    std::printf("  system power: V-Rex48 %.2f W vs A100 %.0f W "
+                "(%.1f%% lower)\n", v48.systemPowerW,
+                a100.systemPowerW,
+                100.0 * (1.0 - v48.systemPowerW / a100.systemPowerW));
+    return 0;
+}

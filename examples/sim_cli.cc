@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Command-line driver for the hardware timing simulator: pick a
+ * platform, a retrieval method, a cache length and a batch size and
+ * get the full per-frame / TPOT breakdown. Useful for exploring
+ * configurations beyond the paper's sweep points.
+ *
+ * Usage:
+ *   sim_cli [--hw agx|a100|vrex8|vrex48] [--method flexgen|infinigen|
+ *            infinigenp|rekv|resv|resv-kvpu|resv-sw|gpu|oaken]
+ *           [--cache N] [--batch N] [--frame-tokens N]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "sim/hw_config.hh"
+#include "sim/method_model.hh"
+#include "sim/roofline.hh"
+#include "sim/system_model.hh"
+
+using namespace vrex;
+
+namespace
+{
+
+AcceleratorConfig
+parseHw(const std::string &name)
+{
+    if (name == "agx")
+        return AcceleratorConfig::agxOrin();
+    if (name == "a100")
+        return AcceleratorConfig::a100();
+    if (name == "vrex8")
+        return AcceleratorConfig::vrex8();
+    if (name == "vrex48")
+        return AcceleratorConfig::vrex48();
+    fatal("unknown hardware '%s' (agx|a100|vrex8|vrex48)",
+          name.c_str());
+}
+
+MethodModel
+parseMethod(const std::string &name)
+{
+    if (name == "flexgen")
+        return MethodModel::flexgen();
+    if (name == "infinigen")
+        return MethodModel::infinigen();
+    if (name == "infinigenp")
+        return MethodModel::infinigenP();
+    if (name == "rekv")
+        return MethodModel::rekv();
+    if (name == "resv")
+        return MethodModel::resvFull();
+    if (name == "resv-kvpu")
+        return MethodModel::resvKvpu();
+    if (name == "resv-sw")
+        return MethodModel::resvSoftware();
+    if (name == "gpu")
+        return MethodModel::gpuNoOffload();
+    if (name == "oaken")
+        return MethodModel::oaken();
+    if (name == "resv-oaken")
+        return MethodModel::resvOaken();
+    fatal("unknown method '%s'", name.c_str());
+}
+
+void
+printPhase(const char *title, const PhaseResult &r)
+{
+    std::printf("\n[%s]\n", title);
+    if (r.oom) {
+        std::printf("  OUT OF MEMORY\n");
+        return;
+    }
+    std::printf("  wall clock   : %9.2f ms\n", r.totalMs);
+    std::printf("  vision+MLP   : %9.2f ms\n", r.visionMs);
+    std::printf("  dense (QKV/FFN): %7.2f ms\n", r.denseMs);
+    std::printf("  attention    : %9.2f ms\n", r.attentionMs);
+    std::printf("  prediction   : %9.2f ms (GPU-serialized)\n",
+                r.predictionMs);
+    std::printf("  DRE          : %9.3f ms (overlapped)\n", r.dreMs);
+    std::printf("  KV fetch     : %9.2f ms (overlapped)\n",
+                r.fetchMs);
+    std::printf("  PCIe bytes   : %9.1f MiB\n",
+                r.pcieBytes / 1048576.0);
+    std::printf("  energy       : %9.3f J (avg %.1f W)\n",
+                r.energy.totalJ(),
+                r.energy.totalJ() / (r.totalMs / 1e3));
+    std::printf("  efficiency   : %9.1f GOPS/W\n", r.gopsPerW());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string hw = "vrex8", method = "resv";
+    uint32_t cache = 40000, batch = 1, frame_tokens = 10;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--hw")
+            hw = next();
+        else if (arg == "--method")
+            method = next();
+        else if (arg == "--cache")
+            cache = static_cast<uint32_t>(std::atoi(next().c_str()));
+        else if (arg == "--batch")
+            batch = static_cast<uint32_t>(std::atoi(next().c_str()));
+        else if (arg == "--frame-tokens")
+            frame_tokens =
+                static_cast<uint32_t>(std::atoi(next().c_str()));
+        else
+            fatal("unknown argument '%s'", arg.c_str());
+    }
+
+    RunConfig rc;
+    rc.hw = parseHw(hw);
+    rc.method = parseMethod(method);
+    rc.cacheTokens = cache;
+    rc.batch = batch;
+    rc.tokensPerFrame = frame_tokens;
+
+    std::printf("platform %s | method %s | cache %u tokens | "
+                "batch %u | %u tokens/frame\n", rc.hw.name.c_str(),
+                rc.method.name.c_str(), cache, batch, frame_tokens);
+
+    SystemModel sm(rc);
+    PhaseResult frame = sm.framePhase();
+    printPhase("frame processing", frame);
+    if (!frame.oom)
+        std::printf("  throughput   : %9.2f FPS\n", sm.frameFps());
+    printPhase("text generation (TPOT)", sm.decodePhase());
+
+    RooflinePoint p = rooflineFor(frame, rc.hw);
+    std::printf("\n[roofline] OI %.1f Op/B, achieved %.2f TFLOPS "
+                "(%.1f%% of roof)\n", p.opIntensity,
+                p.achievedTflops, 100.0 * p.fractionOfRoof());
+    return 0;
+}

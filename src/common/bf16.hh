@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Software bfloat16, the numeric format of the V-Rex LXE datapath.
+ *
+ * The paper's DPE/VPE operate in BF16; the Oaken baseline additionally
+ * quantizes the KV cache to 4 bits. This header provides a bit-exact
+ * BF16 value type (round-to-nearest-even) so functional experiments can
+ * measure the precision the hardware would actually see.
+ */
+
+#ifndef VREX_COMMON_BF16_HH
+#define VREX_COMMON_BF16_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace vrex
+{
+
+/** A bfloat16 value: the top 16 bits of an IEEE-754 binary32. */
+class BF16
+{
+  public:
+    BF16() : bits(0) {}
+
+    explicit BF16(float value) : bits(fromFloatBits(value)) {}
+
+    /** Reconstruct the float this BF16 encodes. */
+    float
+    toFloat() const
+    {
+        uint32_t w = static_cast<uint32_t>(bits) << 16;
+        float f;
+        std::memcpy(&f, &w, sizeof(f));
+        return f;
+    }
+
+    /** Raw 16-bit payload (sign, 8 exponent, 7 mantissa bits). */
+    uint16_t raw() const { return bits; }
+
+    static BF16
+    fromRaw(uint16_t raw)
+    {
+        BF16 v;
+        v.bits = raw;
+        return v;
+    }
+
+    bool operator==(const BF16 &other) const { return bits == other.bits; }
+
+  private:
+    static uint16_t
+    fromFloatBits(float value)
+    {
+        uint32_t w;
+        std::memcpy(&w, &value, sizeof(w));
+        // NaN: keep a quiet NaN payload.
+        if ((w & 0x7fffffffu) > 0x7f800000u)
+            return static_cast<uint16_t>((w >> 16) | 0x0040u);
+        // Round to nearest even on the truncated 16 bits.
+        uint32_t rounding = 0x7fffu + ((w >> 16) & 1u);
+        return static_cast<uint16_t>((w + rounding) >> 16);
+    }
+
+    uint16_t bits;
+};
+
+/** Round a float through BF16 precision. */
+inline float
+bf16Round(float value)
+{
+    return BF16(value).toFloat();
+}
+
+/** Round a buffer in place through BF16 precision. */
+inline void
+bf16RoundBuffer(float *data, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        data[i] = bf16Round(data[i]);
+}
+
+} // namespace vrex
+
+#endif // VREX_COMMON_BF16_HH

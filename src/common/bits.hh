@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bit-level utilities used by the hash-bit clustering path.
+ *
+ * Hash signatures are stored as packed 64-bit words; the Hamming
+ * distance between two signatures is a XOR + popcount over the words,
+ * mirroring the HCU's XOR-accumulator datapath.
+ */
+
+#ifndef VREX_COMMON_BITS_HH
+#define VREX_COMMON_BITS_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vrex
+{
+
+/** Number of 64-bit words needed to hold @p nbits bits. */
+inline uint32_t
+bitWords(uint32_t nbits)
+{
+    return (nbits + 63u) / 64u;
+}
+
+/** A packed bit signature of fixed width. */
+class BitSig
+{
+  public:
+    BitSig() = default;
+
+    explicit BitSig(uint32_t nbits)
+        : numBits(nbits), words(bitWords(nbits), 0)
+    {
+    }
+
+    uint32_t size() const { return numBits; }
+
+    void
+    set(uint32_t i, bool value)
+    {
+        uint64_t mask = 1ull << (i & 63u);
+        if (value)
+            words[i >> 6] |= mask;
+        else
+            words[i >> 6] &= ~mask;
+    }
+
+    bool
+    get(uint32_t i) const
+    {
+        return (words[i >> 6] >> (i & 63u)) & 1u;
+    }
+
+    const std::vector<uint64_t> &raw() const { return words; }
+
+    /** Hamming distance to another signature of the same width. */
+    uint32_t
+    hamming(const BitSig &other) const
+    {
+        uint32_t dist = 0;
+        for (size_t w = 0; w < words.size(); ++w)
+            dist += std::popcount(words[w] ^ other.words[w]);
+        return dist;
+    }
+
+    bool
+    operator==(const BitSig &other) const
+    {
+        return numBits == other.numBits && words == other.words;
+    }
+
+  private:
+    uint32_t numBits = 0;
+    std::vector<uint64_t> words;
+};
+
+} // namespace vrex
+
+#endif // VREX_COMMON_BITS_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Logging and error-reporting primitives.
+ *
+ * Follows the gem5 convention: fatal() is for conditions caused by the
+ * user (bad configuration, invalid arguments) and performs a normal
+ * error exit; panic() is for internal invariant violations (a bug in
+ * this library) and aborts so a debugger or core dump can capture the
+ * state. warn()/inform() report conditions that do not stop execution.
+ */
+
+#ifndef VREX_COMMON_LOGGING_HH
+#define VREX_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace vrex
+{
+
+/** Print an error caused by the user and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an internal-bug error and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning that execution continues past. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+} // namespace vrex
+
+/**
+ * Assert an internal invariant; compiled in all build types because the
+ * simulator's correctness claims depend on these checks.
+ */
+#define VREX_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::vrex::panic("assertion '%s' failed at %s:%d: " __VA_ARGS__,\
+                          #cond, __FILE__, __LINE__);                   \
+        }                                                               \
+    } while (0)
+
+#endif // VREX_COMMON_LOGGING_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic input in the reproduction (synthetic weights, video
+ * latents, hash hyperplanes, workload scripts) is drawn from a named
+ * stream so that all experiments are reproducible bit-for-bit.
+ */
+
+#ifndef VREX_COMMON_RNG_HH
+#define VREX_COMMON_RNG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vrex
+{
+
+/** SplitMix64: used to seed and to derive stream seeds from names. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    uint64_t state;
+};
+
+/**
+ * xoshiro256** PRNG with helpers for the distributions the simulator
+ * needs. Small, fast, and statistically sound for simulation use.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedull);
+
+    /** Construct a named stream: seed derived from (seed, name). */
+    Rng(uint64_t seed, const std::string &name);
+
+    /** Next raw 64-bit value. */
+    uint64_t nextU64();
+
+    /** Uniform in [0, 1). */
+    double uniform();
+
+    /** Uniform in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Standard normal via Box-Muller (cached spare). */
+    double gaussian();
+
+    /** Normal with given mean / stddev. */
+    double gaussian(double mean, double stddev);
+
+    /** Fill a float buffer with iid N(0, stddev^2). */
+    void fillGaussian(float *data, size_t n, float stddev);
+
+    /** Bernoulli draw. */
+    bool bernoulli(double p);
+
+    /** Random permutation of [0, n). */
+    std::vector<uint32_t> permutation(uint32_t n);
+
+  private:
+    uint64_t s[4];
+    double spare = 0.0;
+    bool hasSpare = false;
+};
+
+/** Stable 64-bit FNV-1a hash of a string (stream naming). */
+uint64_t hashName(const std::string &name);
+
+} // namespace vrex
+
+#endif // VREX_COMMON_RNG_HH

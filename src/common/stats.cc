@@ -1,0 +1,104 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vrex
+{
+
+void
+RunningStat::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    total += x;
+    double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+double
+RunningStat::variance() const
+{
+    return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, uint32_t bins)
+    : lo(lo), hi(hi), counts(bins, 0)
+{
+    VREX_ASSERT(hi > lo && bins > 0, "bad histogram parameters");
+}
+
+void
+Histogram::add(double x)
+{
+    double t = (x - lo) / (hi - lo);
+    long bin = static_cast<long>(t * static_cast<double>(counts.size()));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(counts.size()) - 1);
+    ++counts[static_cast<size_t>(bin)];
+    ++n;
+}
+
+double
+Histogram::binCenter(uint32_t bin) const
+{
+    double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + (static_cast<double>(bin) + 0.5) * width;
+}
+
+std::vector<double>
+Histogram::normalized() const
+{
+    std::vector<double> out(counts.size(), 0.0);
+    if (n == 0)
+        return out;
+    for (size_t i = 0; i < counts.size(); ++i)
+        out[i] = static_cast<double>(counts[i]) / static_cast<double>(n);
+    return out;
+}
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    VREX_ASSERT(x.size() == y.size(), "pearson needs equal-length samples");
+    size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+    double mx = mean(x), my = mean(y);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        double dx = x[i] - mx, dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+mean(const std::vector<double> &x)
+{
+    if (x.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : x)
+        s += v;
+    return s / static_cast<double>(x.size());
+}
+
+} // namespace vrex

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Statistics helpers used across experiments: running moments,
+ * histograms, and Pearson correlation (Fig. 7b reports the correlation
+ * between Hamming distance and cosine similarity).
+ */
+
+#ifndef VREX_COMMON_STATS_HH
+#define VREX_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vrex
+{
+
+/** Online mean/variance/min/max accumulator (Welford). */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    size_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double sum() const { return total; }
+
+  private:
+    size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/** Fixed-range histogram with uniform bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, uint32_t bins);
+
+    void add(double x);
+
+    uint32_t bins() const { return static_cast<uint32_t>(counts.size()); }
+    uint64_t count(uint32_t bin) const { return counts[bin]; }
+    uint64_t total() const { return n; }
+    double binCenter(uint32_t bin) const;
+
+    /** Render a single-line ASCII sparkline of the distribution. */
+    std::vector<double> normalized() const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<uint64_t> counts;
+    uint64_t n = 0;
+};
+
+/** Pearson correlation coefficient of two equal-length samples. */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/** Arithmetic mean of a sample (0 for empty). */
+double mean(const std::vector<double> &x);
+
+} // namespace vrex
+
+#endif // VREX_COMMON_STATS_HH

@@ -1,0 +1,39 @@
+#include "core/hash_encoder.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "tensor/ops.hh"
+
+namespace vrex
+{
+
+HashEncoder::HashEncoder(uint32_t key_dim, uint32_t n_bits,
+                         uint64_t seed)
+    : dim(key_dim), nBits(n_bits), planes(n_bits, key_dim)
+{
+    VREX_ASSERT(key_dim > 0 && n_bits > 0, "bad hash encoder shape");
+    Rng rng(seed, "hash-hyperplanes");
+    rng.fillGaussian(planes.raw(), planes.size(), 1.0f);
+}
+
+BitSig
+HashEncoder::encode(const float *key) const
+{
+    BitSig sig(nBits);
+    for (uint32_t b = 0; b < nBits; ++b)
+        sig.set(b, dot(key, planes.row(b), dim) > 0.0f);
+    return sig;
+}
+
+std::vector<BitSig>
+HashEncoder::encodeRows(const Matrix &keys) const
+{
+    VREX_ASSERT(keys.cols() == dim, "key width mismatch");
+    std::vector<BitSig> sigs;
+    sigs.reserve(keys.rows());
+    for (uint32_t r = 0; r < keys.rows(); ++r)
+        sigs.push_back(encode(keys.row(r)));
+    return sigs;
+}
+
+} // namespace vrex

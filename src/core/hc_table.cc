@@ -1,0 +1,96 @@
+#include "core/hc_table.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace vrex
+{
+
+HCTable::HCTable(uint32_t key_dim, uint32_t n_bits, uint32_t th_hd)
+    : keyDim(key_dim), nBits(n_bits), thHd(th_hd)
+{
+    VREX_ASSERT(key_dim > 0 && n_bits > 0, "bad HC table shape");
+}
+
+uint32_t
+HCTable::insert(uint32_t token_idx, const float *key, const BitSig &sig)
+{
+    VREX_ASSERT(sig.size() == nBits, "signature width mismatch");
+
+    uint32_t best = std::numeric_limits<uint32_t>::max();
+    uint32_t best_dist = thHd + 1;
+    for (uint32_t c = 0; c < rows.size(); ++c) {
+        uint32_t d = rows[c].signature.hamming(sig);
+        ++comparisons;
+        if (d < best_dist) {
+            best_dist = d;
+            best = c;
+        }
+    }
+
+    if (best == std::numeric_limits<uint32_t>::max()) {
+        HashCluster cluster;
+        cluster.signature = sig;
+        cluster.centroid.assign(key, key + keyDim);
+        cluster.tokenIdx.push_back(token_idx);
+        cluster.bitOnes.assign(nBits, 0);
+        for (uint32_t b = 0; b < nBits; ++b)
+            cluster.bitOnes[b] = sig.get(b) ? 1 : 0;
+        rows.push_back(std::move(cluster));
+        best = static_cast<uint32_t>(rows.size()) - 1;
+    } else {
+        HashCluster &cluster = rows[best];
+        const double n = cluster.tokenCount();
+        for (uint32_t d = 0; d < keyDim; ++d) {
+            cluster.centroid[d] = static_cast<float>(
+                (cluster.centroid[d] * n + key[d]) / (n + 1.0));
+        }
+        for (uint32_t b = 0; b < nBits; ++b)
+            cluster.bitOnes[b] += sig.get(b) ? 1 : 0;
+        cluster.tokenIdx.push_back(token_idx);
+        refreshSignature(cluster);
+    }
+    ++numTokens;
+    return best;
+}
+
+void
+HCTable::refreshSignature(HashCluster &cluster)
+{
+    const uint32_t n = cluster.tokenCount();
+    for (uint32_t b = 0; b < nBits; ++b)
+        cluster.signature.set(b, 2 * cluster.bitOnes[b] > n);
+}
+
+double
+HCTable::avgClusterSize() const
+{
+    if (rows.empty())
+        return 0.0;
+    return static_cast<double>(numTokens) /
+        static_cast<double>(rows.size());
+}
+
+uint64_t
+HCTable::memoryBytes() const
+{
+    uint64_t bytes = 0;
+    for (const auto &c : rows) {
+        bytes += c.centroid.size() * sizeof(float);
+        bytes += bitWords(nBits) * sizeof(uint64_t);
+        bytes += c.tokenIdx.size() * sizeof(uint32_t);
+        bytes += sizeof(uint32_t);  // token count field.
+    }
+    return bytes;
+}
+
+void
+HCTable::clear()
+{
+    rows.clear();
+    numTokens = 0;
+    comparisons = 0;
+}
+
+} // namespace vrex

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The hash cluster (HC) table (ReSV step 2, paper Fig. 8 right).
+ *
+ * Incoming key tokens join the nearest existing cluster when the
+ * Hamming distance between hash-bit signatures is below Th_hd,
+ * otherwise they found a new cluster. Each cluster keeps: the cluster
+ * index, its member token indices, the representative key
+ * (Key_cluster, a running mean of member keys), the representative
+ * hash-bit signature (per-bit majority of members), and the token
+ * count — exactly the columns of the paper's HC table.
+ */
+
+#ifndef VREX_CORE_HC_TABLE_HH
+#define VREX_CORE_HC_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hh"
+
+namespace vrex
+{
+
+/** One row of the HC table. */
+struct HashCluster
+{
+    BitSig signature;                 //!< Key_cluster hash-bit.
+    std::vector<float> centroid;      //!< Key_cluster (mean key).
+    std::vector<uint32_t> tokenIdx;   //!< Member token indices.
+    std::vector<uint32_t> bitOnes;    //!< Per-bit one-counts (majority).
+
+    uint32_t tokenCount() const
+    {
+        return static_cast<uint32_t>(tokenIdx.size());
+    }
+};
+
+/** Incremental Hamming-distance clustering of one head's key cache. */
+class HCTable
+{
+  public:
+    /**
+     * @param key_dim Key dimensionality (head dim).
+     * @param n_bits  Signature width.
+     * @param th_hd   Hamming-distance clustering threshold Th_hd.
+     */
+    HCTable(uint32_t key_dim, uint32_t n_bits, uint32_t th_hd);
+
+    /**
+     * Insert one token. Joins the closest cluster with distance
+     * <= thHd (ties: lowest cluster index) or creates a new cluster.
+     *
+     * @return The cluster index the token joined.
+     */
+    uint32_t insert(uint32_t token_idx, const float *key,
+                    const BitSig &sig);
+
+    const std::vector<HashCluster> &clusters() const { return rows; }
+
+    uint32_t clusterCount() const
+    {
+        return static_cast<uint32_t>(rows.size());
+    }
+
+    uint32_t tokenCount() const { return numTokens; }
+
+    /** Mean tokens per cluster (0 when empty). */
+    double avgClusterSize() const;
+
+    /**
+     * HC-table memory footprint in bytes (centroids + signatures +
+     * index lists), for the paper's 1.67%-of-KV overhead claim.
+     */
+    uint64_t memoryBytes() const;
+
+    /** Number of Hamming comparisons performed so far (HCU work). */
+    uint64_t hammingComparisons() const { return comparisons; }
+
+    void clear();
+
+  private:
+    void refreshSignature(HashCluster &cluster);
+
+    uint32_t keyDim;
+    uint32_t nBits;
+    uint32_t thHd;
+    uint32_t numTokens = 0;
+    uint64_t comparisons = 0;
+    std::vector<HashCluster> rows;
+};
+
+} // namespace vrex
+
+#endif // VREX_CORE_HC_TABLE_HH

@@ -1,0 +1,222 @@
+#include "core/resv.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.hh"
+
+namespace vrex
+{
+
+ResvPolicy::ResvPolicy(const ModelConfig &model_config,
+                       const ResvConfig &config)
+    : model(model_config), cfg(config),
+      encoder(model_config.headDim(), config.nHp, config.seed)
+{
+    const uint32_t n = model.nLayers * model.nKvHeads;
+    tables.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        tables.emplace_back(model.headDim(), cfg.nHp, cfg.thHd);
+}
+
+const HCTable &
+ResvPolicy::table(uint32_t layer, uint32_t kv_head) const
+{
+    return tables[layer * model.nKvHeads + kv_head];
+}
+
+ResvCounters &
+ResvPolicy::countersFor(TokenStage stage)
+{
+    return stage == TokenStage::VideoFrame ? frameCtr : textCtr;
+}
+
+void
+ResvPolicy::onBlockAppended(uint32_t layer, const KVCache &cache,
+                            uint32_t block_start, uint32_t block_len,
+                            TokenStage stage)
+{
+    (void)stage;
+    if (!cfg.clustering)
+        return;
+    const uint32_t head_dim = model.headDim();
+    const Matrix &keys = cache.layer(layer).keys;
+    for (uint32_t kv_head = 0; kv_head < model.nKvHeads; ++kv_head) {
+        HCTable &tab = tables[layer * model.nKvHeads + kv_head];
+        const uint32_t off = kv_head * head_dim;
+        for (uint32_t t = 0; t < block_len; ++t) {
+            const uint32_t token = block_start + t;
+            const float *key = keys.row(token) + off;
+            tab.insert(token, key, encoder.encode(key));
+        }
+    }
+}
+
+LayerSelection
+ResvPolicy::select(uint32_t layer, const Matrix &q, const KVCache &cache,
+                   uint32_t past_len, TokenStage stage)
+{
+    ResvCounters &ctr = countersFor(stage);
+    ++ctr.selectCalls;
+    if (past_len == 0)
+        return LayerSelection::full(model.nKvHeads);
+    ctr.pastTokens += static_cast<uint64_t>(past_len) * model.nKvHeads;
+
+    return cfg.clustering
+        ? selectClustered(layer, q, past_len, ctr)
+        : selectUnclustered(layer, q, cache, past_len, ctr);
+}
+
+LayerSelection
+ResvPolicy::selectClustered(uint32_t layer, const Matrix &q,
+                            uint32_t past_len, ResvCounters &ctr)
+{
+    const uint32_t head_dim = model.headDim();
+    const uint32_t group = model.groupSize();
+    const float scale = 1.0f / std::sqrt((float)head_dim);
+    LayerSelection sel;
+    sel.kvHeads.resize(model.nKvHeads);
+
+    for (uint32_t kv_head = 0; kv_head < model.nKvHeads; ++kv_head) {
+        const HCTable &tab = tables[layer * model.nKvHeads + kv_head];
+        const auto &clusters = tab.clusters();
+        HeadSelection &hsel = sel.kvHeads[kv_head];
+        hsel.selectAll = false;
+        if (clusters.empty())
+            continue;
+
+        // Score_cluster: max over the head group's queries and the
+        // block's query tokens (each query token needs its own
+        // entries; max pooling unions their demands).
+        std::vector<float> raw(clusters.size(),
+                               -std::numeric_limits<float>::infinity());
+        std::vector<uint32_t> counts(clusters.size(), 0);
+        for (uint32_t c = 0; c < clusters.size(); ++c) {
+            const float *centroid = clusters[c].centroid.data();
+            for (uint32_t g = 0; g < group; ++g) {
+                const uint32_t q_off =
+                    (kv_head * group + g) * head_dim;
+                for (uint32_t t = 0; t < q.rows(); ++t) {
+                    float s = dot(q.row(t) + q_off, centroid,
+                                  head_dim) * scale;
+                    raw[c] = std::max(raw[c], s);
+                }
+            }
+            counts[c] = clusters[c].tokenCount();
+        }
+        ctr.predictionMacs += static_cast<uint64_t>(clusters.size()) *
+            head_dim * group * q.rows();
+        ctr.clustersScanned += clusters.size();
+
+        std::vector<float> scores = expNormalize(raw);
+        WicsumResult picked = cfg.earlyExit
+            ? wicsumSelectEarlyExit(scores, counts, cfg.thrWics,
+                                    cfg.nBuckets)
+            : wicsumSelectReference(scores, counts, cfg.thrWics);
+        ctr.wicsumScanned += picked.scanned;
+        ctr.clustersSelected += picked.selected.size();
+
+        for (uint32_t c : picked.selected) {
+            for (uint32_t token : clusters[c].tokenIdx) {
+                if (token < past_len)
+                    hsel.indices.push_back(token);
+            }
+        }
+        std::sort(hsel.indices.begin(), hsel.indices.end());
+        ctr.tokensSelected += hsel.indices.size();
+    }
+    return sel;
+}
+
+LayerSelection
+ResvPolicy::selectUnclustered(uint32_t layer, const Matrix &q,
+                              const KVCache &cache, uint32_t past_len,
+                              ResvCounters &ctr)
+{
+    const uint32_t head_dim = model.headDim();
+    const uint32_t group = model.groupSize();
+    const float scale = 1.0f / std::sqrt((float)head_dim);
+    const Matrix &keys = cache.layer(layer).keys;
+    LayerSelection sel;
+    sel.kvHeads.resize(model.nKvHeads);
+
+    for (uint32_t kv_head = 0; kv_head < model.nKvHeads; ++kv_head) {
+        HeadSelection &hsel = sel.kvHeads[kv_head];
+        hsel.selectAll = false;
+        const uint32_t off = kv_head * head_dim;
+
+        std::vector<float> raw(past_len,
+                               -std::numeric_limits<float>::infinity());
+        std::vector<uint32_t> counts(past_len, 1);
+        for (uint32_t token = 0; token < past_len; ++token) {
+            const float *key = keys.row(token) + off;
+            for (uint32_t g = 0; g < group; ++g) {
+                const uint32_t q_off =
+                    (kv_head * group + g) * head_dim;
+                for (uint32_t t = 0; t < q.rows(); ++t) {
+                    float s = dot(q.row(t) + q_off, key, head_dim) *
+                        scale;
+                    raw[token] = std::max(raw[token], s);
+                }
+            }
+        }
+        ctr.predictionMacs += static_cast<uint64_t>(past_len) *
+            head_dim * group * q.rows();
+        ctr.clustersScanned += past_len;
+
+        std::vector<float> scores = expNormalize(raw);
+        WicsumResult picked = cfg.earlyExit
+            ? wicsumSelectEarlyExit(scores, counts, cfg.thrWics,
+                                    cfg.nBuckets)
+            : wicsumSelectReference(scores, counts, cfg.thrWics);
+        ctr.wicsumScanned += picked.scanned;
+        ctr.clustersSelected += picked.selected.size();
+
+        hsel.indices = picked.selected;
+        std::sort(hsel.indices.begin(), hsel.indices.end());
+        ctr.tokensSelected += hsel.indices.size();
+    }
+    (void)layer;
+    return sel;
+}
+
+void
+ResvPolicy::reset()
+{
+    for (auto &tab : tables)
+        tab.clear();
+    frameCtr = ResvCounters{};
+    textCtr = ResvCounters{};
+}
+
+uint64_t
+ResvPolicy::tableMemoryBytes() const
+{
+    uint64_t bytes = 0;
+    for (const auto &tab : tables)
+        bytes += tab.memoryBytes();
+    return bytes;
+}
+
+double
+ResvPolicy::avgClusterSize() const
+{
+    uint64_t tokens = 0, clusters = 0;
+    for (const auto &tab : tables) {
+        tokens += tab.tokenCount();
+        clusters += tab.clusterCount();
+    }
+    return clusters ? static_cast<double>(tokens) / clusters : 0.0;
+}
+
+uint64_t
+ResvPolicy::totalHammingComparisons() const
+{
+    uint64_t n = 0;
+    for (const auto &tab : tables)
+        n += tab.hammingComparisons();
+    return n;
+}
+
+} // namespace vrex

@@ -1,0 +1,130 @@
+#include "core/wicsum.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace vrex
+{
+
+namespace
+{
+
+double
+weightedSum(const std::vector<float> &scores,
+            const std::vector<uint32_t> &counts)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < scores.size(); ++i)
+        sum += static_cast<double>(scores[i]) * counts[i];
+    return sum;
+}
+
+} // namespace
+
+WicsumResult
+wicsumSelectReference(const std::vector<float> &scores,
+                      const std::vector<uint32_t> &counts,
+                      float thr_ratio)
+{
+    VREX_ASSERT(scores.size() == counts.size(),
+                "scores/counts size mismatch");
+    WicsumResult result;
+    if (scores.empty())
+        return result;
+
+    const double threshold = weightedSum(scores, counts) * thr_ratio;
+
+    std::vector<uint32_t> order(scores.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return scores[a] > scores[b];
+                     });
+
+    double acc = 0.0;
+    for (uint32_t idx : order) {
+        result.selected.push_back(idx);
+        ++result.scanned;
+        acc += static_cast<double>(scores[idx]) * counts[idx];
+        if (acc > threshold)
+            break;
+    }
+    return result;
+}
+
+WicsumResult
+wicsumSelectEarlyExit(const std::vector<float> &scores,
+                      const std::vector<uint32_t> &counts,
+                      float thr_ratio, uint32_t n_buckets)
+{
+    VREX_ASSERT(scores.size() == counts.size(),
+                "scores/counts size mismatch");
+    VREX_ASSERT(n_buckets > 0, "need at least one bucket");
+    WicsumResult result;
+    if (scores.empty())
+        return result;
+
+    // Preprocess step: weighted sum, threshold, min/max (Fig. 11).
+    const double threshold = weightedSum(scores, counts) * thr_ratio;
+    float lo = scores[0], hi = scores[0];
+    for (float s : scores) {
+        lo = std::min(lo, s);
+        hi = std::max(hi, s);
+    }
+    if (hi <= lo) {
+        // Degenerate row: all scores equal; accumulate in index order.
+        double acc = 0.0;
+        for (uint32_t i = 0; i < scores.size(); ++i) {
+            result.selected.push_back(i);
+            ++result.scanned;
+            acc += static_cast<double>(scores[i]) * counts[i];
+            if (acc > threshold)
+                break;
+        }
+        result.bucketsVisited = 1;
+        return result;
+    }
+
+    // Token selection step: sweep buckets from the highest range.
+    const double width =
+        (static_cast<double>(hi) - lo) / n_buckets;
+    double acc = 0.0;
+    for (uint32_t b = n_buckets; b-- > 0;) {
+        ++result.bucketsVisited;
+        const double lower = lo + width * b;
+        const double upper = lo + width * (b + 1);
+        for (uint32_t i = 0; i < scores.size(); ++i) {
+            const double s = scores[i];
+            const bool in_bucket = (b + 1 == n_buckets)
+                ? (s >= lower)
+                : (s >= lower && s < upper);
+            if (!in_bucket)
+                continue;
+            result.selected.push_back(i);
+            ++result.scanned;
+            acc += s * counts[i];
+            if (acc > threshold)
+                return result;  // Early exit.
+        }
+    }
+    return result;
+}
+
+std::vector<float>
+expNormalize(const std::vector<float> &raw_scores)
+{
+    std::vector<float> out(raw_scores.size());
+    if (raw_scores.empty())
+        return out;
+    float mx = raw_scores[0];
+    for (float s : raw_scores)
+        mx = std::max(mx, s);
+    for (size_t i = 0; i < raw_scores.size(); ++i)
+        out[i] = std::exp(raw_scores[i] - mx);
+    return out;
+}
+
+} // namespace vrex

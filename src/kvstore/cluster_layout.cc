@@ -1,0 +1,64 @@
+#include "kvstore/cluster_layout.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vrex
+{
+
+void
+ClusterLayout::rebuild(const std::vector<std::vector<uint32_t>> &clusters,
+                       uint32_t total_tokens)
+{
+    position.assign(total_tokens, UINT32_MAX);
+    uint32_t slot = 0;
+    for (const auto &members : clusters) {
+        for (uint32_t token : members) {
+            VREX_ASSERT(token < total_tokens,
+                        "cluster member out of range");
+            if (position[token] == UINT32_MAX)
+                position[token] = slot++;
+        }
+    }
+    for (uint32_t t = 0; t < total_tokens; ++t)
+        if (position[t] == UINT32_MAX)
+            position[t] = slot++;
+}
+
+uint32_t
+ClusterLayout::positionOf(uint32_t token) const
+{
+    if (token >= position.size())
+        return token;  // Identity beyond the rebuilt range.
+    return position[token];
+}
+
+uint32_t
+ClusterLayout::runsForSelection(const std::vector<uint32_t> &tokens) const
+{
+    if (tokens.empty())
+        return 0;
+    std::vector<uint32_t> slots;
+    slots.reserve(tokens.size());
+    for (uint32_t t : tokens)
+        slots.push_back(positionOf(t));
+    std::sort(slots.begin(), slots.end());
+    uint32_t runs = 1;
+    for (size_t i = 1; i < slots.size(); ++i)
+        runs += slots[i] != slots[i - 1] + 1;
+    return runs;
+}
+
+uint32_t
+ClusterLayout::runsTimeOrder(const std::vector<uint32_t> &sorted_tokens)
+{
+    if (sorted_tokens.empty())
+        return 0;
+    uint32_t runs = 1;
+    for (size_t i = 1; i < sorted_tokens.size(); ++i)
+        runs += sorted_tokens[i] != sorted_tokens[i - 1] + 1;
+    return runs;
+}
+
+} // namespace vrex

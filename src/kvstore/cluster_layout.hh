@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Hash-cluster-based memory mapping (paper §V-C, Fig. 12 right).
+ *
+ * The KVMU stores tokens of the same hash cluster at contiguous
+ * addresses so that a cluster-granular selection turns into few, large
+ * PCIe transactions instead of many scattered ones. This module
+ * computes, for a selected token set, how many contiguous runs the
+ * transfer decomposes into under (a) plain time-ordered layout and
+ * (b) the cluster-contiguous layout — the run counts feed the PCIe
+ * transaction model.
+ */
+
+#ifndef VREX_KVSTORE_CLUSTER_LAYOUT_HH
+#define VREX_KVSTORE_CLUSTER_LAYOUT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vrex
+{
+
+/** Token-to-address mapping maintained by the KVMU. */
+class ClusterLayout
+{
+  public:
+    /**
+     * Rebuild the mapping from cluster membership lists. Tokens are
+     * laid out cluster by cluster (clusters in index order, members
+     * in insertion order); tokens not mentioned are appended after
+     * all clusters in token order.
+     *
+     * @param clusters     tokenIdx lists, one per cluster.
+     * @param total_tokens Total tokens in the cache.
+     */
+    void rebuild(const std::vector<std::vector<uint32_t>> &clusters,
+                 uint32_t total_tokens);
+
+    /** Address slot of a token (identity before any rebuild). */
+    uint32_t positionOf(uint32_t token) const;
+
+    uint32_t totalTokens() const
+    {
+        return static_cast<uint32_t>(position.size());
+    }
+
+    /**
+     * Number of contiguous address runs a selected token set spans
+     * under this layout (== PCIe transactions needed).
+     */
+    uint32_t runsForSelection(const std::vector<uint32_t> &tokens) const;
+
+    /** Runs under the plain time-ordered layout (identity mapping). */
+    static uint32_t
+    runsTimeOrder(const std::vector<uint32_t> &sorted_tokens);
+
+  private:
+    std::vector<uint32_t> position;
+};
+
+} // namespace vrex
+
+#endif // VREX_KVSTORE_CLUSTER_LAYOUT_HH

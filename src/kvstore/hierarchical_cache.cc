@@ -1,0 +1,73 @@
+#include "kvstore/hierarchical_cache.hh"
+
+#include "common/logging.hh"
+
+namespace vrex
+{
+
+HierarchicalKVCache::HierarchicalKVCache(uint64_t bytes_per_token,
+                                         const TierConfig &config)
+    : bytesPerToken(bytes_per_token), cfg(config)
+{
+    VREX_ASSERT(bytes_per_token > 0, "token size must be positive");
+}
+
+void
+HierarchicalKVCache::appendTokens(uint32_t count)
+{
+    numTokens += count;
+    if (cfg.offloadAll) {
+        // FlexGen: everything is written straight through.
+        xfer.offloadedBytes += uint64_t(count) * bytesPerToken;
+        firstResident = numTokens;
+        return;
+    }
+    const uint64_t capacity_tokens =
+        bytesPerToken ? cfg.deviceKvCapacityBytes / bytesPerToken : 0;
+    if (numTokens - firstResident > capacity_tokens) {
+        uint32_t spill = numTokens - firstResident -
+            static_cast<uint32_t>(capacity_tokens);
+        xfer.offloadedBytes += uint64_t(spill) * bytesPerToken;
+        firstResident += spill;
+    }
+}
+
+uint64_t
+HierarchicalKVCache::touch(const std::vector<uint32_t> &tokens,
+                           uint64_t bytes_per_token_layer)
+{
+    uint64_t fetched = 0;
+    for (uint32_t t : tokens) {
+        VREX_ASSERT(t < numTokens, "touch of unknown token");
+        ++xfer.touchedTokens;
+        if (t < firstResident) {
+            fetched += bytes_per_token_layer;
+            ++xfer.fetchedTokens;
+        }
+    }
+    xfer.fetchedBytes += fetched;
+    return fetched;
+}
+
+Tier
+HierarchicalKVCache::residency(uint32_t token) const
+{
+    VREX_ASSERT(token < numTokens, "residency of unknown token");
+    return token >= firstResident ? Tier::Device : cfg.offloadTarget;
+}
+
+uint32_t
+HierarchicalKVCache::residentTokens() const
+{
+    return numTokens - firstResident;
+}
+
+void
+HierarchicalKVCache::clear()
+{
+    numTokens = 0;
+    firstResident = 0;
+    xfer = TransferStats{};
+}
+
+} // namespace vrex

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Hierarchical KV cache memory management (paper §V-C, Fig. 12).
+ *
+ * Recent KV entries live in the accelerator's DRAM; when the resident
+ * set exceeds the configured capacity, the oldest entries are
+ * offloaded to CPU memory (server) or NVMe storage (edge). Retrieval
+ * fetches selected non-resident entries back on demand. This module
+ * tracks residency and byte/transaction traffic; the timing of the
+ * resulting transfers is priced by sim/pcie_model and sim/ssd_model.
+ */
+
+#ifndef VREX_KVSTORE_HIERARCHICAL_CACHE_HH
+#define VREX_KVSTORE_HIERARCHICAL_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vrex
+{
+
+/** Memory tiers of the hierarchy. */
+enum class Tier : uint8_t
+{
+    Device,   //!< Accelerator / GPU DRAM.
+    CpuMem,   //!< Host DRAM behind PCIe.
+    Storage,  //!< NVMe SSD behind PCIe.
+};
+
+/** Capacity and offload-target configuration. */
+struct TierConfig
+{
+    uint64_t deviceKvCapacityBytes = 0;  //!< Budget for resident KV.
+    Tier offloadTarget = Tier::CpuMem;
+    /** If true (FlexGen), every entry is offloaded regardless of
+     *  capacity and the device holds no persistent window. */
+    bool offloadAll = false;
+};
+
+/** Cumulative transfer accounting. */
+struct TransferStats
+{
+    uint64_t offloadedBytes = 0;   //!< Device -> lower tier.
+    uint64_t fetchedBytes = 0;     //!< Lower tier -> device.
+    uint64_t fetchedTokens = 0;
+    uint64_t touchedTokens = 0;
+};
+
+/** Residency tracker for one session's token stream. */
+class HierarchicalKVCache
+{
+  public:
+    /**
+     * @param bytes_per_token KV bytes of one token across all layers.
+     * @param config          Tier capacities and offload target.
+     */
+    HierarchicalKVCache(uint64_t bytes_per_token,
+                        const TierConfig &config);
+
+    /** Append @p count new tokens; they enter the device tier and the
+     *  oldest tokens spill once capacity is exceeded. */
+    void appendTokens(uint32_t count);
+
+    /**
+     * Account one layer's attention access to @p tokens.
+     *
+     * @param tokens                Global token indices accessed.
+     * @param bytes_per_token_layer KV bytes per token for one layer.
+     * @return Bytes fetched from the lower tier for this access.
+     */
+    uint64_t touch(const std::vector<uint32_t> &tokens,
+                   uint64_t bytes_per_token_layer);
+
+    Tier residency(uint32_t token) const;
+
+    uint32_t totalTokens() const { return numTokens; }
+    uint32_t residentTokens() const;
+    uint32_t windowStart() const { return firstResident; }
+
+    const TransferStats &stats() const { return xfer; }
+    const TierConfig &config() const { return cfg; }
+
+    void clear();
+
+  private:
+    uint64_t bytesPerToken;
+    TierConfig cfg;
+    uint32_t numTokens = 0;
+    /** Tokens with index >= firstResident are device-resident. */
+    uint32_t firstResident = 0;
+    TransferStats xfer;
+};
+
+} // namespace vrex
+
+#endif // VREX_KVSTORE_HIERARCHICAL_CACHE_HH

@@ -1,0 +1,85 @@
+#include "llm/attention.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.hh"
+
+namespace vrex
+{
+
+double
+LayerSelection::selectedRatio(uint32_t past_len) const
+{
+    if (past_len == 0 || kvHeads.empty())
+        return 1.0;
+    double sum = 0.0;
+    for (const auto &h : kvHeads)
+        sum += static_cast<double>(h.selectedCount(past_len)) / past_len;
+    return sum / static_cast<double>(kvHeads.size());
+}
+
+void
+attentionForward(const ModelConfig &cfg, const Matrix &q,
+                 const LayerKV &kv, uint32_t past_len,
+                 const LayerSelection *sel, Matrix &out)
+{
+    const uint32_t head_dim = cfg.headDim();
+    const uint32_t n_heads = cfg.nHeads;
+    const uint32_t group = cfg.groupSize();
+    const uint32_t block_len = q.rows();
+    VREX_ASSERT(kv.keys.rows() == past_len + block_len,
+                "attention expects the block appended to the cache");
+    VREX_ASSERT(sel == nullptr ||
+                sel->kvHeads.size() == cfg.nKvHeads,
+                "selection has wrong head count");
+
+    out = Matrix(block_len, cfg.dModel);
+    std::vector<float> scores;
+    std::vector<uint32_t> attended;
+
+    for (uint32_t h = 0; h < n_heads; ++h) {
+        const uint32_t kv_head = h / group;
+        const uint32_t q_off = h * head_dim;
+        const uint32_t kv_off = kv_head * head_dim;
+        const HeadSelection *hsel =
+            sel ? &sel->kvHeads[kv_head] : nullptr;
+
+        for (uint32_t t = 0; t < block_len; ++t) {
+            // Tokens this query may attend: selected past tokens plus
+            // the causal prefix of the current block.
+            attended.clear();
+            if (!hsel || hsel->selectAll) {
+                for (uint32_t i = 0; i < past_len; ++i)
+                    attended.push_back(i);
+            } else {
+                attended.assign(hsel->indices.begin(),
+                                hsel->indices.end());
+            }
+            for (uint32_t i = 0; i <= t; ++i)
+                attended.push_back(past_len + i);
+
+            scores.resize(attended.size());
+            const float *qv = q.row(t) + q_off;
+            const float scale = 1.0f / std::sqrt((float)head_dim);
+            for (size_t i = 0; i < attended.size(); ++i) {
+                const float *kvec = kv.keys.row(attended[i]) + kv_off;
+                scores[i] = dot(qv, kvec, head_dim) * scale;
+            }
+            softmax(scores.data(),
+                    static_cast<uint32_t>(scores.size()));
+
+            float *ov = out.row(t) + q_off;
+            for (size_t i = 0; i < attended.size(); ++i) {
+                const float p = scores[i];
+                if (p == 0.0f)
+                    continue;
+                const float *vvec = kv.values.row(attended[i]) + kv_off;
+                for (uint32_t d = 0; d < head_dim; ++d)
+                    ov[d] += p * vvec[d];
+            }
+        }
+    }
+}
+
+} // namespace vrex

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Grouped-query attention over the KV cache, with optional per-head
+ * sparse token selection (the "light attention" of ReSV's execution
+ * stage).
+ */
+
+#ifndef VREX_LLM_ATTENTION_HH
+#define VREX_LLM_ATTENTION_HH
+
+#include "llm/config.hh"
+#include "llm/kv_cache.hh"
+#include "llm/selection.hh"
+#include "tensor/matrix.hh"
+
+namespace vrex
+{
+
+/**
+ * Compute attention output for a block of T query tokens.
+ *
+ * @param cfg       Model geometry.
+ * @param q         Post-RoPE queries, T x (nHeads*headDim).
+ * @param kv        One layer's cache; must already contain the block,
+ *                  i.e. kv.keys.rows() == past_len + T.
+ * @param past_len  Tokens preceding the block.
+ * @param sel       Per-KV-head past-token selection; nullptr = full.
+ *                  Block tokens are always attended causally.
+ * @param out       Result, T x dModel (heads concatenated).
+ */
+void attentionForward(const ModelConfig &cfg, const Matrix &q,
+                      const LayerKV &kv, uint32_t past_len,
+                      const LayerSelection *sel, Matrix &out);
+
+} // namespace vrex
+
+#endif // VREX_LLM_ATTENTION_HH

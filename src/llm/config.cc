@@ -1,0 +1,79 @@
+#include "llm/config.hh"
+
+namespace vrex
+{
+
+uint64_t
+ModelConfig::paramCount() const
+{
+    uint64_t d = dModel;
+    uint64_t kvDim = uint64_t(nKvHeads) * headDim();
+    uint64_t perLayer =
+        d * d +            // wq
+        d * kvDim * 2 +    // wk, wv
+        d * d +            // wo
+        3 * d * ffnDim +   // w1 (gate), w3 (up), w2 (down)
+        2 * d;             // two RMSNorm gains
+    return perLayer * nLayers + uint64_t(vocabSize) * d + d;
+}
+
+double
+ModelConfig::denseFlops(uint64_t tokens) const
+{
+    return 2.0 * static_cast<double>(paramCount()) *
+        static_cast<double>(tokens);
+}
+
+double
+ModelConfig::attentionFlops(uint64_t qTokens, uint64_t kvTokens) const
+{
+    // Q*K^T and P*V per head, per layer: 2 * 2 * headDim MACs.
+    double perLayer = 2.0 * 2.0 * static_cast<double>(qTokens) *
+        static_cast<double>(kvTokens) * nHeads * headDim();
+    return perLayer * nLayers;
+}
+
+ModelConfig
+ModelConfig::llama3_8b()
+{
+    ModelConfig c;
+    c.name = "llama3-8b";
+    c.nLayers = 32;
+    c.dModel = 4096;
+    c.nHeads = 32;
+    c.nKvHeads = 8;
+    c.ffnDim = 14336;
+    c.vocabSize = 128256;
+    c.ropeTheta = 500000.0f;
+    return c;
+}
+
+ModelConfig
+ModelConfig::tiny()
+{
+    ModelConfig c;
+    c.name = "tiny";
+    c.nLayers = 4;
+    c.dModel = 128;
+    c.nHeads = 8;
+    c.nKvHeads = 4;
+    c.ffnDim = 256;
+    c.vocabSize = 256;
+    return c;
+}
+
+ModelConfig
+ModelConfig::smallVideo()
+{
+    ModelConfig c;
+    c.name = "small-video";
+    c.nLayers = 8;
+    c.dModel = 256;
+    c.nHeads = 8;
+    c.nKvHeads = 4;
+    c.ffnDim = 512;
+    c.vocabSize = 512;
+    return c;
+}
+
+} // namespace vrex

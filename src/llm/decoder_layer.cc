@@ -1,0 +1,112 @@
+#include "llm/decoder_layer.hh"
+
+#include <cmath>
+#include <string>
+
+#include "tensor/ops.hh"
+
+namespace vrex
+{
+
+namespace
+{
+
+Matrix
+randomWeight(uint32_t out_dim, uint32_t in_dim, Rng &rng)
+{
+    Matrix w(out_dim, in_dim);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(in_dim));
+    rng.fillGaussian(w.raw(), w.size(), scale);
+    return w;
+}
+
+} // namespace
+
+DecoderLayer::DecoderLayer(const ModelConfig &config, uint32_t index,
+                           uint64_t seed)
+    : cfg(config), layerIndex(index)
+{
+    Rng rng(seed, cfg.name + "/layer" + std::to_string(index));
+    const uint32_t d = cfg.dModel;
+    const uint32_t kv_dim = cfg.nKvHeads * cfg.headDim();
+    wq = randomWeight(d, d, rng);
+    wk = randomWeight(kv_dim, d, rng);
+    wv = randomWeight(kv_dim, d, rng);
+    wo = randomWeight(d, d, rng);
+    w1 = randomWeight(cfg.ffnDim, d, rng);
+    w3 = randomWeight(cfg.ffnDim, d, rng);
+    w2 = randomWeight(d, cfg.ffnDim, rng);
+    attnNorm.assign(d, 1.0f);
+    ffnNorm.assign(d, 1.0f);
+    // Mildly varied norm gains so layers are not identical maps.
+    for (uint32_t i = 0; i < d; ++i) {
+        attnNorm[i] += 0.05f * static_cast<float>(rng.gaussian());
+        ffnNorm[i] += 0.05f * static_cast<float>(rng.gaussian());
+    }
+}
+
+LayerSelection
+DecoderLayer::forward(Matrix &x, KVCache &cache, SelectionPolicy *policy,
+                      TokenStage stage, uint32_t base_pos) const
+{
+    const uint32_t block_len = x.rows();
+    const uint32_t d = cfg.dModel;
+    const uint32_t head_dim = cfg.headDim();
+    const uint32_t past_len = base_pos;
+
+    // Attention sub-block.
+    Matrix h = x;
+    for (uint32_t t = 0; t < block_len; ++t)
+        rmsNorm(h.row(t), attnNorm.data(), d);
+
+    Matrix q, k, v;
+    matmulTransposed(h, wq, q);
+    matmulTransposed(h, wk, k);
+    matmulTransposed(h, wv, v);
+
+    for (uint32_t t = 0; t < block_len; ++t) {
+        const uint32_t pos = base_pos + t;
+        for (uint32_t hh = 0; hh < cfg.nHeads; ++hh)
+            applyRope(q.row(t) + hh * head_dim, head_dim, pos,
+                      cfg.ropeTheta);
+        for (uint32_t hh = 0; hh < cfg.nKvHeads; ++hh)
+            applyRope(k.row(t) + hh * head_dim, head_dim, pos,
+                      cfg.ropeTheta);
+    }
+
+    cache.appendLayer(layerIndex, k, v);
+    LayerSelection sel = LayerSelection::full(cfg.nKvHeads);
+    if (policy) {
+        policy->onBlockAppended(layerIndex, cache, past_len, block_len,
+                                stage);
+        sel = policy->select(layerIndex, q, cache, past_len, stage);
+    }
+
+    Matrix attn_out;
+    attentionForward(cfg, q, cache.layer(layerIndex), past_len, &sel,
+                     attn_out);
+
+    Matrix proj;
+    matmulTransposed(attn_out, wo, proj);
+    for (uint32_t t = 0; t < block_len; ++t)
+        addInPlace(x.row(t), proj.row(t), d);
+
+    // FFN sub-block.
+    Matrix h2 = x;
+    for (uint32_t t = 0; t < block_len; ++t)
+        rmsNorm(h2.row(t), ffnNorm.data(), d);
+    Matrix gate, up, down;
+    matmulTransposed(h2, w1, gate);
+    matmulTransposed(h2, w3, up);
+    for (uint32_t t = 0; t < block_len; ++t) {
+        silu(gate.row(t), cfg.ffnDim);
+        hadamard(gate.row(t), up.row(t), cfg.ffnDim);
+    }
+    matmulTransposed(gate, w2, down);
+    for (uint32_t t = 0; t < block_len; ++t)
+        addInPlace(x.row(t), down.row(t), d);
+
+    return sel;
+}
+
+} // namespace vrex

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * One llama-style decoder layer: RMSNorm -> GQA attention (with the
+ * retrieval hook) -> residual -> RMSNorm -> SwiGLU FFN -> residual.
+ */
+
+#ifndef VREX_LLM_DECODER_LAYER_HH
+#define VREX_LLM_DECODER_LAYER_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "llm/attention.hh"
+#include "llm/config.hh"
+#include "llm/kv_cache.hh"
+#include "llm/selection.hh"
+#include "tensor/matrix.hh"
+
+namespace vrex
+{
+
+/** Decoder layer with synthetic (deterministic random) weights. */
+class DecoderLayer
+{
+  public:
+    /** Build layer @p index with weights from a named RNG stream. */
+    DecoderLayer(const ModelConfig &config, uint32_t index,
+                 uint64_t seed);
+
+    /**
+     * Forward one block of hidden states in place.
+     *
+     * Appends this layer's K/V to @p cache, consults @p policy for
+     * past-token selection, and records the selection ratio.
+     *
+     * @param x         Hidden states, block_len x dModel (updated).
+     * @param cache     The KV cache (beginTokens already called).
+     * @param policy    Retrieval policy; nullptr = full attention.
+     * @param stage     Pipeline stage of this block.
+     * @param base_pos  Absolute position of the block's first token.
+     * @return The selection used (for ratio accounting).
+     */
+    LayerSelection forward(Matrix &x, KVCache &cache,
+                           SelectionPolicy *policy, TokenStage stage,
+                           uint32_t base_pos) const;
+
+    uint32_t index() const { return layerIndex; }
+
+  private:
+    ModelConfig cfg;
+    uint32_t layerIndex;
+
+    // Weights stored as [out_features x in_features] for matmulT.
+    Matrix wq, wk, wv, wo;
+    Matrix w1, w2, w3;
+    std::vector<float> attnNorm, ffnNorm;
+};
+
+} // namespace vrex
+
+#endif // VREX_LLM_DECODER_LAYER_HH

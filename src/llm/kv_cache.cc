@@ -1,0 +1,82 @@
+#include "llm/kv_cache.hh"
+
+namespace vrex
+{
+
+KVCache::KVCache(const ModelConfig &config)
+    : cfg(config), layers(config.nLayers)
+{
+    const uint32_t kv_dim = cfg.nKvHeads * cfg.headDim();
+    for (auto &l : layers) {
+        l.keys = Matrix(0, kv_dim);
+        l.values = Matrix(0, kv_dim);
+    }
+}
+
+void
+KVCache::beginTokens(uint32_t count, int32_t frame_id, TokenStage stage)
+{
+    VREX_ASSERT(pendingTokens == 0 ||
+                layers[cfg.nLayers - 1].keys.rows() == meta.size(),
+                "beginTokens before previous block finished all layers");
+    uint32_t base = static_cast<uint32_t>(meta.size());
+    for (uint32_t i = 0; i < count; ++i)
+        meta.push_back({frame_id, stage, base + i});
+    pendingTokens = count;
+    if (frame_id >= 0 && static_cast<uint32_t>(frame_id) >= numFrames)
+        numFrames = static_cast<uint32_t>(frame_id) + 1;
+}
+
+void
+KVCache::appendLayer(uint32_t layer, const Matrix &k, const Matrix &v)
+{
+    VREX_ASSERT(layer < cfg.nLayers, "layer out of range");
+    VREX_ASSERT(k.rows() == pendingTokens && v.rows() == pendingTokens,
+                "KV block size does not match beginTokens");
+    LayerKV &l = layers[layer];
+    for (uint32_t r = 0; r < k.rows(); ++r) {
+        l.keys.appendRow(k.row(r));
+        l.values.appendRow(v.row(r));
+    }
+}
+
+std::pair<uint32_t, uint32_t>
+KVCache::frameTokenRange(int32_t frame_id) const
+{
+    uint32_t first = 0, last = 0;
+    bool found = false;
+    for (uint32_t t = 0; t < meta.size(); ++t) {
+        if (meta[t].frameId == frame_id) {
+            if (!found) {
+                first = t;
+                found = true;
+            }
+            last = t + 1;
+        }
+    }
+    if (!found)
+        return {0, 0};
+    return {first, last};
+}
+
+uint64_t
+KVCache::totalBytes(double bytesPerElem) const
+{
+    return static_cast<uint64_t>(meta.size()) *
+        cfg.kvBytesPerToken(bytesPerElem);
+}
+
+void
+KVCache::clear()
+{
+    const uint32_t kv_dim = cfg.nKvHeads * cfg.headDim();
+    for (auto &l : layers) {
+        l.keys = Matrix(0, kv_dim);
+        l.values = Matrix(0, kv_dim);
+    }
+    meta.clear();
+    pendingTokens = 0;
+    numFrames = 0;
+}
+
+} // namespace vrex

@@ -1,0 +1,128 @@
+#include "llm/model.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "tensor/ops.hh"
+
+namespace vrex
+{
+
+double
+BlockStats::meanRatio() const
+{
+    if (layerRatios.empty())
+        return 1.0;
+    double s = 0.0;
+    for (double r : layerRatios)
+        s += r;
+    return s / static_cast<double>(layerRatios.size());
+}
+
+Model::Model(const ModelConfig &config, uint64_t seed)
+    : cfg(config), kv(config)
+{
+    layers.reserve(cfg.nLayers);
+    for (uint32_t l = 0; l < cfg.nLayers; ++l)
+        layers.emplace_back(cfg, l, seed);
+    Rng rng(seed, cfg.name + "/embedding");
+    embedding = Matrix(cfg.vocabSize, cfg.dModel);
+    rng.fillGaussian(embedding.raw(), embedding.size(), 1.0f);
+    finalNorm.assign(cfg.dModel, 1.0f);
+    lastHid.assign(cfg.dModel, 0.0f);
+}
+
+Matrix
+Model::embedTokens(const std::vector<uint32_t> &ids) const
+{
+    Matrix x(static_cast<uint32_t>(ids.size()), cfg.dModel);
+    for (uint32_t t = 0; t < ids.size(); ++t) {
+        VREX_ASSERT(ids[t] < cfg.vocabSize, "token id out of range");
+        std::copy_n(embedding.row(ids[t]), cfg.dModel, x.row(t));
+    }
+    return x;
+}
+
+BlockStats
+Model::forwardBlock(Matrix x, int32_t frame_id, TokenStage stage)
+{
+    VREX_ASSERT(x.cols() == cfg.dModel, "bad block width");
+    const uint32_t base = kv.tokenCount();
+    const uint32_t block_len = x.rows();
+    kv.beginTokens(block_len, frame_id, stage);
+
+    BlockStats stats;
+    stats.stage = stage;
+    stats.blockLen = block_len;
+    stats.pastLen = base;
+    stats.layerRatios.reserve(cfg.nLayers);
+    stats.selectedPerHead.reserve(cfg.nLayers);
+
+    for (const auto &layer : layers) {
+        LayerSelection sel =
+            layer.forward(x, kv, selPolicy, stage, base);
+        stats.layerRatios.push_back(sel.selectedRatio(base));
+        std::vector<uint32_t> per_head;
+        per_head.reserve(sel.kvHeads.size());
+        for (const auto &h : sel.kvHeads)
+            per_head.push_back(h.selectedCount(base));
+        stats.selectedPerHead.push_back(std::move(per_head));
+    }
+
+    // Final norm of the last row becomes the decoding state.
+    lastHid.assign(x.row(block_len - 1),
+                   x.row(block_len - 1) + cfg.dModel);
+    rmsNorm(lastHid.data(), finalNorm.data(), cfg.dModel);
+
+    blockHistory.push_back(stats);
+    return blockHistory.back();
+}
+
+BlockStats
+Model::prefillFrame(const Matrix &frame_embeds, int32_t frame_id)
+{
+    return forwardBlock(frame_embeds, frame_id, TokenStage::VideoFrame);
+}
+
+BlockStats
+Model::prefillText(const std::vector<uint32_t> &ids)
+{
+    return forwardBlock(embedTokens(ids), -1, TokenStage::QuestionText);
+}
+
+std::vector<float>
+Model::lastLogits() const
+{
+    std::vector<float> logits(cfg.vocabSize, 0.0f);
+    for (uint32_t v = 0; v < cfg.vocabSize; ++v)
+        logits[v] = dot(lastHid.data(), embedding.row(v), cfg.dModel);
+    return logits;
+}
+
+std::vector<uint32_t>
+Model::generate(uint32_t max_tokens)
+{
+    std::vector<uint32_t> out;
+    out.reserve(max_tokens);
+    for (uint32_t i = 0; i < max_tokens; ++i) {
+        std::vector<float> logits = lastLogits();
+        uint32_t best = static_cast<uint32_t>(
+            std::max_element(logits.begin(), logits.end()) -
+            logits.begin());
+        out.push_back(best);
+        forwardBlock(embedTokens({best}), -1, TokenStage::GeneratedText);
+    }
+    return out;
+}
+
+void
+Model::resetSession()
+{
+    kv.clear();
+    if (selPolicy)
+        selPolicy->reset();
+    blockHistory.clear();
+    lastHid.assign(cfg.dModel, 0.0f);
+}
+
+} // namespace vrex

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The streaming video LLM backbone: a stack of decoder layers driven
+ * in the paper's two stages — the *iterative prefill* stage (frames
+ * and question tokens arrive block by block and accumulate KV) and
+ * the *generation* stage (greedy decoding against the accumulated
+ * cache).
+ */
+
+#ifndef VREX_LLM_MODEL_HH
+#define VREX_LLM_MODEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "llm/decoder_layer.hh"
+#include "llm/kv_cache.hh"
+#include "llm/selection.hh"
+#include "tensor/matrix.hh"
+
+namespace vrex
+{
+
+/** Selection accounting for one forwarded block. */
+struct BlockStats
+{
+    TokenStage stage;
+    uint32_t blockLen = 0;
+    uint32_t pastLen = 0;
+    /** Mean selected-token ratio per layer. */
+    std::vector<double> layerRatios;
+    /** Selected token count per [layer][kvHead]. */
+    std::vector<std::vector<uint32_t>> selectedPerHead;
+
+    double meanRatio() const;
+};
+
+/** The decoder-only backbone with synthetic deterministic weights. */
+class Model
+{
+  public:
+    Model(const ModelConfig &config, uint64_t seed = 42);
+
+    const ModelConfig &config() const { return cfg; }
+    KVCache &cache() { return kv; }
+    const KVCache &cache() const { return kv; }
+
+    /** Install the retrieval policy (not owned); nullptr = full. */
+    void setPolicy(SelectionPolicy *policy) { selPolicy = policy; }
+
+    /** Embed token ids into model space. */
+    Matrix embedTokens(const std::vector<uint32_t> &ids) const;
+
+    /**
+     * Run one block through all layers (iterative prefill step or a
+     * generation step). @p x rows become KV entries; returns selection
+     * accounting and records it in history().
+     */
+    BlockStats forwardBlock(Matrix x, int32_t frame_id, TokenStage stage);
+
+    /** Prefill one video frame's projected embeddings. */
+    BlockStats prefillFrame(const Matrix &frame_embeds, int32_t frame_id);
+
+    /** Prefill question text tokens. */
+    BlockStats prefillText(const std::vector<uint32_t> &ids);
+
+    /** Greedy-decode @p max_tokens; returns generated token ids. */
+    std::vector<uint32_t> generate(uint32_t max_tokens);
+
+    /** Hidden state of the most recent token (post final norm). */
+    const std::vector<float> &lastHidden() const { return lastHid; }
+
+    /** Logits of the most recent token (tied embedding). */
+    std::vector<float> lastLogits() const;
+
+    /** All block stats since the last clearHistory(). */
+    const std::vector<BlockStats> &history() const { return blockHistory; }
+    void clearHistory() { blockHistory.clear(); }
+
+    /** Reset the cache, the policy state, and history. */
+    void resetSession();
+
+  private:
+    ModelConfig cfg;
+    KVCache kv;
+    std::vector<DecoderLayer> layers;
+    Matrix embedding;             //!< vocab x dModel (tied output).
+    std::vector<float> finalNorm;
+    SelectionPolicy *selPolicy = nullptr;
+    std::vector<float> lastHid;
+    std::vector<BlockStats> blockHistory;
+};
+
+} // namespace vrex
+
+#endif // VREX_LLM_MODEL_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The retrieval hook: a SelectionPolicy decides, per layer and per KV
+ * head, which past tokens attention may read. This is the seam between
+ * the LLM runtime and every retrieval algorithm in the paper (FlexGen,
+ * InfiniGen, InfiniGenP, ReKV, and V-Rex's ReSV).
+ */
+
+#ifndef VREX_LLM_SELECTION_HH
+#define VREX_LLM_SELECTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "llm/kv_cache.hh"
+#include "tensor/matrix.hh"
+
+namespace vrex
+{
+
+/** Token choice for one KV head. */
+struct HeadSelection
+{
+    bool selectAll = true;
+    /** Past-token indices (ascending) when !selectAll. */
+    std::vector<uint32_t> indices;
+
+    uint32_t
+    selectedCount(uint32_t past_len) const
+    {
+        return selectAll ? past_len
+                         : static_cast<uint32_t>(indices.size());
+    }
+};
+
+/** Token choice for all KV heads of one layer. */
+struct LayerSelection
+{
+    std::vector<HeadSelection> kvHeads;
+
+    /** A selection that attends the full cache. */
+    static LayerSelection
+    full(uint32_t n_kv_heads)
+    {
+        LayerSelection s;
+        s.kvHeads.resize(n_kv_heads);
+        return s;
+    }
+
+    /** Average fraction of past tokens attended across heads. */
+    double selectedRatio(uint32_t past_len) const;
+};
+
+/**
+ * Abstract retrieval policy invoked by every decoder layer.
+ *
+ * Contract: onBlockAppended() fires after the current block's K/V rows
+ * for @p layer have been appended to the cache (so clustering sees the
+ * new keys); select() then returns which *past* tokens (indices below
+ * @p past_len) each KV head may attend. Tokens of the current block
+ * are always attended causally regardless of the selection.
+ */
+class SelectionPolicy
+{
+  public:
+    virtual ~SelectionPolicy() = default;
+
+    virtual void
+    onBlockAppended(uint32_t layer, const KVCache &cache,
+                    uint32_t block_start, uint32_t block_len,
+                    TokenStage stage)
+    {
+        (void)layer; (void)cache; (void)block_start; (void)block_len;
+        (void)stage;
+    }
+
+    /**
+     * Choose past tokens for one layer.
+     *
+     * @param layer     Decoder layer index.
+     * @param q         Post-RoPE query block, rows=T, cols=nHeads*headDim.
+     * @param cache     The KV cache (block already appended).
+     * @param past_len  Tokens preceding the current block.
+     * @param stage     Pipeline stage of the current block.
+     */
+    virtual LayerSelection select(uint32_t layer, const Matrix &q,
+                                  const KVCache &cache, uint32_t past_len,
+                                  TokenStage stage) = 0;
+
+    /** Reset per-session state (clustering tables etc.). */
+    virtual void reset() {}
+};
+
+/** The no-op policy: attend the full cache (vanilla / FlexGen). */
+class FullAttentionPolicy : public SelectionPolicy
+{
+  public:
+    LayerSelection
+    select(uint32_t, const Matrix &, const KVCache &cache, uint32_t,
+           TokenStage) override
+    {
+        return LayerSelection::full(cache.config().nKvHeads);
+    }
+};
+
+} // namespace vrex
+
+#endif // VREX_LLM_SELECTION_HH

@@ -1,0 +1,28 @@
+#include "pipeline/coupling.hh"
+
+#include <algorithm>
+
+namespace vrex
+{
+
+MethodModel
+coupleRatios(MethodModel base, const SessionRunResult &measured)
+{
+    if (base.selectsInPrefill)
+        base.frameSelRatio = std::clamp(measured.frameRatio, 0.0, 1.0);
+    if (base.selectsInGeneration)
+        base.genSelRatio = std::clamp(measured.textRatio, 0.0, 1.0);
+    return base;
+}
+
+MethodModel
+coupleResv(MethodModel base, const SessionRunResult &measured,
+           double avg_cluster_size)
+{
+    base = coupleRatios(base, measured);
+    if (avg_cluster_size > 1.0)
+        base.tokensPerCluster = avg_cluster_size;
+    return base;
+}
+
+} // namespace vrex

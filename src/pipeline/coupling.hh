@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Functional-to-timing coupling: the selection ratios measured by the
+ * functional pipeline parameterize the timing simulator's
+ * MethodModel, so both halves of the reproduction describe the same
+ * algorithm operating point.
+ */
+
+#ifndef VREX_PIPELINE_COUPLING_HH
+#define VREX_PIPELINE_COUPLING_HH
+
+#include "pipeline/streaming_session.hh"
+#include "sim/method_model.hh"
+
+namespace vrex
+{
+
+/** Override a method's stage ratios with measured ones. */
+MethodModel coupleRatios(MethodModel base,
+                         const SessionRunResult &measured);
+
+/** Also couple the measured mean cluster size (ReSV variants). */
+MethodModel coupleResv(MethodModel base,
+                       const SessionRunResult &measured,
+                       double avg_cluster_size);
+
+} // namespace vrex
+
+#endif // VREX_PIPELINE_COUPLING_HH

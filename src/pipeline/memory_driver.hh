@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Functional memory-hierarchy replay: a decorator SelectionPolicy
+ * that forwards to any retrieval policy while accounting every
+ * selection against a HierarchicalKVCache (residency, offload and
+ * fetch bytes) and a ClusterLayout (transfer contiguity) — the
+ * functional counterpart of the KVMU (paper §V-C, Fig. 12). It lets
+ * us *measure*, with real selections from the functional model, how
+ * many contiguous PCIe transactions a fetch decomposes into under
+ * the time-ordered vs. the cluster-contiguous layout.
+ */
+
+#ifndef VREX_PIPELINE_MEMORY_DRIVER_HH
+#define VREX_PIPELINE_MEMORY_DRIVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/resv.hh"
+#include "kvstore/cluster_layout.hh"
+#include "kvstore/hierarchical_cache.hh"
+#include "llm/selection.hh"
+
+namespace vrex
+{
+
+/** Measured transfer behaviour of one session. */
+struct MemoryReplayStats
+{
+    uint64_t fetchedBytes = 0;
+    uint64_t offloadedBytes = 0;
+    uint64_t fetchEvents = 0;
+    /** Contiguous runs the fetched sets span, per layout. */
+    uint64_t runsTimeOrder = 0;
+    uint64_t runsClustered = 0;
+    uint64_t selectedTokens = 0;
+
+    /** Mean selected tokens per contiguous run (higher = fewer,
+     *  larger PCIe transactions). */
+    double tokensPerRunTimeOrder() const;
+    double tokensPerRunClustered() const;
+};
+
+/** Decorator policy wiring a real policy to the memory hierarchy. */
+class MemoryTrackingPolicy : public SelectionPolicy
+{
+  public:
+    /**
+     * @param inner  The real retrieval policy (not owned). May be a
+     *               ResvPolicy, in which case its HC tables drive
+     *               the cluster-contiguous layout.
+     * @param model  Model geometry (token sizes).
+     * @param tiers  Device-window configuration.
+     */
+    MemoryTrackingPolicy(SelectionPolicy *inner,
+                         const ModelConfig &model,
+                         const TierConfig &tiers);
+
+    /** Use @p resv's HC tables as the KVMU layout source. */
+    void setClusterSource(const ResvPolicy *resv) { resvSource = resv; }
+
+    void onBlockAppended(uint32_t layer, const KVCache &cache,
+                         uint32_t block_start, uint32_t block_len,
+                         TokenStage stage) override;
+
+    LayerSelection select(uint32_t layer, const Matrix &q,
+                          const KVCache &cache, uint32_t past_len,
+                          TokenStage stage) override;
+
+    void reset() override;
+
+    const MemoryReplayStats &stats() const { return replay; }
+    const HierarchicalKVCache &hierarchy() const { return tiersState; }
+
+  private:
+    SelectionPolicy *inner;
+    ModelConfig model;
+    const ResvPolicy *resvSource = nullptr;
+    HierarchicalKVCache tiersState;
+    MemoryReplayStats replay;
+};
+
+} // namespace vrex
+
+#endif // VREX_PIPELINE_MEMORY_DRIVER_HH

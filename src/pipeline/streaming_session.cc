@@ -1,0 +1,138 @@
+#include "pipeline/streaming_session.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vrex
+{
+
+StreamingSession::StreamingSession(const ModelConfig &model_config,
+                                   SelectionPolicy *policy,
+                                   uint64_t seed_value)
+    : seed(seed_value), llm(model_config, seed_value)
+{
+    llm.setPolicy(policy);
+}
+
+void
+StreamingSession::accumulate(const BlockStats &stats,
+                             SessionRunResult &out,
+                             std::vector<std::vector<double>> &sums,
+                             uint32_t &ratio_blocks, double &frame_sum,
+                             uint32_t &frame_n, double &text_sum,
+                             uint32_t &text_n) const
+{
+    (void)out;
+    if (stats.pastLen == 0)
+        return;
+    const double ratio = stats.meanRatio();
+    if (stats.stage == TokenStage::VideoFrame) {
+        frame_sum += ratio;
+        ++frame_n;
+    } else {
+        text_sum += ratio;
+        ++text_n;
+    }
+    // Per-layer / per-head accumulation (all stages).
+    if (sums.empty()) {
+        sums.assign(stats.selectedPerHead.size(),
+                    std::vector<double>(
+                        stats.selectedPerHead.empty()
+                            ? 0
+                            : stats.selectedPerHead[0].size(),
+                        0.0));
+    }
+    for (size_t l = 0; l < stats.selectedPerHead.size(); ++l)
+        for (size_t h = 0; h < stats.selectedPerHead[l].size(); ++h)
+            sums[l][h] +=
+                static_cast<double>(stats.selectedPerHead[l][h]) /
+                stats.pastLen;
+    ++ratio_blocks;
+}
+
+SessionRunResult
+StreamingSession::run(const SessionScript &script)
+{
+    return run(script, {});
+}
+
+SessionRunResult
+StreamingSession::run(const SessionScript &script,
+                      const std::vector<uint32_t> &forced_tokens)
+{
+    llm.resetSession();
+    const ModelConfig &cfg = llm.config();
+
+    FrameGenerator gen(script.video, seed ^ script.seed, script.name);
+    const uint32_t vision_dim = std::max(32u, cfg.dModel / 4);
+    VisionTower tower(script.video.latentDim, vision_dim, seed);
+    MlpProjector projector(vision_dim, cfg.dModel, seed);
+
+    SessionRunResult out;
+    std::vector<std::vector<double>> sums;
+    uint32_t ratio_blocks = 0, frame_n = 0, text_n = 0;
+    double frame_sum = 0.0, text_sum = 0.0;
+
+    int32_t frame_id = 0;
+    uint32_t question_no = 0;
+    uint32_t forced_pos = 0;
+
+    for (const auto &event : script.events) {
+        switch (event.type) {
+          case SessionEvent::Type::Frame: {
+            Matrix latents = gen.nextFrameLatents();
+            Matrix embeds =
+                projector.project(tower.encode(latents));
+            BlockStats stats = llm.prefillFrame(embeds, frame_id++);
+            accumulate(stats, out, sums, ratio_blocks, frame_sum,
+                       frame_n, text_sum, text_n);
+            ++out.frames;
+            break;
+          }
+          case SessionEvent::Type::Question: {
+            auto ids = WorkloadGenerator::questionTokens(
+                event.tokens, cfg.vocabSize,
+                seed ^ script.seed ^ (0x9e37u + question_no++));
+            BlockStats stats = llm.prefillText(ids);
+            accumulate(stats, out, sums, ratio_blocks, frame_sum,
+                       frame_n, text_sum, text_n);
+            break;
+          }
+          case SessionEvent::Type::Generate: {
+            for (uint32_t i = 0; i < event.tokens; ++i) {
+                // Argmax of the current state.
+                std::vector<float> logits = llm.lastLogits();
+                uint32_t best = static_cast<uint32_t>(
+                    std::max_element(logits.begin(), logits.end()) -
+                    logits.begin());
+                out.generated.push_back(best);
+                out.stepLogits.push_back(std::move(logits));
+                // Advance with the forced token when provided.
+                uint32_t next = best;
+                if (forced_pos < forced_tokens.size())
+                    next = forced_tokens[forced_pos++];
+                BlockStats stats = llm.forwardBlock(
+                    llm.embedTokens({next}), -1,
+                    TokenStage::GeneratedText);
+                accumulate(stats, out, sums, ratio_blocks, frame_sum,
+                           frame_n, text_sum, text_n);
+            }
+            break;
+          }
+        }
+    }
+
+    out.frameRatio = frame_n ? frame_sum / frame_n : 1.0;
+    out.textRatio = text_n ? text_sum / text_n : 1.0;
+    if (ratio_blocks > 0) {
+        out.layerHeadRatio = sums;
+        for (auto &layer : out.layerHeadRatio)
+            for (auto &v : layer)
+                v /= ratio_blocks;
+    }
+    out.totalTokens = llm.cache().tokenCount();
+    return out;
+}
+
+} // namespace vrex

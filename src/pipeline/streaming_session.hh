@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Functional end-to-end streaming video LLM session: video latents ->
+ * vision tower -> projector -> iterative prefill -> question prefill
+ * -> generation, under any retrieval policy. Collects the selection
+ * ratios that Table II and Fig. 20 report.
+ */
+
+#ifndef VREX_PIPELINE_STREAMING_SESSION_HH
+#define VREX_PIPELINE_STREAMING_SESSION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "llm/model.hh"
+#include "video/vision_tower.hh"
+#include "video/workload.hh"
+
+namespace vrex
+{
+
+/** Aggregated results of one scripted session. */
+struct SessionRunResult
+{
+    std::vector<uint32_t> generated;
+    /** Full logits at every generation step (fidelity scoring). */
+    std::vector<std::vector<float>> stepLogits;
+    /** Mean selected-token ratio during frame processing. */
+    double frameRatio = 1.0;
+    /** Mean selected-token ratio during question/generation. */
+    double textRatio = 1.0;
+    /** Mean ratio per [layer][kvHead] (blocks with a past only). */
+    std::vector<std::vector<double>> layerHeadRatio;
+    uint32_t totalTokens = 0;
+    uint32_t frames = 0;
+};
+
+/** Drives a Model + vision stack through a SessionScript. */
+class StreamingSession
+{
+  public:
+    /**
+     * @param model_config The backbone geometry (functional sizes).
+     * @param policy       Retrieval policy; nullptr = full attention.
+     * @param seed         Master seed (weights + video + questions).
+     */
+    StreamingSession(const ModelConfig &model_config,
+                     SelectionPolicy *policy, uint64_t seed);
+
+    /** Run a scripted session from an empty cache. */
+    SessionRunResult run(const SessionScript &script);
+
+    /**
+     * Run with teacher forcing: generation steps consume
+     * @p forced_tokens instead of the model's own argmax; the i-th
+     * argmax is recorded in the result for agreement scoring.
+     */
+    SessionRunResult run(const SessionScript &script,
+                         const std::vector<uint32_t> &forced_tokens);
+
+    Model &model() { return llm; }
+
+  private:
+    uint64_t seed;
+    Model llm;
+
+    void accumulate(const BlockStats &stats, SessionRunResult &out,
+                    std::vector<std::vector<double>> &sums,
+                    uint32_t &ratio_blocks, double &frame_sum,
+                    uint32_t &frame_n, double &text_sum,
+                    uint32_t &text_n) const;
+};
+
+} // namespace vrex
+
+#endif // VREX_PIPELINE_STREAMING_SESSION_HH

@@ -1,0 +1,76 @@
+#include "retrieval/oaken.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vrex
+{
+
+std::vector<QuantGroup>
+oakenQuantize(const float *data, uint32_t n, const OakenConfig &cfg)
+{
+    VREX_ASSERT(cfg.groupSize > 0, "quantization group must be > 0");
+    std::vector<QuantGroup> groups;
+    for (uint32_t base = 0; base < n; base += cfg.groupSize) {
+        const uint32_t len = std::min(cfg.groupSize, n - base);
+        float lo = data[base], hi = data[base];
+        for (uint32_t i = 0; i < len; ++i) {
+            lo = std::min(lo, data[base + i]);
+            hi = std::max(hi, data[base + i]);
+        }
+        QuantGroup g;
+        g.zero = lo;
+        g.scale = (hi > lo) ? (hi - lo) / 15.0f : 1.0f;
+        g.packed.assign((len + 1) / 2, 0);
+        for (uint32_t i = 0; i < len; ++i) {
+            float q = (data[base + i] - g.zero) / g.scale;
+            int code = std::clamp(
+                static_cast<int>(std::lround(q)), 0, 15);
+            if (i % 2 == 0)
+                g.packed[i / 2] |= static_cast<uint8_t>(code);
+            else
+                g.packed[i / 2] |= static_cast<uint8_t>(code << 4);
+        }
+        groups.push_back(std::move(g));
+    }
+    return groups;
+}
+
+std::vector<float>
+oakenDequantize(const std::vector<QuantGroup> &groups, uint32_t n,
+                const OakenConfig &cfg)
+{
+    std::vector<float> out(n, 0.0f);
+    uint32_t base = 0;
+    for (const auto &g : groups) {
+        const uint32_t len = std::min(cfg.groupSize, n - base);
+        for (uint32_t i = 0; i < len; ++i) {
+            uint8_t byte = g.packed[i / 2];
+            int code = (i % 2 == 0) ? (byte & 0x0f) : (byte >> 4);
+            out[base + i] = g.zero + g.scale * static_cast<float>(code);
+        }
+        base += len;
+    }
+    return out;
+}
+
+double
+oakenRoundTrip(Matrix &m, const OakenConfig &cfg)
+{
+    double se = 0.0;
+    const size_t n = m.size();
+    for (uint32_t r = 0; r < m.rows(); ++r) {
+        auto groups = oakenQuantize(m.row(r), m.cols(), cfg);
+        auto rec = oakenDequantize(groups, m.cols(), cfg);
+        for (uint32_t c = 0; c < m.cols(); ++c) {
+            double err = m.at(r, c) - rec[c];
+            se += err * err;
+            m.at(r, c) = rec[c];
+        }
+    }
+    return n ? std::sqrt(se / static_cast<double>(n)) : 0.0;
+}
+
+} // namespace vrex

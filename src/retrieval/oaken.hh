@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Oaken-style online 4-bit KV cache quantization (the SOTA LLM
+ * accelerator the paper compares against in Fig. 15).
+ *
+ * Oaken does not retrieve: it shrinks the resident cache 4x with
+ * group-wise affine int4 quantization, postponing — but not removing —
+ * the out-of-memory wall. The functional quantizer here measures the
+ * precision loss; the capacity/timing effect is modeled in
+ * sim/system_model.
+ */
+
+#ifndef VREX_RETRIEVAL_OAKEN_HH
+#define VREX_RETRIEVAL_OAKEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace vrex
+{
+
+/** Group-wise int4 quantization parameters. */
+struct OakenConfig
+{
+    uint32_t groupSize = 32;   //!< Elements per scale/zero-point.
+
+    /** Effective bytes per element including scale overhead. */
+    double
+    bytesPerElem() const
+    {
+        return 0.5 + 4.0 / groupSize;  // int4 + fp16 scale+zp pair.
+    }
+};
+
+/** One quantized row group. */
+struct QuantGroup
+{
+    float scale;
+    float zero;
+    std::vector<uint8_t> packed;  //!< Two int4 values per byte.
+};
+
+/** Quantize a vector group-wise to int4. */
+std::vector<QuantGroup> oakenQuantize(const float *data, uint32_t n,
+                                      const OakenConfig &cfg);
+
+/** Reconstruct floats from quantized groups. */
+std::vector<float> oakenDequantize(const std::vector<QuantGroup> &groups,
+                                   uint32_t n, const OakenConfig &cfg);
+
+/** Round a matrix through int4 precision in place; returns RMS error. */
+double oakenRoundTrip(Matrix &m, const OakenConfig &cfg);
+
+} // namespace vrex
+
+#endif // VREX_RETRIEVAL_OAKEN_HH

@@ -1,0 +1,190 @@
+#include "retrieval/policies.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "tensor/ops.hh"
+
+namespace vrex
+{
+
+InfiniGenPolicy::InfiniGenPolicy(const ModelConfig &model_config,
+                                 const InfiniGenConfig &config)
+    : model(model_config), cfg(config),
+      projection(config.projDim, model_config.headDim())
+{
+    Rng rng(cfg.seed, "infinigen-projection");
+    rng.fillGaussian(projection.raw(), projection.size(),
+                     1.0f / std::sqrt((float)model.headDim()));
+}
+
+LayerSelection
+InfiniGenPolicy::select(uint32_t layer, const Matrix &q,
+                        const KVCache &cache, uint32_t past_len,
+                        TokenStage stage)
+{
+    (void)layer;
+    const bool frame_stage = stage == TokenStage::VideoFrame;
+    BaselineCounters &ctr = frame_stage ? frameCtr : textCtr;
+    ++ctr.selectCalls;
+    const uint32_t heads = model.nKvHeads;
+    if (past_len == 0)
+        return LayerSelection::full(heads);
+    ctr.pastTokens += uint64_t(past_len) * heads;
+
+    if (frame_stage && !cfg.prefill) {
+        // Vanilla InfiniGen does not retrieve during prefill: the
+        // full cache is fetched (ratio 100%).
+        ctr.tokensSelected += uint64_t(past_len) * heads;
+        return LayerSelection::full(heads);
+    }
+
+    const uint32_t head_dim = model.headDim();
+    const uint32_t group = model.groupSize();
+    const Matrix &keys = cache.layer(layer).keys;
+    const uint32_t budget = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::lround(cfg.ratio * past_len)));
+
+    LayerSelection sel;
+    sel.kvHeads.resize(heads);
+    std::vector<float> pq(cfg.projDim), pk(cfg.projDim);
+    for (uint32_t kv_head = 0; kv_head < heads; ++kv_head) {
+        HeadSelection &hsel = sel.kvHeads[kv_head];
+        hsel.selectAll = false;
+        const uint32_t koff = kv_head * head_dim;
+
+        // Project the head-group queries and pool them (max).
+        std::vector<float> qproj(cfg.projDim,
+                                 -std::numeric_limits<float>::max());
+        for (uint32_t g = 0; g < group; ++g) {
+            const uint32_t qoff = (kv_head * group + g) * head_dim;
+            for (uint32_t t = 0; t < q.rows(); ++t) {
+                for (uint32_t r = 0; r < cfg.projDim; ++r) {
+                    float v = dot(q.row(t) + qoff, projection.row(r),
+                                  head_dim);
+                    qproj[r] = std::max(qproj[r], v);
+                }
+            }
+        }
+
+        std::vector<float> scores(past_len);
+        for (uint32_t token = 0; token < past_len; ++token) {
+            for (uint32_t r = 0; r < cfg.projDim; ++r)
+                pk[r] = dot(keys.row(token) + koff,
+                            projection.row(r), head_dim);
+            scores[token] = dot(qproj.data(), pk.data(), cfg.projDim);
+        }
+        ctr.predictionMacs += uint64_t(past_len) *
+            (head_dim * cfg.projDim + cfg.projDim);
+
+        hsel.indices = topkIndices(scores, budget);
+        std::sort(hsel.indices.begin(), hsel.indices.end());
+        ctr.tokensSelected += hsel.indices.size();
+    }
+    return sel;
+}
+
+ReKVPolicy::ReKVPolicy(const ModelConfig &model_config,
+                       const ReKVConfig &config)
+    : model(model_config), cfg(config)
+{
+}
+
+LayerSelection
+ReKVPolicy::select(uint32_t layer, const Matrix &q, const KVCache &cache,
+                   uint32_t past_len, TokenStage stage)
+{
+    BaselineCounters &ctr = stage == TokenStage::VideoFrame
+        ? frameCtr : textCtr;
+    ++ctr.selectCalls;
+    const uint32_t heads = model.nKvHeads;
+    if (past_len == 0)
+        return LayerSelection::full(heads);
+    ctr.pastTokens += uint64_t(past_len) * heads;
+
+    const uint32_t head_dim = model.headDim();
+    const uint32_t group = model.groupSize();
+    const Matrix &keys = cache.layer(layer).keys;
+
+    // Group past tokens by frame; text tokens are always kept.
+    struct FrameGroup
+    {
+        int32_t frameId;
+        std::vector<uint32_t> tokens;
+    };
+    std::vector<FrameGroup> frames;
+    std::vector<uint32_t> text_tokens;
+    for (uint32_t t = 0; t < past_len; ++t) {
+        const TokenMeta &meta = cache.tokenMeta(t);
+        if (meta.frameId < 0) {
+            text_tokens.push_back(t);
+        } else if (!frames.empty() &&
+                   frames.back().frameId == meta.frameId) {
+            frames.back().tokens.push_back(t);
+        } else {
+            frames.push_back({meta.frameId, {t}});
+        }
+    }
+
+    const uint32_t budget = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::lround(cfg.ratio * past_len)));
+
+    LayerSelection sel;
+    sel.kvHeads.resize(heads);
+    for (uint32_t kv_head = 0; kv_head < heads; ++kv_head) {
+        HeadSelection &hsel = sel.kvHeads[kv_head];
+        hsel.selectAll = false;
+        const uint32_t koff = kv_head * head_dim;
+
+        // Mean query of the head group (all block tokens).
+        std::vector<float> qmean(head_dim, 0.0f);
+        uint32_t qn = 0;
+        for (uint32_t g = 0; g < group; ++g) {
+            const uint32_t qoff = (kv_head * group + g) * head_dim;
+            for (uint32_t t = 0; t < q.rows(); ++t) {
+                addInPlace(qmean.data(), q.row(t) + qoff, head_dim);
+                ++qn;
+            }
+        }
+        for (auto &v : qmean)
+            v /= static_cast<float>(qn);
+
+        // Frame score: mean key dot mean query.
+        std::vector<float> scores(frames.size());
+        for (size_t f = 0; f < frames.size(); ++f) {
+            std::vector<float> kmean(head_dim, 0.0f);
+            for (uint32_t token : frames[f].tokens)
+                addInPlace(kmean.data(), keys.row(token) + koff,
+                           head_dim);
+            for (auto &v : kmean)
+                v /= static_cast<float>(frames[f].tokens.size());
+            scores[f] = dot(qmean.data(), kmean.data(), head_dim);
+        }
+        ctr.predictionMacs += uint64_t(past_len) * head_dim +
+            uint64_t(frames.size()) * head_dim;
+
+        // Select whole frames (best first) until the budget fills.
+        std::vector<uint32_t> order(frames.size());
+        std::iota(order.begin(), order.end(), 0u);
+        std::sort(order.begin(), order.end(),
+                  [&](uint32_t a, uint32_t b) {
+                      return scores[a] > scores[b];
+                  });
+
+        hsel.indices = text_tokens;
+        for (uint32_t f : order) {
+            if (hsel.indices.size() >= budget)
+                break;
+            hsel.indices.insert(hsel.indices.end(),
+                                frames[f].tokens.begin(),
+                                frames[f].tokens.end());
+        }
+        std::sort(hsel.indices.begin(), hsel.indices.end());
+        ctr.tokensSelected += hsel.indices.size();
+    }
+    return sel;
+}
+
+} // namespace vrex

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Baseline KV cache retrieval policies the paper compares against
+ * (§VI-B): FlexGen (full cache, no selection), InfiniGen
+ * (partial-projection top-k, generation stage only), InfiniGenP (the
+ * same extended to the iterative prefill stage), and ReKV
+ * (frame-granular top-k). All are fixed-top-k methods — the
+ * inflexibility ReSV's WiCSum replaces (§III-C).
+ */
+
+#ifndef VREX_RETRIEVAL_POLICIES_HH
+#define VREX_RETRIEVAL_POLICIES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "llm/selection.hh"
+#include "tensor/matrix.hh"
+
+namespace vrex
+{
+
+/** Work counters shared by the baseline policies. */
+struct BaselineCounters
+{
+    uint64_t predictionMacs = 0;
+    uint64_t tokensSelected = 0;
+    uint64_t pastTokens = 0;
+    uint64_t selectCalls = 0;
+
+    double
+    selectedRatio() const
+    {
+        return pastTokens
+            ? static_cast<double>(tokensSelected) / pastTokens
+            : 1.0;
+    }
+};
+
+/** FlexGen: offloads everything and fetches everything back. */
+class FlexGenPolicy : public SelectionPolicy
+{
+  public:
+    LayerSelection
+    select(uint32_t, const Matrix &, const KVCache &cache,
+           uint32_t past_len, TokenStage stage) override
+    {
+        BaselineCounters &ctr = stage == TokenStage::VideoFrame
+            ? frameCtr : textCtr;
+        ++ctr.selectCalls;
+        uint32_t heads = cache.config().nKvHeads;
+        ctr.pastTokens += uint64_t(past_len) * heads;
+        ctr.tokensSelected += uint64_t(past_len) * heads;
+        return LayerSelection::full(heads);
+    }
+
+    const BaselineCounters &frameCounters() const { return frameCtr; }
+    const BaselineCounters &textCounters() const { return textCtr; }
+
+    void reset() override { frameCtr = {}; textCtr = {}; }
+
+  private:
+    BaselineCounters frameCtr, textCtr;
+};
+
+/** Configuration of the InfiniGen-style policies. */
+struct InfiniGenConfig
+{
+    float ratio = 0.5f;      //!< Fixed top-k selection ratio.
+    uint32_t projDim = 8;    //!< Partial-projection dimensionality.
+    bool prefill = false;    //!< true = InfiniGenP.
+    uint64_t seed = 11;
+};
+
+/**
+ * InfiniGen: predicts token importance with low-dimensional projected
+ * query/key products and keeps a fixed top-k fraction. The original
+ * only operates during the generation stage; `prefill = true` gives
+ * the InfiniGenP variant the paper constructs.
+ */
+class InfiniGenPolicy : public SelectionPolicy
+{
+  public:
+    InfiniGenPolicy(const ModelConfig &model,
+                    const InfiniGenConfig &config);
+
+    LayerSelection select(uint32_t layer, const Matrix &q,
+                          const KVCache &cache, uint32_t past_len,
+                          TokenStage stage) override;
+
+    void reset() override { frameCtr = {}; textCtr = {}; }
+
+    const BaselineCounters &frameCounters() const { return frameCtr; }
+    const BaselineCounters &textCounters() const { return textCtr; }
+    const InfiniGenConfig &config() const { return cfg; }
+
+  private:
+    ModelConfig model;
+    InfiniGenConfig cfg;
+    Matrix projection;  //!< projDim x headDim, shared across heads.
+    BaselineCounters frameCtr, textCtr;
+};
+
+/** Configuration of the ReKV-style frame-granular policy. */
+struct ReKVConfig
+{
+    float ratio = 0.5f;   //!< Token budget as a fraction of the past.
+};
+
+/**
+ * ReKV: scores whole frames (mean key vs. mean query) and selects
+ * entire frames until the token budget is reached. Past text tokens
+ * are always kept (they are few and anchor the dialogue).
+ */
+class ReKVPolicy : public SelectionPolicy
+{
+  public:
+    ReKVPolicy(const ModelConfig &model, const ReKVConfig &config);
+
+    LayerSelection select(uint32_t layer, const Matrix &q,
+                          const KVCache &cache, uint32_t past_len,
+                          TokenStage stage) override;
+
+    void reset() override { frameCtr = {}; textCtr = {}; }
+
+    const BaselineCounters &frameCounters() const { return frameCtr; }
+    const BaselineCounters &textCounters() const { return textCtr; }
+
+  private:
+    ModelConfig model;
+    ReKVConfig cfg;
+    BaselineCounters frameCtr, textCtr;
+};
+
+} // namespace vrex
+
+#endif // VREX_RETRIEVAL_POLICIES_HH

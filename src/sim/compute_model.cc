@@ -1,0 +1,114 @@
+#include "sim/compute_model.hh"
+
+#include <algorithm>
+
+namespace vrex
+{
+
+ComputeModel::ComputeModel(const AcceleratorConfig &hw_config,
+                           const ModelConfig &model_config,
+                           const VisionConfig &vision)
+    : hw(hw_config), model(model_config), visionCfg(vision)
+{
+    if (hw.hasDre && hw.nCores > 0) {
+        LxeConfig lc;
+        lc.clockGhz = hw.clockGhz;
+        lxe.emplace(lc, hw.nCores);
+    }
+}
+
+double
+ComputeModel::lxeLayerSeconds(double new_tokens, uint32_t batch) const
+{
+    const uint64_t m = static_cast<uint64_t>(new_tokens) * batch;
+    const uint64_t d = model.dModel;
+    const uint64_t kv_dim =
+        uint64_t(model.nKvHeads) * model.headDim();
+    const uint64_t ffn = model.ffnDim;
+    double t = 0.0;
+    t += lxe->gemmSeconds(m, d, d + 2 * kv_dim);  // Fused QKV.
+    t += lxe->gemmSeconds(m, d, d);               // Output proj.
+    t += lxe->gemmSeconds(m, d, ffn) * 2;         // Gate + up.
+    t += lxe->gemmSeconds(m, ffn, d);             // Down.
+    t += lxe->vpeSeconds(m * (2 * d + 3 * ffn));  // Norms + SwiGLU.
+    return t;
+}
+
+double
+ComputeModel::computeSec(double flops) const
+{
+    return flops / (hw.peakTflops * 1e12 * hw.computeEff);
+}
+
+double
+ComputeModel::memorySec(double bytes) const
+{
+    return bytes / (hw.memBandwidthGBs * 1e9 * hw.memEff);
+}
+
+double
+ComputeModel::denseFlops(double new_tokens, uint32_t batch) const
+{
+    return model.denseFlops(1) * new_tokens * batch;
+}
+
+double
+ComputeModel::denseBytes() const
+{
+    // Weights stream through once per block regardless of batch.
+    return static_cast<double>(model.paramBytes(2.0));
+}
+
+double
+ComputeModel::denseSeconds(double new_tokens, uint32_t batch) const
+{
+    const double compute = lxe
+        ? lxeLayerSeconds(new_tokens, batch) * model.nLayers
+        : computeSec(denseFlops(new_tokens, batch));
+    return std::max(compute, memorySec(denseBytes()));
+}
+
+double
+ComputeModel::attentionFlops(double new_tokens, double attended,
+                             uint32_t batch) const
+{
+    return model.attentionFlops(1, 1) * new_tokens * attended * batch;
+}
+
+double
+ComputeModel::attentionBytes(double attended, uint32_t batch,
+                             double kv_bytes_per_elem) const
+{
+    return attended * model.kvBytesPerToken(kv_bytes_per_elem) * batch;
+}
+
+double
+ComputeModel::attentionSeconds(double new_tokens, double attended,
+                               uint32_t batch,
+                               double kv_bytes_per_elem) const
+{
+    return std::max(
+        computeSec(attentionFlops(new_tokens, attended, batch)),
+        memorySec(attentionBytes(attended, batch, kv_bytes_per_elem)));
+}
+
+double
+ComputeModel::visionFlops(uint32_t batch) const
+{
+    return visionCfg.flopsPerFrame() * batch;
+}
+
+double
+ComputeModel::visionBytes() const
+{
+    return visionCfg.weightBytes();
+}
+
+double
+ComputeModel::visionSeconds(uint32_t batch) const
+{
+    return std::max(computeSec(visionFlops(batch)),
+                    memorySec(visionBytes()));
+}
+
+} // namespace vrex

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Roofline-style compute timing for the LLM stages: every operation
+ * is priced as max(FLOPs / achievable compute, bytes / achievable
+ * bandwidth). Small-batch transformer inference is memory-bound on
+ * weight streaming, which this captures directly.
+ */
+
+#ifndef VREX_SIM_COMPUTE_MODEL_HH
+#define VREX_SIM_COMPUTE_MODEL_HH
+
+#include <optional>
+
+#include "llm/config.hh"
+#include "sim/hw_config.hh"
+#include "sim/lxe_model.hh"
+
+namespace vrex
+{
+
+/** Vision tower cost parameters (SigLIP-ViT-L-384 class). */
+struct VisionConfig
+{
+    double params = 0.3e9;     //!< Parameter count.
+    uint32_t tokens = 576;     //!< Patches per frame.
+
+    double
+    flopsPerFrame() const
+    {
+        return 2.0 * params * tokens;
+    }
+
+    double weightBytes() const { return params * 2.0; }
+};
+
+/** Per-stage compute/memory timing on one platform. */
+class ComputeModel
+{
+  public:
+    ComputeModel(const AcceleratorConfig &hw, const ModelConfig &model,
+                 const VisionConfig &vision = {});
+
+    /** Dense (QKV/proj/FFN) time of a block of @p new_tokens. */
+    double denseSeconds(double new_tokens, uint32_t batch) const;
+
+    /** Attention score+value time over @p attended tokens. */
+    double attentionSeconds(double new_tokens, double attended,
+                            uint32_t batch,
+                            double kv_bytes_per_elem) const;
+
+    /** Vision tower + projector time for one frame per batch item. */
+    double visionSeconds(uint32_t batch) const;
+
+    // Byte accounting (for DRAM energy / roofline).
+    double denseBytes() const;
+    double attentionBytes(double attended, uint32_t batch,
+                          double kv_bytes_per_elem) const;
+    double visionBytes() const;
+
+    // FLOP accounting.
+    double denseFlops(double new_tokens, uint32_t batch) const;
+    double attentionFlops(double new_tokens, double attended,
+                          uint32_t batch) const;
+    double visionFlops(uint32_t batch) const;
+
+    const VisionConfig &vision() const { return visionCfg; }
+
+  private:
+    double computeSec(double flops) const;
+    double memorySec(double bytes) const;
+
+    /** Sum of one decoder layer's GEMM times on the LXE datapath. */
+    double lxeLayerSeconds(double new_tokens, uint32_t batch) const;
+
+    AcceleratorConfig hw;
+    ModelConfig model;
+    VisionConfig visionCfg;
+    /** Present on V-Rex platforms: cycle-accurate DPE pricing. */
+    std::optional<LxeModel> lxe;
+};
+
+} // namespace vrex
+
+#endif // VREX_SIM_COMPUTE_MODEL_HH

@@ -1,0 +1,69 @@
+#include "sim/dram_model.hh"
+
+#include <algorithm>
+
+namespace vrex
+{
+
+DramConfig
+DramConfig::lpddr5()
+{
+    DramConfig c;
+    c.peakGBs = 204.8;
+    c.channels = 16;
+    c.rowBytes = 2048;
+    c.tRpNs = 18.0;
+    c.tRcdNs = 18.0;
+    c.tCasNs = 18.0;
+    return c;
+}
+
+DramConfig
+DramConfig::hbm2e()
+{
+    DramConfig c;
+    c.peakGBs = 1935.0;
+    c.channels = 64;
+    c.rowBytes = 1024;
+    c.tRpNs = 14.0;
+    c.tRcdNs = 14.0;
+    c.tCasNs = 14.0;
+    return c;
+}
+
+DramConfig
+DramConfig::ddr4()
+{
+    DramConfig c;
+    c.peakGBs = 25.6;
+    c.channels = 2;
+    c.rowBytes = 8192;
+    c.tRpNs = 14.0;
+    c.tRcdNs = 14.0;
+    c.tCasNs = 14.0;
+    return c;
+}
+
+double
+DramModel::efficiency(double chunk_bytes) const
+{
+    chunk_bytes = std::max(chunk_bytes, 64.0);
+    // Per chunk: one row miss (tRP + tRCD) then bursts; rows of
+    // rowBytes each need re-activation when the chunk spans them.
+    const double per_channel_bw = cfg.peakGBs * 1e9 / cfg.channels;
+    const double rows_touched =
+        std::max(1.0, chunk_bytes / cfg.rowBytes);
+    const double activate_ns =
+        rows_touched * (cfg.tRpNs + cfg.tRcdNs) + cfg.tCasNs;
+    const double burst_ns = chunk_bytes / per_channel_bw * 1e9;
+    return burst_ns / (burst_ns + activate_ns);
+}
+
+double
+DramModel::streamSeconds(double bytes, double chunk_bytes) const
+{
+    const double eff = efficiency(chunk_bytes);
+    return bytes / (cfg.peakGBs * 1e9 * eff);
+}
+
+} // namespace vrex

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * DRAMSim3-style bank/row-buffer DRAM timing model (simplified).
+ *
+ * The paper integrates DRAMSim3 for DRAM behaviour. This model keeps
+ * the part that matters for the evaluation: the effective bandwidth a
+ * request stream achieves depends on how contiguous it is, because
+ * every chunk that misses the open row pays tRP + tRCD before data
+ * can burst. Sequential weight streaming approaches peak; scattered
+ * per-token KV gathers do not.
+ */
+
+#ifndef VREX_SIM_DRAM_MODEL_HH
+#define VREX_SIM_DRAM_MODEL_HH
+
+#include <cstdint>
+
+namespace vrex
+{
+
+/** Timing and geometry of one DRAM device configuration. */
+struct DramConfig
+{
+    double peakGBs = 204.8;
+    uint32_t channels = 16;
+    uint32_t rowBytes = 2048;   //!< Row-buffer bytes per channel.
+    double tRpNs = 15.0;        //!< Precharge.
+    double tRcdNs = 15.0;       //!< Activate to column.
+    double tCasNs = 15.0;       //!< Column access.
+
+    static DramConfig lpddr5();
+    static DramConfig hbm2e();
+    static DramConfig ddr4();
+};
+
+/** Analytic bank-conflict DRAM model. */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config) : cfg(config) {}
+
+    /**
+     * Seconds to service @p bytes issued as contiguous chunks of
+     * @p chunk_bytes each (chunks randomly scattered, so each chunk
+     * opens its own row(s)).
+     */
+    double streamSeconds(double bytes, double chunk_bytes) const;
+
+    /** Achieved bandwidth fraction for a chunked stream. */
+    double efficiency(double chunk_bytes) const;
+
+    const DramConfig &config() const { return cfg; }
+
+  private:
+    DramConfig cfg;
+};
+
+} // namespace vrex
+
+#endif // VREX_SIM_DRAM_MODEL_HH

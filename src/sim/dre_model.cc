@@ -1,0 +1,54 @@
+#include "sim/dre_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrex
+{
+
+double
+DreModel::hcuSeconds(double new_tokens, double n_clusters,
+                     uint32_t kv_heads, uint32_t batch,
+                     uint32_t n_bits) const
+{
+    if (!cfg.hasDre || new_tokens <= 0.0)
+        return 0.0;
+    const double comparisons =
+        new_tokens * std::max(1.0, n_clusters) * kv_heads * batch;
+    const double cycles_per_cmp = std::ceil(
+        static_cast<double>(n_bits) / (cfg.dre.nHcuW * 8.0));
+    const double lanes =
+        static_cast<double>(cfg.dre.nHcuH) * std::max(1u, cfg.nCores);
+    const double cycles = comparisons * cycles_per_cmp / lanes;
+    return cycles / (cfg.clockGhz * 1e9);
+}
+
+double
+DreModel::wtuSeconds(double n_clusters, double scanned_frac,
+                     uint32_t kv_heads, uint32_t batch) const
+{
+    if (!cfg.hasDre || n_clusters <= 0.0)
+        return 0.0;
+    // Preprocess touches every element once (weighted sum, min/max);
+    // the token-selection sweep touches scanned_frac of the row.
+    const double elements =
+        n_clusters * (1.0 + scanned_frac) * kv_heads * batch;
+    const double lanes = static_cast<double>(cfg.dre.nWtuH) *
+        cfg.dre.nWtuW * std::max(1u, cfg.nCores);
+    const double cycles = elements / lanes + 20.0 /* bucket setup */;
+    return cycles / (cfg.clockGhz * 1e9);
+}
+
+DreTiming
+DreModel::layerTiming(double new_tokens, double n_clusters,
+                      uint32_t kv_heads, uint32_t batch,
+                      uint32_t n_bits) const
+{
+    DreTiming t;
+    t.hcuSeconds =
+        hcuSeconds(new_tokens, n_clusters, kv_heads, batch, n_bits);
+    t.wtuSeconds = wtuSeconds(n_clusters, 0.16, kv_heads, batch);
+    return t;
+}
+
+} // namespace vrex

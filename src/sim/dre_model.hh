@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cycle model of the Dynamic KV Cache Retrieval Engine (DRE):
+ * the HCU's XOR-accumulator Hamming clustering and the WTU's
+ * early-exit bucket-sorted thresholding (paper §V-B, Fig. 10/11).
+ */
+
+#ifndef VREX_SIM_DRE_MODEL_HH
+#define VREX_SIM_DRE_MODEL_HH
+
+#include <cstdint>
+
+#include "sim/hw_config.hh"
+
+namespace vrex
+{
+
+/** DRE time contributions for one decoder layer. */
+struct DreTiming
+{
+    double hcuSeconds = 0.0;
+    double wtuSeconds = 0.0;
+
+    double total() const { return hcuSeconds + wtuSeconds; }
+};
+
+/** Analytic cycle model of the HCU + WTU across all cores. */
+class DreModel
+{
+  public:
+    explicit DreModel(const AcceleratorConfig &hw) : cfg(hw) {}
+
+    /**
+     * HCU time to cluster @p new_tokens fresh keys against
+     * @p n_clusters existing clusters for every KV head and batch
+     * item of one layer. Each comparison XORs @p n_bits signature
+     * bits at nHcuW bits per lane-cycle.
+     */
+    double hcuSeconds(double new_tokens, double n_clusters,
+                      uint32_t kv_heads, uint32_t batch,
+                      uint32_t n_bits) const;
+
+    /**
+     * WTU time for WiCSum thresholding of @p n_clusters scores per
+     * KV head and batch item of one layer; the early-exit sweep
+     * touches only @p scanned_frac of each row (paper: 16% average).
+     */
+    double wtuSeconds(double n_clusters, double scanned_frac,
+                      uint32_t kv_heads, uint32_t batch) const;
+
+    /** Both units for one layer. */
+    DreTiming layerTiming(double new_tokens, double n_clusters,
+                          uint32_t kv_heads, uint32_t batch,
+                          uint32_t n_bits) const;
+
+  private:
+    AcceleratorConfig cfg;
+};
+
+} // namespace vrex
+
+#endif // VREX_SIM_DRE_MODEL_HH

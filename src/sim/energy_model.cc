@@ -1,0 +1,62 @@
+#include "sim/energy_model.hh"
+
+namespace vrex
+{
+
+std::vector<ComponentSpec>
+VRexCoreSpec::all() const
+{
+    return {dpe, vpe, onChipMem, wtu, hcu, kvmu};
+}
+
+double
+VRexCoreSpec::totalAreaMm2() const
+{
+    double a = 0.0;
+    for (const auto &c : all())
+        a += c.areaMm2;
+    return a;
+}
+
+double
+VRexCoreSpec::totalPowerMw() const
+{
+    double p = 0.0;
+    for (const auto &c : all())
+        p += c.powerMw;
+    return p;
+}
+
+double
+VRexCoreSpec::dreAreaFraction() const
+{
+    return (wtu.areaMm2 + hcu.areaMm2 + kvmu.areaMm2) / totalAreaMm2();
+}
+
+double
+VRexCoreSpec::drePowerFraction() const
+{
+    return (wtu.powerMw + hcu.powerMw + kvmu.powerMw) /
+        totalPowerMw();
+}
+
+EnergyBreakdown
+EnergyModel::energy(double compute_busy_sec, double total_sec,
+                    double dram_bytes, double pcie_active_sec) const
+{
+    EnergyBreakdown e;
+    e.computeJ = cfg.computePowerW * compute_busy_sec;
+    e.dramJ = cfg.dramEnergyPerByte * dram_bytes;
+    e.pcieJ = cfg.pciePowerW * pcie_active_sec;
+    e.idleJ = cfg.idlePowerW * total_sec;
+    return e;
+}
+
+double
+EnergyModel::averagePowerW(const EnergyBreakdown &e,
+                           double total_sec) const
+{
+    return total_sec > 0.0 ? e.totalJ() / total_sec : 0.0;
+}
+
+} // namespace vrex

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Area/power constants (paper Table III, Synopsys DC @ 14 nm,
+ * 0.8 V / 800 MHz) and activity-based energy accounting.
+ */
+
+#ifndef VREX_SIM_ENERGY_MODEL_HH
+#define VREX_SIM_ENERGY_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/hw_config.hh"
+
+namespace vrex
+{
+
+/** Area/power of one hardware component (Table III row). */
+struct ComponentSpec
+{
+    std::string name;
+    double areaMm2;
+    double powerMw;
+};
+
+/** Table III: one V-Rex core's breakdown. */
+struct VRexCoreSpec
+{
+    ComponentSpec dpe{"LXE - DPE", 1.37, 2311.39};
+    ComponentSpec vpe{"LXE - VPE", 0.14, 122.06};
+    ComponentSpec onChipMem{"On-chip Memory", 0.34, 118.94};
+    ComponentSpec wtu{"DRE - KVPU WTU", 0.02, 39.04};
+    ComponentSpec hcu{"DRE - KVPU HCU", 0.01, 2.99};
+    ComponentSpec kvmu{"DRE - KVMU", 0.01, 15.01};
+
+    std::vector<ComponentSpec> all() const;
+    double totalAreaMm2() const;
+    double totalPowerMw() const;
+    /** DRE share of core power / area (paper: 2.2% / 2.0%). */
+    double dreAreaFraction() const;
+    double drePowerFraction() const;
+};
+
+/** Energy of one measured phase. */
+struct EnergyBreakdown
+{
+    double computeJ = 0.0;
+    double dramJ = 0.0;
+    double pcieJ = 0.0;
+    double idleJ = 0.0;
+
+    double
+    totalJ() const
+    {
+        return computeJ + dramJ + pcieJ + idleJ;
+    }
+};
+
+/** Activity-based energy integrator. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const AcceleratorConfig &hw) : cfg(hw) {}
+
+    /**
+     * @param compute_busy_sec Engine-busy time.
+     * @param total_sec        Wall-clock of the phase.
+     * @param dram_bytes       Bytes moved through device DRAM.
+     * @param pcie_active_sec  Time the PCIe link is driving data.
+     */
+    EnergyBreakdown energy(double compute_busy_sec, double total_sec,
+                           double dram_bytes,
+                           double pcie_active_sec) const;
+
+    /** Average power of a phase (W). */
+    double averagePowerW(const EnergyBreakdown &e,
+                         double total_sec) const;
+
+  private:
+    AcceleratorConfig cfg;
+};
+
+} // namespace vrex
+
+#endif // VREX_SIM_ENERGY_MODEL_HH

@@ -1,0 +1,104 @@
+#include "sim/hw_config.hh"
+
+namespace vrex
+{
+
+AcceleratorConfig
+AcceleratorConfig::agxOrin()
+{
+    AcceleratorConfig c;
+    c.name = "AGX Orin";
+    c.peakTflops = 54.0;
+    c.memBandwidthGBs = 204.8;
+    c.memCapacityGB = 32.0;
+    c.pcieBandwidthGBs = 4.0;       // PCIe 3.0 x4, M.2 NVMe.
+    c.pcieTxOverheadUs = 1.5;       // NVMe-backed transaction cost.
+    c.offloadTarget = Tier::Storage;
+    c.systemPowerW = 40.0;
+    c.computeEff = 0.45;
+    c.memEff = 0.55;
+    c.predFixedUsPerLayer = 900.0;   // Kernel-launch/sync chains.
+    c.predNsPerElement = 55.0;       // Regular top-k kernels.
+    c.irregularNsPerElement = 1100.0;  // Clustering/threshold sort.
+    c.deviceKvWindowBytes = 1ull << 30;
+    c.dramEnergyPerByte = 40e-12;   // LPDDR5.
+    c.pciePowerW = 12.0;            // 3 W/lane x4.
+    c.computePowerW = 26.0;
+    c.idlePowerW = 14.0;
+    return c;
+}
+
+AcceleratorConfig
+AcceleratorConfig::a100()
+{
+    AcceleratorConfig c;
+    c.name = "A100";
+    c.peakTflops = 312.0;
+    c.memBandwidthGBs = 1935.0;
+    c.memCapacityGB = 80.0;
+    c.pcieBandwidthGBs = 32.0;      // PCIe 4.0 x16 to host DRAM.
+    c.pcieTxOverheadUs = 1.0;
+    c.offloadTarget = Tier::CpuMem;
+    c.systemPowerW = 300.0;
+    c.computeEff = 0.5;
+    c.memEff = 0.65;
+    c.predFixedUsPerLayer = 450.0;
+    c.predNsPerElement = 14.0;
+    c.irregularNsPerElement = 280.0;
+    c.deviceKvWindowBytes = 8ull << 30;
+    c.dramEnergyPerByte = 60e-12;   // HBM2e stack + PHY.
+    c.pciePowerW = 48.0;            // 3 W/lane x16.
+    c.computePowerW = 200.0;
+    c.idlePowerW = 70.0;
+    return c;
+}
+
+AcceleratorConfig
+AcceleratorConfig::vrex8()
+{
+    AcceleratorConfig c;
+    c.name = "V-Rex8";
+    c.peakTflops = 53.3;
+    c.memBandwidthGBs = 204.8;      // LPDDR5, 256-bit bus.
+    c.memCapacityGB = 32.0;
+    c.pcieBandwidthGBs = 4.0;       // PCIe 3.0 x4, M.2 NVMe.
+    c.pcieTxOverheadUs = 1.5;
+    c.offloadTarget = Tier::Storage;
+    c.systemPowerW = 35.0;
+    c.computeEff = 0.85;            // LPU-style systolic datapath.
+    c.memEff = 0.8;
+    c.predFixedUsPerLayer = 0.0;    // Prediction runs on the DRE.
+    c.predNsPerElement = 0.0;
+    c.hasDre = true;
+    c.nCores = 8;
+    c.clockGhz = 0.8;
+    c.deviceKvWindowBytes = 1ull << 30;  // Recent-KV region.
+    c.dramEnergyPerByte = 40e-12;
+    c.pciePowerW = 12.0;
+    c.computePowerW = 8 * 2.61;     // Table III per-core power.
+    c.idlePowerW = 4.0;
+    return c;
+}
+
+AcceleratorConfig
+AcceleratorConfig::vrex48()
+{
+    AcceleratorConfig c = vrex8();
+    c.name = "V-Rex48";
+    c.peakTflops = 319.5;
+    c.memBandwidthGBs = 1935.0;     // HBM2e, 5120-bit bus.
+    c.memCapacityGB = 80.0;
+    c.pcieBandwidthGBs = 32.0;      // PCIe 4.0 x16 to DDR4 host.
+    c.pcieTxOverheadUs = 1.0;
+    c.offloadTarget = Tier::CpuMem;
+    c.systemPowerW = 203.68;
+    c.nCores = 48;
+    c.deviceKvWindowBytes = 1ull << 30;
+    c.dramEnergyPerByte = 60e-12;
+    c.pciePowerW = 48.0;
+    c.computePowerW = 48 * 2.61;
+    c.idlePowerW = 12.0;
+    return c;
+}
+
+} // namespace vrex

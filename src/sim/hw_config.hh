@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Hardware platform descriptions (paper Table I).
+ *
+ * Four platforms are modeled: the two GPU baselines (Jetson AGX Orin,
+ * NVIDIA A100) and the two V-Rex instantiations (V-Rex8 edge,
+ * V-Rex48 server). Efficiency factors capture how much of the peak
+ * each engine achieves on dense GEMM, streaming memory, and the
+ * irregular data-dependent kernels that ReSV introduces (which GPUs
+ * execute poorly — the motivation for the DRE).
+ */
+
+#ifndef VREX_SIM_HW_CONFIG_HH
+#define VREX_SIM_HW_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "kvstore/hierarchical_cache.hh"
+
+namespace vrex
+{
+
+/** DRE geometry of one V-Rex core (paper §VI-A). */
+struct DreConfig
+{
+    uint32_t nHcuH = 1;    //!< Parallel XOR-accumulator rows.
+    uint32_t nHcuW = 16;   //!< Inputs per XOR accumulator.
+    uint32_t nWtuH = 1;    //!< WTU cores per V-Rex core.
+    uint32_t nWtuW = 16;   //!< Elements per WTU core per cycle.
+};
+
+/** One hardware platform. */
+struct AcceleratorConfig
+{
+    std::string name;
+    double peakTflops = 0.0;        //!< BF16/FP16 peak.
+    double memBandwidthGBs = 0.0;   //!< DRAM peak bandwidth.
+    double memCapacityGB = 0.0;
+    double pcieBandwidthGBs = 0.0;
+    double pcieTxOverheadUs = 0.0;  //!< Per-transaction latency.
+    Tier offloadTarget = Tier::CpuMem;
+    double systemPowerW = 0.0;      //!< Board power budget (Table I).
+
+    // Achievable efficiency factors.
+    double computeEff = 0.5;        //!< Dense GEMM fraction of peak.
+    double memEff = 0.6;            //!< Streaming fraction of DRAM BW.
+
+    // Cost of prediction kernels on this engine. Regular kernels
+    // (partial matmul + top-k) parallelize acceptably on a GPU;
+    // irregular ones (data-dependent clustering, threshold sorting
+    // with early exit) serialize badly — the motivation for the DRE.
+    double predFixedUsPerLayer = 0.0;      //!< Launch/sync overhead.
+    double predNsPerElement = 0.0;         //!< Regular kernels.
+    double irregularNsPerElement = 0.0;    //!< Irregular kernels.
+
+    bool hasDre = false;            //!< Has the V-Rex DRE.
+    uint32_t nCores = 0;            //!< V-Rex cores (0 = GPU).
+    double clockGhz = 0.8;
+    DreConfig dre;
+
+    /** Device DRAM bytes available to hold resident KV entries
+     *  (capacity minus weights and activations). */
+    uint64_t deviceKvWindowBytes = 0;
+
+    /** DRAM energy per byte moved (J/B). */
+    double dramEnergyPerByte = 40e-12;
+    /** PCIe link power while active (W). */
+    double pciePowerW = 12.0;
+    /** Compute-engine power while busy (W). */
+    double computePowerW = 0.0;
+    /** Always-on baseline power (W). */
+    double idlePowerW = 0.0;
+
+    /** Paper Table I platforms. */
+    static AcceleratorConfig agxOrin();
+    static AcceleratorConfig a100();
+    static AcceleratorConfig vrex8();
+    static AcceleratorConfig vrex48();
+};
+
+} // namespace vrex
+
+#endif // VREX_SIM_HW_CONFIG_HH

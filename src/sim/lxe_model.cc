@@ -1,0 +1,58 @@
+#include "sim/lxe_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vrex
+{
+
+double
+LxeModel::peakFlops() const
+{
+    return 2.0 * cfg.nDpeH * cfg.nDpeW * cores * cfg.clockGhz * 1e9;
+}
+
+double
+LxeModel::gemmCycles(uint64_t m, uint64_t k, uint64_t n) const
+{
+    VREX_ASSERT(m > 0 && k > 0 && n > 0, "degenerate GEMM shape");
+    // The n dimension splits across cores; each core's MAC trees
+    // produce nDpeH outputs per pass, each output needing
+    // ceil(k / nDpeW) cycles of tree accumulation.
+    const uint64_t n_per_core =
+        (n + cores - 1) / std::max(1u, cores);
+    const double tree_passes = std::ceil(
+        static_cast<double>(n_per_core) / cfg.nDpeH);
+    const double k_cycles = std::ceil(
+        static_cast<double>(k) / cfg.nDpeW);
+    return static_cast<double>(m) * tree_passes * k_cycles;
+}
+
+double
+LxeModel::gemmSeconds(uint64_t m, uint64_t k, uint64_t n) const
+{
+    return gemmCycles(m, k, n) / (cfg.clockGhz * 1e9);
+}
+
+double
+LxeModel::gemmUtilization(uint64_t m, uint64_t k, uint64_t n) const
+{
+    const double flops = 2.0 * static_cast<double>(m) * k * n;
+    const double t = gemmSeconds(m, k, n);
+    if (t <= 0.0)
+        return 0.0;
+    return std::min(1.0, flops / t / peakFlops());
+}
+
+double
+LxeModel::vpeSeconds(uint64_t elements) const
+{
+    const double lanes =
+        static_cast<double>(cfg.nVpeH) * cfg.nVpeW * cores;
+    const double cycles = static_cast<double>(elements) / lanes;
+    return cycles / (cfg.clockGhz * 1e9);
+}
+
+} // namespace vrex

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cycle model of the LLM execution engine (LXE, paper §V-A).
+ *
+ * The LXE follows the LPU core architecture: a dot-product engine
+ * (DPE) of N_DPE_h MAC trees, each consuming N_DPE_w operands per
+ * cycle, plus a vector processing engine (VPE) of N_VPE_h units of
+ * N_VPE_w lanes — all BF16. With the paper's per-core configuration
+ * (64x64 DPE at 0.8 GHz) eight cores give 52.4 TFLOPS, matching
+ * Table I's 53.3 TFLOPS within rounding; this model derives peak
+ * throughput from geometry and prices GEMMs with tree-underfill
+ * effects, rather than assuming a flat efficiency.
+ */
+
+#ifndef VREX_SIM_LXE_MODEL_HH
+#define VREX_SIM_LXE_MODEL_HH
+
+#include <cstdint>
+
+namespace vrex
+{
+
+/** Geometry of one LXE core (paper §VI-A). */
+struct LxeConfig
+{
+    uint32_t nDpeH = 64;   //!< MAC trees per core.
+    uint32_t nDpeW = 64;   //!< Inputs per MAC tree per cycle.
+    uint32_t nVpeH = 1;    //!< Vector units per core.
+    uint32_t nVpeW = 64;   //!< Lanes per vector unit.
+    double clockGhz = 0.8;
+};
+
+/** DPE/VPE timing for one or more LXE cores. */
+class LxeModel
+{
+  public:
+    LxeModel(const LxeConfig &config, uint32_t n_cores)
+        : cfg(config), cores(n_cores)
+    {
+    }
+
+    /** Peak MAC throughput in FLOP/s (2 FLOPs per MAC). */
+    double peakFlops() const;
+
+    /**
+     * Cycles for a GEMM of shape (m x k) * (k x n), with the n
+     * dimension partitioned across cores. Partial tree fills (k not
+     * a multiple of nDpeW, n smaller than the tree count) waste
+     * lanes, exactly as in the real datapath.
+     */
+    double gemmCycles(uint64_t m, uint64_t k, uint64_t n) const;
+
+    /** Seconds for the same GEMM. */
+    double gemmSeconds(uint64_t m, uint64_t k, uint64_t n) const;
+
+    /** Achieved fraction of peak for a GEMM shape. */
+    double gemmUtilization(uint64_t m, uint64_t k, uint64_t n) const;
+
+    /** Seconds for an elementwise pass over @p elements values. */
+    double vpeSeconds(uint64_t elements) const;
+
+    const LxeConfig &config() const { return cfg; }
+    uint32_t coreCount() const { return cores; }
+
+  private:
+    LxeConfig cfg;
+    uint32_t cores;
+};
+
+} // namespace vrex
+
+#endif // VREX_SIM_LXE_MODEL_HH

@@ -1,0 +1,160 @@
+#include "sim/method_model.hh"
+
+#include <algorithm>
+
+namespace vrex
+{
+
+double
+MethodModel::avgTxTokens(double tokens_per_frame) const
+{
+    switch (granularity) {
+      case PredGranularity::None:
+        // Whole-cache streaming: large sequential chunks.
+        return 4096.0;
+      case PredGranularity::Token:
+        return 1.0;
+      case PredGranularity::Frame:
+        return tokens_per_frame;
+      case PredGranularity::Cluster:
+        // With the KVMU layout a cluster is contiguous; without it,
+        // cluster members only have incidental adjacency.
+        return clusterContiguous ? tokensPerCluster : 2.0;
+    }
+    return 1.0;
+}
+
+double
+MethodModel::predElementsPerLayer(double s, uint32_t kv_heads,
+                                  double tokens_per_frame) const
+{
+    switch (granularity) {
+      case PredGranularity::None:
+        return 0.0;
+      case PredGranularity::Token:
+        return s * kv_heads;
+      case PredGranularity::Frame:
+        return std::max(1.0, s / tokens_per_frame) * kv_heads;
+      case PredGranularity::Cluster:
+        return std::max(1.0, s / tokensPerCluster) * kv_heads;
+    }
+    return 0.0;
+}
+
+MethodModel
+MethodModel::flexgen()
+{
+    MethodModel m;
+    m.name = "FlexGen";
+    m.offloads = true;
+    m.selectsInPrefill = false;
+    m.selectsInGeneration = false;
+    m.granularity = PredGranularity::None;
+    return m;
+}
+
+MethodModel
+MethodModel::infinigen()
+{
+    MethodModel m;
+    m.name = "InfiniGen";
+    m.offloads = true;
+    m.selectsInPrefill = false;       // Generation-stage only.
+    m.selectsInGeneration = true;
+    m.frameSelRatio = 1.0;            // Table II: 100% at prefill.
+    m.genSelRatio = 0.068;            // Table II average.
+    m.granularity = PredGranularity::Token;
+    return m;
+}
+
+MethodModel
+MethodModel::infinigenP()
+{
+    MethodModel m = infinigen();
+    m.name = "InfiniGenP";
+    m.selectsInPrefill = true;
+    m.frameSelRatio = 0.508;          // Table II average.
+    return m;
+}
+
+MethodModel
+MethodModel::rekv()
+{
+    MethodModel m;
+    m.name = "ReKV";
+    m.offloads = true;
+    m.selectsInPrefill = true;
+    m.selectsInGeneration = true;
+    m.frameSelRatio = 0.584;          // Table II average.
+    m.genSelRatio = 0.312;
+    m.granularity = PredGranularity::Frame;
+    return m;
+}
+
+MethodModel
+MethodModel::resvSoftware()
+{
+    MethodModel m;
+    m.name = "AGX+ReSV";
+    m.offloads = true;
+    m.keepsRecentWindow = true;
+    m.selectsInPrefill = true;
+    m.selectsInGeneration = true;
+    m.frameSelRatio = 0.327;          // Table II average.
+    m.genSelRatio = 0.025;
+    m.granularity = PredGranularity::Cluster;
+    m.dreOffloadPred = false;         // Prediction on the GPU.
+    m.clusterContiguous = false;      // No KVMU either.
+    m.reuseFraction = 0.3;            // Retrieved-KV region reuse.
+    return m;
+}
+
+MethodModel
+MethodModel::resvKvpu()
+{
+    MethodModel m = resvSoftware();
+    m.name = "V-Rex KVPU";
+    m.dreOffloadPred = true;
+    return m;
+}
+
+MethodModel
+MethodModel::resvFull()
+{
+    MethodModel m = resvKvpu();
+    m.name = "V-Rex";
+    m.clusterContiguous = true;
+    return m;
+}
+
+MethodModel
+MethodModel::gpuNoOffload()
+{
+    MethodModel m;
+    m.name = "GPU (resident KV)";
+    m.offloads = false;
+    m.granularity = PredGranularity::None;
+    return m;
+}
+
+MethodModel
+MethodModel::oaken()
+{
+    MethodModel m;
+    m.name = "Oaken";
+    m.offloads = false;
+    m.granularity = PredGranularity::None;
+    m.kvBytesPerElem = 0.5625;        // int4 + group scales.
+    return m;
+}
+
+MethodModel
+MethodModel::resvOaken()
+{
+    MethodModel m = resvFull();
+    m.name = "V-Rex+int4";
+    m.kvBytesPerElem = 0.5625;
+    return m;
+}
+
+} // namespace vrex

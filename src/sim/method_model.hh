@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Timing-level description of each KV retrieval method.
+ *
+ * Captures what the system simulator needs to price a method: how
+ * much of the cache it fetches per stage, at what granularity its
+ * prediction pass scans the cache, how contiguous its transfers are,
+ * and whether prediction runs on the GPU (serialized with compute) or
+ * on the DRE (overlapped). Default ratios come from the paper's
+ * Table II measurements and can be overridden with ratios measured by
+ * the functional pipeline (pipeline/coupling).
+ */
+
+#ifndef VREX_SIM_METHOD_MODEL_HH
+#define VREX_SIM_METHOD_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vrex
+{
+
+/** Granularity of the importance-prediction scan. */
+enum class PredGranularity : uint8_t
+{
+    None,     //!< No prediction (FlexGen fetches everything).
+    Token,    //!< Per-token scores (InfiniGen/InfiniGenP).
+    Frame,    //!< Per-frame scores (ReKV).
+    Cluster,  //!< Per-hash-cluster scores (ReSV).
+};
+
+/** One retrieval method as the timing simulator sees it. */
+struct MethodModel
+{
+    std::string name;
+
+    bool offloads = true;            //!< KV lives behind PCIe.
+    /** V-Rex's KVMU keeps the recent-KV window device-resident
+     *  (Fig. 12); the GPU-oriented baselines offload the full cache
+     *  (their published designs stream it back each pass). */
+    bool keepsRecentWindow = false;
+    bool selectsInPrefill = false;
+    bool selectsInGeneration = false;
+    double frameSelRatio = 1.0;      //!< Fetched fraction, prefill.
+    double genSelRatio = 1.0;        //!< Fetched fraction, decode.
+
+    PredGranularity granularity = PredGranularity::None;
+    double tokensPerCluster = 32.0;  //!< Paper's measured average.
+    bool dreOffloadPred = false;     //!< Prediction runs on the DRE.
+
+    bool clusterContiguous = false;  //!< KVMU cluster-wise layout.
+    /** Fraction of the selected non-resident set already present in
+     *  the retrieved-KV region from the previous frame (temporal
+     *  selection locality; only V-Rex's KVMU retains it). */
+    double reuseFraction = 0.0;
+
+    double kvBytesPerElem = 2.0;     //!< 0.5 for Oaken int4.
+
+    /** Average contiguous tokens per PCIe transaction. */
+    double avgTxTokens(double tokens_per_frame) const;
+
+    /** Prediction elements scanned per layer for cache length @p s
+     *  (per batch item, across all KV heads). */
+    double predElementsPerLayer(double s, uint32_t kv_heads,
+                                double tokens_per_frame) const;
+
+    /** Effective fetched fraction of the past for a stage. */
+    double
+    selRatio(bool frame_stage) const
+    {
+        if (frame_stage)
+            return selectsInPrefill ? frameSelRatio : 1.0;
+        return selectsInGeneration ? genSelRatio : 1.0;
+    }
+
+    // The paper's methods (§VI-B and Fig. 16 ablation points).
+    static MethodModel flexgen();
+    static MethodModel infinigen();
+    static MethodModel infinigenP();
+    static MethodModel rekv();
+    /** ReSV on the GPU (Fig. 16 "AGX+ReSV"). */
+    static MethodModel resvSoftware();
+    /** ReSV + DRE prediction, no KVMU (Fig. 16 "V-Rex8 KVPU"). */
+    static MethodModel resvKvpu();
+    /** Full V-Rex: ReSV + DRE + KVMU (Fig. 16 "V-Rex8 All"). */
+    static MethodModel resvFull();
+    /** GPU with KV resident (no offload; OOMs, Fig. 15). */
+    static MethodModel gpuNoOffload();
+    /** Oaken: int4 KV, resident (no offload; OOMs later, Fig. 15). */
+    static MethodModel oaken();
+    /** Extension (paper §VII): ReSV retrieval stacked on int4 KV
+     *  quantization — retrieval bounds the working set while
+     *  quantization shrinks every byte moved. */
+    static MethodModel resvOaken();
+};
+
+} // namespace vrex
+
+#endif // VREX_SIM_METHOD_MODEL_HH

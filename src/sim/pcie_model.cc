@@ -1,0 +1,3 @@
+#include "sim/pcie_model.hh"
+
+// PcieModel is header-only; this anchors the translation unit.

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * PCIe transfer-time model.
+ *
+ * KV fetches over PCIe pay a per-transaction overhead on top of the
+ * wire time, so scattered token-granular transfers achieve a small
+ * fraction of link bandwidth while the KVMU's cluster-contiguous
+ * transfers approach it (paper §V-C).
+ */
+
+#ifndef VREX_SIM_PCIE_MODEL_HH
+#define VREX_SIM_PCIE_MODEL_HH
+
+#include <cstdint>
+
+namespace vrex
+{
+
+/** Simple transaction-cost PCIe link model. */
+class PcieModel
+{
+  public:
+    PcieModel(double bandwidth_gbs, double tx_overhead_us)
+        : bwBytesPerSec(bandwidth_gbs * 1e9),
+          txOverheadSec(tx_overhead_us * 1e-6)
+    {
+    }
+
+    /** Seconds to move @p bytes split into @p transactions, assuming
+     *  pipelined transactions (overhead overlaps at depth 4). */
+    double
+    transferSeconds(double bytes, double transactions) const
+    {
+        const double pipelined_overhead =
+            transactions * txOverheadSec / pipelineDepth;
+        return pipelined_overhead + bytes / bwBytesPerSec;
+    }
+
+    /** Achieved fraction of link bandwidth at @p bytes_per_tx. */
+    double
+    efficiency(double bytes_per_tx) const
+    {
+        const double wire = bytes_per_tx / bwBytesPerSec;
+        const double overhead = txOverheadSec / pipelineDepth;
+        return wire / (wire + overhead);
+    }
+
+    double bandwidthBytesPerSec() const { return bwBytesPerSec; }
+
+  private:
+    static constexpr double pipelineDepth = 4.0;
+    double bwBytesPerSec;
+    double txOverheadSec;
+};
+
+} // namespace vrex
+
+#endif // VREX_SIM_PCIE_MODEL_HH

@@ -1,0 +1,24 @@
+#include "sim/roofline.hh"
+
+#include <algorithm>
+
+namespace vrex
+{
+
+RooflinePoint
+rooflineFor(const PhaseResult &phase, const AcceleratorConfig &hw)
+{
+    RooflinePoint p;
+    p.peakTflops = hw.peakTflops;
+    if (phase.totalMs <= 0.0 || phase.dramBytes <= 0.0)
+        return p;
+    p.opIntensity = phase.actualFlops / phase.dramBytes;
+    p.achievedTflops =
+        phase.actualFlops / (phase.totalMs / 1e3) / 1e12;
+    p.roofTflops = std::min(
+        hw.peakTflops,
+        p.opIntensity * hw.memBandwidthGBs * 1e9 / 1e12);
+    return p;
+}
+
+} // namespace vrex

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Roofline analysis (paper Fig. 18): operational intensity vs.
+ * achieved throughput, reported as a fraction of the platform peak.
+ */
+
+#ifndef VREX_SIM_ROOFLINE_HH
+#define VREX_SIM_ROOFLINE_HH
+
+#include "sim/hw_config.hh"
+#include "sim/system_model.hh"
+
+namespace vrex
+{
+
+/** One system's position on the roofline plot. */
+struct RooflinePoint
+{
+    double opIntensity = 0.0;      //!< FLOP per DRAM byte.
+    double achievedTflops = 0.0;
+    double peakTflops = 0.0;
+    double roofTflops = 0.0;       //!< min(peak, OI * BW).
+
+    double
+    fractionOfPeak() const
+    {
+        return peakTflops > 0.0 ? achievedTflops / peakTflops : 0.0;
+    }
+
+    /** Fraction of the workload's theoretical maximum (the roof at
+     *  its operational intensity) — what the paper's Fig. 18 quotes
+     *  (FlexGen 6.6%, ReKV ~15%, V-Rex 71.5%). */
+    double
+    fractionOfRoof() const
+    {
+        return roofTflops > 0.0 ? achievedTflops / roofTflops : 0.0;
+    }
+};
+
+/** Evaluate the roofline position of one phase result. */
+RooflinePoint rooflineFor(const PhaseResult &phase,
+                          const AcceleratorConfig &hw);
+
+} // namespace vrex
+
+#endif // VREX_SIM_ROOFLINE_HH

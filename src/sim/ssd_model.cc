@@ -1,0 +1,32 @@
+#include "sim/ssd_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrex
+{
+
+SsdConfig
+SsdConfig::bg6()
+{
+    return SsdConfig{};
+}
+
+double
+SsdModel::readSeconds(double bytes, double requests) const
+{
+    if (bytes <= 0.0)
+        return 0.0;
+    requests = std::max(requests, 1.0);
+    const double pages = std::max(1.0, bytes / cfg.pageBytes);
+    // Flash-array time: page reads pipelined across all dies.
+    const double array_sec = pages * cfg.pageReadUs * 1e-6 /
+        (cfg.channels * cfg.diesPerChannel);
+    // Channel transfer time.
+    const double xfer_sec = bytes / peakBandwidth();
+    // Command handling: 10 us per request, deeply pipelined.
+    const double cmd_sec = requests * 10e-6 / cfg.queueDepth;
+    return std::max(array_sec, xfer_sec) + cmd_sec;
+}
+
+} // namespace vrex

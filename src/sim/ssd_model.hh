@@ -1,0 +1,56 @@
+/**
+ * @file
+ * MQSim-style multi-queue SSD read model (simplified).
+ *
+ * Edge V-Rex offloads KV to an M.2 NVMe device (Kioxia BG6 class).
+ * The model prices a read burst by flash-channel parallelism, per-page
+ * read latency amortized over the queue depth, and the channel/link
+ * bandwidth cap.
+ */
+
+#ifndef VREX_SIM_SSD_MODEL_HH
+#define VREX_SIM_SSD_MODEL_HH
+
+#include <cstdint>
+
+namespace vrex
+{
+
+/** NVMe device parameters. */
+struct SsdConfig
+{
+    uint32_t channels = 4;
+    uint32_t diesPerChannel = 16; //!< Flash dies sharing a channel.
+    uint32_t queueDepth = 32;
+    uint32_t pageBytes = 4096;
+    double pageReadUs = 55.0;     //!< tR of one flash page.
+    double channelGBs = 1.2;      //!< Per-channel transfer rate.
+
+    static SsdConfig bg6();
+};
+
+/** Read-path timing of the SSD. */
+class SsdModel
+{
+  public:
+    explicit SsdModel(const SsdConfig &config) : cfg(config) {}
+
+    /** Seconds to read @p bytes issued as @p requests commands. */
+    double readSeconds(double bytes, double requests) const;
+
+    /** Aggregate sequential read bandwidth (bytes/s). */
+    double
+    peakBandwidth() const
+    {
+        return cfg.channels * cfg.channelGBs * 1e9;
+    }
+
+    const SsdConfig &config() const { return cfg; }
+
+  private:
+    SsdConfig cfg;
+};
+
+} // namespace vrex
+
+#endif // VREX_SIM_SSD_MODEL_HH

@@ -1,0 +1,218 @@
+#include "sim/system_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrex
+{
+
+SystemModel::SystemModel(const RunConfig &config)
+    : cfg(config), compute(config.hw, config.model, config.vision),
+      pcie(config.hw.pcieBandwidthGBs, config.hw.pcieTxOverheadUs),
+      ssd(SsdConfig::bg6()), dre(config.hw), energyModel(config.hw)
+{
+}
+
+bool
+SystemModel::wouldOom() const
+{
+    if (cfg.method.offloads)
+        return false;
+    const double weights =
+        static_cast<double>(cfg.model.paramBytes(2.0)) +
+        cfg.vision.weightBytes();
+    const double activations = 0.2e9 * cfg.batch;
+    const double kv = static_cast<double>(cfg.cacheTokens) *
+        cfg.model.kvBytesPerToken(cfg.method.kvBytesPerElem) *
+        cfg.batch;
+    return weights + activations + kv > cfg.hw.memCapacityGB * 1e9;
+}
+
+PhaseResult
+SystemModel::runPhase(double new_tokens, bool frame_stage,
+                      bool with_vision) const
+{
+    const MethodModel &m = cfg.method;
+    const ModelConfig &model = cfg.model;
+    const uint32_t B = cfg.batch;
+    const double S = cfg.cacheTokens;
+    const uint32_t layers = model.nLayers;
+
+    PhaseResult r;
+    if (wouldOom()) {
+        r.oom = true;
+        return r;
+    }
+
+    // --- Component times -------------------------------------------------
+    const double vision_sec =
+        with_vision ? compute.visionSeconds(B) : 0.0;
+    const double dense_sec = compute.denseSeconds(new_tokens, B);
+    const double ratio = m.selRatio(frame_stage);
+    const double attended = ratio * S + new_tokens;
+    const double attn_sec = compute.attentionSeconds(
+        new_tokens, attended, B, m.kvBytesPerElem);
+
+    // --- Prediction ------------------------------------------------------
+    double pred_sec = 0.0;      // Serialized on the main engine.
+    double dre_sec = 0.0;       // Overlapped on the DRE.
+    double pred_bytes = 0.0;
+    if (m.granularity != PredGranularity::None && S > 0.0) {
+        const double elems_layer =
+            m.predElementsPerLayer(S, model.nKvHeads,
+                                   cfg.tokensPerFrame) * B;
+        // Scoring reads one key vector (or centroid) per element.
+        pred_bytes = elems_layer * model.headDim() * 2.0 * layers;
+        if (m.dreOffloadPred) {
+            const double clusters =
+                std::max(1.0, S / m.tokensPerCluster);
+            DreTiming t = dre.layerTiming(new_tokens, clusters,
+                                          model.nKvHeads, B,
+                                          cfg.hashBits);
+            dre_sec = t.total() * layers;
+        } else {
+            // Clustering + threshold sorting are data-dependent and
+            // serialize on a GPU; top-k style kernels are regular.
+            const double ns_per_elem =
+                m.granularity == PredGranularity::Cluster
+                    ? cfg.hw.irregularNsPerElement
+                    : cfg.hw.predNsPerElement;
+            const double per_layer =
+                cfg.hw.predFixedUsPerLayer * 1e-6 +
+                elems_layer * ns_per_elem * 1e-9 +
+                pred_bytes / layers /
+                    (cfg.hw.memBandwidthGBs * 1e9 * cfg.hw.memEff);
+            pred_sec = per_layer * layers;
+        }
+    }
+
+    // --- KV fetch over PCIe / SSD ----------------------------------------
+    double fetch_sec = 0.0;
+    double fetch_bytes = 0.0;
+    if (m.offloads && S > 0.0) {
+        const double token_bytes =
+            model.kvBytesPerToken(m.kvBytesPerElem);
+        // Only V-Rex's KVMU maintains a device-resident recent-KV
+        // window; the GPU baselines stream the full offloaded cache.
+        const double window_tokens = m.keepsRecentWindow
+            ? static_cast<double>(cfg.hw.deviceKvWindowBytes) /
+                token_bytes / B
+            : 0.0;
+        const double non_resident =
+            std::max(0.0, S - window_tokens);
+        double fetch_tokens = ratio * non_resident *
+            (1.0 - m.reuseFraction) * B;
+        fetch_bytes = fetch_tokens * token_bytes;
+        if (fetch_bytes > 0.0) {
+            // Transfer granule: one token's per-layer KV chunk.
+            const double granule_bytes =
+                model.kvBytesPerTokenPerLayer(m.kvBytesPerElem);
+            const double tx_bytes =
+                m.avgTxTokens(cfg.tokensPerFrame) * granule_bytes;
+            const double n_tx = fetch_bytes / tx_bytes;
+            fetch_sec = pcie.transferSeconds(fetch_bytes, n_tx);
+            if (cfg.hw.offloadTarget == Tier::Storage) {
+                fetch_sec = std::max(
+                    fetch_sec, ssd.readSeconds(fetch_bytes, n_tx));
+            }
+        }
+    }
+
+    // --- Per-layer overlap (Fig. 5) ---------------------------------------
+    const double compute_layer = (dense_sec + attn_sec) / layers;
+    const double fetch_layer = fetch_sec / layers;
+    const double pred_layer = pred_sec / layers;
+    const double dre_layer = dre_sec / layers;
+    double layer_sec;
+    if (cfg.hw.hasDre) {
+        layer_sec = std::max({compute_layer, fetch_layer, dre_layer});
+    } else {
+        // Prediction serializes with compute on the GPU; the prefetch
+        // of the next layer overlaps with execution.
+        layer_sec = pred_layer + std::max(compute_layer, fetch_layer);
+    }
+    const double total_sec = vision_sec + layer_sec * layers;
+
+    // --- Accounting -------------------------------------------------------
+    r.visionMs = vision_sec * 1e3;
+    r.denseMs = dense_sec * 1e3;
+    r.attentionMs = attn_sec * 1e3;
+    r.predictionMs = pred_sec * 1e3;
+    r.dreMs = dre_sec * 1e3;
+    r.fetchMs = fetch_sec * 1e3;
+    r.totalMs = total_sec * 1e3;
+    r.dramBytes = compute.denseBytes() +
+        compute.attentionBytes(attended, B, m.kvBytesPerElem) +
+        (with_vision ? compute.visionBytes() : 0.0) + pred_bytes +
+        fetch_bytes;
+    r.pcieBytes = fetch_bytes;
+    r.pcieActiveSec =
+        fetch_bytes / (cfg.hw.pcieBandwidthGBs * 1e9);
+    r.computeBusySec = vision_sec + dense_sec + attn_sec + pred_sec;
+    r.energy = energyModel.energy(r.computeBusySec, total_sec,
+                                  r.dramBytes, r.pcieActiveSec);
+    // Nominal workload ops: what the vanilla model would execute.
+    r.nominalFlops = compute.denseFlops(new_tokens, B) +
+        compute.attentionFlops(new_tokens, S + new_tokens, B) +
+        (with_vision ? compute.visionFlops(B) : 0.0);
+    r.actualFlops = compute.denseFlops(new_tokens, B) +
+        compute.attentionFlops(new_tokens, attended, B) +
+        (with_vision ? compute.visionFlops(B) : 0.0);
+    return r;
+}
+
+PhaseResult
+SystemModel::framePhase() const
+{
+    return runPhase(cfg.tokensPerFrame, true, true);
+}
+
+PhaseResult
+SystemModel::textPrefillPhase(uint32_t tokens) const
+{
+    return runPhase(tokens, true, false);
+}
+
+PhaseResult
+SystemModel::decodePhase() const
+{
+    return runPhase(1.0, false, false);
+}
+
+double
+SystemModel::frameFps() const
+{
+    PhaseResult r = framePhase();
+    if (r.oom || r.totalMs <= 0.0)
+        return 0.0;
+    return static_cast<double>(cfg.batch) / (r.totalMs / 1e3);
+}
+
+SessionResult
+SystemModel::session(uint32_t frames, uint32_t q_tokens,
+                     uint32_t a_tokens) const
+{
+    SessionResult out;
+    RunConfig step = cfg;
+    for (uint32_t f = 0; f < frames; ++f) {
+        SystemModel sm(step);
+        PhaseResult r = sm.framePhase();
+        out.visionMs += r.visionMs;
+        out.prefillMs += r.totalMs - r.visionMs;
+        step.cacheTokens += static_cast<uint32_t>(
+            std::lround(step.tokensPerFrame));
+    }
+    if (q_tokens > 0) {
+        SystemModel sm(step);
+        out.prefillMs += sm.textPrefillPhase(q_tokens).totalMs;
+        step.cacheTokens += q_tokens;
+    }
+    for (uint32_t t = 0; t < a_tokens; ++t) {
+        SystemModel sm(step);
+        out.generationMs += sm.decodePhase().totalMs;
+        step.cacheTokens += 1;
+    }
+    return out;
+}
+
+} // namespace vrex

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The end-to-end system timing/energy model: composes the compute,
+ * PCIe, DRAM, SSD, and DRE models with the per-layer overlap schedule
+ * of Fig. 5 to produce per-frame latency, TPOT, FPS, energy, and the
+ * session-level breakdowns behind Figs. 4, 13, 14, 15, 16 and 18.
+ */
+
+#ifndef VREX_SIM_SYSTEM_MODEL_HH
+#define VREX_SIM_SYSTEM_MODEL_HH
+
+#include <cstdint>
+
+#include "llm/config.hh"
+#include "sim/compute_model.hh"
+#include "sim/dre_model.hh"
+#include "sim/energy_model.hh"
+#include "sim/hw_config.hh"
+#include "sim/method_model.hh"
+#include "sim/pcie_model.hh"
+#include "sim/ssd_model.hh"
+
+namespace vrex
+{
+
+/** One simulated configuration point. */
+struct RunConfig
+{
+    ModelConfig model = ModelConfig::llama3_8b();
+    AcceleratorConfig hw;
+    MethodModel method;
+    uint32_t cacheTokens = 0;    //!< Pre-existing KV length S.
+    uint32_t batch = 1;
+    double tokensPerFrame = 10.0;  //!< VideoLLM-Online style.
+    VisionConfig vision;
+    uint32_t hashBits = 32;        //!< ReSV N_hp for the DRE model.
+};
+
+/** Timing/energy of one phase (one frame or one decode step). */
+struct PhaseResult
+{
+    bool oom = false;
+    // Component times in ms (before overlap).
+    double visionMs = 0.0;
+    double denseMs = 0.0;
+    double attentionMs = 0.0;
+    double predictionMs = 0.0;   //!< Serialized prediction (GPU).
+    double dreMs = 0.0;          //!< DRE-side prediction (hidden).
+    double fetchMs = 0.0;
+    // Overlapped wall-clock.
+    double totalMs = 0.0;
+    // Activity accounting.
+    double dramBytes = 0.0;
+    double pcieBytes = 0.0;
+    double pcieActiveSec = 0.0;
+    double computeBusySec = 0.0;
+    EnergyBreakdown energy;
+    /** Nominal workload FLOPs (identical across methods; used for
+     *  goodput-style GOPS/W comparisons). */
+    double nominalFlops = 0.0;
+    /** FLOPs this method actually executed (light attention counts
+     *  only the selected tokens; used for the roofline). */
+    double actualFlops = 0.0;
+
+    double
+    gopsPerW() const
+    {
+        double j = energy.totalJ();
+        return j > 0.0 ? nominalFlops / j / 1e9 : 0.0;
+    }
+};
+
+/** Session-level accumulation (Fig. 4b / Fig. 14). */
+struct SessionResult
+{
+    double visionMs = 0.0;
+    double prefillMs = 0.0;
+    double generationMs = 0.0;
+
+    double
+    totalMs() const
+    {
+        return visionMs + prefillMs + generationMs;
+    }
+};
+
+/** The composed system simulator. */
+class SystemModel
+{
+  public:
+    explicit SystemModel(const RunConfig &config);
+
+    const RunConfig &config() const { return cfg; }
+
+    /** Process one video frame with cache length cfg.cacheTokens. */
+    PhaseResult framePhase() const;
+
+    /** Prefill a text block of @p tokens (question). */
+    PhaseResult textPrefillPhase(uint32_t tokens) const;
+
+    /** Decode one output token (TPOT). */
+    PhaseResult decodePhase() const;
+
+    /** Frames per second at the configured batch (throughput). */
+    double frameFps() const;
+
+    /** True when a non-offloading method exceeds device memory. */
+    bool wouldOom() const;
+
+    /** COIN-style session starting from cfg.cacheTokens. */
+    SessionResult session(uint32_t frames, uint32_t q_tokens,
+                          uint32_t a_tokens) const;
+
+  private:
+    PhaseResult
+    runPhase(double new_tokens, bool frame_stage, bool with_vision)
+        const;
+
+    RunConfig cfg;
+    ComputeModel compute;
+    PcieModel pcie;
+    SsdModel ssd;
+    DreModel dre;
+    EnergyModel energyModel;
+};
+
+} // namespace vrex
+
+#endif // VREX_SIM_SYSTEM_MODEL_HH

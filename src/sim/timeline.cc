@@ -1,0 +1,75 @@
+#include "sim/timeline.hh"
+
+#include <algorithm>
+
+namespace vrex
+{
+
+std::vector<TimelineSegment>
+layerTimeline(const SystemModel &sm, uint32_t n_layers)
+{
+    const RunConfig &cfg = sm.config();
+    PhaseResult frame = sm.framePhase();
+    const uint32_t layers = cfg.model.nLayers;
+
+    // Per-layer component durations in us.
+    const double dense_us = frame.denseMs * 1e3 / layers;
+    const double qkv_us = dense_us * 0.30;   // QKV gen share.
+    const double ffn_us = dense_us * 0.70;   // Proj + FFN share.
+    const double attn_us =
+        std::max(frame.attentionMs * 1e3 / layers, 1.0);
+    const double layer_us = frame.totalMs * 1e3 / layers;
+    const double dre_us = frame.dreMs * 1e3 / layers;
+
+    const double weight_bw = cfg.hw.memBandwidthGBs * cfg.hw.memEff;
+    const double attn_bw = weight_bw * 0.45;
+    const double pred_bw =
+        std::min(600.0, cfg.hw.memBandwidthGBs * 0.3);
+    const double pcie_bw = cfg.hw.pcieBandwidthGBs;
+
+    std::vector<TimelineSegment> segs;
+    double t = 0.0;
+    for (uint32_t l = 0; l < n_layers; ++l) {
+        const double base = t;
+        segs.push_back({"LLM", "QKV Gen", base, base + qkv_us,
+                        weight_bw});
+        segs.push_back({"LLM", "Attention", base + qkv_us,
+                        base + qkv_us + attn_us, attn_bw});
+        // KV prediction for the next layer overlaps attention.
+        if (dre_us > 0.0) {
+            segs.push_back({"KV Prediction", "HCU+WTU",
+                            base + qkv_us,
+                            base + qkv_us + std::max(dre_us, 0.5),
+                            pred_bw});
+        }
+        segs.push_back({"LLM", "FFN", base + qkv_us + attn_us,
+                        base + qkv_us + attn_us + ffn_us, weight_bw});
+        // Retrieval runs across (nearly) the whole layer at PCIe rate.
+        if (frame.fetchMs > 0.0) {
+            segs.push_back({"Retrieval", "KV Fetch", base,
+                            base + layer_us, pcie_bw});
+        }
+        t = base + std::max(layer_us, qkv_us + attn_us + ffn_us);
+    }
+    return segs;
+}
+
+double
+timelinePeakBandwidth(const std::vector<TimelineSegment> &segs)
+{
+    // Sample at segment boundaries.
+    double peak = 0.0;
+    for (const auto &probe : segs) {
+        for (double at : {probe.startUs + 1e-6,
+                          (probe.startUs + probe.endUs) * 0.5}) {
+            double bw = 0.0;
+            for (const auto &s : segs)
+                if (s.startUs <= at && at < s.endUs)
+                    bw += s.bandwidthGBs;
+            peak = std::max(peak, bw);
+        }
+    }
+    return peak;
+}
+
+} // namespace vrex

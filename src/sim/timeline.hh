@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Per-layer execution timeline with bandwidth occupancy (paper
+ * Fig. 17): shows QKV-gen / attention / FFN on the LLM track, KV
+ * prediction overlapped under attention, and the KV retrieval stream
+ * trickling at PCIe rate (~1% of DRAM bandwidth) across the layer.
+ */
+
+#ifndef VREX_SIM_TIMELINE_HH
+#define VREX_SIM_TIMELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/system_model.hh"
+
+namespace vrex
+{
+
+/** One segment of activity on one track. */
+struct TimelineSegment
+{
+    std::string track;   //!< "LLM", "KV Prediction", "Retrieval".
+    std::string label;   //!< "QKV Gen", "Attention", "FFN", ...
+    double startUs = 0.0;
+    double endUs = 0.0;
+    double bandwidthGBs = 0.0;  //!< DRAM bandwidth consumed.
+
+    double durationUs() const { return endUs - startUs; }
+};
+
+/** Build the two-layer timeline of Fig. 17 for a configuration. */
+std::vector<TimelineSegment> layerTimeline(const SystemModel &sm,
+                                           uint32_t n_layers = 2);
+
+/** Peak aggregate DRAM bandwidth across the timeline (GB/s). */
+double timelinePeakBandwidth(const std::vector<TimelineSegment> &segs);
+
+} // namespace vrex
+
+#endif // VREX_SIM_TIMELINE_HH

@@ -1,0 +1,4 @@
+#include "tensor/matrix.hh"
+
+// Matrix is header-only today; this translation unit anchors the
+// library target and keeps room for out-of-line growth.

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal row-major float matrix used by the functional LLM runtime.
+ *
+ * The runtime only needs dense 2-D storage with cheap row views; this
+ * type deliberately avoids the complexity of a general tensor library.
+ */
+
+#ifndef VREX_TENSOR_MATRIX_HH
+#define VREX_TENSOR_MATRIX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace vrex
+{
+
+/** Dense row-major matrix of floats. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    Matrix(uint32_t rows, uint32_t cols)
+        : numRows(rows), numCols(cols),
+          data(static_cast<size_t>(rows) * cols, 0.0f)
+    {
+    }
+
+    uint32_t rows() const { return numRows; }
+    uint32_t cols() const { return numCols; }
+    size_t size() const { return data.size(); }
+
+    float &
+    at(uint32_t r, uint32_t c)
+    {
+        return data[static_cast<size_t>(r) * numCols + c];
+    }
+
+    float
+    at(uint32_t r, uint32_t c) const
+    {
+        return data[static_cast<size_t>(r) * numCols + c];
+    }
+
+    float *row(uint32_t r) { return data.data() + size_t(r) * numCols; }
+    const float *
+    row(uint32_t r) const
+    {
+        return data.data() + size_t(r) * numCols;
+    }
+
+    float *raw() { return data.data(); }
+    const float *raw() const { return data.data(); }
+
+    void
+    fill(float value)
+    {
+        std::fill(data.begin(), data.end(), value);
+    }
+
+    /** Append a row copied from @p src (length must equal cols()). */
+    void
+    appendRow(const float *src)
+    {
+        VREX_ASSERT(numCols > 0, "appendRow on an unshaped matrix");
+        data.insert(data.end(), src, src + numCols);
+        ++numRows;
+    }
+
+    bool
+    sameShape(const Matrix &other) const
+    {
+        return numRows == other.numRows && numCols == other.numCols;
+    }
+
+  private:
+    uint32_t numRows = 0;
+    uint32_t numCols = 0;
+    std::vector<float> data;
+};
+
+} // namespace vrex
+
+#endif // VREX_TENSOR_MATRIX_HH

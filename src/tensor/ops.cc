@@ -1,0 +1,178 @@
+#include "tensor/ops.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace vrex
+{
+
+void
+matmul(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    VREX_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
+    out = Matrix(a.rows(), b.cols());
+    const uint32_t m = a.rows(), k = a.cols(), n = b.cols();
+    for (uint32_t i = 0; i < m; ++i) {
+        const float *arow = a.row(i);
+        float *orow = out.row(i);
+        for (uint32_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.row(p);
+            for (uint32_t j = 0; j < n; ++j)
+                orow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+matmulTransposed(const Matrix &a, const Matrix &bT, Matrix &out)
+{
+    VREX_ASSERT(a.cols() == bT.cols(), "matmulT shape mismatch");
+    out = Matrix(a.rows(), bT.rows());
+    for (uint32_t i = 0; i < a.rows(); ++i) {
+        const float *arow = a.row(i);
+        float *orow = out.row(i);
+        for (uint32_t j = 0; j < bT.rows(); ++j)
+            orow[j] = dot(arow, bT.row(j), a.cols());
+    }
+}
+
+void
+softmax(float *row, uint32_t n)
+{
+    if (n == 0)
+        return;
+    float mx = row[0];
+    for (uint32_t i = 1; i < n; ++i)
+        mx = std::max(mx, row[i]);
+    float sum = 0.0f;
+    for (uint32_t i = 0; i < n; ++i) {
+        row[i] = std::exp(row[i] - mx);
+        sum += row[i];
+    }
+    if (sum <= 0.0f)
+        return;
+    float inv = 1.0f / sum;
+    for (uint32_t i = 0; i < n; ++i)
+        row[i] *= inv;
+}
+
+void
+softmaxRows(Matrix &m)
+{
+    for (uint32_t r = 0; r < m.rows(); ++r)
+        softmax(m.row(r), m.cols());
+}
+
+void
+rmsNorm(float *x, const float *weight, uint32_t n, float eps)
+{
+    double ss = 0.0;
+    for (uint32_t i = 0; i < n; ++i)
+        ss += double(x[i]) * x[i];
+    float scale = 1.0f /
+        std::sqrt(static_cast<float>(ss / n) + eps);
+    for (uint32_t i = 0; i < n; ++i)
+        x[i] = x[i] * scale * weight[i];
+}
+
+void
+silu(float *x, uint32_t n)
+{
+    for (uint32_t i = 0; i < n; ++i)
+        x[i] = x[i] / (1.0f + std::exp(-x[i]));
+}
+
+void
+hadamard(float *x, const float *y, uint32_t n)
+{
+    for (uint32_t i = 0; i < n; ++i)
+        x[i] *= y[i];
+}
+
+void
+addInPlace(float *x, const float *y, uint32_t n)
+{
+    for (uint32_t i = 0; i < n; ++i)
+        x[i] += y[i];
+}
+
+void
+applyRope(float *head, uint32_t dim, uint32_t pos, float thetaBase)
+{
+    VREX_ASSERT(dim % 2 == 0, "RoPE needs an even head dimension");
+    const uint32_t half = dim / 2;
+    for (uint32_t i = 0; i < half; ++i) {
+        float freq = std::pow(thetaBase,
+                              -2.0f * static_cast<float>(i) / dim);
+        float angle = static_cast<float>(pos) * freq;
+        float c = std::cos(angle), s = std::sin(angle);
+        float x0 = head[i];
+        float x1 = head[i + half];
+        head[i] = x0 * c - x1 * s;
+        head[i + half] = x0 * s + x1 * c;
+    }
+}
+
+void
+applyRopeInverse(float *head, uint32_t dim, uint32_t pos,
+                 float thetaBase)
+{
+    VREX_ASSERT(dim % 2 == 0, "RoPE needs an even head dimension");
+    const uint32_t half = dim / 2;
+    for (uint32_t i = 0; i < half; ++i) {
+        float freq = std::pow(thetaBase,
+                              -2.0f * static_cast<float>(i) / dim);
+        float angle = -static_cast<float>(pos) * freq;
+        float c = std::cos(angle), s = std::sin(angle);
+        float x0 = head[i];
+        float x1 = head[i + half];
+        head[i] = x0 * c - x1 * s;
+        head[i + half] = x0 * s + x1 * c;
+    }
+}
+
+float
+dot(const float *a, const float *b, uint32_t n)
+{
+    float s = 0.0f;
+    for (uint32_t i = 0; i < n; ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+float
+norm2(const float *a, uint32_t n)
+{
+    return std::sqrt(dot(a, a, n));
+}
+
+float
+cosineSimilarity(const float *a, const float *b, uint32_t n)
+{
+    float na = norm2(a, n), nb = norm2(b, n);
+    if (na <= 0.0f || nb <= 0.0f)
+        return 0.0f;
+    return dot(a, b, n) / (na * nb);
+}
+
+std::vector<uint32_t>
+topkIndices(const std::vector<float> &scores, uint32_t k)
+{
+    std::vector<uint32_t> idx(scores.size());
+    std::iota(idx.begin(), idx.end(), 0u);
+    k = std::min<uint32_t>(k, static_cast<uint32_t>(scores.size()));
+    std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                      [&](uint32_t a, uint32_t b) {
+                          if (scores[a] != scores[b])
+                              return scores[a] > scores[b];
+                          return a < b;
+                      });
+    idx.resize(k);
+    return idx;
+}
+
+} // namespace vrex

@@ -1,0 +1,50 @@
+#include "video/frame_generator.hh"
+
+namespace vrex
+{
+
+FrameGenerator::FrameGenerator(const VideoConfig &config, uint64_t seed,
+                               const std::string &stream_name)
+    : cfg(config), rng(seed, stream_name)
+{
+    startScene();
+}
+
+void
+FrameGenerator::startScene()
+{
+    sceneLatent.assign(cfg.latentDim, 0.0f);
+    for (auto &v : sceneLatent)
+        v = static_cast<float>(rng.gaussian());
+    tokenOffsets.assign(cfg.tokensPerFrame,
+                        std::vector<float>(cfg.latentDim, 0.0f));
+    for (auto &offset : tokenOffsets)
+        for (auto &v : offset)
+            v = static_cast<float>(rng.gaussian(0.0,
+                                                cfg.tokenIdentity));
+    ++scenes;
+}
+
+Matrix
+FrameGenerator::nextFrameLatents()
+{
+    if (frameCount > 0 && rng.bernoulli(cfg.sceneCutProb))
+        startScene();
+
+    // Drift the scene latent.
+    for (auto &v : sceneLatent)
+        v += static_cast<float>(rng.gaussian(0.0, cfg.driftRate));
+
+    Matrix latents(cfg.tokensPerFrame, cfg.latentDim);
+    for (uint32_t t = 0; t < cfg.tokensPerFrame; ++t) {
+        float *row = latents.row(t);
+        for (uint32_t d = 0; d < cfg.latentDim; ++d) {
+            row[d] = sceneLatent[d] + tokenOffsets[t][d] +
+                static_cast<float>(rng.gaussian(0.0, cfg.tokenNoise));
+        }
+    }
+    ++frameCount;
+    return latents;
+}
+
+} // namespace vrex

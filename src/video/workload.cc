@@ -1,0 +1,180 @@
+#include "video/workload.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace vrex
+{
+
+const std::vector<CoinTask> &
+allCoinTasks()
+{
+    static const std::vector<CoinTask> tasks = {
+        CoinTask::Step, CoinTask::Next, CoinTask::Proc,
+        CoinTask::ProcPlus, CoinTask::Task,
+    };
+    return tasks;
+}
+
+std::string
+coinTaskName(CoinTask task)
+{
+    switch (task) {
+      case CoinTask::Step:     return "Step";
+      case CoinTask::Next:     return "Next";
+      case CoinTask::Proc:     return "Proc.";
+      case CoinTask::ProcPlus: return "Proc.+";
+      case CoinTask::Task:     return "Task";
+    }
+    panic("unknown CoinTask");
+}
+
+uint32_t
+SessionScript::frameCount() const
+{
+    uint32_t n = 0;
+    for (const auto &e : events)
+        n += e.type == SessionEvent::Type::Frame;
+    return n;
+}
+
+uint32_t
+SessionScript::questionTokens() const
+{
+    uint32_t n = 0;
+    for (const auto &e : events)
+        if (e.type == SessionEvent::Type::Question)
+            n += e.tokens;
+    return n;
+}
+
+uint32_t
+SessionScript::answerTokens() const
+{
+    uint32_t n = 0;
+    for (const auto &e : events)
+        if (e.type == SessionEvent::Type::Generate)
+            n += e.tokens;
+    return n;
+}
+
+namespace
+{
+
+SessionScript
+makeScript(const std::string &name, CoinTask task,
+           const VideoConfig &video, uint32_t frames,
+           uint32_t q_tokens, uint32_t a_tokens, uint64_t seed)
+{
+    SessionScript s;
+    s.name = name;
+    s.task = task;
+    s.video = video;
+    s.seed = seed;
+    for (uint32_t f = 0; f < frames; ++f)
+        s.events.push_back({SessionEvent::Type::Frame, 0});
+    s.events.push_back({SessionEvent::Type::Question, q_tokens});
+    s.events.push_back({SessionEvent::Type::Generate, a_tokens});
+    return s;
+}
+
+} // namespace
+
+SessionScript
+WorkloadGenerator::coinAverage(uint64_t seed)
+{
+    VideoConfig v;
+    return makeScript("coin-average", CoinTask::Next, v, 26, 25, 39,
+                      seed);
+}
+
+SessionScript
+WorkloadGenerator::coinTask(CoinTask task, uint64_t seed)
+{
+    VideoConfig v;
+    uint32_t frames = 26, q = 25, a = 39;
+    switch (task) {
+      case CoinTask::Step:
+        // Step recognition: choppy video, local queries.
+        v.driftRate = 0.16;
+        v.sceneCutProb = 0.12;
+        frames = 24;
+        q = 18;
+        a = 24;
+        break;
+      case CoinTask::Next:
+        // Next-step prediction: smooth continuation.
+        v.driftRate = 0.08;
+        v.sceneCutProb = 0.04;
+        frames = 26;
+        q = 25;
+        a = 39;
+        break;
+      case CoinTask::Proc:
+        // Procedure localization: long steady segments.
+        v.driftRate = 0.05;
+        v.sceneCutProb = 0.02;
+        frames = 32;
+        q = 28;
+        a = 44;
+        break;
+      case CoinTask::ProcPlus:
+        // Multi-segment procedures: mixed dynamics.
+        v.driftRate = 0.11;
+        v.sceneCutProb = 0.08;
+        frames = 30;
+        q = 30;
+        a = 48;
+        break;
+      case CoinTask::Task:
+        // Task recognition: globally stable scene.
+        v.driftRate = 0.03;
+        v.sceneCutProb = 0.01;
+        frames = 22;
+        q = 14;
+        a = 16;
+        break;
+    }
+    return makeScript("coin-" + coinTaskName(task), task, v, frames, q,
+                      a, seed);
+}
+
+SessionScript
+WorkloadGenerator::multiTurn(uint32_t frames, uint32_t turns,
+                             uint64_t seed)
+{
+    SessionScript s;
+    s.name = "multi-turn";
+    s.task = CoinTask::Next;
+    s.seed = seed;
+    VREX_ASSERT(turns > 0, "multiTurn needs at least one turn");
+    uint32_t frames_per_turn = frames / turns;
+    Rng rng(seed, "multi-turn");
+    for (uint32_t turn = 0; turn < turns; ++turn) {
+        uint32_t n = turn + 1 == turns
+            ? frames - frames_per_turn * (turns - 1)
+            : frames_per_turn;
+        for (uint32_t f = 0; f < n; ++f)
+            s.events.push_back({SessionEvent::Type::Frame, 0});
+        s.events.push_back(
+            {SessionEvent::Type::Question,
+             10 + static_cast<uint32_t>(rng.uniformInt(20))});
+        s.events.push_back(
+            {SessionEvent::Type::Generate,
+             12 + static_cast<uint32_t>(rng.uniformInt(30))});
+    }
+    return s;
+}
+
+std::vector<uint32_t>
+WorkloadGenerator::questionTokens(uint32_t n, uint32_t vocab,
+                                  uint64_t seed)
+{
+    Rng rng(seed, "question-tokens");
+    std::vector<uint32_t> ids(n);
+    for (auto &id : ids)
+        id = static_cast<uint32_t>(rng.uniformInt(vocab));
+    return ids;
+}
+
+} // namespace vrex

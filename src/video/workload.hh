@@ -1,0 +1,94 @@
+/**
+ * @file
+ * COIN-like streaming workloads.
+ *
+ * The paper evaluates on five COIN benchmark tasks. The real dataset
+ * is unavailable offline, so we synthesize five task archetypes whose
+ * knobs (video drift, scene-cut rate, question timing and length)
+ * induce the *score-distribution diversity* across tasks, layers and
+ * heads that Table II and Fig. 20 depend on. The paper's "average
+ * working scenario" (26 frames, 25 question tokens, 39 answer tokens)
+ * is provided as `coinAverage()`.
+ */
+
+#ifndef VREX_VIDEO_WORKLOAD_HH
+#define VREX_VIDEO_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "video/frame_generator.hh"
+
+namespace vrex
+{
+
+/** The five COIN task archetypes used in Table II. */
+enum class CoinTask : uint8_t
+{
+    Step,       //!< Step recognition: short clips, dense cuts.
+    Next,       //!< Next-step prediction: strong temporal continuity.
+    Proc,       //!< Procedure localization: long steady segments.
+    ProcPlus,   //!< Procedure+ (multi-segment): mixed dynamics.
+    Task,       //!< Task recognition: global, very stable scenes.
+};
+
+/** All five tasks, in Table II column order. */
+const std::vector<CoinTask> &allCoinTasks();
+
+/** Human-readable task name. */
+std::string coinTaskName(CoinTask task);
+
+/** One event in a streaming session. */
+struct SessionEvent
+{
+    enum class Type : uint8_t { Frame, Question, Generate };
+    Type type;
+    /** Question: token count. Generate: answer token count. */
+    uint32_t tokens = 0;
+};
+
+/** A full scripted streaming session. */
+struct SessionScript
+{
+    std::string name;
+    CoinTask task = CoinTask::Step;
+    VideoConfig video;
+    std::vector<SessionEvent> events;
+    uint64_t seed = 0;
+
+    uint32_t frameCount() const;
+    uint32_t questionTokens() const;
+    uint32_t answerTokens() const;
+};
+
+/** Factory for scripted sessions. */
+class WorkloadGenerator
+{
+  public:
+    /**
+     * The paper's average COIN scenario: 26 frames, one 25-token
+     * question, 39 generated tokens.
+     */
+    static SessionScript coinAverage(uint64_t seed);
+
+    /** A task-specific session (drives Table II / Fig. 20). */
+    static SessionScript coinTask(CoinTask task, uint64_t seed);
+
+    /**
+     * A multi-turn session: frames interleaved with several
+     * question/answer rounds (the conversational-continuity setting
+     * of §II-A).
+     */
+    static SessionScript multiTurn(uint32_t frames, uint32_t turns,
+                                   uint64_t seed);
+
+    /** Random question token ids of length @p n in [0, vocab). */
+    static std::vector<uint32_t> questionTokens(uint32_t n,
+                                                uint32_t vocab,
+                                                uint64_t seed);
+};
+
+} // namespace vrex
+
+#endif // VREX_VIDEO_WORKLOAD_HH

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the common module: RNG determinism and
+ * distributions, BF16 rounding, bit signatures, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bf16.hh"
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+using namespace vrex;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, NamedStreamsDiffer)
+{
+    Rng a(123, "alpha"), b(123, "beta");
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= a.nextU64() != b.nextU64();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NamedStreamsReproducible)
+{
+    Rng a(9, "stream"), b(9, "stream");
+    EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(7);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.uniformInt(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);  // All values hit in 1000 draws.
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(rng.gaussian());
+    EXPECT_NEAR(stat.mean(), 0.0, 0.03);
+    EXPECT_NEAR(stat.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng rng(3);
+    auto perm = rng.permutation(50);
+    std::set<uint32_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 50u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(BF16, RoundTripExactForSmallIntegers)
+{
+    for (float v : {0.0f, 1.0f, -1.0f, 2.0f, 128.0f, -256.0f})
+        EXPECT_EQ(BF16(v).toFloat(), v);
+}
+
+TEST(BF16, RoundingLosesLowMantissa)
+{
+    float v = 1.0f + 1.0f / 1024.0f;  // Below BF16 precision at 1.0.
+    EXPECT_NE(bf16Round(v), v);
+    EXPECT_NEAR(bf16Round(v), v, 1.0f / 128.0f);
+}
+
+TEST(BF16, RoundToNearestEven)
+{
+    // 1.0 + 2^-8 is exactly halfway between two BF16 values.
+    float v = 1.0f + 1.0f / 256.0f;
+    float r = bf16Round(v);
+    EXPECT_TRUE(r == 1.0f || r == 1.0f + 1.0f / 128.0f);
+}
+
+TEST(BF16, PreservesInfinityAndNan)
+{
+    float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(BF16(inf).toFloat(), inf);
+    EXPECT_EQ(BF16(-inf).toFloat(), -inf);
+    EXPECT_TRUE(std::isnan(BF16(std::nanf("")).toFloat()));
+}
+
+TEST(BF16, BufferRounding)
+{
+    float data[3] = {1.003f, -2.006f, 65504.0f};
+    bf16RoundBuffer(data, 3);
+    for (float v : data)
+        EXPECT_EQ(v, bf16Round(v));
+}
+
+TEST(BitSig, SetGetRoundTrip)
+{
+    BitSig sig(70);
+    sig.set(0, true);
+    sig.set(63, true);
+    sig.set(64, true);
+    sig.set(69, true);
+    EXPECT_TRUE(sig.get(0));
+    EXPECT_TRUE(sig.get(63));
+    EXPECT_TRUE(sig.get(64));
+    EXPECT_TRUE(sig.get(69));
+    EXPECT_FALSE(sig.get(1));
+    sig.set(63, false);
+    EXPECT_FALSE(sig.get(63));
+}
+
+TEST(BitSig, HammingDistance)
+{
+    BitSig a(32), b(32);
+    EXPECT_EQ(a.hamming(b), 0u);
+    a.set(3, true);
+    EXPECT_EQ(a.hamming(b), 1u);
+    b.set(3, true);
+    EXPECT_EQ(a.hamming(b), 0u);
+    for (uint32_t i = 0; i < 32; ++i)
+        a.set(i, true);
+    EXPECT_EQ(a.hamming(b), 31u);
+}
+
+TEST(BitSig, Equality)
+{
+    BitSig a(16), b(16), c(17);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+    b.set(5, true);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(RunningStat, Basics)
+{
+    RunningStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(-5.0);   // Clamped into bin 0.
+    h.add(50.0);   // Clamped into bin 9.
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(9), 2u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+}
+
+TEST(Histogram, Normalized)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.2);
+    h.add(0.2);
+    h.add(0.8);
+    h.add(0.9);
+    auto n = h.normalized();
+    EXPECT_DOUBLE_EQ(n[0], 0.5);
+    EXPECT_DOUBLE_EQ(n[1], 0.5);
+}
+
+TEST(Pearson, PerfectCorrelation)
+{
+    std::vector<double> x = {1, 2, 3, 4, 5};
+    std::vector<double> y = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    for (auto &v : y)
+        v = -v;
+    EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroForConstant)
+{
+    std::vector<double> x = {1, 2, 3};
+    std::vector<double> y = {5, 5, 5};
+    EXPECT_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Mean, Basics)
+{
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+}

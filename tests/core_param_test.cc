@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Parameterized property tests for the ReSV core: hash-width vs.
+ * correlation quality, clustering-threshold compression behaviour,
+ * early-exit/WiCSum equivalences across bucket counts, and the
+ * policy's hyper-parameter monotonicities on the functional model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/hash_encoder.hh"
+#include "core/hc_table.hh"
+#include "core/resv.hh"
+#include "core/wicsum.hh"
+#include "llm/model.hh"
+#include "tensor/ops.hh"
+
+using namespace vrex;
+
+namespace
+{
+
+/** Correlation of Hamming distance vs cosine at a hash width. */
+double
+hammingCorrelation(uint32_t bits)
+{
+    const uint32_t dim = 64;
+    HashEncoder enc(dim, bits, 7);
+    Rng rng(99);
+    std::vector<float> base(dim);
+    rng.fillGaussian(base.data(), dim, 1.0f);
+    std::vector<double> cosines, distances;
+    for (int i = 0; i < 600; ++i) {
+        std::vector<float> other(dim);
+        double alpha = rng.uniform();
+        for (uint32_t d = 0; d < dim; ++d)
+            other[d] = static_cast<float>(
+                alpha * base[d] + (1.0 - alpha) * rng.gaussian());
+        cosines.push_back(
+            cosineSimilarity(base.data(), other.data(), dim));
+        distances.push_back(
+            static_cast<double>(enc.encode(base.data())
+                                    .hamming(enc.encode(other.data())))
+            / bits);
+    }
+    return pearson(cosines, distances);
+}
+
+} // namespace
+
+class HashBits : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(HashBits, NegativeCorrelationAtAnyWidth)
+{
+    EXPECT_LT(hammingCorrelation(GetParam()), -0.55);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HashBits,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u));
+
+TEST(HashBits, MoreBitsTightenCorrelation)
+{
+    // SimHash concentration: wider signatures track cosine better.
+    EXPECT_LT(hammingCorrelation(128), hammingCorrelation(8));
+}
+
+class HammingThreshold : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(HammingThreshold, ClusterCountDecreasesWithThreshold)
+{
+    const uint32_t dim = 32, bits = 32;
+    HashEncoder enc(dim, bits, 7);
+    Rng rng(5);
+    // A drifting stream of keys.
+    std::vector<std::vector<float>> keys;
+    std::vector<float> base(dim);
+    rng.fillGaussian(base.data(), dim, 1.0f);
+    for (int t = 0; t < 150; ++t) {
+        std::vector<float> key(dim);
+        for (uint32_t d = 0; d < dim; ++d)
+            key[d] = base[d] +
+                static_cast<float>(rng.gaussian(0.0, 0.2));
+        keys.push_back(key);
+        for (auto &v : base)
+            v += static_cast<float>(rng.gaussian(0.0, 0.02));
+    }
+
+    auto clusters_at = [&](uint32_t th) {
+        HCTable tab(dim, bits, th);
+        for (uint32_t t = 0; t < keys.size(); ++t)
+            tab.insert(t, keys[t].data(),
+                       enc.encode(keys[t].data()));
+        return tab.clusterCount();
+    };
+    const uint32_t th = GetParam();
+    EXPECT_GE(clusters_at(th), clusters_at(th + 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, HammingThreshold,
+                         ::testing::Values(0u, 2u, 4u, 7u, 10u));
+
+class WicsumRatio : public ::testing::TestWithParam<float>
+{
+};
+
+TEST_P(WicsumRatio, ReferenceAndEarlyExitSimilarMass)
+{
+    const float ratio = GetParam();
+    Rng rng(31);
+    std::vector<float> scores(200);
+    std::vector<uint32_t> counts(200);
+    double total = 0.0;
+    for (size_t i = 0; i < scores.size(); ++i) {
+        scores[i] = static_cast<float>(rng.uniform());
+        counts[i] = 1 + static_cast<uint32_t>(rng.uniformInt(16));
+        total += double(scores[i]) * counts[i];
+    }
+    auto mass = [&](const WicsumResult &r) {
+        double acc = 0.0;
+        for (uint32_t i : r.selected)
+            acc += double(scores[i]) * counts[i];
+        return acc;
+    };
+    auto ref = wicsumSelectReference(scores, counts, ratio);
+    auto ee = wicsumSelectEarlyExit(scores, counts, ratio, 32);
+    EXPECT_GT(mass(ref), total * ratio);
+    EXPECT_GT(mass(ee), total * ratio);
+    // Bucket-granular ordering never selects more than ~a bucket
+    // beyond the exact prefix, mass-wise.
+    EXPECT_LT(mass(ee), mass(ref) + total * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, WicsumRatio,
+                         ::testing::Values(0.1f, 0.3f, 0.5f, 0.7f,
+                                           0.9f));
+
+namespace
+{
+
+void
+streamFrames(Model &model, uint32_t frames, uint32_t tokens_per_frame,
+             uint64_t seed)
+{
+    Rng rng(seed);
+    const uint32_t d = model.config().dModel;
+    std::vector<float> base(d);
+    rng.fillGaussian(base.data(), d, 1.0f);
+    for (uint32_t f = 0; f < frames; ++f) {
+        Matrix frame(tokens_per_frame, d);
+        for (uint32_t t = 0; t < tokens_per_frame; ++t)
+            for (uint32_t i = 0; i < d; ++i)
+                frame.at(t, i) = base[i] +
+                    static_cast<float>(rng.gaussian(0.0, 0.1));
+        model.prefillFrame(frame, static_cast<int32_t>(f));
+        for (auto &v : base)
+            v += static_cast<float>(rng.gaussian(0.0, 0.05));
+    }
+}
+
+} // namespace
+
+class ResvBuckets : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ResvBuckets, RatioStableAcrossBucketCounts)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    ResvConfig rc;
+    rc.nBuckets = GetParam();
+    ResvPolicy policy(cfg, rc);
+    Model model(cfg, 42);
+    model.setPolicy(&policy);
+    streamFrames(model, 8, 4, 21);
+    double ratio = policy.frameCounters().selectedRatio();
+    EXPECT_GT(ratio, 0.05);
+    EXPECT_LT(ratio, 0.98);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, ResvBuckets,
+                         ::testing::Values(2u, 8u, 16u, 64u));
+
+class ResvHammingParam : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ResvHammingParam, LooserThresholdBiggerClusters)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    ResvConfig tight, loose;
+    tight.thHd = GetParam();
+    loose.thHd = GetParam() + 6;
+    double sizes[2];
+    int i = 0;
+    for (const ResvConfig *rc : {&tight, &loose}) {
+        ResvPolicy policy(cfg, *rc);
+        Model model(cfg, 42);
+        model.setPolicy(&policy);
+        streamFrames(model, 8, 4, 22);
+        sizes[i++] = policy.avgClusterSize();
+    }
+    EXPECT_LE(sizes[0], sizes[1] + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Th, ResvHammingParam,
+                         ::testing::Values(1u, 4u, 7u));
+
+TEST(ResvScaling, PredictionWorkSublinearInTokensWhenClustered)
+{
+    // The whole point of hash-bit clustering: Q x Key_cluster^T work
+    // grows with clusters, far slower than with tokens.
+    ModelConfig cfg = ModelConfig::tiny();
+    uint64_t scanned[2];
+    int i = 0;
+    for (uint32_t frames : {6u, 18u}) {
+        ResvConfig rc;
+        ResvPolicy policy(cfg, rc);
+        Model model(cfg, 42);
+        model.setPolicy(&policy);
+        streamFrames(model, frames, 4, 23);
+        // Per-call average cluster count scanned.
+        scanned[i++] = policy.frameCounters().clustersScanned /
+            policy.frameCounters().selectCalls;
+    }
+    // 3x tokens should be well under 3x clusters scanned.
+    EXPECT_LT(static_cast<double>(scanned[1]),
+              2.5 * static_cast<double>(scanned[0]));
+}

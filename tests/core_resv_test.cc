@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Integration tests of the ReSV policy against the tiny functional
+ * model: selection validity, clustering behaviour, counters, and the
+ * dynamic (per-layer / per-head) selection the paper contrasts with
+ * fixed top-k.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "core/resv.hh"
+#include "llm/model.hh"
+
+using namespace vrex;
+
+namespace
+{
+
+/** Prefill a few synthetic similar frames through the model. */
+void
+streamFrames(Model &model, uint32_t frames, uint32_t tokens_per_frame,
+             uint64_t seed)
+{
+    Rng rng(seed);
+    const uint32_t d = model.config().dModel;
+    std::vector<float> base(d);
+    rng.fillGaussian(base.data(), d, 1.0f);
+    for (uint32_t f = 0; f < frames; ++f) {
+        Matrix frame(tokens_per_frame, d);
+        for (uint32_t t = 0; t < tokens_per_frame; ++t)
+            for (uint32_t i = 0; i < d; ++i)
+                frame.at(t, i) = base[i] +
+                    static_cast<float>(rng.gaussian(0.0, 0.15));
+        model.prefillFrame(frame, static_cast<int32_t>(f));
+        // Slow drift between frames.
+        for (auto &v : base)
+            v += static_cast<float>(rng.gaussian(0.0, 0.05));
+    }
+}
+
+} // namespace
+
+TEST(ResvPolicy, SelectionIndicesAreValidAndSorted)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    ResvConfig rc;
+    ResvPolicy policy(cfg, rc);
+    Model model(cfg, 42);
+    model.setPolicy(&policy);
+    streamFrames(model, 5, 4, 1);
+
+    // Inspect the last block's recorded stats.
+    const BlockStats &stats = model.history().back();
+    EXPECT_EQ(stats.pastLen, 16u);
+    for (const auto &per_head : stats.selectedPerHead)
+        for (uint32_t count : per_head)
+            EXPECT_LE(count, stats.pastLen);
+}
+
+TEST(ResvPolicy, FullSelectionOnEmptyPast)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    ResvConfig rc;
+    ResvPolicy policy(cfg, rc);
+    Model model(cfg, 42);
+    model.setPolicy(&policy);
+    streamFrames(model, 1, 4, 2);
+    EXPECT_DOUBLE_EQ(model.history()[0].layerRatios[0], 1.0);
+}
+
+TEST(ResvPolicy, ClustersFormAcrossSimilarFrames)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    ResvConfig rc;
+    ResvPolicy policy(cfg, rc);
+    Model model(cfg, 42);
+    model.setPolicy(&policy);
+    streamFrames(model, 8, 4, 3);
+
+    // 32 tokens inserted per (layer, head) table; similarity should
+    // compress them into clearly fewer clusters.
+    const HCTable &tab = policy.table(0, 0);
+    EXPECT_EQ(tab.tokenCount(), 32u);
+    EXPECT_LT(tab.clusterCount(), 32u);
+    EXPECT_GT(policy.avgClusterSize(), 1.0);
+}
+
+TEST(ResvPolicy, CountersAccumulateByStage)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    ResvConfig rc;
+    ResvPolicy policy(cfg, rc);
+    Model model(cfg, 42);
+    model.setPolicy(&policy);
+    streamFrames(model, 4, 4, 4);
+    EXPECT_GT(policy.frameCounters().selectCalls, 0u);
+    EXPECT_EQ(policy.textCounters().selectCalls, 0u);
+
+    model.prefillText({1, 2, 3});
+    model.generate(2);
+    EXPECT_GT(policy.textCounters().selectCalls, 0u);
+    EXPECT_GT(policy.textCounters().tokensSelected, 0u);
+}
+
+TEST(ResvPolicy, ResetClearsState)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    ResvConfig rc;
+    ResvPolicy policy(cfg, rc);
+    Model model(cfg, 42);
+    model.setPolicy(&policy);
+    streamFrames(model, 3, 4, 5);
+    EXPECT_GT(policy.table(0, 0).tokenCount(), 0u);
+    model.resetSession();  // Calls policy.reset().
+    EXPECT_EQ(policy.table(0, 0).tokenCount(), 0u);
+    EXPECT_EQ(policy.frameCounters().selectCalls, 0u);
+}
+
+TEST(ResvPolicy, HigherThresholdSelectsMore)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    double ratios[2];
+    int i = 0;
+    for (float thr : {0.2f, 0.9f}) {
+        ResvConfig rc;
+        rc.thrWics = thr;
+        ResvPolicy policy(cfg, rc);
+        Model model(cfg, 42);
+        model.setPolicy(&policy);
+        streamFrames(model, 8, 4, 6);
+        ratios[i++] = policy.frameCounters().selectedRatio();
+    }
+    EXPECT_LT(ratios[0], ratios[1]);
+}
+
+TEST(ResvPolicy, SelectionVariesAcrossLayersAndHeads)
+{
+    // The core claim behind WiCSum (paper Fig. 20): selection ratio
+    // is NOT uniform across layers/heads.
+    ModelConfig cfg = ModelConfig::tiny();
+    ResvConfig rc;
+    rc.thrWics = 0.5f;
+    ResvPolicy policy(cfg, rc);
+    Model model(cfg, 42);
+    model.setPolicy(&policy);
+    streamFrames(model, 10, 4, 7);
+    model.prefillText({5, 6, 7});
+
+    const BlockStats &stats = model.history().back();
+    std::set<uint32_t> distinct;
+    for (const auto &per_head : stats.selectedPerHead)
+        for (uint32_t c : per_head)
+            distinct.insert(c);
+    EXPECT_GT(distinct.size(), 2u);
+}
+
+TEST(ResvPolicy, EarlyExitAndReferenceAgreeOnRatioScale)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    double ratios[2];
+    int i = 0;
+    for (bool ee : {false, true}) {
+        ResvConfig rc;
+        rc.earlyExit = ee;
+        ResvPolicy policy(cfg, rc);
+        Model model(cfg, 42);
+        model.setPolicy(&policy);
+        streamFrames(model, 8, 4, 8);
+        ratios[i++] = policy.frameCounters().selectedRatio();
+    }
+    EXPECT_NEAR(ratios[0], ratios[1], 0.15);
+}
+
+TEST(ResvPolicy, UnclusteredModeSelects)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    ResvConfig rc;
+    rc.clustering = false;  // Fig. 19 "ReSV w/o clustering".
+    ResvPolicy policy(cfg, rc);
+    Model model(cfg, 42);
+    model.setPolicy(&policy);
+    streamFrames(model, 6, 4, 9);
+    EXPECT_GT(policy.frameCounters().tokensSelected, 0u);
+    // No clustering tables populated.
+    EXPECT_EQ(policy.table(0, 0).tokenCount(), 0u);
+    // Prediction scans every token, not clusters.
+    EXPECT_GT(policy.frameCounters().clustersScanned, 0u);
+}
+
+TEST(ResvPolicy, ClusteringReducesPredictionWork)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    uint64_t macs[2];
+    int i = 0;
+    for (bool clustering : {false, true}) {
+        ResvConfig rc;
+        rc.clustering = clustering;
+        ResvPolicy policy(cfg, rc);
+        Model model(cfg, 42);
+        model.setPolicy(&policy);
+        streamFrames(model, 10, 4, 10);
+        macs[i++] = policy.frameCounters().predictionMacs;
+    }
+    EXPECT_LT(macs[1], macs[0]);  // Clustered scans fewer elements.
+}
+
+TEST(ResvPolicy, TableMemorySmallFractionOfKv)
+{
+    ModelConfig cfg = ModelConfig::smallVideo();
+    ResvConfig rc;
+    ResvPolicy policy(cfg, rc);
+    Model model(cfg, 42);
+    model.setPolicy(&policy);
+    streamFrames(model, 12, 8, 11);
+
+    uint64_t kv_bytes = model.cache().totalBytes(2.0);
+    uint64_t table_bytes = policy.tableMemoryBytes();
+    // Paper: HC table ~1.67% of the KV cache. Our functional setup
+    // is smaller-dimensional; assert it stays a modest fraction.
+    EXPECT_LT(table_bytes, kv_bytes / 2);
+    EXPECT_GT(table_bytes, 0u);
+}
+
+TEST(ResvPolicy, GenerationSelectsFewerThanPrefill)
+{
+    // Single-token generation queries demand fewer clusters than
+    // multi-token frame queries (paper: 32.7% vs 2.5% average).
+    ModelConfig cfg = ModelConfig::tiny();
+    ResvConfig rc;
+    ResvPolicy policy(cfg, rc);
+    Model model(cfg, 42);
+    model.setPolicy(&policy);
+    streamFrames(model, 10, 4, 12);
+    model.prefillText({1, 2, 3, 4, 5});
+    model.generate(5);
+    EXPECT_LT(policy.textCounters().selectedRatio(),
+              policy.frameCounters().selectedRatio() + 0.1);
+}

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit + property tests for WiCSum thresholding: the reference sorted
+ * implementation (Eq. 1-3) and the early-exit bucket variant that
+ * mirrors the WTU hardware dataflow (Fig. 11).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "core/wicsum.hh"
+
+using namespace vrex;
+
+namespace
+{
+
+double
+weighted(const std::vector<float> &s, const std::vector<uint32_t> &c,
+         const std::vector<uint32_t> &idx)
+{
+    double acc = 0.0;
+    for (uint32_t i : idx)
+        acc += double(s[i]) * c[i];
+    return acc;
+}
+
+double
+weightedTotal(const std::vector<float> &s,
+              const std::vector<uint32_t> &c)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < s.size(); ++i)
+        acc += double(s[i]) * c[i];
+    return acc;
+}
+
+} // namespace
+
+TEST(WicsumReference, EmptyInput)
+{
+    auto r = wicsumSelectReference({}, {}, 0.5f);
+    EXPECT_TRUE(r.selected.empty());
+    EXPECT_EQ(r.scanned, 0u);
+}
+
+TEST(WicsumReference, PaperWorkedExample)
+{
+    // Fig. 9: scores {9,8,2,1,1}, counts {1,3,7,6,6}... the paper's
+    // first row: scores sorted desc 9,8,2,1,1 with token counts;
+    // threshold 80% of the weighted sum.
+    std::vector<float> scores = {1.0f, 9.0f, 8.0f, 2.0f, 1.0f};
+    std::vector<uint32_t> counts = {6, 1, 3, 7, 6};
+    auto r = wicsumSelectReference(scores, counts, 0.8f);
+    // Weighted sum = 6+9+24+14+6 = 59, threshold 47.2.
+    // Desc order: 9*1=9, 8*3=24 (33), 2*7=14 (47), 1*6=6 (53>47.2).
+    ASSERT_EQ(r.selected.size(), 4u);
+    EXPECT_EQ(r.selected[0], 1u);
+    EXPECT_EQ(r.selected[1], 2u);
+    EXPECT_EQ(r.selected[2], 3u);
+}
+
+TEST(WicsumReference, SelectsDescendingByScore)
+{
+    std::vector<float> scores = {0.1f, 0.9f, 0.5f};
+    std::vector<uint32_t> counts = {1, 1, 1};
+    auto r = wicsumSelectReference(scores, counts, 0.9f);
+    ASSERT_GE(r.selected.size(), 2u);
+    EXPECT_EQ(r.selected[0], 1u);
+    EXPECT_EQ(r.selected[1], 2u);
+}
+
+TEST(WicsumReference, ThresholdZeroSelectsOne)
+{
+    std::vector<float> scores = {0.2f, 0.8f};
+    std::vector<uint32_t> counts = {1, 1};
+    auto r = wicsumSelectReference(scores, counts, 0.0f);
+    EXPECT_EQ(r.selected.size(), 1u);
+    EXPECT_EQ(r.selected[0], 1u);
+}
+
+TEST(WicsumReference, ThresholdOneSelectsAll)
+{
+    std::vector<float> scores = {0.2f, 0.8f, 0.4f};
+    std::vector<uint32_t> counts = {2, 1, 3};
+    auto r = wicsumSelectReference(scores, counts, 1.0f);
+    EXPECT_EQ(r.selected.size(), 3u);
+}
+
+TEST(WicsumReference, SelectionMeetsThresholdExactlyOnce)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 50; ++trial) {
+        uint32_t n = 1 + rng.uniformInt(60);
+        std::vector<float> scores(n);
+        std::vector<uint32_t> counts(n);
+        for (uint32_t i = 0; i < n; ++i) {
+            scores[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+            counts[i] = 1 + rng.uniformInt(40);
+        }
+        float ratio = static_cast<float>(rng.uniform(0.1, 0.95));
+        auto r = wicsumSelectReference(scores, counts, ratio);
+        double thr = weightedTotal(scores, counts) * ratio;
+        // The selected mass crosses the threshold...
+        EXPECT_GT(weighted(scores, counts, r.selected), thr);
+        // ...and removing the last pick drops below it (minimality).
+        auto prefix = r.selected;
+        prefix.pop_back();
+        EXPECT_LE(weighted(scores, counts, prefix), thr + 1e-9);
+    }
+}
+
+TEST(WicsumEarlyExit, MatchesThresholdProperty)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 50; ++trial) {
+        uint32_t n = 1 + rng.uniformInt(80);
+        std::vector<float> scores(n);
+        std::vector<uint32_t> counts(n);
+        for (uint32_t i = 0; i < n; ++i) {
+            scores[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+            counts[i] = 1 + rng.uniformInt(40);
+        }
+        float ratio = static_cast<float>(rng.uniform(0.1, 0.95));
+        auto r = wicsumSelectEarlyExit(scores, counts, ratio, 16);
+        double thr = weightedTotal(scores, counts) * ratio;
+        EXPECT_GT(weighted(scores, counts, r.selected), thr);
+        // No duplicates.
+        std::set<uint32_t> uniq(r.selected.begin(), r.selected.end());
+        EXPECT_EQ(uniq.size(), r.selected.size());
+    }
+}
+
+TEST(WicsumEarlyExit, BucketResolutionNearReference)
+{
+    // The early-exit sweep is ordered at bucket granularity, so its
+    // selection size is within one bucket's membership of the exact
+    // sorted selection.
+    Rng rng(3);
+    for (int trial = 0; trial < 30; ++trial) {
+        uint32_t n = 16 + rng.uniformInt(100);
+        std::vector<float> scores(n);
+        std::vector<uint32_t> counts(n);
+        for (uint32_t i = 0; i < n; ++i) {
+            scores[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+            counts[i] = 1 + rng.uniformInt(8);
+        }
+        auto ref = wicsumSelectReference(scores, counts, 0.5f);
+        auto ee = wicsumSelectEarlyExit(scores, counts, 0.5f, 64);
+        // With many buckets, selection sizes should be close.
+        EXPECT_NEAR(static_cast<double>(ee.selected.size()),
+                    static_cast<double>(ref.selected.size()),
+                    std::max<double>(4.0, 0.25 * n));
+    }
+}
+
+TEST(WicsumEarlyExit, SkipsLowBuckets)
+{
+    // A few large scores + many tiny ones: the sweep must terminate
+    // after visiting only the top buckets.
+    std::vector<float> scores(100, 0.01f);
+    std::vector<uint32_t> counts(100, 1);
+    scores[10] = 1.0f;
+    scores[20] = 0.95f;
+    counts[10] = 60;
+    counts[20] = 40;
+    auto r = wicsumSelectEarlyExit(scores, counts, 0.5f, 20);
+    EXPECT_LE(r.selected.size(), 3u);
+    EXPECT_LT(r.bucketsVisited, 20u);
+    EXPECT_LT(r.scanned, 100u);
+}
+
+TEST(WicsumEarlyExit, DegenerateEqualScores)
+{
+    std::vector<float> scores(10, 0.5f);
+    std::vector<uint32_t> counts(10, 1);
+    auto r = wicsumSelectEarlyExit(scores, counts, 0.45f, 8);
+    // 0.45 of mass: selecting 5 of 10 crosses (2.5 > 2.25).
+    EXPECT_EQ(r.selected.size(), 5u);
+}
+
+TEST(WicsumEarlyExit, HigherRatioSelectsMore)
+{
+    Rng rng(4);
+    std::vector<float> scores(64);
+    std::vector<uint32_t> counts(64);
+    for (uint32_t i = 0; i < 64; ++i) {
+        scores[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+        counts[i] = 1 + rng.uniformInt(10);
+    }
+    auto lo = wicsumSelectEarlyExit(scores, counts, 0.2f, 16);
+    auto hi = wicsumSelectEarlyExit(scores, counts, 0.8f, 16);
+    EXPECT_LE(lo.selected.size(), hi.selected.size());
+}
+
+TEST(ExpNormalize, MonotoneAndBounded)
+{
+    std::vector<float> raw = {-2.0f, 0.0f, 3.0f, 1.0f};
+    auto out = expNormalize(raw);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_FLOAT_EQ(out[2], 1.0f);  // Max maps to 1.
+    EXPECT_LT(out[0], out[1]);
+    EXPECT_LT(out[3], out[2]);
+    for (float v : out) {
+        EXPECT_GT(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(ExpNormalize, Empty)
+{
+    EXPECT_TRUE(expNormalize({}).empty());
+}
+
+/** Parameterized sweep over bucket counts: threshold property holds. */
+class WicsumBucketSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(WicsumBucketSweep, ThresholdHoldsForAnyBucketCount)
+{
+    const uint32_t buckets = GetParam();
+    Rng rng(100 + buckets);
+    std::vector<float> scores(77);
+    std::vector<uint32_t> counts(77);
+    for (uint32_t i = 0; i < 77; ++i) {
+        scores[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+        counts[i] = 1 + rng.uniformInt(20);
+    }
+    auto r = wicsumSelectEarlyExit(scores, counts, 0.6f, buckets);
+    EXPECT_GT(weighted(scores, counts, r.selected),
+              weightedTotal(scores, counts) * 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, WicsumBucketSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u,
+                                           64u, 128u));

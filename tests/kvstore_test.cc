@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the hierarchical KV cache residency tracker and the
+ * cluster-contiguous memory layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kvstore/cluster_layout.hh"
+#include "kvstore/hierarchical_cache.hh"
+
+using namespace vrex;
+
+TEST(HierarchicalCache, AllResidentUnderCapacity)
+{
+    TierConfig cfg;
+    cfg.deviceKvCapacityBytes = 1000;
+    HierarchicalKVCache cache(10, cfg);  // 100-token window.
+    cache.appendTokens(50);
+    EXPECT_EQ(cache.totalTokens(), 50u);
+    EXPECT_EQ(cache.residentTokens(), 50u);
+    EXPECT_EQ(cache.residency(0), Tier::Device);
+    EXPECT_EQ(cache.stats().offloadedBytes, 0u);
+}
+
+TEST(HierarchicalCache, OldestSpillFirst)
+{
+    TierConfig cfg;
+    cfg.deviceKvCapacityBytes = 100;  // 10-token window.
+    cfg.offloadTarget = Tier::Storage;
+    HierarchicalKVCache cache(10, cfg);
+    cache.appendTokens(25);
+    EXPECT_EQ(cache.residentTokens(), 10u);
+    EXPECT_EQ(cache.windowStart(), 15u);
+    EXPECT_EQ(cache.residency(14), Tier::Storage);
+    EXPECT_EQ(cache.residency(15), Tier::Device);
+    EXPECT_EQ(cache.stats().offloadedBytes, 150u);
+}
+
+TEST(HierarchicalCache, OffloadAllMode)
+{
+    TierConfig cfg;
+    cfg.deviceKvCapacityBytes = 1000000;
+    cfg.offloadAll = true;  // FlexGen.
+    HierarchicalKVCache cache(10, cfg);
+    cache.appendTokens(10);
+    EXPECT_EQ(cache.residentTokens(), 0u);
+    EXPECT_EQ(cache.stats().offloadedBytes, 100u);
+    EXPECT_EQ(cache.residency(5), Tier::CpuMem);
+}
+
+TEST(HierarchicalCache, TouchCountsOnlyNonResident)
+{
+    TierConfig cfg;
+    cfg.deviceKvCapacityBytes = 100;  // 10-token window.
+    HierarchicalKVCache cache(10, cfg);
+    cache.appendTokens(20);  // Tokens 0-9 spilled, 10-19 resident.
+    uint64_t fetched = cache.touch({0, 5, 12, 19}, 4);
+    EXPECT_EQ(fetched, 8u);  // Two non-resident tokens * 4 bytes.
+    EXPECT_EQ(cache.stats().fetchedTokens, 2u);
+    EXPECT_EQ(cache.stats().touchedTokens, 4u);
+}
+
+TEST(HierarchicalCache, IncrementalAppends)
+{
+    TierConfig cfg;
+    cfg.deviceKvCapacityBytes = 50;  // 5-token window.
+    HierarchicalKVCache cache(10, cfg);
+    for (int i = 0; i < 12; ++i)
+        cache.appendTokens(1);
+    EXPECT_EQ(cache.residentTokens(), 5u);
+    EXPECT_EQ(cache.stats().offloadedBytes, 70u);
+}
+
+TEST(HierarchicalCache, ClearResets)
+{
+    TierConfig cfg;
+    cfg.deviceKvCapacityBytes = 10;
+    HierarchicalKVCache cache(10, cfg);
+    cache.appendTokens(5);
+    cache.clear();
+    EXPECT_EQ(cache.totalTokens(), 0u);
+    EXPECT_EQ(cache.stats().offloadedBytes, 0u);
+}
+
+TEST(ClusterLayout, IdentityBeforeRebuild)
+{
+    ClusterLayout layout;
+    EXPECT_EQ(layout.positionOf(7), 7u);
+}
+
+TEST(ClusterLayout, RebuildGroupsClusters)
+{
+    ClusterLayout layout;
+    // Clusters: {0, 4, 8}, {1, 5}; stragglers 2, 3, 6, 7.
+    layout.rebuild({{0, 4, 8}, {1, 5}}, 9);
+    EXPECT_EQ(layout.positionOf(0), 0u);
+    EXPECT_EQ(layout.positionOf(4), 1u);
+    EXPECT_EQ(layout.positionOf(8), 2u);
+    EXPECT_EQ(layout.positionOf(1), 3u);
+    EXPECT_EQ(layout.positionOf(5), 4u);
+    // Every slot used exactly once.
+    std::vector<bool> used(9, false);
+    for (uint32_t t = 0; t < 9; ++t) {
+        uint32_t p = layout.positionOf(t);
+        ASSERT_LT(p, 9u);
+        EXPECT_FALSE(used[p]);
+        used[p] = true;
+    }
+}
+
+TEST(ClusterLayout, DuplicateMembershipIgnored)
+{
+    ClusterLayout layout;
+    layout.rebuild({{0, 1}, {1, 2}}, 3);
+    std::vector<bool> used(3, false);
+    for (uint32_t t = 0; t < 3; ++t)
+        used[layout.positionOf(t)] = true;
+    for (bool u : used)
+        EXPECT_TRUE(u);
+}
+
+TEST(ClusterLayout, RunsTimeOrder)
+{
+    EXPECT_EQ(ClusterLayout::runsTimeOrder({}), 0u);
+    EXPECT_EQ(ClusterLayout::runsTimeOrder({3}), 1u);
+    EXPECT_EQ(ClusterLayout::runsTimeOrder({1, 2, 3}), 1u);
+    EXPECT_EQ(ClusterLayout::runsTimeOrder({1, 2, 5, 6, 9}), 3u);
+}
+
+TEST(ClusterLayout, ClusteredSelectionFewerRuns)
+{
+    // A cluster scattered in time becomes one contiguous run.
+    ClusterLayout layout;
+    std::vector<uint32_t> cluster = {2, 9, 17, 25, 33};
+    layout.rebuild({cluster}, 40);
+    EXPECT_EQ(ClusterLayout::runsTimeOrder(cluster), 5u);
+    EXPECT_EQ(layout.runsForSelection(cluster), 1u);
+}
+
+TEST(ClusterLayout, MultiClusterSelection)
+{
+    ClusterLayout layout;
+    layout.rebuild({{0, 10, 20}, {5, 15, 25}}, 30);
+    // Selecting both clusters = positions 0..5 = one run.
+    EXPECT_EQ(layout.runsForSelection({0, 10, 20, 5, 15, 25}), 1u);
+    // Selecting one cluster = one run of 3.
+    EXPECT_EQ(layout.runsForSelection({5, 15, 25}), 1u);
+}
+
+TEST(ClusterLayout, EmptySelection)
+{
+    ClusterLayout layout;
+    layout.rebuild({{0, 1}}, 2);
+    EXPECT_EQ(layout.runsForSelection({}), 0u);
+}

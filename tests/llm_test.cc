@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Unit tests for the LLM runtime: config arithmetic, KV cache
+ * bookkeeping, attention (full vs. selected), and the iterative
+ * prefill / generation workflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "llm/attention.hh"
+#include "llm/config.hh"
+#include "llm/kv_cache.hh"
+#include "llm/model.hh"
+
+using namespace vrex;
+
+TEST(ModelConfig, Llama3Geometry)
+{
+    ModelConfig c = ModelConfig::llama3_8b();
+    EXPECT_EQ(c.headDim(), 128u);
+    EXPECT_EQ(c.groupSize(), 4u);
+    // ~8B parameters.
+    EXPECT_GT(c.paramCount(), 7'000'000'000ull);
+    EXPECT_LT(c.paramCount(), 9'000'000'000ull);
+    // GQA KV: 2 * 8 heads * 128 dims * 2 bytes = 4 KiB/token/layer.
+    EXPECT_EQ(c.kvBytesPerTokenPerLayer(2.0), 4096u);
+    EXPECT_EQ(c.kvBytesPerToken(2.0), 4096u * 32u);
+}
+
+TEST(ModelConfig, FlopsScaleLinearly)
+{
+    ModelConfig c = ModelConfig::tiny();
+    EXPECT_DOUBLE_EQ(c.denseFlops(10), 10.0 * c.denseFlops(1));
+    EXPECT_DOUBLE_EQ(c.attentionFlops(2, 6),
+                     12.0 * c.attentionFlops(1, 1));
+}
+
+TEST(KVCache, AppendAndMeta)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    KVCache kv(cfg);
+    EXPECT_EQ(kv.tokenCount(), 0u);
+
+    const uint32_t kv_dim = cfg.nKvHeads * cfg.headDim();
+    Matrix k(3, kv_dim), v(3, kv_dim);
+    kv.beginTokens(3, 0, TokenStage::VideoFrame);
+    for (uint32_t l = 0; l < cfg.nLayers; ++l)
+        kv.appendLayer(l, k, v);
+
+    EXPECT_EQ(kv.tokenCount(), 3u);
+    EXPECT_EQ(kv.frameCount(), 1u);
+    EXPECT_EQ(kv.tokenMeta(0).frameId, 0);
+    EXPECT_EQ(kv.tokenMeta(2).position, 2u);
+    EXPECT_EQ(kv.layer(0).keys.rows(), 3u);
+
+    kv.beginTokens(2, -1, TokenStage::QuestionText);
+    Matrix k2(2, kv_dim), v2(2, kv_dim);
+    for (uint32_t l = 0; l < cfg.nLayers; ++l)
+        kv.appendLayer(l, k2, v2);
+    EXPECT_EQ(kv.tokenCount(), 5u);
+    EXPECT_EQ(kv.tokenMeta(3).frameId, -1);
+    EXPECT_EQ(kv.frameCount(), 1u);
+}
+
+TEST(KVCache, FrameTokenRange)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    KVCache kv(cfg);
+    const uint32_t kv_dim = cfg.nKvHeads * cfg.headDim();
+    Matrix blk(4, kv_dim);
+    for (int f = 0; f < 3; ++f) {
+        kv.beginTokens(4, f, TokenStage::VideoFrame);
+        for (uint32_t l = 0; l < cfg.nLayers; ++l)
+            kv.appendLayer(l, blk, blk);
+    }
+    auto [first, last] = kv.frameTokenRange(1);
+    EXPECT_EQ(first, 4u);
+    EXPECT_EQ(last, 8u);
+    auto [f0, l0] = kv.frameTokenRange(99);
+    EXPECT_EQ(f0, 0u);
+    EXPECT_EQ(l0, 0u);
+}
+
+TEST(KVCache, TotalBytesAndClear)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    KVCache kv(cfg);
+    const uint32_t kv_dim = cfg.nKvHeads * cfg.headDim();
+    Matrix blk(5, kv_dim);
+    kv.beginTokens(5, 0, TokenStage::VideoFrame);
+    for (uint32_t l = 0; l < cfg.nLayers; ++l)
+        kv.appendLayer(l, blk, blk);
+    EXPECT_EQ(kv.totalBytes(2.0), 5u * cfg.kvBytesPerToken(2.0));
+    kv.clear();
+    EXPECT_EQ(kv.tokenCount(), 0u);
+    EXPECT_EQ(kv.frameCount(), 0u);
+}
+
+namespace
+{
+
+/** Build a cache layer with random K/V for attention tests. */
+void
+fillLayer(KVCache &kv, const ModelConfig &cfg, uint32_t tokens,
+          Rng &rng)
+{
+    const uint32_t kv_dim = cfg.nKvHeads * cfg.headDim();
+    Matrix k(tokens, kv_dim), v(tokens, kv_dim);
+    rng.fillGaussian(k.raw(), k.size(), 1.0f);
+    rng.fillGaussian(v.raw(), v.size(), 1.0f);
+    kv.beginTokens(tokens, 0, TokenStage::VideoFrame);
+    for (uint32_t l = 0; l < cfg.nLayers; ++l)
+        kv.appendLayer(l, k, v);
+}
+
+} // namespace
+
+TEST(Attention, SelectAllMatchesNullSelection)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    KVCache kv(cfg);
+    Rng rng(1);
+    fillLayer(kv, cfg, 6, rng);
+
+    Matrix q(2, cfg.nHeads * cfg.headDim());
+    rng.fillGaussian(q.raw(), q.size(), 1.0f);
+
+    Matrix out1, out2;
+    LayerSelection all = LayerSelection::full(cfg.nKvHeads);
+    attentionForward(cfg, q, kv.layer(0), 4, nullptr, out1);
+    attentionForward(cfg, q, kv.layer(0), 4, &all, out2);
+    for (uint32_t i = 0; i < out1.size(); ++i)
+        EXPECT_FLOAT_EQ(out1.raw()[i], out2.raw()[i]);
+}
+
+TEST(Attention, ExplicitFullIndicesMatchSelectAll)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    KVCache kv(cfg);
+    Rng rng(2);
+    fillLayer(kv, cfg, 7, rng);
+
+    Matrix q(1, cfg.nHeads * cfg.headDim());
+    rng.fillGaussian(q.raw(), q.size(), 1.0f);
+
+    LayerSelection explicit_sel;
+    explicit_sel.kvHeads.resize(cfg.nKvHeads);
+    for (auto &h : explicit_sel.kvHeads) {
+        h.selectAll = false;
+        for (uint32_t i = 0; i < 6; ++i)
+            h.indices.push_back(i);
+    }
+    Matrix out1, out2;
+    attentionForward(cfg, q, kv.layer(0), 6, nullptr, out1);
+    attentionForward(cfg, q, kv.layer(0), 6, &explicit_sel, out2);
+    for (uint32_t i = 0; i < out1.size(); ++i)
+        EXPECT_NEAR(out1.raw()[i], out2.raw()[i], 1e-5f);
+}
+
+TEST(Attention, EmptySelectionAttendsOnlyBlock)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    KVCache kv(cfg);
+    Rng rng(3);
+    fillLayer(kv, cfg, 5, rng);
+
+    Matrix q(1, cfg.nHeads * cfg.headDim());
+    rng.fillGaussian(q.raw(), q.size(), 1.0f);
+
+    LayerSelection none;
+    none.kvHeads.resize(cfg.nKvHeads);
+    for (auto &h : none.kvHeads)
+        h.selectAll = false;
+
+    Matrix out;
+    attentionForward(cfg, q, kv.layer(0), 4, &none, out);
+    // The single block token attends only itself: output head h
+    // equals V row 4 for that head.
+    for (uint32_t h = 0; h < cfg.nHeads; ++h) {
+        uint32_t kv_head = h / cfg.groupSize();
+        const float *vvec =
+            kv.layer(0).values.row(4) + kv_head * cfg.headDim();
+        for (uint32_t d = 0; d < cfg.headDim(); ++d)
+            EXPECT_NEAR(out.at(0, h * cfg.headDim() + d), vvec[d],
+                        1e-5f);
+    }
+}
+
+TEST(LayerSelection, SelectedRatio)
+{
+    LayerSelection sel;
+    sel.kvHeads.resize(2);
+    sel.kvHeads[0].selectAll = true;
+    sel.kvHeads[1].selectAll = false;
+    sel.kvHeads[1].indices = {0, 1};
+    EXPECT_DOUBLE_EQ(sel.selectedRatio(4), (1.0 + 0.5) / 2.0);
+    EXPECT_DOUBLE_EQ(sel.selectedRatio(0), 1.0);
+}
+
+TEST(Model, IterativePrefillGrowsCache)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    Model model(cfg, 42);
+    Rng rng(4);
+
+    Matrix frame(3, cfg.dModel);
+    rng.fillGaussian(frame.raw(), frame.size(), 1.0f);
+    model.prefillFrame(frame, 0);
+    EXPECT_EQ(model.cache().tokenCount(), 3u);
+    model.prefillFrame(frame, 1);
+    EXPECT_EQ(model.cache().tokenCount(), 6u);
+    EXPECT_EQ(model.cache().frameCount(), 2u);
+
+    model.prefillText({1, 2, 3});
+    EXPECT_EQ(model.cache().tokenCount(), 9u);
+
+    auto ids = model.generate(4);
+    EXPECT_EQ(ids.size(), 4u);
+    EXPECT_EQ(model.cache().tokenCount(), 13u);
+    for (uint32_t id : ids)
+        EXPECT_LT(id, cfg.vocabSize);
+}
+
+TEST(Model, DeterministicAcrossInstances)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    Model m1(cfg, 42), m2(cfg, 42);
+    Rng rng(5);
+    Matrix frame(2, cfg.dModel);
+    rng.fillGaussian(frame.raw(), frame.size(), 1.0f);
+    m1.prefillFrame(frame, 0);
+    m2.prefillFrame(frame, 0);
+    m1.prefillText({7});
+    m2.prefillText({7});
+    auto a = m1.generate(3);
+    auto b = m2.generate(3);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Model, HistoryRecordsStats)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    Model model(cfg, 42);
+    Rng rng(6);
+    Matrix frame(2, cfg.dModel);
+    rng.fillGaussian(frame.raw(), frame.size(), 1.0f);
+    model.prefillFrame(frame, 0);
+    model.prefillFrame(frame, 1);
+    ASSERT_EQ(model.history().size(), 2u);
+    EXPECT_EQ(model.history()[0].pastLen, 0u);
+    EXPECT_EQ(model.history()[1].pastLen, 2u);
+    EXPECT_EQ(model.history()[1].layerRatios.size(), cfg.nLayers);
+    model.clearHistory();
+    EXPECT_TRUE(model.history().empty());
+}
+
+TEST(Model, ResetSessionClearsState)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    Model model(cfg, 42);
+    Rng rng(7);
+    Matrix frame(2, cfg.dModel);
+    rng.fillGaussian(frame.raw(), frame.size(), 1.0f);
+    model.prefillFrame(frame, 0);
+    model.resetSession();
+    EXPECT_EQ(model.cache().tokenCount(), 0u);
+    EXPECT_TRUE(model.history().empty());
+}
+
+TEST(Model, LogitsMatchVocab)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    Model model(cfg, 42);
+    Rng rng(8);
+    Matrix frame(1, cfg.dModel);
+    rng.fillGaussian(frame.raw(), frame.size(), 1.0f);
+    model.prefillFrame(frame, 0);
+    auto logits = model.lastLogits();
+    EXPECT_EQ(logits.size(), cfg.vocabSize);
+}

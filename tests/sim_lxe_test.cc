@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the LXE cycle model: geometry-derived peak throughput
+ * (Table I cross-check) and GEMM utilization behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/lxe_model.hh"
+
+using namespace vrex;
+
+TEST(LxeModel, PeakMatchesTableOne)
+{
+    // 64x64 MACs @ 0.8 GHz, 8 cores = 52.4 TFLOPS ~ Table I's 53.3.
+    LxeModel lxe8(LxeConfig{}, 8);
+    EXPECT_NEAR(lxe8.peakFlops() / 1e12, 52.4, 0.1);
+    LxeModel lxe48(LxeConfig{}, 48);
+    EXPECT_NEAR(lxe48.peakFlops() / 1e12, 314.6, 0.5);
+}
+
+TEST(LxeModel, AlignedGemmFullUtilization)
+{
+    LxeModel lxe(LxeConfig{}, 8);
+    // n = 64 trees * 8 cores, k multiple of 64: no underfill.
+    double util = lxe.gemmUtilization(128, 4096, 64 * 8);
+    EXPECT_NEAR(util, 1.0, 1e-9);
+}
+
+TEST(LxeModel, SmallKUnderfillsTrees)
+{
+    LxeModel lxe(LxeConfig{}, 8);
+    // k = 16 of 64 lanes: at best 25% of peak.
+    EXPECT_LE(lxe.gemmUtilization(128, 16, 512), 0.26);
+    EXPECT_GT(lxe.gemmUtilization(128, 16, 512), 0.2);
+}
+
+TEST(LxeModel, SmallNUnderfillsCores)
+{
+    LxeModel lxe(LxeConfig{}, 8);
+    // n = 8: only one output column per core, 63/64 trees idle.
+    EXPECT_LT(lxe.gemmUtilization(128, 4096, 8), 0.05);
+}
+
+TEST(LxeModel, CyclesScaleWithM)
+{
+    LxeModel lxe(LxeConfig{}, 8);
+    EXPECT_DOUBLE_EQ(lxe.gemmCycles(20, 4096, 512),
+                     2.0 * lxe.gemmCycles(10, 4096, 512));
+}
+
+TEST(LxeModel, MoreCoresFaster)
+{
+    LxeModel one(LxeConfig{}, 1), eight(LxeConfig{}, 8);
+    EXPECT_GT(one.gemmSeconds(64, 4096, 4096),
+              eight.gemmSeconds(64, 4096, 4096));
+}
+
+TEST(LxeModel, LlamaShapesDecentUtilization)
+{
+    // The 8B model's GEMM shapes on V-Rex8.
+    LxeModel lxe(LxeConfig{}, 8);
+    // QKV projection: d=4096 -> 4096+1024+1024.
+    EXPECT_GT(lxe.gemmUtilization(10, 4096, 4096), 0.9);
+    // FFN up: 4096 -> 14336.
+    EXPECT_GT(lxe.gemmUtilization(10, 4096, 14336), 0.9);
+}
+
+TEST(LxeModel, VpeThroughput)
+{
+    LxeModel lxe(LxeConfig{}, 8);
+    // 64 lanes * 8 cores = 512 elements/cycle at 0.8 GHz.
+    double t = lxe.vpeSeconds(512 * 800);
+    EXPECT_NEAR(t, 1e-6, 1e-9);
+}

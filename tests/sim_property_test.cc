@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Parameterized property tests of the timing/energy simulator: the
+ * monotonicities and invariants every configuration must satisfy,
+ * swept across methods, platforms, cache lengths and batch sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/dram_model.hh"
+#include "sim/hw_config.hh"
+#include "sim/method_model.hh"
+#include "sim/pcie_model.hh"
+#include "sim/ssd_model.hh"
+#include "sim/system_model.hh"
+
+using namespace vrex;
+
+namespace
+{
+
+MethodModel
+methodByName(const std::string &name)
+{
+    if (name == "flexgen")
+        return MethodModel::flexgen();
+    if (name == "infinigen")
+        return MethodModel::infinigen();
+    if (name == "infinigenp")
+        return MethodModel::infinigenP();
+    if (name == "rekv")
+        return MethodModel::rekv();
+    if (name == "resv")
+        return MethodModel::resvFull();
+    if (name == "resv-kvpu")
+        return MethodModel::resvKvpu();
+    if (name == "resv-sw")
+        return MethodModel::resvSoftware();
+    return MethodModel::flexgen();
+}
+
+AcceleratorConfig
+hwFor(const MethodModel &m)
+{
+    return m.dreOffloadPred ? AcceleratorConfig::vrex8()
+                            : AcceleratorConfig::agxOrin();
+}
+
+} // namespace
+
+class MethodSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MethodSweep, LatencyMonotoneInCache)
+{
+    MethodModel m = methodByName(GetParam());
+    double prev = 0.0;
+    for (uint32_t cache : {1000u, 5000u, 10000u, 20000u, 40000u,
+                           80000u}) {
+        RunConfig rc;
+        rc.hw = hwFor(m);
+        rc.method = m;
+        rc.cacheTokens = cache;
+        double t = SystemModel(rc).framePhase().totalMs;
+        EXPECT_GE(t, prev * 0.999) << "cache " << cache;
+        prev = t;
+    }
+}
+
+TEST_P(MethodSweep, LatencyMonotoneInBatch)
+{
+    MethodModel m = methodByName(GetParam());
+    double prev = 0.0;
+    for (uint32_t batch : {1u, 2u, 4u, 8u}) {
+        RunConfig rc;
+        rc.hw = hwFor(m);
+        rc.method = m;
+        rc.cacheTokens = 20000;
+        rc.batch = batch;
+        double t = SystemModel(rc).framePhase().totalMs;
+        EXPECT_GE(t, prev * 0.999) << "batch " << batch;
+        prev = t;
+    }
+}
+
+TEST_P(MethodSweep, EnergyComponentsNonNegative)
+{
+    MethodModel m = methodByName(GetParam());
+    RunConfig rc;
+    rc.hw = hwFor(m);
+    rc.method = m;
+    rc.cacheTokens = 20000;
+    for (PhaseResult r : {SystemModel(rc).framePhase(),
+                          SystemModel(rc).decodePhase()}) {
+        EXPECT_GE(r.energy.computeJ, 0.0);
+        EXPECT_GE(r.energy.dramJ, 0.0);
+        EXPECT_GE(r.energy.pcieJ, 0.0);
+        EXPECT_GE(r.energy.idleJ, 0.0);
+        EXPECT_GT(r.totalMs, 0.0);
+        EXPECT_GT(r.nominalFlops, 0.0);
+        EXPECT_LE(r.actualFlops, r.nominalFlops * 1.001);
+    }
+}
+
+TEST_P(MethodSweep, WallClockCoversComponents)
+{
+    MethodModel m = methodByName(GetParam());
+    RunConfig rc;
+    rc.hw = hwFor(m);
+    rc.method = m;
+    rc.cacheTokens = 40000;
+    PhaseResult r = SystemModel(rc).framePhase();
+    // Overlap can hide fetch/DRE under compute, but the wall clock
+    // is never shorter than the largest single component.
+    double biggest = std::max(
+        {r.visionMs + r.denseMs + r.attentionMs + r.predictionMs,
+         r.fetchMs, r.dreMs});
+    EXPECT_GE(r.totalMs, biggest * 0.999);
+}
+
+TEST_P(MethodSweep, SessionConsistentWithPhases)
+{
+    MethodModel m = methodByName(GetParam());
+    RunConfig rc;
+    rc.hw = hwFor(m);
+    rc.method = m;
+    rc.cacheTokens = 5000;
+    SessionResult s = SystemModel(rc).session(3, 10, 5);
+    EXPECT_GT(s.prefillMs, 0.0);
+    EXPECT_GT(s.generationMs, 0.0);
+    EXPECT_GT(s.visionMs, 0.0);
+    // Session is at least 3 frame phases long.
+    double one_frame = SystemModel(rc).framePhase().totalMs;
+    EXPECT_GE(s.totalMs(), 3.0 * one_frame * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, MethodSweep,
+                         ::testing::Values("flexgen", "infinigen",
+                                           "infinigenp", "rekv",
+                                           "resv", "resv-kvpu",
+                                           "resv-sw"));
+
+class PcieSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PcieSweep, EfficiencyMonotoneInTxSize)
+{
+    PcieModel pcie(GetParam(), 1.5);
+    double prev = 0.0;
+    for (double tx : {256.0, 1024.0, 4096.0, 65536.0, 1048576.0}) {
+        double eff = pcie.efficiency(tx);
+        EXPECT_GT(eff, prev);
+        EXPECT_LE(eff, 1.0);
+        prev = eff;
+    }
+}
+
+TEST_P(PcieSweep, TimeAdditiveInBytes)
+{
+    PcieModel pcie(GetParam(), 1.5);
+    double t1 = pcie.transferSeconds(1e6, 10);
+    double t2 = pcie.transferSeconds(2e6, 20);
+    EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(LinkSpeeds, PcieSweep,
+                         ::testing::Values(4.0, 16.0, 32.0));
+
+class DramSweep : public ::testing::TestWithParam<int>
+{
+  public:
+    DramConfig
+    config() const
+    {
+        switch (GetParam()) {
+          case 0: return DramConfig::lpddr5();
+          case 1: return DramConfig::hbm2e();
+          default: return DramConfig::ddr4();
+        }
+    }
+};
+
+TEST_P(DramSweep, EfficiencyMonotoneInChunkSize)
+{
+    DramModel dram(config());
+    double prev = 0.0;
+    for (double chunk : {64.0, 512.0, 4096.0, 65536.0, 1e6}) {
+        double eff = dram.efficiency(chunk);
+        EXPECT_GE(eff, prev);
+        EXPECT_LE(eff, 1.0);
+        prev = eff;
+    }
+}
+
+TEST_P(DramSweep, StreamTimeNeverBeatsPeak)
+{
+    DramModel dram(config());
+    double bytes = 1e9;
+    double ideal = bytes / (config().peakGBs * 1e9);
+    EXPECT_GE(dram.streamSeconds(bytes, 4096), ideal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, DramSweep,
+                         ::testing::Values(0, 1, 2));
+
+TEST(SsdProperties, MonotoneInBytesAndRequests)
+{
+    SsdModel ssd(SsdConfig::bg6());
+    EXPECT_GT(ssd.readSeconds(2e8, 100), ssd.readSeconds(1e8, 100));
+    EXPECT_GE(ssd.readSeconds(1e8, 1e5), ssd.readSeconds(1e8, 100));
+}
+
+TEST(OomProperties, MonotoneInCacheAndBatch)
+{
+    // Once a resident-KV config OOMs, all larger configs OOM too.
+    MethodModel m = MethodModel::gpuNoOffload();
+    bool seen_oom = false;
+    for (uint32_t cache = 1000; cache <= 64000; cache *= 2) {
+        RunConfig rc;
+        rc.hw = AcceleratorConfig::agxOrin();
+        rc.method = m;
+        rc.cacheTokens = cache;
+        rc.batch = 16;
+        bool oom = SystemModel(rc).wouldOom();
+        EXPECT_TRUE(!seen_oom || oom) << "cache " << cache;
+        seen_oom = oom;
+    }
+    EXPECT_TRUE(seen_oom);
+}
+
+TEST(OomProperties, QuantizationExtendsCapacity)
+{
+    for (uint32_t cache = 1000; cache <= 256000; cache *= 2) {
+        RunConfig gpu, oaken;
+        gpu.hw = oaken.hw = AcceleratorConfig::agxOrin();
+        gpu.method = MethodModel::gpuNoOffload();
+        oaken.method = MethodModel::oaken();
+        gpu.cacheTokens = oaken.cacheTokens = cache;
+        gpu.batch = oaken.batch = 16;
+        // Oaken never OOMs earlier than the fp16-resident GPU.
+        if (SystemModel(oaken).wouldOom())
+            EXPECT_TRUE(SystemModel(gpu).wouldOom());
+    }
+}
+
+TEST(TimingOrdering, VRexNeverSlowerThanItsAblations)
+{
+    for (uint32_t cache : {5000u, 20000u, 40000u, 80000u}) {
+        RunConfig all, kvpu;
+        all.hw = kvpu.hw = AcceleratorConfig::vrex8();
+        all.method = MethodModel::resvFull();
+        kvpu.method = MethodModel::resvKvpu();
+        all.cacheTokens = kvpu.cacheTokens = cache;
+        EXPECT_LE(SystemModel(all).framePhase().totalMs,
+                  SystemModel(kvpu).framePhase().totalMs * 1.001)
+            << "cache " << cache;
+    }
+}
+
+TEST(TimingOrdering, SelectionBeatsFullFetchAtScale)
+{
+    for (uint32_t cache : {20000u, 40000u, 80000u}) {
+        RunConfig flex, rekv;
+        flex.hw = rekv.hw = AcceleratorConfig::agxOrin();
+        flex.method = MethodModel::flexgen();
+        rekv.method = MethodModel::rekv();
+        flex.cacheTokens = rekv.cacheTokens = cache;
+        EXPECT_LT(SystemModel(rekv).framePhase().totalMs,
+                  SystemModel(flex).framePhase().totalMs)
+            << "cache " << cache;
+    }
+}

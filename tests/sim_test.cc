@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the hardware timing/energy simulator: platform configs,
+ * component models (PCIe, DRAM, SSD, DRE, energy), the system model's
+ * overlap schedule, and the qualitative orderings the paper's
+ * evaluation depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/compute_model.hh"
+#include "sim/dram_model.hh"
+#include "sim/dre_model.hh"
+#include "sim/energy_model.hh"
+#include "sim/hw_config.hh"
+#include "sim/method_model.hh"
+#include "sim/pcie_model.hh"
+#include "sim/roofline.hh"
+#include "sim/ssd_model.hh"
+#include "sim/system_model.hh"
+#include "sim/timeline.hh"
+
+using namespace vrex;
+
+TEST(HwConfig, TableOneValues)
+{
+    auto agx = AcceleratorConfig::agxOrin();
+    auto a100 = AcceleratorConfig::a100();
+    auto v8 = AcceleratorConfig::vrex8();
+    auto v48 = AcceleratorConfig::vrex48();
+    EXPECT_NEAR(agx.peakTflops, 54.0, 1e-9);
+    EXPECT_NEAR(a100.peakTflops, 312.0, 1e-9);
+    EXPECT_NEAR(v8.peakTflops, 53.3, 1e-9);
+    EXPECT_NEAR(v48.peakTflops, 319.5, 1e-9);
+    EXPECT_EQ(v8.nCores, 8u);
+    EXPECT_EQ(v48.nCores, 48u);
+    EXPECT_TRUE(v8.hasDre);
+    EXPECT_FALSE(agx.hasDre);
+    EXPECT_EQ(agx.offloadTarget, Tier::Storage);
+    EXPECT_EQ(a100.offloadTarget, Tier::CpuMem);
+    EXPECT_LT(v8.systemPowerW, agx.systemPowerW);
+    EXPECT_LT(v48.systemPowerW, a100.systemPowerW);
+}
+
+TEST(Pcie, LargerTransactionsMoreEfficient)
+{
+    PcieModel pcie(4.0, 8.0);
+    EXPECT_LT(pcie.efficiency(512.0), pcie.efficiency(128.0 * 1024));
+    EXPECT_GT(pcie.efficiency(1 << 20), 0.9);
+}
+
+TEST(Pcie, TransferTimeComposition)
+{
+    PcieModel pcie(4.0, 8.0);
+    // Pure wire time for one huge transaction.
+    double t = pcie.transferSeconds(4e9, 1.0);
+    EXPECT_NEAR(t, 1.0, 0.01);
+    // Many small transactions pay overhead.
+    double scattered = pcie.transferSeconds(4e6, 1e6);
+    EXPECT_GT(scattered, pcie.transferSeconds(4e6, 10.0));
+}
+
+TEST(Dram, SequentialBeatsScattered)
+{
+    DramModel dram(DramConfig::lpddr5());
+    EXPECT_GT(dram.efficiency(1 << 20), 0.8);
+    EXPECT_LT(dram.efficiency(64), 0.5);
+    EXPECT_LT(dram.streamSeconds(1e9, 1 << 20),
+              dram.streamSeconds(1e9, 256));
+}
+
+TEST(Dram, ConfigPresets)
+{
+    EXPECT_GT(DramConfig::hbm2e().peakGBs,
+              DramConfig::lpddr5().peakGBs);
+    EXPECT_GT(DramConfig::lpddr5().peakGBs, DramConfig::ddr4().peakGBs);
+}
+
+TEST(Ssd, ThroughputAndRequestCost)
+{
+    SsdModel ssd(SsdConfig::bg6());
+    EXPECT_EQ(ssd.readSeconds(0.0, 0.0), 0.0);
+    // Sequential GB-scale read approaches aggregate bandwidth.
+    double t = ssd.readSeconds(1e9, 256.0);
+    EXPECT_GT(t, 1e9 / ssd.peakBandwidth() * 0.5);
+    // More requests for the same bytes is slower.
+    EXPECT_GT(ssd.readSeconds(1e8, 1e5), ssd.readSeconds(1e8, 10.0));
+}
+
+TEST(Dre, HiddenUnderCompute)
+{
+    auto hw = AcceleratorConfig::vrex8();
+    DreModel dre(hw);
+    // COIN-like point: 10 new tokens, 40K/32 clusters, 8 KV heads.
+    DreTiming t = dre.layerTiming(10, 1250, 8, 1, 32);
+    // Must be far below a per-layer compute time of ~3 ms.
+    EXPECT_LT(t.total(), 1e-3);
+    EXPECT_GT(t.total(), 0.0);
+}
+
+TEST(Dre, ZeroOnNonDreHardware)
+{
+    auto hw = AcceleratorConfig::agxOrin();
+    DreModel dre(hw);
+    EXPECT_EQ(dre.layerTiming(10, 1000, 8, 1, 32).total(), 0.0);
+}
+
+TEST(Dre, ScalesWithClusters)
+{
+    auto hw = AcceleratorConfig::vrex8();
+    DreModel dre(hw);
+    EXPECT_GT(dre.hcuSeconds(10, 2000, 8, 1, 32),
+              dre.hcuSeconds(10, 500, 8, 1, 32));
+    EXPECT_GT(dre.wtuSeconds(2000, 0.16, 8, 1),
+              dre.wtuSeconds(500, 0.16, 8, 1));
+}
+
+TEST(EnergyModel, TableThreeBreakdown)
+{
+    VRexCoreSpec spec;
+    EXPECT_NEAR(spec.totalAreaMm2(), 1.89, 0.02);
+    EXPECT_NEAR(spec.totalPowerMw(), 2609.43, 1.0);
+    // DRE is ~2% of area and ~2.2% of power.
+    EXPECT_NEAR(spec.dreAreaFraction(), 0.02, 0.005);
+    EXPECT_NEAR(spec.drePowerFraction(), 0.022, 0.005);
+}
+
+TEST(EnergyModel, ActivityIntegration)
+{
+    auto hw = AcceleratorConfig::vrex8();
+    EnergyModel em(hw);
+    auto e = em.energy(0.1, 0.2, 1e9, 0.05);
+    EXPECT_GT(e.computeJ, 0.0);
+    EXPECT_GT(e.dramJ, 0.0);
+    EXPECT_GT(e.pcieJ, 0.0);
+    EXPECT_GT(e.idleJ, 0.0);
+    EXPECT_NEAR(e.totalJ(),
+                e.computeJ + e.dramJ + e.pcieJ + e.idleJ, 1e-12);
+    // Average power below the board budget.
+    EXPECT_LT(em.averagePowerW(e, 0.2), hw.systemPowerW * 1.5);
+}
+
+TEST(MethodModel, PresetFlags)
+{
+    EXPECT_FALSE(MethodModel::flexgen().selectsInPrefill);
+    EXPECT_FALSE(MethodModel::infinigen().selectsInPrefill);
+    EXPECT_TRUE(MethodModel::infinigen().selectsInGeneration);
+    EXPECT_TRUE(MethodModel::infinigenP().selectsInPrefill);
+    EXPECT_TRUE(MethodModel::rekv().selectsInPrefill);
+    EXPECT_TRUE(MethodModel::resvFull().clusterContiguous);
+    EXPECT_TRUE(MethodModel::resvFull().dreOffloadPred);
+    EXPECT_FALSE(MethodModel::resvSoftware().dreOffloadPred);
+    EXPECT_FALSE(MethodModel::gpuNoOffload().offloads);
+    EXPECT_LT(MethodModel::oaken().kvBytesPerElem, 1.0);
+}
+
+TEST(MethodModel, TxGranularity)
+{
+    EXPECT_GT(MethodModel::resvFull().avgTxTokens(10),
+              MethodModel::resvKvpu().avgTxTokens(10));
+    EXPECT_EQ(MethodModel::infinigenP().avgTxTokens(10), 1.0);
+    EXPECT_EQ(MethodModel::rekv().avgTxTokens(10), 10.0);
+}
+
+TEST(MethodModel, PredictionElements)
+{
+    auto resv = MethodModel::resvFull();
+    auto inf = MethodModel::infinigenP();
+    // Clustering reduces prediction elements by ~tokensPerCluster.
+    EXPECT_LT(resv.predElementsPerLayer(40000, 8, 10),
+              inf.predElementsPerLayer(40000, 8, 10) / 16.0);
+}
+
+namespace
+{
+
+RunConfig
+edgeRun(const MethodModel &m, uint32_t cache, uint32_t batch = 1)
+{
+    RunConfig rc;
+    rc.hw = m.dreOffloadPred ? AcceleratorConfig::vrex8()
+                             : AcceleratorConfig::agxOrin();
+    rc.method = m;
+    rc.cacheTokens = cache;
+    rc.batch = batch;
+    return rc;
+}
+
+} // namespace
+
+TEST(SystemModel, LatencyGrowsWithCache)
+{
+    SystemModel s1(edgeRun(MethodModel::flexgen(), 1000));
+    SystemModel s2(edgeRun(MethodModel::flexgen(), 40000));
+    EXPECT_GT(s2.framePhase().totalMs, s1.framePhase().totalMs);
+}
+
+TEST(SystemModel, VRexBeatsFlexGenAtScale)
+{
+    SystemModel flex(edgeRun(MethodModel::flexgen(), 40000));
+    SystemModel vrex(edgeRun(MethodModel::resvFull(), 40000));
+    double speedup =
+        flex.framePhase().totalMs / vrex.framePhase().totalMs;
+    EXPECT_GT(speedup, 2.0);
+    EXPECT_LT(speedup, 30.0);
+}
+
+TEST(SystemModel, VRexEdgeRealTime)
+{
+    // Paper: 3.9-8.3 FPS at batch 1 across 1K-40K.
+    for (uint32_t cache : {1000u, 5000u, 10000u, 20000u, 40000u}) {
+        SystemModel sm(edgeRun(MethodModel::resvFull(), cache));
+        double fps = sm.frameFps();
+        EXPECT_GT(fps, 2.0) << "cache " << cache;
+        EXPECT_LT(fps, 20.0) << "cache " << cache;
+    }
+}
+
+TEST(SystemModel, AblationOrdering)
+{
+    // Fig. 16: AGX+ReSV > V-Rex KVPU > V-Rex All in latency.
+    const uint32_t cache = 40000;
+    SystemModel sw(edgeRun(MethodModel::resvSoftware(), cache));
+    SystemModel kvpu(edgeRun(MethodModel::resvKvpu(), cache));
+    SystemModel all(edgeRun(MethodModel::resvFull(), cache));
+    double t_sw = sw.framePhase().totalMs;
+    double t_kvpu = kvpu.framePhase().totalMs;
+    double t_all = all.framePhase().totalMs;
+    EXPECT_GT(t_sw, t_kvpu);
+    EXPECT_GT(t_kvpu, t_all);
+}
+
+TEST(SystemModel, PredictionHiddenOnDre)
+{
+    SystemModel vrex(edgeRun(MethodModel::resvFull(), 40000));
+    PhaseResult r = vrex.framePhase();
+    EXPECT_EQ(r.predictionMs, 0.0);
+    EXPECT_GT(r.dreMs, 0.0);
+    // DRE work is a tiny fraction of the total.
+    EXPECT_LT(r.dreMs, 0.05 * r.totalMs);
+}
+
+TEST(SystemModel, OomForResidentKv)
+{
+    // Fig. 15: AGX (no offload) OOMs as the cache grows at batch 16.
+    MethodModel gpu = MethodModel::gpuNoOffload();
+    MethodModel oaken = MethodModel::oaken();
+    EXPECT_FALSE(SystemModel(edgeRun(gpu, 1000, 16)).wouldOom());
+    EXPECT_TRUE(SystemModel(edgeRun(gpu, 40000, 16)).wouldOom());
+    // Oaken's 4-bit cache survives longer but eventually OOMs too.
+    EXPECT_FALSE(SystemModel(edgeRun(oaken, 10000, 16)).wouldOom());
+    EXPECT_TRUE(SystemModel(edgeRun(oaken, 160000, 16)).wouldOom());
+    // V-Rex (offloading) never OOMs.
+    EXPECT_FALSE(
+        SystemModel(edgeRun(MethodModel::resvFull(), 160000, 16))
+            .wouldOom());
+}
+
+TEST(SystemModel, ResvOakenStackingHelps)
+{
+    // Paper SVII: retrieval composes with quantization — the stacked
+    // method is never slower (smaller fetched bytes) and still never
+    // OOMs (it offloads).
+    for (uint32_t cache : {10000u, 40000u, 80000u}) {
+        SystemModel plain(edgeRun(MethodModel::resvFull(), cache, 8));
+        SystemModel stacked(
+            edgeRun(MethodModel::resvOaken(), cache, 8));
+        EXPECT_FALSE(stacked.wouldOom());
+        EXPECT_LE(stacked.framePhase().totalMs,
+                  plain.framePhase().totalMs * 1.001)
+            << "cache " << cache;
+    }
+}
+
+TEST(SystemModel, DecodeFasterThanFrame)
+{
+    SystemModel sm(edgeRun(MethodModel::resvFull(), 20000));
+    EXPECT_LT(sm.decodePhase().totalMs, sm.framePhase().totalMs);
+}
+
+TEST(SystemModel, SessionAccumulates)
+{
+    SystemModel sm(edgeRun(MethodModel::resvFull(), 10000));
+    SessionResult s = sm.session(5, 25, 10);
+    EXPECT_GT(s.visionMs, 0.0);
+    EXPECT_GT(s.prefillMs, 0.0);
+    EXPECT_GT(s.generationMs, 0.0);
+    EXPECT_NEAR(s.totalMs(),
+                s.visionMs + s.prefillMs + s.generationMs, 1e-9);
+}
+
+TEST(SystemModel, EnergyEfficiencyFavorsVRex)
+{
+    SystemModel flex(edgeRun(MethodModel::flexgen(), 40000));
+    SystemModel vrex(edgeRun(MethodModel::resvFull(), 40000));
+    EXPECT_GT(vrex.framePhase().gopsPerW(),
+              flex.framePhase().gopsPerW());
+}
+
+TEST(Roofline, VRexClosestToPeak)
+{
+    // Fig. 18 ordering: FlexGen < ReKV < V-Rex fraction-of-peak.
+    RunConfig flex = edgeRun(MethodModel::flexgen(), 40000, 4);
+    RunConfig rekv = edgeRun(MethodModel::rekv(), 40000, 4);
+    RunConfig vrex = edgeRun(MethodModel::resvFull(), 40000, 4);
+    auto p_flex = rooflineFor(SystemModel(flex).framePhase(), flex.hw);
+    auto p_rekv = rooflineFor(SystemModel(rekv).framePhase(), rekv.hw);
+    auto p_vrex = rooflineFor(SystemModel(vrex).framePhase(), vrex.hw);
+    EXPECT_LT(p_flex.fractionOfRoof(), p_rekv.fractionOfRoof());
+    EXPECT_LT(p_rekv.fractionOfRoof(), p_vrex.fractionOfRoof());
+    // Our byte accounting yields a higher OI (and thus roof) than the
+    // paper's 15.2 Op/B, so the absolute fraction is lower than the
+    // published 71.5%; the ordering and the >2x achieved-throughput
+    // gap over FlexGen are the reproduced claims (see EXPERIMENTS.md).
+    EXPECT_GT(p_vrex.fractionOfRoof(), 0.10);
+    EXPECT_GT(p_vrex.achievedTflops, 2.0 * p_flex.achievedTflops);
+    EXPECT_GT(p_flex.opIntensity, 1.0);
+}
+
+TEST(Timeline, SegmentsWellFormed)
+{
+    RunConfig rc;
+    rc.hw = AcceleratorConfig::vrex48();
+    rc.method = MethodModel::resvFull();
+    rc.cacheTokens = 40000;
+    SystemModel sm(rc);
+    auto segs = layerTimeline(sm, 2);
+    EXPECT_GT(segs.size(), 4u);
+    for (const auto &s : segs) {
+        EXPECT_LT(s.startUs, s.endUs);
+        EXPECT_GE(s.bandwidthGBs, 0.0);
+    }
+    // Peak bandwidth below the platform maximum.
+    EXPECT_LE(timelinePeakBandwidth(segs),
+              rc.hw.memBandwidthGBs + rc.hw.pcieBandwidthGBs + 1.0);
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Parameterized property tests for the tensor kernels: matmul shape
+ * sweeps against a naive reference, RoPE round-trip/relative-position
+ * properties across dimensions and positions, and softmax invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hh"
+#include "tensor/matrix.hh"
+#include "tensor/ops.hh"
+
+using namespace vrex;
+
+namespace
+{
+
+Matrix
+randomMatrix(uint32_t r, uint32_t c, uint64_t seed)
+{
+    Matrix m(r, c);
+    Rng rng(seed);
+    rng.fillGaussian(m.raw(), m.size(), 1.0f);
+    return m;
+}
+
+/** Naive triple-loop reference matmul. */
+Matrix
+naiveMatmul(const Matrix &a, const Matrix &b)
+{
+    Matrix out(a.rows(), b.cols());
+    for (uint32_t i = 0; i < a.rows(); ++i)
+        for (uint32_t j = 0; j < b.cols(); ++j) {
+            double s = 0.0;
+            for (uint32_t k = 0; k < a.cols(); ++k)
+                s += double(a.at(i, k)) * b.at(k, j);
+            out.at(i, j) = static_cast<float>(s);
+        }
+    return out;
+}
+
+} // namespace
+
+class MatmulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(MatmulShapes, MatchesNaiveReference)
+{
+    auto [m, k, n] = GetParam();
+    Matrix a = randomMatrix(m, k, 1000 + m);
+    Matrix b = randomMatrix(k, n, 2000 + n);
+    Matrix fast;
+    matmul(a, b, fast);
+    Matrix slow = naiveMatmul(a, b);
+    ASSERT_TRUE(fast.sameShape(slow));
+    for (uint32_t i = 0; i < fast.size(); ++i)
+        EXPECT_NEAR(fast.raw()[i], slow.raw()[i],
+                    1e-3f * (1.0f + std::abs(slow.raw()[i])));
+}
+
+TEST_P(MatmulShapes, TransposedVariantAgrees)
+{
+    auto [m, k, n] = GetParam();
+    Matrix a = randomMatrix(m, k, 3000 + m);
+    Matrix bT = randomMatrix(n, k, 4000 + n);
+    Matrix b(k, n);
+    for (uint32_t r = 0; r < bT.rows(); ++r)
+        for (uint32_t c = 0; c < bT.cols(); ++c)
+            b.at(c, r) = bT.at(r, c);
+    Matrix viaT, direct;
+    matmulTransposed(a, bT, viaT);
+    matmul(a, b, direct);
+    for (uint32_t i = 0; i < viaT.size(); ++i)
+        EXPECT_NEAR(viaT.raw()[i], direct.raw()[i],
+                    1e-3f * (1.0f + std::abs(direct.raw()[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1),
+                      std::make_tuple(1, 17, 3),
+                      std::make_tuple(5, 8, 13),
+                      std::make_tuple(16, 16, 16),
+                      std::make_tuple(7, 33, 2),
+                      std::make_tuple(32, 5, 40),
+                      std::make_tuple(3, 64, 64)));
+
+class RopeDims : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(RopeDims, InverseRoundTrip)
+{
+    const uint32_t dim = GetParam();
+    Rng rng(7);
+    std::vector<float> head(dim), orig(dim);
+    rng.fillGaussian(head.data(), dim, 1.0f);
+    orig = head;
+    for (uint32_t pos : {0u, 1u, 17u, 900u}) {
+        std::vector<float> work = orig;
+        applyRope(work.data(), dim, pos);
+        applyRopeInverse(work.data(), dim, pos);
+        for (uint32_t d = 0; d < dim; ++d)
+            EXPECT_NEAR(work[d], orig[d], 2e-4f)
+                << "dim=" << dim << " pos=" << pos;
+    }
+}
+
+TEST_P(RopeDims, NormPreservedAtAnyPosition)
+{
+    const uint32_t dim = GetParam();
+    Rng rng(8);
+    std::vector<float> head(dim);
+    rng.fillGaussian(head.data(), dim, 1.0f);
+    const float before = norm2(head.data(), dim);
+    for (uint32_t pos : {3u, 111u, 4096u}) {
+        std::vector<float> work = head;
+        applyRope(work.data(), dim, pos);
+        EXPECT_NEAR(norm2(work.data(), dim), before, 2e-3f);
+    }
+}
+
+TEST_P(RopeDims, RelativePositionProperty)
+{
+    const uint32_t dim = GetParam();
+    Rng rng(9);
+    std::vector<float> q(dim), k(dim);
+    rng.fillGaussian(q.data(), dim, 1.0f);
+    rng.fillGaussian(k.data(), dim, 1.0f);
+    auto dot_at = [&](uint32_t pq, uint32_t pk) {
+        std::vector<float> qq = q, kk = k;
+        applyRope(qq.data(), dim, pq);
+        applyRope(kk.data(), dim, pk);
+        return dot(qq.data(), kk.data(), dim);
+    };
+    EXPECT_NEAR(dot_at(12, 4), dot_at(112, 104), 5e-3f);
+    EXPECT_NEAR(dot_at(40, 40), dot_at(7, 7), 5e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RopeDims,
+                         ::testing::Values(2u, 8u, 16u, 32u, 64u,
+                                           128u));
+
+class SoftmaxSizes : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(SoftmaxSizes, SumsToOneAndOrderPreserving)
+{
+    const uint32_t n = GetParam();
+    Rng rng(10 + n);
+    std::vector<float> row(n);
+    rng.fillGaussian(row.data(), n, 3.0f);
+    std::vector<float> before = row;
+    softmax(row.data(), n);
+    float sum = 0.0f;
+    for (float v : row)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    for (uint32_t i = 1; i < n; ++i) {
+        if (before[i] > before[i - 1])
+            EXPECT_GE(row[i], row[i - 1]);
+        else
+            EXPECT_LE(row[i], row[i - 1] + 1e-7f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SoftmaxSizes,
+                         ::testing::Values(1u, 2u, 5u, 64u, 511u));

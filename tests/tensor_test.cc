@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the tensor kernels: matmul, softmax, RMSNorm, SiLU,
+ * RoPE, similarity and top-k.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/matrix.hh"
+#include "tensor/ops.hh"
+
+using namespace vrex;
+
+TEST(Matrix, ShapeAndAccess)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.size(), 6u);
+    m.at(1, 2) = 5.0f;
+    EXPECT_EQ(m.at(1, 2), 5.0f);
+    EXPECT_EQ(m.row(1)[2], 5.0f);
+}
+
+TEST(Matrix, AppendRow)
+{
+    Matrix m(0, 3);
+    float row[3] = {1, 2, 3};
+    m.appendRow(row);
+    m.appendRow(row);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.at(1, 0), 1.0f);
+}
+
+TEST(Matrix, Fill)
+{
+    Matrix m(2, 2);
+    m.fill(7.0f);
+    for (uint32_t r = 0; r < 2; ++r)
+        for (uint32_t c = 0; c < 2; ++c)
+            EXPECT_EQ(m.at(r, c), 7.0f);
+}
+
+TEST(Ops, MatmulIdentity)
+{
+    Matrix a(2, 2), eye(2, 2), out;
+    a.at(0, 0) = 1; a.at(0, 1) = 2;
+    a.at(1, 0) = 3; a.at(1, 1) = 4;
+    eye.at(0, 0) = 1; eye.at(1, 1) = 1;
+    matmul(a, eye, out);
+    EXPECT_TRUE(out.sameShape(a));
+    EXPECT_EQ(out.at(0, 1), 2.0f);
+    EXPECT_EQ(out.at(1, 0), 3.0f);
+}
+
+TEST(Ops, MatmulKnownValues)
+{
+    Matrix a(1, 3), b(3, 2), out;
+    for (uint32_t i = 0; i < 3; ++i)
+        a.at(0, i) = static_cast<float>(i + 1);
+    // b = [[1,2],[3,4],[5,6]]
+    float vals[6] = {1, 2, 3, 4, 5, 6};
+    std::copy(vals, vals + 6, b.raw());
+    matmul(a, b, out);
+    EXPECT_EQ(out.at(0, 0), 22.0f);  // 1*1+2*3+3*5.
+    EXPECT_EQ(out.at(0, 1), 28.0f);
+}
+
+TEST(Ops, MatmulTransposedMatchesMatmul)
+{
+    Matrix a(3, 4), b(4, 5), bT(5, 4), out1, out2;
+    for (uint32_t i = 0; i < a.size(); ++i)
+        a.raw()[i] = static_cast<float>(i) * 0.25f - 1.0f;
+    for (uint32_t r = 0; r < 4; ++r)
+        for (uint32_t c = 0; c < 5; ++c) {
+            b.at(r, c) = static_cast<float>(r * 5 + c) * 0.1f;
+            bT.at(c, r) = b.at(r, c);
+        }
+    matmul(a, b, out1);
+    matmulTransposed(a, bT, out2);
+    ASSERT_TRUE(out1.sameShape(out2));
+    for (uint32_t i = 0; i < out1.size(); ++i)
+        EXPECT_NEAR(out1.raw()[i], out2.raw()[i], 1e-4f);
+}
+
+TEST(Ops, SoftmaxSumsToOne)
+{
+    float row[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+    softmax(row, 4);
+    float sum = 0.0f;
+    for (float v : row)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    EXPECT_GT(row[3], row[0]);
+}
+
+TEST(Ops, SoftmaxStableForLargeInputs)
+{
+    float row[2] = {1000.0f, 1001.0f};
+    softmax(row, 2);
+    EXPECT_NEAR(row[0] + row[1], 1.0f, 1e-6f);
+    EXPECT_FALSE(std::isnan(row[0]));
+}
+
+TEST(Ops, SoftmaxUniform)
+{
+    float row[5] = {2, 2, 2, 2, 2};
+    softmax(row, 5);
+    for (float v : row)
+        EXPECT_NEAR(v, 0.2f, 1e-6f);
+}
+
+TEST(Ops, RmsNormUnitOutput)
+{
+    float x[4] = {3.0f, -3.0f, 3.0f, -3.0f};
+    float w[4] = {1.0f, 1.0f, 1.0f, 1.0f};
+    rmsNorm(x, w, 4);
+    // RMS of the output should be ~1.
+    float ss = 0.0f;
+    for (float v : x)
+        ss += v * v;
+    EXPECT_NEAR(std::sqrt(ss / 4.0f), 1.0f, 1e-3f);
+}
+
+TEST(Ops, RmsNormAppliesGain)
+{
+    float x[2] = {1.0f, 1.0f};
+    float w[2] = {2.0f, 0.5f};
+    rmsNorm(x, w, 2);
+    EXPECT_NEAR(x[0] / x[1], 4.0f, 1e-4f);
+}
+
+TEST(Ops, Silu)
+{
+    float x[3] = {0.0f, 10.0f, -10.0f};
+    silu(x, 3);
+    EXPECT_EQ(x[0], 0.0f);
+    EXPECT_NEAR(x[1], 10.0f, 1e-3f);
+    EXPECT_NEAR(x[2], 0.0f, 1e-3f);
+}
+
+TEST(Ops, HadamardAndAdd)
+{
+    float x[3] = {1, 2, 3}, y[3] = {2, 3, 4};
+    hadamard(x, y, 3);
+    EXPECT_EQ(x[1], 6.0f);
+    addInPlace(x, y, 3);
+    EXPECT_EQ(x[1], 9.0f);
+}
+
+TEST(Ops, RopePreservesNorm)
+{
+    float head[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    float before = norm2(head, 8);
+    applyRope(head, 8, 17);
+    EXPECT_NEAR(norm2(head, 8), before, 1e-4f);
+}
+
+TEST(Ops, RopeIdentityAtPositionZero)
+{
+    float head[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    float copy[8];
+    std::copy(head, head + 8, copy);
+    applyRope(head, 8, 0);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_NEAR(head[i], copy[i], 1e-6f);
+}
+
+TEST(Ops, RopeRelativePropertyDotDependsOnDistance)
+{
+    // q at position p and k at position p+d: dot depends only on d.
+    float q[8] = {1, 0.5f, -1, 2, 0.3f, -0.7f, 1.1f, 0.9f};
+    float k[8] = {0.2f, 1, 0.7f, -0.5f, 1.3f, 0.1f, -0.2f, 0.8f};
+
+    auto dot_at = [&](uint32_t pq, uint32_t pk) {
+        float qq[8], kk[8];
+        std::copy(q, q + 8, qq);
+        std::copy(k, k + 8, kk);
+        applyRope(qq, 8, pq);
+        applyRope(kk, 8, pk);
+        return dot(qq, kk, 8);
+    };
+    EXPECT_NEAR(dot_at(5, 2), dot_at(25, 22), 1e-3f);
+    EXPECT_NEAR(dot_at(10, 10), dot_at(3, 3), 1e-3f);
+}
+
+TEST(Ops, CosineSimilarity)
+{
+    float a[3] = {1, 0, 0}, b[3] = {0, 1, 0}, c[3] = {2, 0, 0};
+    EXPECT_NEAR(cosineSimilarity(a, b, 3), 0.0f, 1e-6f);
+    EXPECT_NEAR(cosineSimilarity(a, c, 3), 1.0f, 1e-6f);
+    float z[3] = {0, 0, 0};
+    EXPECT_EQ(cosineSimilarity(a, z, 3), 0.0f);
+}
+
+TEST(Ops, TopkIndices)
+{
+    std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.7f};
+    auto top2 = topkIndices(scores, 2);
+    ASSERT_EQ(top2.size(), 2u);
+    EXPECT_EQ(top2[0], 1u);
+    EXPECT_EQ(top2[1], 3u);
+}
+
+TEST(Ops, TopkClampsK)
+{
+    std::vector<float> scores = {0.3f, 0.1f};
+    auto top = topkIndices(scores, 10);
+    EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(Ops, TopkTiesStable)
+{
+    std::vector<float> scores = {0.5f, 0.5f, 0.5f};
+    auto top = topkIndices(scores, 2);
+    EXPECT_EQ(top[0], 0u);
+    EXPECT_EQ(top[1], 1u);
+}

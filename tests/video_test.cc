@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the synthetic video substrate: temporal similarity of the
+ * frame generator, vision tower shapes, and workload scripts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "tensor/ops.hh"
+#include "video/frame_generator.hh"
+#include "video/vision_tower.hh"
+#include "video/workload.hh"
+
+using namespace vrex;
+
+TEST(FrameGenerator, ShapeAndDeterminism)
+{
+    VideoConfig cfg;
+    FrameGenerator g1(cfg, 42), g2(cfg, 42);
+    Matrix f1 = g1.nextFrameLatents();
+    Matrix f2 = g2.nextFrameLatents();
+    EXPECT_EQ(f1.rows(), cfg.tokensPerFrame);
+    EXPECT_EQ(f1.cols(), cfg.latentDim);
+    for (uint32_t i = 0; i < f1.size(); ++i)
+        EXPECT_EQ(f1.raw()[i], f2.raw()[i]);
+}
+
+TEST(FrameGenerator, AdjacentFramesHighlySimilar)
+{
+    VideoConfig cfg;
+    cfg.sceneCutProb = 0.0;  // No cuts for this property.
+    FrameGenerator gen(cfg, 7);
+    Matrix prev = gen.nextFrameLatents();
+    RunningStat sim;
+    for (int f = 0; f < 10; ++f) {
+        Matrix cur = gen.nextFrameLatents();
+        for (uint32_t t = 0; t < cfg.tokensPerFrame; ++t)
+            sim.add(cosineSimilarity(prev.row(t), cur.row(t),
+                                     cfg.latentDim));
+        prev = cur;
+    }
+    // The property ReSV exploits (paper Fig. 7a).
+    EXPECT_GT(sim.mean(), 0.8);
+}
+
+TEST(FrameGenerator, SceneCutsBreakSimilarity)
+{
+    VideoConfig smooth, cuts;
+    smooth.sceneCutProb = 0.0;
+    cuts.sceneCutProb = 0.9;
+    RunningStat sim_smooth, sim_cuts;
+    for (auto [cfg, stat] :
+         {std::pair{&smooth, &sim_smooth}, {&cuts, &sim_cuts}}) {
+        FrameGenerator gen(*cfg, 3);
+        Matrix prev = gen.nextFrameLatents();
+        for (int f = 0; f < 20; ++f) {
+            Matrix cur = gen.nextFrameLatents();
+            for (uint32_t t = 0; t < cfg->tokensPerFrame; ++t)
+                stat->add(cosineSimilarity(prev.row(t), cur.row(t),
+                                           cfg->latentDim));
+            prev = cur;
+        }
+    }
+    EXPECT_GT(sim_smooth.mean(), sim_cuts.mean());
+}
+
+TEST(FrameGenerator, DriftLowersSimilarity)
+{
+    VideoConfig slow, fast;
+    slow.driftRate = 0.02;
+    slow.sceneCutProb = 0.0;
+    fast.driftRate = 0.6;
+    fast.sceneCutProb = 0.0;
+    double means[2];
+    int i = 0;
+    for (const VideoConfig *cfg : {&slow, &fast}) {
+        FrameGenerator gen(*cfg, 5);
+        Matrix prev = gen.nextFrameLatents();
+        RunningStat sim;
+        for (int f = 0; f < 15; ++f) {
+            Matrix cur = gen.nextFrameLatents();
+            for (uint32_t t = 0; t < cfg->tokensPerFrame; ++t)
+                sim.add(cosineSimilarity(prev.row(t), cur.row(t),
+                                         cfg->latentDim));
+            prev = cur;
+        }
+        means[i++] = sim.mean();
+    }
+    EXPECT_GT(means[0], means[1]);
+}
+
+TEST(VisionTower, ShapesAndDeterminism)
+{
+    VisionTower tower(32, 64, 42);
+    MlpProjector proj(64, 128, 42);
+    Matrix latents(5, 32);
+    Rng rng(1);
+    rng.fillGaussian(latents.raw(), latents.size(), 1.0f);
+    Matrix feats = tower.encode(latents);
+    EXPECT_EQ(feats.rows(), 5u);
+    EXPECT_EQ(feats.cols(), 64u);
+    Matrix emb = proj.project(feats);
+    EXPECT_EQ(emb.cols(), 128u);
+
+    VisionTower tower2(32, 64, 42);
+    Matrix feats2 = tower2.encode(latents);
+    for (uint32_t i = 0; i < feats.size(); ++i)
+        EXPECT_EQ(feats.raw()[i], feats2.raw()[i]);
+}
+
+TEST(Workload, CoinAverageScenario)
+{
+    SessionScript s = WorkloadGenerator::coinAverage(1);
+    EXPECT_EQ(s.frameCount(), 26u);
+    EXPECT_EQ(s.questionTokens(), 25u);
+    EXPECT_EQ(s.answerTokens(), 39u);
+}
+
+TEST(Workload, FiveTasksDistinct)
+{
+    auto &tasks = allCoinTasks();
+    EXPECT_EQ(tasks.size(), 5u);
+    std::set<std::string> names;
+    for (CoinTask t : tasks) {
+        names.insert(coinTaskName(t));
+        SessionScript s = WorkloadGenerator::coinTask(t, 1);
+        EXPECT_GT(s.frameCount(), 0u);
+        EXPECT_GT(s.questionTokens(), 0u);
+        EXPECT_GT(s.answerTokens(), 0u);
+    }
+    EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(Workload, TaskKnobsDiffer)
+{
+    SessionScript step =
+        WorkloadGenerator::coinTask(CoinTask::Step, 1);
+    SessionScript task =
+        WorkloadGenerator::coinTask(CoinTask::Task, 1);
+    EXPECT_GT(step.video.driftRate, task.video.driftRate);
+    EXPECT_GT(step.video.sceneCutProb, task.video.sceneCutProb);
+}
+
+TEST(Workload, MultiTurnStructure)
+{
+    SessionScript s = WorkloadGenerator::multiTurn(20, 4, 1);
+    EXPECT_EQ(s.frameCount(), 20u);
+    uint32_t questions = 0;
+    for (const auto &e : s.events)
+        questions += e.type == SessionEvent::Type::Question;
+    EXPECT_EQ(questions, 4u);
+}
+
+TEST(Workload, QuestionTokensInVocab)
+{
+    auto ids = WorkloadGenerator::questionTokens(50, 100, 3);
+    EXPECT_EQ(ids.size(), 50u);
+    for (uint32_t id : ids)
+        EXPECT_LT(id, 100u);
+    auto ids2 = WorkloadGenerator::questionTokens(50, 100, 3);
+    EXPECT_EQ(ids, ids2);
+}
