@@ -7,12 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <set>
 
 #include "common/bf16.hh"
 #include "common/bits.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "testutil.hh"
 
 using namespace vrex;
 
@@ -124,6 +127,163 @@ TEST(BF16, BufferRounding)
     bf16RoundBuffer(data, 3);
     for (float v : data)
         EXPECT_EQ(v, bf16Round(v));
+}
+
+namespace
+{
+
+/** Build a float from raw IEEE-754 binary32 bits. */
+float
+floatFromBits(uint32_t w)
+{
+    float f;
+    std::memcpy(&f, &w, sizeof(f));
+    return f;
+}
+
+} // namespace
+
+TEST(BF16, NanStaysQuietNanWithSign)
+{
+    for (uint32_t payload : {0x7f800001u, 0x7fc00000u, 0x7fffffffu}) {
+        for (uint32_t sign : {0u, 0x80000000u}) {
+            BF16 v(floatFromBits(payload | sign));
+            EXPECT_TRUE(std::isnan(v.toFloat()));
+            // Quiet bit forced on; exponent all-ones preserved.
+            EXPECT_EQ(v.raw() & 0x7f80u, 0x7f80u);
+            EXPECT_NE(v.raw() & 0x007fu, 0u);
+            EXPECT_EQ(v.raw() & 0x8000u, sign >> 16);
+        }
+    }
+}
+
+TEST(BF16, InfinityRoundTripsExactly)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(BF16(inf).raw(), 0x7f80u);
+    EXPECT_EQ(BF16(-inf).raw(), 0xff80u);
+    EXPECT_EQ(BF16(inf).toFloat(), inf);
+    EXPECT_EQ(BF16(-inf).toFloat(), -inf);
+}
+
+TEST(BF16, FloatMaxOverflowsToInfinity)
+{
+    // FLT_MAX's mantissa is all ones; rounding up carries into the
+    // exponent and lands exactly on the infinity encoding.
+    const float mx = std::numeric_limits<float>::max();
+    EXPECT_EQ(BF16(mx).toFloat(),
+              std::numeric_limits<float>::infinity());
+    EXPECT_EQ(BF16(-mx).toFloat(),
+              -std::numeric_limits<float>::infinity());
+}
+
+TEST(BF16, SignedZeroPreserved)
+{
+    EXPECT_EQ(BF16(0.0f).raw(), 0x0000u);
+    EXPECT_EQ(BF16(-0.0f).raw(), 0x8000u);
+    EXPECT_FALSE(std::signbit(BF16(0.0f).toFloat()));
+    EXPECT_TRUE(std::signbit(BF16(-0.0f).toFloat()));
+}
+
+TEST(BF16, RepresentableSubnormalRoundTrips)
+{
+    // 0x00400000 is a float subnormal whose low 16 bits are zero, so
+    // it is exactly representable as the BF16 subnormal 0x0040.
+    const float sub = floatFromBits(0x00400000u);
+    ASSERT_GT(sub, 0.0f);
+    ASSERT_LT(sub, std::numeric_limits<float>::min());
+    EXPECT_EQ(BF16(sub).raw(), 0x0040u);
+    EXPECT_EQ(BF16(sub).toFloat(), sub);
+}
+
+TEST(BF16, TinySubnormalFlushesTowardZero)
+{
+    // The smallest float subnormal is far below BF16's subnormal
+    // range; round-to-nearest collapses it to +0.
+    const float tiny = std::numeric_limits<float>::denorm_min();
+    EXPECT_EQ(BF16(tiny).raw(), 0x0000u);
+    EXPECT_EQ(BF16(-tiny).raw(), 0x8000u);
+}
+
+TEST(BF16, TieRoundsToEvenBothDirections)
+{
+    // 0x3f808000 is exactly halfway between 0x3f80 (even) and
+    // 0x3f81 (odd): the tie must round DOWN to the even mantissa.
+    EXPECT_EQ(BF16(floatFromBits(0x3f808000u)).raw(), 0x3f80u);
+    // 0x3f818000 is halfway between 0x3f81 (odd) and 0x3f82 (even):
+    // the tie must round UP.
+    EXPECT_EQ(BF16(floatFromBits(0x3f818000u)).raw(), 0x3f82u);
+    // Just below / above a tie round toward the nearer value.
+    EXPECT_EQ(BF16(floatFromBits(0x3f807fffu)).raw(), 0x3f80u);
+    EXPECT_EQ(BF16(floatFromBits(0x3f808001u)).raw(), 0x3f81u);
+}
+
+using SeededRngTest = vrex::testutil::SeededRngTest;
+
+TEST_F(SeededRngTest, StreamIsNamedAfterTest)
+{
+    // The fixture derives its stream from the test name, so it must
+    // match a hand-built stream of the same name and differ from a
+    // sibling test's stream.
+    Rng same(0x5eedull, "StreamIsNamedAfterTest");
+    Rng other(0x5eedull, "SomeOtherTest");
+    uint64_t v = rng.nextU64();
+    EXPECT_EQ(v, same.nextU64());
+    EXPECT_NE(v, other.nextU64());
+}
+
+TEST_F(SeededRngTest, Bf16RoundTripIsIdempotent)
+{
+    for (int i = 0; i < 1000; ++i) {
+        float v = static_cast<float>(rng.gaussian(0.0, 100.0));
+        float once = bf16Round(v);
+        EXPECT_EQ(bf16Round(once), once);
+        EXPECT_TRUE(vrex::testutil::bf16Near(v, once));
+    }
+}
+
+TEST(Bits, BitWordsBoundaries)
+{
+    EXPECT_EQ(bitWords(0), 0u);
+    EXPECT_EQ(bitWords(1), 1u);
+    EXPECT_EQ(bitWords(63), 1u);
+    EXPECT_EQ(bitWords(64), 1u);
+    EXPECT_EQ(bitWords(65), 2u);
+    EXPECT_EQ(bitWords(128), 2u);
+    EXPECT_EQ(bitWords(129), 3u);
+}
+
+TEST(BitSig, FullWordHammingDistance)
+{
+    // All 64 bits of one word set: popcount must count the whole word.
+    BitSig a(64), b(64);
+    for (uint32_t i = 0; i < 64; ++i)
+        a.set(i, true);
+    EXPECT_EQ(a.hamming(b), 64u);
+    EXPECT_EQ(b.hamming(a), 64u);
+    EXPECT_EQ(a.hamming(a), 0u);
+}
+
+TEST(BitSig, HammingAcrossWordBoundary)
+{
+    BitSig a(130), b(130);
+    a.set(63, true);   // Last bit of word 0.
+    a.set(64, true);   // First bit of word 1.
+    a.set(129, true);  // Last valid bit (word 2).
+    EXPECT_EQ(a.hamming(b), 3u);
+    b.set(64, true);
+    EXPECT_EQ(a.hamming(b), 2u);
+}
+
+TEST(BitSig, SetIsIdempotentAndRawMatches)
+{
+    BitSig sig(64);
+    sig.set(5, true);
+    sig.set(5, true);
+    EXPECT_EQ(sig.raw()[0], 1ull << 5);
+    sig.set(5, false);
+    sig.set(5, false);
+    EXPECT_EQ(sig.raw()[0], 0ull);
 }
 
 TEST(BitSig, SetGetRoundTrip)

@@ -13,6 +13,7 @@
 #include "common/rng.hh"
 #include "core/resv.hh"
 #include "llm/model.hh"
+#include "testutil.hh"
 
 using namespace vrex;
 
@@ -24,21 +25,8 @@ void
 streamFrames(Model &model, uint32_t frames, uint32_t tokens_per_frame,
              uint64_t seed)
 {
-    Rng rng(seed);
-    const uint32_t d = model.config().dModel;
-    std::vector<float> base(d);
-    rng.fillGaussian(base.data(), d, 1.0f);
-    for (uint32_t f = 0; f < frames; ++f) {
-        Matrix frame(tokens_per_frame, d);
-        for (uint32_t t = 0; t < tokens_per_frame; ++t)
-            for (uint32_t i = 0; i < d; ++i)
-                frame.at(t, i) = base[i] +
-                    static_cast<float>(rng.gaussian(0.0, 0.15));
-        model.prefillFrame(frame, static_cast<int32_t>(f));
-        // Slow drift between frames.
-        for (auto &v : base)
-            v += static_cast<float>(rng.gaussian(0.0, 0.05));
-    }
+    testutil::streamCorrelatedFrames(model, frames, tokens_per_frame,
+                                     seed);
 }
 
 } // namespace

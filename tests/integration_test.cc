@@ -17,6 +17,7 @@
 #include "pipeline/streaming_session.hh"
 #include "retrieval/policies.hh"
 #include "tensor/ops.hh"
+#include "testutil.hh"
 #include "video/workload.hh"
 
 using namespace vrex;
@@ -55,8 +56,9 @@ class ValidatingPolicy : public SelectionPolicy
             bool first = true;
             for (uint32_t idx : h.indices) {
                 EXPECT_LT(idx, past_len);
-                if (!first)
+                if (!first) {
                     EXPECT_GT(idx, prev);  // Sorted, unique.
+                }
                 prev = idx;
                 first = false;
             }
@@ -202,16 +204,9 @@ TEST(Integration, AttentionMatchesNaiveReference)
     ModelConfig cfg = ModelConfig::tiny();
     KVCache kv(cfg);
     Rng rng(11);
-    const uint32_t kv_dim = cfg.nKvHeads * cfg.headDim();
-    Matrix k(9, kv_dim), v(9, kv_dim);
-    rng.fillGaussian(k.raw(), k.size(), 1.0f);
-    rng.fillGaussian(v.raw(), v.size(), 1.0f);
-    kv.beginTokens(9, 0, TokenStage::VideoFrame);
-    for (uint32_t l = 0; l < cfg.nLayers; ++l)
-        kv.appendLayer(l, k, v);
+    testutil::fillLayer(kv, cfg, 9, rng);
 
-    Matrix q(3, cfg.nHeads * cfg.headDim());
-    rng.fillGaussian(q.raw(), q.size(), 1.0f);
+    Matrix q = testutil::randomMatrix(rng, 3, cfg.nHeads * cfg.headDim());
 
     Matrix fast, slow;
     attentionForward(cfg, q, kv.layer(0), 6, nullptr, fast);

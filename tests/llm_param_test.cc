@@ -14,6 +14,7 @@
 #include "llm/attention.hh"
 #include "llm/model.hh"
 #include "retrieval/oaken.hh"
+#include "testutil.hh"
 
 using namespace vrex;
 
@@ -65,16 +66,9 @@ TEST_P(GqaGeometry, SparseFullSelectionMatchesDense)
     ModelConfig cfg = makeConfig(heads, kv_heads, head_dim);
     KVCache kv(cfg);
     Rng rng(2);
-    const uint32_t kv_dim = kv_heads * head_dim;
-    Matrix k(5, kv_dim), v(5, kv_dim);
-    rng.fillGaussian(k.raw(), k.size(), 1.0f);
-    rng.fillGaussian(v.raw(), v.size(), 1.0f);
-    kv.beginTokens(5, 0, TokenStage::VideoFrame);
-    for (uint32_t l = 0; l < cfg.nLayers; ++l)
-        kv.appendLayer(l, k, v);
+    testutil::fillLayer(kv, cfg, 5, rng);
 
-    Matrix q(2, heads * head_dim);
-    rng.fillGaussian(q.raw(), q.size(), 1.0f);
+    Matrix q = testutil::randomMatrix(rng, 2, heads * head_dim);
 
     LayerSelection all_explicit;
     all_explicit.kvHeads.resize(kv_heads);

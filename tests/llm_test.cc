@@ -14,6 +14,7 @@
 #include "llm/config.hh"
 #include "llm/kv_cache.hh"
 #include "llm/model.hh"
+#include "testutil.hh"
 
 using namespace vrex;
 
@@ -99,24 +100,7 @@ TEST(KVCache, TotalBytesAndClear)
     EXPECT_EQ(kv.frameCount(), 0u);
 }
 
-namespace
-{
-
-/** Build a cache layer with random K/V for attention tests. */
-void
-fillLayer(KVCache &kv, const ModelConfig &cfg, uint32_t tokens,
-          Rng &rng)
-{
-    const uint32_t kv_dim = cfg.nKvHeads * cfg.headDim();
-    Matrix k(tokens, kv_dim), v(tokens, kv_dim);
-    rng.fillGaussian(k.raw(), k.size(), 1.0f);
-    rng.fillGaussian(v.raw(), v.size(), 1.0f);
-    kv.beginTokens(tokens, 0, TokenStage::VideoFrame);
-    for (uint32_t l = 0; l < cfg.nLayers; ++l)
-        kv.appendLayer(l, k, v);
-}
-
-} // namespace
+using testutil::fillLayer;
 
 TEST(Attention, SelectAllMatchesNullSelection)
 {

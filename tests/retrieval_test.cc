@@ -12,6 +12,7 @@
 #include "llm/model.hh"
 #include "retrieval/oaken.hh"
 #include "retrieval/policies.hh"
+#include "testutil.hh"
 
 using namespace vrex;
 
@@ -22,13 +23,8 @@ void
 streamFrames(Model &model, uint32_t frames, uint32_t tokens_per_frame,
              uint64_t seed)
 {
-    Rng rng(seed);
-    const uint32_t d = model.config().dModel;
-    for (uint32_t f = 0; f < frames; ++f) {
-        Matrix frame(tokens_per_frame, d);
-        rng.fillGaussian(frame.raw(), frame.size(), 1.0f);
-        model.prefillFrame(frame, static_cast<int32_t>(f));
-    }
+    testutil::streamRandomFrames(model, frames, tokens_per_frame,
+                                 seed);
 }
 
 } // namespace
@@ -56,9 +52,11 @@ TEST(InfiniGen, NoSelectionDuringPrefill)
     model.setPolicy(&policy);
     streamFrames(model, 4, 4, 2);
     // Prefill stage: full attention (ratio 1).
-    for (const auto &stats : model.history())
-        if (stats.pastLen > 0)
+    for (const auto &stats : model.history()) {
+        if (stats.pastLen > 0) {
             EXPECT_DOUBLE_EQ(stats.meanRatio(), 1.0);
+        }
+    }
 }
 
 TEST(InfiniGen, SelectsDuringGeneration)

@@ -244,8 +244,9 @@ TEST(OomProperties, QuantizationExtendsCapacity)
         gpu.cacheTokens = oaken.cacheTokens = cache;
         gpu.batch = oaken.batch = 16;
         // Oaken never OOMs earlier than the fp16-resident GPU.
-        if (SystemModel(oaken).wouldOom())
+        if (SystemModel(oaken).wouldOom()) {
             EXPECT_TRUE(SystemModel(gpu).wouldOom());
+        }
     }
 }
 

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Shared test utilities: seeded RNG fixtures, float/BF16 tolerance
+ * comparators, and the synthetic video-frame / KV generators that
+ * several suites previously copy-pasted.
+ */
+
+#ifndef VREX_TESTS_TESTUTIL_HH
+#define VREX_TESTS_TESTUTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/bf16.hh"
+#include "common/rng.hh"
+#include "llm/kv_cache.hh"
+#include "llm/model.hh"
+#include "tensor/matrix.hh"
+
+namespace vrex::testutil
+{
+
+/**
+ * Fixture with a deterministic per-test RNG. The stream is named
+ * after the test so adding a test never perturbs its neighbours.
+ */
+class SeededRngTest : public ::testing::Test
+{
+  protected:
+    SeededRngTest()
+        : rng(0x5eedull,
+              ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name())
+    {
+    }
+
+    Rng rng;
+};
+
+/** Relative tolerance matching BF16's 8-bit mantissa (2^-8). */
+inline constexpr float kBf16RelTol = 1.0f / 256.0f;
+
+/** |a - b| <= tol * max(1, |a|, |b|): absolute near zero, relative
+ * away from it. */
+inline ::testing::AssertionResult
+nearRel(float a, float b, float tol)
+{
+    const float scale =
+        std::max(1.0f, std::max(std::fabs(a), std::fabs(b)));
+    if (std::fabs(a - b) <= tol * scale)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+        << a << " vs " << b << " differ by " << std::fabs(a - b)
+        << " (tol " << tol * scale << ")";
+}
+
+/** Comparator for values that passed through BF16 rounding. */
+inline ::testing::AssertionResult
+bf16Near(float a, float b)
+{
+    return nearRel(a, b, kBf16RelTol);
+}
+
+/** Elementwise comparison of two same-shaped matrices. */
+inline ::testing::AssertionResult
+matricesNear(const Matrix &a, const Matrix &b, float tol)
+{
+    if (!a.sameShape(b))
+        return ::testing::AssertionFailure() << "shape mismatch";
+    for (uint32_t i = 0; i < a.size(); ++i) {
+        auto r = nearRel(a.raw()[i], b.raw()[i], tol);
+        if (!r)
+            return r << " at flat index " << i;
+    }
+    return ::testing::AssertionSuccess();
+}
+
+/** A gaussian random (rows x cols) matrix. */
+inline Matrix
+randomMatrix(Rng &rng, uint32_t rows, uint32_t cols,
+             float stddev = 1.0f)
+{
+    Matrix m(rows, cols);
+    rng.fillGaussian(m.raw(), m.size(), stddev);
+    return m;
+}
+
+/**
+ * Prefill @p frames iid-random synthetic frames through the model
+ * (no temporal correlation — each token is fresh gaussian noise).
+ */
+inline void
+streamRandomFrames(Model &model, uint32_t frames,
+                   uint32_t tokens_per_frame, uint64_t seed)
+{
+    Rng rng(seed);
+    const uint32_t d = model.config().dModel;
+    for (uint32_t f = 0; f < frames; ++f) {
+        Matrix frame = randomMatrix(rng, tokens_per_frame, d);
+        model.prefillFrame(frame, static_cast<int32_t>(f));
+    }
+}
+
+/**
+ * Prefill @p frames temporally-correlated synthetic frames: tokens
+ * cluster around a shared base latent that drifts slowly between
+ * frames, mimicking real video redundancy (high inter-frame
+ * similarity, gradual scene drift).
+ */
+inline void
+streamCorrelatedFrames(Model &model, uint32_t frames,
+                       uint32_t tokens_per_frame, uint64_t seed,
+                       double token_noise = 0.15,
+                       double drift = 0.05)
+{
+    Rng rng(seed);
+    const uint32_t d = model.config().dModel;
+    std::vector<float> base(d);
+    rng.fillGaussian(base.data(), d, 1.0f);
+    for (uint32_t f = 0; f < frames; ++f) {
+        Matrix frame(tokens_per_frame, d);
+        for (uint32_t t = 0; t < tokens_per_frame; ++t)
+            for (uint32_t i = 0; i < d; ++i)
+                frame.at(t, i) = base[i] +
+                    static_cast<float>(rng.gaussian(0.0, token_noise));
+        model.prefillFrame(frame, static_cast<int32_t>(f));
+        // Slow drift between frames.
+        for (auto &v : base)
+            v += static_cast<float>(rng.gaussian(0.0, drift));
+    }
+}
+
+/** Append one block of @p tokens random K/V to every layer. */
+inline void
+fillLayer(KVCache &kv, const ModelConfig &cfg, uint32_t tokens,
+          Rng &rng, int32_t frame_id = 0,
+          TokenStage stage = TokenStage::VideoFrame)
+{
+    const uint32_t kv_dim = cfg.nKvHeads * cfg.headDim();
+    Matrix k = randomMatrix(rng, tokens, kv_dim);
+    Matrix v = randomMatrix(rng, tokens, kv_dim);
+    kv.beginTokens(tokens, frame_id, stage);
+    for (uint32_t l = 0; l < cfg.nLayers; ++l)
+        kv.appendLayer(l, k, v);
+}
+
+} // namespace vrex::testutil
+
+#endif // VREX_TESTS_TESTUTIL_HH
