@@ -1,8 +1,8 @@
 /**
  * @file
- * Shared helpers for the table/figure reproduction harnesses: fixed
- * print formats so every bench emits the same kind of row the paper
- * reports, plus the standard sweep points.
+ * Shared helpers for the table/figure reproduction harnesses: the
+ * standard sweep points and stable row labels. All printing goes
+ * through `vrex::bench::Reporter` (common/bench_report.hh).
  */
 
 #ifndef VREX_BENCH_BENCH_UTIL_HH
@@ -23,24 +23,19 @@ cacheSweep()
     return {1000, 5000, 10000, 20000, 40000};
 }
 
-inline void
-header(const std::string &title)
-{
-    std::printf("\n=== %s ===\n", title.c_str());
-}
-
-inline void
-note(const std::string &text)
-{
-    std::printf("--- %s\n", text.c_str());
-}
-
-/** "1K", "40K" labels for cache lengths. */
+/**
+ * "1K", "40K" labels for cache lengths. Values below 1000 print
+ * exactly ("0", "500") — integer division used to truncate them all
+ * to "0K" — and larger values round to the nearest multiple of 1000.
+ */
 inline std::string
 kLabel(uint32_t tokens)
 {
     char buf[16];
-    std::snprintf(buf, sizeof(buf), "%uK", tokens / 1000);
+    if (tokens < 1000)
+        std::snprintf(buf, sizeof(buf), "%u", tokens);
+    else
+        std::snprintf(buf, sizeof(buf), "%uK", (tokens + 500) / 1000);
     return buf;
 }
 

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * CLI for the bench drift gate (thin wrapper over
+ * common/bench_compare.hh). Three modes:
+ *
+ *   drift_check --verify REPORT.json [--csv REPORT.csv]
+ *               [--expect-bench NAME]
+ *     Schema-validate one `--json` report; optionally check that the
+ *     matching `--csv` output carries exactly the same records.
+ *
+ *   drift_check --baseline bench/baseline.json BENCH_*.json...
+ *     Diff a run against the checked-in baseline with its tolerance
+ *     bands. Exits 1 on any missing metric, unit mismatch, or
+ *     out-of-tolerance value; new metrics only warn (refresh the
+ *     baseline to start gating them).
+ *
+ *   drift_check --write-baseline OUT.json [--rel-tol V] [--abs-tol V]
+ *               [--tol BENCH=V]... BENCH_*.json...
+ *     Merge reports into a fresh baseline document (the refresh
+ *     workflow; see bench/refresh_baseline.sh).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/bench_compare.hh"
+
+using namespace vrex::bench;
+
+namespace
+{
+
+const char kUsage[] =
+    "usage:\n"
+    "  drift_check --verify REPORT.json [--csv REPORT.csv]"
+    " [--expect-bench NAME]\n"
+    "  drift_check --baseline BASELINE.json REPORT.json...\n"
+    "  drift_check --write-baseline OUT.json [--rel-tol V]"
+    " [--abs-tol V] [--tol BENCH=V]... REPORT.json...\n";
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "drift_check: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+loadReportFile(const std::string &path, LoadedReport &report)
+{
+    std::string text, err;
+    if (!readFile(path, text))
+        return false;
+    if (!loadReport(text, report, err)) {
+        std::fprintf(stderr, "drift_check: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+verifyMode(const std::vector<std::string> &args)
+{
+    std::string jsonPath, csvPath, expectBench;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--csv" && i + 1 < args.size())
+            csvPath = args[++i];
+        else if (args[i] == "--expect-bench" && i + 1 < args.size())
+            expectBench = args[++i];
+        else if (jsonPath.empty() && args[i][0] != '-')
+            jsonPath = args[i];
+        else {
+            std::fputs(kUsage, stderr);
+            return 2;
+        }
+    }
+    if (jsonPath.empty()) {
+        std::fputs(kUsage, stderr);
+        return 2;
+    }
+
+    LoadedReport report;
+    if (!loadReportFile(jsonPath, report))
+        return 1;
+    if (!expectBench.empty() && report.bench != expectBench) {
+        std::fprintf(stderr,
+                     "drift_check: %s reports bench '%s', expected "
+                     "'%s'\n", jsonPath.c_str(), report.bench.c_str(),
+                     expectBench.c_str());
+        return 1;
+    }
+    if (!csvPath.empty()) {
+        std::string text, err;
+        std::vector<Record> csv;
+        if (!readFile(csvPath, text))
+            return 1;
+        if (!loadCsv(text, csv, err)) {
+            std::fprintf(stderr, "drift_check: %s: %s\n",
+                         csvPath.c_str(), err.c_str());
+            return 1;
+        }
+        if (!sameRecords(report, csv, err)) {
+            std::fprintf(stderr,
+                         "drift_check: JSON/CSV mismatch: %s\n",
+                         err.c_str());
+            return 1;
+        }
+    }
+    std::printf("%s: valid vrex-bench-1 report, bench '%s', %zu "
+                "metrics%s\n", jsonPath.c_str(), report.bench.c_str(),
+                report.records.size(),
+                csvPath.empty() ? "" : ", CSV matches");
+    return 0;
+}
+
+int
+baselineMode(const std::vector<std::string> &args)
+{
+    if (args.size() < 2) {
+        std::fputs(kUsage, stderr);
+        return 2;
+    }
+    std::string text, err;
+    Baseline baseline;
+    if (!readFile(args[0], text))
+        return 1;
+    if (!loadBaseline(text, baseline, err)) {
+        std::fprintf(stderr, "drift_check: %s: %s\n", args[0].c_str(),
+                     err.c_str());
+        return 1;
+    }
+
+    std::vector<LoadedReport> runs;
+    for (size_t i = 1; i < args.size(); ++i) {
+        LoadedReport report;
+        if (!loadReportFile(args[i], report))
+            return 1;
+        runs.push_back(std::move(report));
+    }
+
+    DriftReport drift = compareToBaseline(baseline, runs);
+    for (const auto &issue : drift.issues)
+        std::fprintf(stderr, "DRIFT: %s\n", issue.describe().c_str());
+    for (const auto &bench : drift.benchesWithoutBaseline)
+        std::fprintf(stderr,
+                     "warning: bench '%s' has no baseline records\n",
+                     bench.c_str());
+    if (drift.newMetrics)
+        std::fprintf(stderr,
+                     "warning: %zu metric(s) not in the baseline "
+                     "(refresh to gate them)\n", drift.newMetrics);
+    std::printf("drift_check: %zu metric(s) compared, %zu issue(s)\n",
+                drift.compared, drift.issues.size());
+    return drift.ok() ? 0 : 1;
+}
+
+int
+writeBaselineMode(const std::vector<std::string> &args)
+{
+    if (args.empty()) {
+        std::fputs(kUsage, stderr);
+        return 2;
+    }
+    std::string outPath = args[0];
+    Baseline baseline;
+    std::vector<std::string> inputs;
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--rel-tol" && i + 1 < args.size()) {
+            baseline.defaultRelTol = std::atof(args[++i].c_str());
+        } else if (args[i] == "--abs-tol" && i + 1 < args.size()) {
+            baseline.defaultAbsTol = std::atof(args[++i].c_str());
+        } else if (args[i] == "--tol" && i + 1 < args.size()) {
+            std::string spec = args[++i];
+            size_t eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::fprintf(stderr,
+                             "drift_check: bad --tol '%s' (want "
+                             "BENCH=VALUE)\n", spec.c_str());
+                return 2;
+            }
+            baseline.benchRelTol.emplace_back(
+                spec.substr(0, eq),
+                std::atof(spec.c_str() + eq + 1));
+        } else {
+            inputs.push_back(args[i]);
+        }
+    }
+    if (inputs.empty()) {
+        std::fputs(kUsage, stderr);
+        return 2;
+    }
+
+    for (const auto &path : inputs) {
+        LoadedReport report;
+        if (!loadReportFile(path, report))
+            return 1;
+        for (auto &r : report.records)
+            baseline.records.push_back(std::move(r));
+    }
+
+    std::ofstream out(outPath, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << renderBaseline(baseline)).flush()) {
+        std::fprintf(stderr, "drift_check: cannot write %s\n",
+                     outPath.c_str());
+        return 1;
+    }
+    std::printf("wrote %s: %zu metrics from %zu report(s)\n",
+                outPath.c_str(), baseline.records.size(),
+                inputs.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        std::fputs(kUsage, stderr);
+        return 2;
+    }
+    std::string mode = args[0];
+    args.erase(args.begin());
+    if (mode == "--verify")
+        return verifyMode(args);
+    if (mode == "--baseline")
+        return baselineMode(args);
+    if (mode == "--write-baseline")
+        return writeBaselineMode(args);
+    std::fputs(kUsage, stderr);
+    return 2;
+}

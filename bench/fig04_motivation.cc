@@ -9,9 +9,8 @@
  *      (InfiniGenP): KV prediction ~40%, KV fetch ~39% of latency.
  */
 
-#include <cstdio>
-
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "llm/config.hh"
 #include "sim/hw_config.hh"
 #include "sim/method_model.hh"
@@ -19,30 +18,33 @@
 
 using namespace vrex;
 
-int
-main()
+namespace
+{
+
+void
+run(bench::Reporter &rep)
 {
     ModelConfig model = ModelConfig::llama3_8b();
 
-    bench::header("Fig. 4a: memory footprint @10FPS, batch 4");
+    rep.beginPanel("a", "Fig. 4a: memory footprint @10FPS, batch 4");
     const double tokens_per_frame = 10.0;
     const double weights_gb = model.paramBytes(2.0) / 1e9;
-    std::printf("%10s %14s %14s %10s\n", "minutes", "KV cache GB",
-                "weights GB", "total GB");
     for (int minutes : {1, 2, 4, 6, 8, 10}) {
+        std::string row = std::to_string(minutes) + "min";
         double tokens = minutes * 60.0 * 10.0 * tokens_per_frame;
         double kv_gb =
             tokens * model.kvBytesPerToken(2.0) * 4 /* batch */ / 1e9;
-        std::printf("%10d %14.1f %14.1f %10.1f%s\n", minutes, kv_gb,
-                    weights_gb, kv_gb + weights_gb,
-                    kv_gb + weights_gb > 32.0
-                        ? "  <- exceeds 32 GB edge GPU"
-                        : "");
+        rep.add(row, "kv_cache", kv_gb, "GB", 1);
+        rep.add(row, "weights", weights_gb, "GB", 1);
+        rep.add(row, "total", kv_gb + weights_gb, "GB", 1);
+        rep.add(row, "exceeds_32gb_edge",
+                kv_gb + weights_gb > 32.0 ? 1.0 : 0.0, "", 0);
     }
+    rep.note("exceeds_32gb_edge=1 marks footprints past a 32 GB "
+             "edge GPU");
 
-    bench::header("Fig. 4b: E2E latency breakdown, InfiniGen on A100");
-    std::printf("%8s %10s %10s %10s %12s\n", "cache", "vision%",
-                "prefill%", "gen%", "total s");
+    rep.beginPanel("b",
+                   "Fig. 4b: E2E latency breakdown, InfiniGen on A100");
     for (uint32_t cache : {0u, 1000u, 10000u, 20000u, 40000u, 80000u}) {
         RunConfig rc;
         rc.hw = AcceleratorConfig::a100();
@@ -50,14 +52,17 @@ main()
         rc.cacheTokens = cache;
         SessionResult s = SystemModel(rc).session(26, 25, 39);
         double total = s.totalMs();
-        std::printf("%7uK %9.1f%% %9.1f%% %9.1f%% %12.2f\n",
-                    cache / 1000, 100.0 * s.visionMs / total,
-                    100.0 * s.prefillMs / total,
-                    100.0 * s.generationMs / total, total / 1e3);
+        std::string row = bench::kLabel(cache);
+        rep.add(row, "vision", 100.0 * s.visionMs / total, "%", 1);
+        rep.add(row, "prefill", 100.0 * s.prefillMs / total, "%", 1);
+        rep.add(row, "generation", 100.0 * s.generationMs / total, "%",
+                1);
+        rep.add(row, "total", total / 1e3, "s", 2);
     }
-    bench::note("paper: prefill reaches 83% of latency at 80K");
+    rep.note("paper: prefill reaches 83% of latency at 80K");
 
-    bench::header("Fig. 4c: retrieval overhead at 40K (InfiniGenP)");
+    rep.beginPanel("c", "Fig. 4c: retrieval overhead at 40K "
+                        "(InfiniGenP)");
     {
         RunConfig rc;
         rc.hw = AcceleratorConfig::a100();
@@ -66,14 +71,21 @@ main()
         PhaseResult r = SystemModel(rc).framePhase();
         double total = r.totalMs;
         double llm = r.denseMs + r.attentionMs + r.visionMs;
-        std::printf("KV prediction: %5.1f%% of latency\n",
-                    100.0 * r.predictionMs / total);
-        std::printf("KV cache fetch:%5.1f%% of latency\n",
-                    100.0 * r.fetchMs / total);
-        std::printf("LLM compute:   %5.1f%% of latency "
-                    "(overlap-normalized shares)\n",
-                    100.0 * llm / total);
-        bench::note("paper: prediction 40%, fetch 39%, LLM 21%");
+        rep.add("infinigenp@40K", "kv_prediction",
+                100.0 * r.predictionMs / total, "%", 1);
+        rep.add("infinigenp@40K", "kv_fetch",
+                100.0 * r.fetchMs / total, "%", 1);
+        rep.add("infinigenp@40K", "llm_compute", 100.0 * llm / total,
+                "%", 1);
+        rep.note("overlap-normalized shares; paper: prediction 40%, "
+                 "fetch 39%, LLM 21%");
     }
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBench("fig04", argc, argv, run);
 }

@@ -8,10 +8,10 @@
  *      similarity (paper: |rho| ~ 0.8 at N_hp = 32).
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "core/hash_encoder.hh"
@@ -22,8 +22,11 @@
 
 using namespace vrex;
 
-int
-main()
+namespace
+{
+
+void
+run(bench::Reporter &rep)
 {
     // Stream a COIN-like session through the functional model and
     // capture layer-3 keys.
@@ -37,8 +40,8 @@ main()
     const KVCache &cache = session.model().cache();
     const uint32_t head_dim = cfg.headDim();
 
-    bench::header("Fig. 7a: key cosine similarity across frames "
-                  "(layer 3, head 0)");
+    rep.beginPanel("a", "Fig. 7a: key cosine similarity across frames "
+                        "(layer 3, head 0)");
     // Mean similarity vs frame distance (the heatmap's diagonals).
     // "content" removes the RoPE rotation (position-independent
     // redundancy); "raw" is the post-RoPE key the cache stores. With
@@ -46,8 +49,6 @@ main()
     // rotates quickly, so the raw similarity oscillates with the
     // position delta — on Llama-3's 128-dim heads most pairs are
     // slow and the paper's raw heatmap stays high.
-    std::printf("%16s %14s %14s\n", "frame distance", "content sim",
-                "raw (RoPE) sim");
     for (uint32_t dist : {0u, 1u, 2u, 4u, 8u, 16u}) {
         RunningStat content, raw;
         for (int32_t f = 0;
@@ -73,13 +74,15 @@ main()
                                              head_dim));
             }
         }
-        std::printf("%16u %14.3f %14.3f\n", dist, content.mean(),
-                    raw.mean());
+        std::string row = "dist=" + std::to_string(dist);
+        rep.add(row, "content_sim", content.mean(), "", 3);
+        rep.add(row, "raw_rope_sim", raw.mean(), "", 3);
     }
-    bench::note("adjacent frames (distance 1) should be far more "
-                "similar than distant ones");
+    rep.note("adjacent frames (distance 1) should be far more "
+             "similar than distant ones");
 
-    bench::header("Fig. 7b: Hamming distance vs cosine similarity");
+    rep.beginPanel("b", "Fig. 7b: Hamming distance vs cosine "
+                        "similarity");
     HashEncoder enc(head_dim, 32, 7);
     Rng rng(9);
     std::vector<double> cosines, hammings;
@@ -91,9 +94,10 @@ main()
         hammings.push_back(enc.encode(a).hamming(enc.encode(b)));
     }
     double rho = pearson(cosines, hammings);
-    std::printf("pearson(cosine, hamming) = %.3f over %zu pairs\n",
-                rho, cosines.size());
-    std::printf("|rho| = %.2f (paper: 0.8)\n", rho < 0 ? -rho : rho);
+    rep.add("all_pairs", "pearson", rho, "", 3);
+    rep.add("all_pairs", "abs_rho", rho < 0 ? -rho : rho, "", 2);
+    rep.add("all_pairs", "pairs",
+            static_cast<double>(cosines.size()), "", 0);
 
     // Mean Hamming at similarity extremes.
     RunningStat near_stat, far_stat;
@@ -103,8 +107,15 @@ main()
         else if (cosines[i] < 0.2)
             far_stat.add(hammings[i]);
     }
-    std::printf("mean Hamming: cos>0.8 -> %.1f bits, cos<0.2 -> "
-                "%.1f bits (of 32)\n", near_stat.mean(),
-                far_stat.mean());
-    return 0;
+    rep.add("cos>0.8", "mean_hamming", near_stat.mean(), "bits", 1);
+    rep.add("cos<0.2", "mean_hamming", far_stat.mean(), "bits", 1);
+    rep.note("paper: |rho| ~ 0.8 at N_hp = 32");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBench("fig07", argc, argv, run);
 }

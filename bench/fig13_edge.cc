@@ -9,10 +9,10 @@
  * 1.9-15.1x speedups; energy efficiency 5.5-10.2x (frame, batch 1).
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "sim/hw_config.hh"
 #include "sim/method_model.hh"
 #include "sim/system_model.hh"
@@ -47,18 +47,13 @@ edgeEntries()
 }
 
 void
-sweep(const char *title, uint32_t batch, bool decode)
+sweep(bench::Reporter &rep, const std::string &panel,
+      const std::string &title, uint32_t batch, bool decode)
 {
-    bench::header(title);
+    rep.beginPanel(panel, title);
     auto entries = edgeEntries();
-    std::printf("%-16s", "method");
-    for (uint32_t c : bench::cacheSweep())
-        std::printf(" %10s", bench::kLabel(c).c_str());
-    std::printf("\n");
-
     std::vector<std::vector<double>> lat(entries.size());
     for (size_t e = 0; e < entries.size(); ++e) {
-        std::printf("%-16s", entries[e].label.c_str());
         for (uint32_t cache : bench::cacheSweep()) {
             RunConfig rc;
             rc.hw = entries[e].hw;
@@ -69,35 +64,28 @@ sweep(const char *title, uint32_t batch, bool decode)
             PhaseResult r =
                 decode ? sm.decodePhase() : sm.framePhase();
             lat[e].push_back(r.totalMs);
-            std::printf(" %9.0fms", r.totalMs);
+            rep.add(entries[e].label, bench::kLabel(cache), r.totalMs,
+                    "ms", 0);
         }
-        std::printf("\n");
     }
-    std::printf("%-16s", "V-Rex speedup");
-    for (size_t i = 0; i < bench::cacheSweep().size(); ++i)
-        std::printf(" %9.1fx ", lat[0][i] / lat.back()[i]);
-    std::printf("\n");
-    if (!decode) {
-        std::printf("%-16s", "V-Rex FPS");
-        for (size_t i = 0; i < bench::cacheSweep().size(); ++i)
-            std::printf(" %10.1f",
-                        batch * 1000.0 / lat.back()[i]);
-        std::printf("\n");
+    auto sweepPoints = bench::cacheSweep();
+    for (size_t i = 0; i < sweepPoints.size(); ++i) {
+        rep.add("V-Rex speedup", bench::kLabel(sweepPoints[i]),
+                lat[0][i] / lat.back()[i], "x", 1);
+        if (!decode)
+            rep.add("V-Rex FPS", bench::kLabel(sweepPoints[i]),
+                    batch * 1000.0 / lat.back()[i], "fps", 1);
     }
 }
 
 void
-energySweep(const char *title, uint32_t batch, bool decode)
+energySweep(bench::Reporter &rep, const std::string &panel,
+            const std::string &title, uint32_t batch, bool decode)
 {
-    bench::header(title);
+    rep.beginPanel(panel, title);
     auto entries = edgeEntries();
-    std::printf("%-16s", "method");
-    for (uint32_t c : bench::cacheSweep())
-        std::printf(" %10s", bench::kLabel(c).c_str());
-    std::printf("\n");
     std::vector<std::vector<double>> eff(entries.size());
     for (size_t e = 0; e < entries.size(); ++e) {
-        std::printf("%-16s", entries[e].label.c_str());
         for (uint32_t cache : bench::cacheSweep()) {
             RunConfig rc;
             rc.hw = entries[e].hw;
@@ -108,33 +96,44 @@ energySweep(const char *title, uint32_t batch, bool decode)
             PhaseResult r =
                 decode ? sm.decodePhase() : sm.framePhase();
             eff[e].push_back(r.gopsPerW());
-            std::printf(" %10.1f", r.gopsPerW());
+            rep.add(entries[e].label, bench::kLabel(cache),
+                    r.gopsPerW(), "GOPS/W", 1);
         }
-        std::printf("\n");
     }
-    std::printf("%-16s", "V-Rex gain");
-    for (size_t i = 0; i < bench::cacheSweep().size(); ++i)
-        std::printf(" %9.1fx ", eff.back()[i] / eff[0][i]);
-    std::printf("\n");
+    auto sweepPoints = bench::cacheSweep();
+    for (size_t i = 0; i < sweepPoints.size(); ++i)
+        rep.add("V-Rex gain", bench::kLabel(sweepPoints[i]),
+                eff.back()[i] / eff[0][i], "x", 1);
+}
+
+void
+run(bench::Reporter &rep)
+{
+    sweep(rep, "frame_b1",
+          "Fig. 13a: per-frame latency, batch 1 (edge)", 1, false);
+    sweep(rep, "tpot_b1", "Fig. 13a: TPOT latency, batch 1 (edge)", 1,
+          true);
+    sweep(rep, "frame_b4",
+          "Fig. 13a: per-frame latency, batch 4 (edge)", 4, false);
+    energySweep(rep, "energy_frame_b1",
+                "Fig. 13a: energy efficiency GOPS/W, frame batch 1", 1,
+                false);
+    energySweep(rep, "energy_text_b1",
+                "Fig. 13a: energy efficiency GOPS/W, text batch 1", 1,
+                true);
+    energySweep(rep, "energy_frame_b4",
+                "Fig. 13a: energy efficiency GOPS/W, frame batch 4", 4,
+                false);
+    rep.note("paper anchors: V-Rex8 frame 121-254 ms (3.9-8.3 FPS), "
+             "speedup 2.2-7.3x (b1) / 2.1-13.8x (b4); TPOT 89-97 ms "
+             "1.9-15.1x; energy 5.5-10.2x (b1), 3.1-12.8x (b4), "
+             "4.3-18.5x (text)");
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    sweep("Fig. 13a: per-frame latency, batch 1 (edge)", 1, false);
-    sweep("Fig. 13a: TPOT latency, batch 1 (edge)", 1, true);
-    sweep("Fig. 13a: per-frame latency, batch 4 (edge)", 4, false);
-    energySweep("Fig. 13a: energy efficiency GOPS/W, frame batch 1",
-                1, false);
-    energySweep("Fig. 13a: energy efficiency GOPS/W, text batch 1",
-                1, true);
-    energySweep("Fig. 13a: energy efficiency GOPS/W, frame batch 4",
-                4, false);
-    bench::note("paper anchors: V-Rex8 frame 121-254 ms (3.9-8.3 FPS), "
-                "speedup 2.2-7.3x (b1) / 2.1-13.8x (b4); TPOT 89-97 ms "
-                "1.9-15.1x; energy 5.5-10.2x (b1), 3.1-12.8x (b4), "
-                "4.3-18.5x (text)");
-    return 0;
+    return bench::runBench("fig13_edge", argc, argv, run);
 }

@@ -9,10 +9,10 @@
  * 5.9-52.2x (b8), 13.2-70.6x (text), 1.1-1.4 TOPS/W at b8.
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "sim/hw_config.hh"
 #include "sim/method_model.hh"
 #include "sim/system_model.hh"
@@ -47,17 +47,14 @@ serverEntries()
 }
 
 void
-sweep(const char *title, uint32_t batch, bool decode, bool energy)
+sweep(bench::Reporter &rep, const std::string &panel,
+      const std::string &title, uint32_t batch, bool decode,
+      bool energy)
 {
-    bench::header(title);
+    rep.beginPanel(panel, title);
     auto entries = serverEntries();
-    std::printf("%-16s", "method");
-    for (uint32_t c : bench::cacheSweep())
-        std::printf(" %10s", bench::kLabel(c).c_str());
-    std::printf("\n");
     std::vector<std::vector<double>> vals(entries.size());
     for (size_t e = 0; e < entries.size(); ++e) {
-        std::printf("%-16s", entries[e].label.c_str());
         for (uint32_t cache : bench::cacheSweep()) {
             RunConfig rc;
             rc.hw = entries[e].hw;
@@ -69,39 +66,47 @@ sweep(const char *title, uint32_t batch, bool decode, bool energy)
                 decode ? sm.decodePhase() : sm.framePhase();
             double v = energy ? r.gopsPerW() : r.totalMs;
             vals[e].push_back(v);
-            if (energy)
-                std::printf(" %10.1f", v);
-            else
-                std::printf(" %9.1fms", v);
+            rep.add(entries[e].label, bench::kLabel(cache), v,
+                    energy ? "GOPS/W" : "ms", 1);
         }
-        std::printf("\n");
     }
-    std::printf("%-16s", energy ? "V-Rex gain" : "V-Rex speedup");
-    for (size_t i = 0; i < bench::cacheSweep().size(); ++i) {
+    auto sweepPoints = bench::cacheSweep();
+    for (size_t i = 0; i < sweepPoints.size(); ++i) {
         double gain = energy ? vals.back()[i] / vals[0][i]
                              : vals[0][i] / vals.back()[i];
-        std::printf(" %9.1fx ", gain);
+        rep.add(energy ? "V-Rex gain" : "V-Rex speedup",
+                bench::kLabel(sweepPoints[i]), gain, "x", 1);
     }
-    std::printf("\n");
+}
+
+void
+run(bench::Reporter &rep)
+{
+    sweep(rep, "frame_b1",
+          "Fig. 13b: per-frame latency, batch 1 (server)", 1, false,
+          false);
+    sweep(rep, "tpot_b1", "Fig. 13b: TPOT latency, batch 1 (server)",
+          1, true, false);
+    sweep(rep, "frame_b8",
+          "Fig. 13b: per-frame latency, batch 8 (server)", 8, false,
+          false);
+    sweep(rep, "energy_frame_b1",
+          "Fig. 13b: energy efficiency, frame batch 1", 1, false,
+          true);
+    sweep(rep, "energy_text_b1",
+          "Fig. 13b: energy efficiency, text batch 1", 1, true, true);
+    sweep(rep, "energy_frame_b8",
+          "Fig. 13b: energy efficiency, frame batch 8", 8, false,
+          true);
+    rep.note("paper anchors: V-Rex48 20-48 ms/frame, TPOT 14-15 ms; "
+             "speedups 2.6-7.3x (b1) to 3.4-19.7x (b8); energy "
+             "9.0-29.7x (b1) / 5.9-52.2x (b8) / 13.2-70.6x (text)");
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    sweep("Fig. 13b: per-frame latency, batch 1 (server)", 1, false,
-          false);
-    sweep("Fig. 13b: TPOT latency, batch 1 (server)", 1, true, false);
-    sweep("Fig. 13b: per-frame latency, batch 8 (server)", 8, false,
-          false);
-    sweep("Fig. 13b: energy efficiency, frame batch 1", 1, false,
-          true);
-    sweep("Fig. 13b: energy efficiency, text batch 1", 1, true, true);
-    sweep("Fig. 13b: energy efficiency, frame batch 8", 8, false,
-          true);
-    bench::note("paper anchors: V-Rex48 20-48 ms/frame, TPOT 14-15 ms; "
-                "speedups 2.6-7.3x (b1) to 3.4-19.7x (b8); energy "
-                "9.0-29.7x (b1) / 5.9-52.2x (b8) / 13.2-70.6x (text)");
-    return 0;
+    return bench::runBench("fig13_server", argc, argv, run);
 }

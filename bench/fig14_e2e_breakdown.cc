@@ -10,10 +10,10 @@
  * 20K because of KV prediction overhead.
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "sim/hw_config.hh"
 #include "sim/method_model.hh"
 #include "sim/system_model.hh"
@@ -30,10 +30,8 @@ struct Entry
     MethodModel method;
 };
 
-} // namespace
-
-int
-main()
+void
+run(bench::Reporter &rep)
 {
     std::vector<Entry> entries = {
         {"AGX+FlexGen", AcceleratorConfig::agxOrin(),
@@ -46,13 +44,10 @@ main()
          MethodModel::resvFull()},
     };
 
-    bench::header("Fig. 14: E2E latency breakdown (COIN average "
-                  "scenario), normalized to V-Rex8");
-    std::printf("%8s %-16s %10s %9s %9s %9s %9s\n", "cache", "system",
-                "total s", "vision%", "prefill%", "gen%", "norm");
-
+    rep.beginPanel("breakdown",
+                   "Fig. 14: E2E latency breakdown (COIN average "
+                   "scenario), normalized to V-Rex8");
     for (uint32_t cache : bench::cacheSweep()) {
-        double vrex_total = 0.0;
         std::vector<SessionResult> results;
         for (const auto &e : entries) {
             RunConfig rc;
@@ -61,21 +56,29 @@ main()
             rc.cacheTokens = cache;
             results.push_back(SystemModel(rc).session(26, 25, 39));
         }
-        vrex_total = results.back().totalMs();
+        double vrex_total = results.back().totalMs();
         for (size_t i = 0; i < entries.size(); ++i) {
             const SessionResult &s = results[i];
             double total = s.totalMs();
-            std::printf("%7uK %-16s %10.2f %8.1f%% %8.1f%% %8.1f%% "
-                        "%8.2fx\n",
-                        cache / 1000, entries[i].label.c_str(),
-                        total / 1e3, 100.0 * s.visionMs / total,
-                        100.0 * s.prefillMs / total,
-                        100.0 * s.generationMs / total,
-                        total / vrex_total);
+            std::string row =
+                bench::kLabel(cache) + "/" + entries[i].label;
+            rep.add(row, "total", total / 1e3, "s", 2);
+            rep.add(row, "vision", 100.0 * s.visionMs / total, "%", 1);
+            rep.add(row, "prefill", 100.0 * s.prefillMs / total, "%",
+                    1);
+            rep.add(row, "generation",
+                    100.0 * s.generationMs / total, "%", 1);
+            rep.add(row, "vs_vrex", total / vrex_total, "x", 2);
         }
-        std::printf("\n");
     }
-    bench::note("paper: V-Rex8 gain 2x at 1K growing to 5.4x at 40K; "
-                "InfiniGenP/ReKV slower than FlexGen at 1K-20K");
-    return 0;
+    rep.note("paper: V-Rex8 gain 2x at 1K growing to 5.4x at 40K; "
+             "InfiniGenP/ReKV slower than FlexGen at 1K-20K");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBench("fig14", argc, argv, run);
 }

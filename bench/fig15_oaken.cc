@@ -5,36 +5,42 @@
  * KV. The GPU OOMs first as the cache grows; Oaken's int4 cache
  * survives longer but also hits the wall; V-Rex's retrieval keeps
  * running beyond 20K (paper: ~7 FPS sustained).
+ *
+ * OOM points appear as "<platform>_oom" = 1 with no fps metric, so
+ * the drift gate notices if a platform starts/stops fitting.
  */
 
-#include <cstdio>
-
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "sim/hw_config.hh"
 #include "sim/method_model.hh"
 #include "sim/system_model.hh"
 
 using namespace vrex;
 
-int
-main()
+namespace
 {
-    bench::header("Fig. 15: throughput vs Oaken, batch 16 @ frame");
-    std::printf("%8s %14s %14s %14s\n", "cache", "AGX Orin", "Oaken",
-                "V-Rex8");
-    for (uint32_t cache : bench::cacheSweep()) {
-        std::printf("%7uK", cache / 1000);
 
-        struct Point
-        {
-            AcceleratorConfig hw;
-            MethodModel method;
-        } points[3] = {
-            {AcceleratorConfig::agxOrin(),
-             MethodModel::gpuNoOffload()},
-            {AcceleratorConfig::agxOrin(), MethodModel::oaken()},
-            {AcceleratorConfig::vrex8(), MethodModel::resvFull()},
-        };
+void
+run(bench::Reporter &rep)
+{
+    rep.beginPanel("oaken",
+                   "Fig. 15: throughput vs Oaken, batch 16 @ frame");
+    struct Point
+    {
+        std::string name;
+        AcceleratorConfig hw;
+        MethodModel method;
+    };
+    const Point points[3] = {
+        {"agx_orin", AcceleratorConfig::agxOrin(),
+         MethodModel::gpuNoOffload()},
+        {"oaken", AcceleratorConfig::agxOrin(), MethodModel::oaken()},
+        {"vrex8", AcceleratorConfig::vrex8(),
+         MethodModel::resvFull()},
+    };
+    for (uint32_t cache : bench::cacheSweep()) {
+        std::string row = bench::kLabel(cache);
         for (const auto &p : points) {
             RunConfig rc;
             rc.hw = p.hw;
@@ -42,34 +48,44 @@ main()
             rc.cacheTokens = cache;
             rc.batch = 16;
             SystemModel sm(rc);
-            if (sm.wouldOom())
-                std::printf(" %14s", "OOM");
-            else
-                std::printf(" %10.1fFPS", sm.frameFps());
+            if (sm.wouldOom()) {
+                rep.addText(row, p.name, "OOM");
+                rep.add(row, p.name + "_oom", 1.0, "", 0);
+            } else {
+                rep.add(row, p.name, sm.frameFps(), "fps", 1);
+            }
         }
-        std::printf("\n");
     }
-    bench::note("paper: AGX OOMs from 10K, Oaken beyond 20K; V-Rex "
-                "sustains ~7 FPS at large lengths; at 1K V-Rex is "
-                "1.5x/1.1x over AGX/Oaken");
+    rep.note("paper: AGX OOMs from 10K, Oaken beyond 20K; V-Rex "
+             "sustains ~7 FPS at large lengths; at 1K V-Rex is "
+             "1.5x/1.1x over AGX/Oaken");
 
-    bench::header("Extension (paper SVII): ReSV stacked on int4 KV");
-    std::printf("%8s %14s %14s\n", "cache", "V-Rex8", "V-Rex8+int4");
+    rep.beginPanel("int4",
+                   "Extension (paper SVII): ReSV stacked on int4 KV");
     for (uint32_t cache : bench::cacheSweep()) {
-        std::printf("%7uK", cache / 1000);
-        for (MethodModel m :
-             {MethodModel::resvFull(), MethodModel::resvOaken()}) {
+        std::string row = bench::kLabel(cache);
+        const std::pair<std::string, MethodModel> variants[2] = {
+            {"vrex8", MethodModel::resvFull()},
+            {"vrex8_int4", MethodModel::resvOaken()},
+        };
+        for (const auto &[name, m] : variants) {
             RunConfig rc;
             rc.hw = AcceleratorConfig::vrex8();
             rc.method = m;
             rc.cacheTokens = cache;
             rc.batch = 16;
-            std::printf(" %10.1fFPS", SystemModel(rc).frameFps());
+            rep.add(row, name, SystemModel(rc).frameFps(), "fps", 1);
         }
-        std::printf("\n");
     }
-    bench::note("quantization shrinks every fetched byte ~3.6x, so "
-                "the combination extends real-time range further — "
-                "the composability the paper's discussion claims");
-    return 0;
+    rep.note("quantization shrinks every fetched byte ~3.6x, so "
+             "the combination extends real-time range further — "
+             "the composability the paper's discussion claims");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBench("fig15", argc, argv, run);
 }

@@ -12,18 +12,21 @@
  * ~1.67% of KV memory at ~32 tokens/cluster.
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "sim/hw_config.hh"
 #include "sim/method_model.hh"
 #include "sim/system_model.hh"
 
 using namespace vrex;
 
-int
-main()
+namespace
+{
+
+void
+run(bench::Reporter &rep)
 {
     const uint32_t cache = 40000;
 
@@ -44,11 +47,8 @@ main()
          MethodModel::resvFull()},
     };
 
-    bench::header("Fig. 16: ablation at 40K cache, batch 1");
-    std::printf("%-14s %10s %8s %10s %8s %10s\n", "config",
-                "latency ms", "speedup", "energy J", "E gain",
-                "pred % lat");
-
+    rep.beginPanel("ablation", "Fig. 16: ablation at 40K cache, "
+                               "batch 1");
     double base_lat = 0.0, base_j = 0.0;
     for (size_t i = 0; i < entries.size(); ++i) {
         RunConfig rc;
@@ -63,29 +63,39 @@ main()
         double pred_share = r.predictionMs > 0.0
             ? 100.0 * r.predictionMs / r.totalMs
             : 100.0 * r.dreMs / r.totalMs;
-        std::printf("%-14s %10.0f %7.1fx %10.2f %7.1fx %9.1f%%\n",
-                    entries[i].label.c_str(), r.totalMs,
-                    base_lat / r.totalMs, r.energy.totalJ(),
-                    base_j / r.energy.totalJ(), pred_share);
+        const std::string &row = entries[i].label;
+        rep.add(row, "latency", r.totalMs, "ms", 0);
+        rep.add(row, "speedup", base_lat / r.totalMs, "x", 1);
+        rep.add(row, "energy", r.energy.totalJ(), "J", 2);
+        rep.add(row, "energy_gain", base_j / r.energy.totalJ(), "x",
+                1);
+        rep.add(row, "pred_share", pred_share, "%", 1);
     }
 
-    bench::header("Fig. 16: latency breakdown per config (ms)");
-    std::printf("%-14s %10s %10s %10s %10s %10s\n", "config",
-                "vision+MLP", "LLM", "prediction", "fetch",
-                "wall-clock");
+    rep.beginPanel("breakdown", "Fig. 16: latency breakdown per "
+                                "config (ms)");
     for (const auto &e : entries) {
         RunConfig rc;
         rc.hw = e.hw;
         rc.method = e.method;
         rc.cacheTokens = cache;
         PhaseResult r = SystemModel(rc).framePhase();
-        std::printf("%-14s %10.0f %10.0f %10.1f %10.0f %10.0f\n",
-                    e.label.c_str(), r.visionMs,
-                    r.denseMs + r.attentionMs,
-                    r.predictionMs + r.dreMs, r.fetchMs, r.totalMs);
+        rep.add(e.label, "vision_mlp", r.visionMs, "ms", 0);
+        rep.add(e.label, "llm", r.denseMs + r.attentionMs, "ms", 0);
+        rep.add(e.label, "prediction", r.predictionMs + r.dreMs, "ms",
+                1);
+        rep.add(e.label, "fetch", r.fetchMs, "ms", 0);
+        rep.add(e.label, "wall_clock", r.totalMs, "ms", 0);
     }
-    bench::note("paper: 2.8x / 6.0x / 8.1x speedups; 9.2x / 10.2x "
-                "energy; prediction 48% of AGX+ReSV latency -> 0.5% "
-                "with KVPU");
-    return 0;
+    rep.note("paper: 2.8x / 6.0x / 8.1x speedups; 9.2x / 10.2x "
+             "energy; prediction 48% of AGX+ReSV latency -> 0.5% "
+             "with KVPU");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBench("fig16", argc, argv, run);
 }

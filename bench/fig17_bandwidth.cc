@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "sim/hw_config.hh"
 #include "sim/method_model.hh"
 #include "sim/system_model.hh"
@@ -17,8 +18,11 @@
 
 using namespace vrex;
 
-int
-main()
+namespace
+{
+
+void
+run(bench::Reporter &rep)
 {
     RunConfig rc;
     rc.hw = AcceleratorConfig::vrex48();
@@ -27,29 +31,42 @@ main()
     rc.batch = 1;
     SystemModel sm(rc);
 
-    bench::header("Fig. 17: memory bandwidth usage of V-Rex48 "
-                  "(2 layers, frame stage, 40K cache)");
+    rep.beginPanel("timeline",
+                   "Fig. 17: memory bandwidth usage of V-Rex48 "
+                   "(2 layers, frame stage, 40K cache)");
     auto segs = layerTimeline(sm, 2);
-    std::printf("%-14s %-10s %10s %10s %12s\n", "track", "label",
-                "start us", "end us", "BW GB/s");
-    for (const auto &s : segs) {
-        std::printf("%-14s %-10s %10.1f %10.1f %12.1f\n",
-                    s.track.c_str(), s.label.c_str(), s.startUs,
-                    s.endUs, s.bandwidthGBs);
+    for (size_t i = 0; i < segs.size(); ++i) {
+        const auto &s = segs[i];
+        char row[64];
+        std::snprintf(row, sizeof(row), "%02zu %s/%s", i,
+                      s.track.c_str(), s.label.c_str());
+        rep.add(row, "start", s.startUs, "us", 1);
+        rep.add(row, "end", s.endUs, "us", 1);
+        rep.add(row, "bw", s.bandwidthGBs, "GB/s", 1);
     }
 
+    rep.beginPanel("summary", "Fig. 17: bandwidth summary");
     double peak = timelinePeakBandwidth(segs);
-    std::printf("\npeak aggregate bandwidth: %.0f GB/s "
-                "(platform %.0f GB/s)\n", peak,
-                rc.hw.memBandwidthGBs);
-    std::printf("retrieval stream: %.1f GB/s = %.1f%% of DRAM "
-                "bandwidth (paper: ~1%%)\n", rc.hw.pcieBandwidthGBs,
-                100.0 * rc.hw.pcieBandwidthGBs /
-                    rc.hw.memBandwidthGBs);
-
+    rep.add("aggregate", "peak_bw", peak, "GB/s", 0);
+    rep.add("aggregate", "platform_bw", rc.hw.memBandwidthGBs, "GB/s",
+            0);
+    rep.add("retrieval", "stream_bw", rc.hw.pcieBandwidthGBs, "GB/s",
+            1);
+    rep.add("retrieval", "share_of_dram",
+            100.0 * rc.hw.pcieBandwidthGBs / rc.hw.memBandwidthGBs,
+            "%", 1);
     PhaseResult r = sm.framePhase();
-    std::printf("KV prediction on DRE: %.3f ms per frame = %.2f%% of "
-                "wall clock (hidden under attention)\n", r.dreMs,
-                100.0 * r.dreMs / r.totalMs);
-    return 0;
+    rep.add("kv_prediction", "dre_time", r.dreMs, "ms", 3);
+    rep.add("kv_prediction", "share_of_wall",
+            100.0 * r.dreMs / r.totalMs, "%", 2);
+    rep.note("retrieval trickles at PCIe rate (paper: ~1% of DRAM "
+             "bandwidth); KV prediction is hidden under attention");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBench("fig17", argc, argv, run);
 }

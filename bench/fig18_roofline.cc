@@ -8,10 +8,10 @@
  * V-Rex8 reaches 71.5% — a 10.8x throughput improvement.
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "sim/hw_config.hh"
 #include "sim/method_model.hh"
 #include "sim/roofline.hh"
@@ -19,8 +19,11 @@
 
 using namespace vrex;
 
-int
-main()
+namespace
+{
+
+void
+run(bench::Reporter &rep)
 {
     struct Entry
     {
@@ -37,10 +40,9 @@ main()
          MethodModel::resvFull()},
     };
 
-    bench::header("Fig. 18: roofline at 40K cache, batch 4 (edge)");
-    std::printf("%-14s %10s %12s %12s %10s\n", "system", "OI Op/B",
-                "achieved TF", "roof TF", "% of roof");
-    double flexgen_tf = 0.0;
+    rep.beginPanel("roofline",
+                   "Fig. 18: roofline at 40K cache, batch 4 (edge)");
+    double flexgen_tf = 0.0, vrex_tf = 0.0;
     for (size_t i = 0; i < entries.size(); ++i) {
         RunConfig rc;
         rc.hw = entries[i].hw;
@@ -51,24 +53,26 @@ main()
         RooflinePoint p = rooflineFor(r, rc.hw);
         if (i == 0)
             flexgen_tf = p.achievedTflops;
-        std::printf("%-14s %10.1f %12.2f %12.2f %9.1f%%\n",
-                    entries[i].label.c_str(), p.opIntensity,
-                    p.achievedTflops, p.roofTflops,
-                    100.0 * p.fractionOfRoof());
+        if (i + 1 == entries.size())
+            vrex_tf = p.achievedTflops;
+        const std::string &row = entries[i].label;
+        rep.add(row, "oi", p.opIntensity, "Op/B", 1);
+        rep.add(row, "achieved", p.achievedTflops, "TF", 2);
+        rep.add(row, "roof", p.roofTflops, "TF", 2);
+        rep.add(row, "of_roof", 100.0 * p.fractionOfRoof(), "%", 1);
     }
-    {
-        RunConfig rc;
-        rc.hw = AcceleratorConfig::vrex8();
-        rc.method = MethodModel::resvFull();
-        rc.cacheTokens = 40000;
-        rc.batch = 4;
-        RooflinePoint p =
-            rooflineFor(SystemModel(rc).framePhase(), rc.hw);
-        std::printf("\nV-Rex8 over AGX+FlexGen: %.1fx achieved "
-                    "throughput (paper: 10.8x)\n",
-                    p.achievedTflops / flexgen_tf);
-    }
-    bench::note("paper: OI 15.2; FlexGen 6.6%, ReKV ~15%, V-Rex 71.5% "
-                "of theoretical peak");
-    return 0;
+
+    rep.beginPanel("summary", "Fig. 18: V-Rex8 over AGX+FlexGen");
+    rep.add("V-Rex8 vs FlexGen", "throughput_gain",
+            vrex_tf / flexgen_tf, "x", 1);
+    rep.note("paper: OI 15.2; FlexGen 6.6%, ReKV ~15%, V-Rex 71.5% "
+             "of theoretical peak; 10.8x throughput");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBench("fig18", argc, argv, run);
 }

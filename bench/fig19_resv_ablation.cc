@@ -11,9 +11,10 @@
  * 9.4x (-0.8% accuracy).
  */
 
-#include <cstdio>
+#include <string>
 
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "core/resv.hh"
 #include "pipeline/accuracy_eval.hh"
 #include "pipeline/coupling.hh"
@@ -37,10 +38,8 @@ frameLatencyMs(const AcceleratorConfig &hw, const MethodModel &m)
     return SystemModel(rc).framePhase().totalMs;
 }
 
-} // namespace
-
-int
-main()
+void
+run(bench::Reporter &rep)
 {
     const ModelConfig cfg = ModelConfig::tiny();
     const double vanilla_acc = 49.5;  // COIN average, Fig. 19.
@@ -73,28 +72,30 @@ main()
     double full_ms =
         frameLatencyMs(AcceleratorConfig::vrex8(), m_full);
 
-    bench::header("Fig. 19: ReSV ablation (accuracy proxy + 40K "
-                  "frame latency)");
-    std::printf("%-22s %10s %10s %12s\n", "variant", "speedup",
-                "accuracy", "frame-ratio");
-    std::printf("%-22s %9.1fx %9.1f%% %11s\n", "VideoLLM-Online", 1.0,
-                vanilla_acc, "-");
-    std::printf("%-22s %9.1fx %9.1f%% %10.1f%%\n",
-                "ReSV w/o clustering", base_ms / noclust_ms,
-                proxyAccuracy(vanilla_acc, f_noclust),
-                100.0 * f_noclust.frameRatio);
-    std::printf("%-22s %9.1fx %9.1f%% %10.1f%%\n", "ReSV (full)",
-                base_ms / full_ms,
-                proxyAccuracy(vanilla_acc, f_full),
-                100.0 * f_full.frameRatio);
-    bench::note("paper: 1.6x / -0.3% without clustering, 9.4x / "
-                "-0.8% with clustering");
+    rep.beginPanel("ablation",
+                   "Fig. 19: ReSV ablation (accuracy proxy + 40K "
+                   "frame latency)");
+    rep.add("VideoLLM-Online", "speedup", 1.0, "x", 1);
+    rep.add("VideoLLM-Online", "accuracy", vanilla_acc, "%", 1);
+    rep.addText("VideoLLM-Online", "frame_ratio", "-");
+    rep.add("ReSV w/o clustering", "speedup", base_ms / noclust_ms,
+            "x", 1);
+    rep.add("ReSV w/o clustering", "accuracy",
+            proxyAccuracy(vanilla_acc, f_noclust), "%", 1);
+    rep.add("ReSV w/o clustering", "frame_ratio",
+            100.0 * f_noclust.frameRatio, "%", 1);
+    rep.add("ReSV (full)", "speedup", base_ms / full_ms, "x", 1);
+    rep.add("ReSV (full)", "accuracy",
+            proxyAccuracy(vanilla_acc, f_full), "%", 1);
+    rep.add("ReSV (full)", "frame_ratio", 100.0 * f_full.frameRatio,
+            "%", 1);
+    rep.note("paper: 1.6x / -0.3% without clustering, 9.4x / "
+             "-0.8% with clustering");
 
     // Operating-point sweep: N_hp and Th_hd trade correlation
     // quality against cluster compression.
-    bench::header("ReSV operating-point sweep (extension ablation)");
-    std::printf("%6s %6s %12s %12s %12s\n", "N_hp", "Th_hd",
-                "agreement", "frame-ratio", "tok/cluster");
+    rep.beginPanel("sweep",
+                   "ReSV operating-point sweep (extension ablation)");
     for (uint32_t n_hp : {16u, 32u, 64u}) {
         for (uint32_t th_hd : {3u, 7u, 12u}) {
             ResvConfig c;
@@ -103,13 +104,23 @@ main()
             ResvPolicy policy(cfg, c);
             FidelityResult f =
                 evaluateFidelity(cfg, script, &policy, 42);
-            std::printf("%6u %6u %11.1f%% %11.1f%% %12.1f\n", n_hp,
-                        th_hd, 100.0 * f.tokenAgreement,
-                        100.0 * f.frameRatio,
-                        policy.avgClusterSize());
+            std::string row = "nhp=" + std::to_string(n_hp) +
+                              ",thd=" + std::to_string(th_hd);
+            rep.add(row, "agreement", 100.0 * f.tokenAgreement, "%",
+                    1);
+            rep.add(row, "frame_ratio", 100.0 * f.frameRatio, "%", 1);
+            rep.add(row, "tok_per_cluster", policy.avgClusterSize(),
+                    "", 1);
         }
     }
-    bench::note("the paper's N_hp=32, Th_hd=7 sits at the knee: "
-                "strong compression with high agreement");
-    return 0;
+    rep.note("the paper's N_hp=32, Th_hd=7 sits at the knee: "
+             "strong compression with high agreement");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBench("fig19", argc, argv, run);
 }

@@ -9,9 +9,12 @@
  * retrieved tokens than ReKV.
  */
 
-#include <cstdio>
+#include <algorithm>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "common/stats.hh"
 #include "core/resv.hh"
 #include "pipeline/streaming_session.hh"
@@ -19,8 +22,11 @@
 
 using namespace vrex;
 
-int
-main()
+namespace
+{
+
+void
+run(bench::Reporter &rep)
 {
     ModelConfig cfg = ModelConfig::smallVideo();
     ResvConfig rc;
@@ -32,10 +38,9 @@ main()
     const double rekv_ratio = 0.584;       // Table II average.
     const double infinigenp_ratio = 0.508;
 
-    bench::header("Fig. 20: retrieval ratio per layer (ReSV, mean "
-                  "over heads)");
-    std::printf("%8s %12s %16s %16s\n", "layer", "ReSV %",
-                "InfiniGenP %", "ReKV %");
+    rep.beginPanel("per_layer",
+                   "Fig. 20: retrieval ratio per layer (ReSV, mean "
+                   "over heads)");
     RunningStat overall;
     double lo = 1.0, hi = 0.0;
     for (size_t l = 0; l < r.layerHeadRatio.size(); ++l) {
@@ -44,24 +49,35 @@ main()
         overall.add(mean_ratio);
         lo = std::min(lo, mean_ratio);
         hi = std::max(hi, mean_ratio);
-        std::printf("%8zu %11.1f%% %15.1f%% %15.1f%%\n", l,
-                    100.0 * mean_ratio, 100.0 * infinigenp_ratio,
-                    100.0 * rekv_ratio);
+        std::string row = "layer" + std::to_string(l);
+        rep.add(row, "resv", 100.0 * mean_ratio, "%", 1);
+        rep.add(row, "infinigenp", 100.0 * infinigenp_ratio, "%", 1);
+        rep.add(row, "rekv", 100.0 * rekv_ratio, "%", 1);
     }
-    std::printf("\nReSV layer ratios span %.1f%% .. %.1f%% "
-                "(paper: 4.2%% .. 44.0%%)\n", 100.0 * lo, 100.0 * hi);
-    std::printf("average %.1f%% -> %.1fx fewer tokens than ReKV "
-                "(paper: 3.0x)\n", 100.0 * overall.mean(),
-                rekv_ratio / overall.mean());
 
-    bench::header("Fig. 20: retrieval ratio per head (layer 3)");
-    std::printf("%8s %12s\n", "head", "ReSV %");
+    rep.beginPanel("spread", "Fig. 20: layer-ratio spread vs ReKV");
+    rep.add("resv", "min_ratio", 100.0 * lo, "%", 1);
+    rep.add("resv", "max_ratio", 100.0 * hi, "%", 1);
+    rep.add("resv", "avg_ratio", 100.0 * overall.mean(), "%", 1);
+    rep.add("resv", "vs_rekv", rekv_ratio / overall.mean(), "x", 1);
+    rep.note("paper: span 4.2% .. 44.0%, 3.0x fewer tokens than "
+             "ReKV");
+
+    rep.beginPanel("per_head_l3",
+                   "Fig. 20: retrieval ratio per head (layer 3)");
     if (r.layerHeadRatio.size() > 3) {
         for (size_t h = 0; h < r.layerHeadRatio[3].size(); ++h)
-            std::printf("%8zu %11.1f%%\n", h,
-                        100.0 * r.layerHeadRatio[3][h]);
+            rep.add("head" + std::to_string(h), "resv",
+                    100.0 * r.layerHeadRatio[3][h], "%", 1);
     }
-    bench::note("the spread across layers/heads is exactly what "
-                "fixed top-k cannot adapt to (paper SIII-C)");
-    return 0;
+    rep.note("the spread across layers/heads is exactly what "
+             "fixed top-k cannot adapt to (paper SIII-C)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBench("fig20", argc, argv, run);
 }

@@ -8,9 +8,10 @@
  * then prices both with the PCIe transaction model.
  */
 
-#include <cstdio>
+#include <algorithm>
 
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "core/resv.hh"
 #include "pipeline/memory_driver.hh"
 #include "pipeline/streaming_session.hh"
@@ -19,8 +20,11 @@
 
 using namespace vrex;
 
-int
-main()
+namespace
+{
+
+void
+run(bench::Reporter &rep)
 {
     ModelConfig cfg = ModelConfig::smallVideo();
     ResvConfig rc;
@@ -39,23 +43,29 @@ main()
     session.run(script);
 
     const MemoryReplayStats &s = tracked.stats();
-    bench::header("KVMU cluster-contiguous layout ablation "
-                  "(functional replay)");
-    std::printf("selected past tokens (sum over layers): %llu\n",
-                static_cast<unsigned long long>(s.selectedTokens));
-    std::printf("fetched bytes: %.1f MiB, offloaded: %.1f MiB\n",
-                s.fetchedBytes / 1048576.0,
-                s.offloadedBytes / 1048576.0);
-    std::printf("\n%-28s %14s %14s\n", "layout", "runs",
-                "tokens/run");
-    std::printf("%-28s %14llu %14.2f\n", "time-ordered (no KVMU)",
-                static_cast<unsigned long long>(s.runsTimeOrder),
-                s.tokensPerRunTimeOrder());
-    std::printf("%-28s %14llu %14.2f\n", "cluster-contiguous (KVMU)",
-                static_cast<unsigned long long>(s.runsClustered),
-                s.tokensPerRunClustered());
+    rep.beginPanel("replay",
+                   "KVMU cluster-contiguous layout ablation "
+                   "(functional replay)");
+    rep.add("totals", "selected_tokens",
+            static_cast<double>(s.selectedTokens), "", 0);
+    rep.add("totals", "fetched", s.fetchedBytes / 1048576.0, "MiB",
+            1);
+    rep.add("totals", "offloaded", s.offloadedBytes / 1048576.0,
+            "MiB", 1);
+
+    rep.beginPanel("layout", "contiguous runs per layout");
+    rep.add("time-ordered", "runs",
+            static_cast<double>(s.runsTimeOrder), "", 0);
+    rep.add("time-ordered", "tokens_per_run", s.tokensPerRunTimeOrder(),
+            "", 2);
+    rep.add("clustered", "runs",
+            static_cast<double>(s.runsClustered), "", 0);
+    rep.add("clustered", "tokens_per_run", s.tokensPerRunClustered(),
+            "", 2);
 
     // Price both with the edge PCIe link.
+    rep.beginPanel("pcie", "PCIe transfer estimate for the same "
+                           "bytes");
     PcieModel pcie(4.0, 1.5);
     const double granule = cfg.kvBytesPerTokenPerLayer(2.0);
     double bytes = static_cast<double>(s.selectedTokens) * granule;
@@ -63,18 +73,28 @@ main()
         bytes, static_cast<double>(s.runsTimeOrder));
     double t_clust = pcie.transferSeconds(
         bytes, static_cast<double>(s.runsClustered));
-    std::printf("\nPCIe transfer estimate for the same bytes:\n");
-    std::printf("  time-ordered: %8.2f ms (eff %.0f%%)\n",
-                t_time * 1e3,
-                100.0 * pcie.efficiency(
-                    bytes / std::max<uint64_t>(1, s.runsTimeOrder)));
-    std::printf("  clustered:    %8.2f ms (eff %.0f%%)  -> %.2fx "
-                "fewer transactions\n", t_clust * 1e3,
-                100.0 * pcie.efficiency(
-                    bytes / std::max<uint64_t>(1, s.runsClustered)),
-                static_cast<double>(s.runsTimeOrder) /
-                    std::max<uint64_t>(1, s.runsClustered));
-    bench::note("the KVMU stores same-cluster tokens contiguously so "
-                "one transaction moves a whole cluster (Fig. 12)");
-    return 0;
+    rep.add("time-ordered", "transfer", t_time * 1e3, "ms", 2);
+    rep.add("time-ordered", "efficiency",
+            100.0 * pcie.efficiency(
+                bytes / std::max<uint64_t>(1, s.runsTimeOrder)),
+            "%", 0);
+    rep.add("clustered", "transfer", t_clust * 1e3, "ms", 2);
+    rep.add("clustered", "efficiency",
+            100.0 * pcie.efficiency(
+                bytes / std::max<uint64_t>(1, s.runsClustered)),
+            "%", 0);
+    rep.add("clustered", "txn_reduction",
+            static_cast<double>(s.runsTimeOrder) /
+                std::max<uint64_t>(1, s.runsClustered),
+            "x", 2);
+    rep.note("the KVMU stores same-cluster tokens contiguously so "
+             "one transaction moves a whole cluster (Fig. 12)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBench("kvmu_layout", argc, argv, run);
 }

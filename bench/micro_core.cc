@@ -4,6 +4,12 @@
  * encoding, packed Hamming distance vs. float cosine similarity,
  * HC-table insertion, and WiCSum (reference sort vs. early-exit
  * bucket sweep) — the software-side counterparts of the HCU and WTU.
+ *
+ * Unlike the figure/table harnesses this binary does not use
+ * vrex::bench::Reporter: Google Benchmark already provides machine
+ * output (`--benchmark_format=json --benchmark_out=PATH`). Its
+ * numbers are wall-clock timings of the host machine, so they are
+ * deliberately excluded from the bench/baseline.json drift gate.
  */
 
 #include <benchmark/benchmark.h>

@@ -4,9 +4,8 @@
  * platforms, as configured in the simulator.
  */
 
-#include <cstdio>
-
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "sim/hw_config.hh"
 
 using namespace vrex;
@@ -15,28 +14,34 @@ namespace
 {
 
 void
-row(const AcceleratorConfig &hw)
+row(bench::Reporter &rep, const AcceleratorConfig &hw)
 {
-    std::printf("%-10s %10.1f %12.1f %10.0f %12.1f %10.1f %7u\n",
-                hw.name.c_str(), hw.peakTflops, hw.memBandwidthGBs,
-                hw.memCapacityGB, hw.pcieBandwidthGBs,
-                hw.systemPowerW, hw.nCores);
+    rep.add(hw.name, "peak", hw.peakTflops, "TFLOPS", 1);
+    rep.add(hw.name, "mem_bw", hw.memBandwidthGBs, "GB/s", 1);
+    rep.add(hw.name, "mem", hw.memCapacityGB, "GB", 0);
+    rep.add(hw.name, "pcie_bw", hw.pcieBandwidthGBs, "GB/s", 1);
+    rep.add(hw.name, "power", hw.systemPowerW, "W", 1);
+    rep.add(hw.name, "cores", hw.nCores, "", 0);
+}
+
+void
+run(bench::Reporter &rep)
+{
+    rep.beginPanel("specs", "Table I: Hardware Specifications of GPUs "
+                            "and V-Rex");
+    row(rep, AcceleratorConfig::agxOrin());
+    row(rep, AcceleratorConfig::a100());
+    row(rep, AcceleratorConfig::vrex8());
+    row(rep, AcceleratorConfig::vrex48());
+    rep.note("paper: AGX 54/204.8/32/4/40; A100 312/1935/80/32/300; "
+             "V-Rex8 53.3/204.8/-/4/35; V-Rex48 "
+             "319.5/1935/-/32/203.68");
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::header("Table I: Hardware Specifications of GPUs and V-Rex");
-    std::printf("%-10s %10s %12s %10s %12s %10s %7s\n", "Platform",
-                "TFLOPS", "MemBW GB/s", "Mem GB", "PCIe GB/s",
-                "Power W", "Cores");
-    row(AcceleratorConfig::agxOrin());
-    row(AcceleratorConfig::a100());
-    row(AcceleratorConfig::vrex8());
-    row(AcceleratorConfig::vrex48());
-    bench::note("paper: AGX 54/204.8/32/4/40; A100 312/1935/80/32/300; "
-                "V-Rex8 53.3/204.8/-/4/35; V-Rex48 319.5/1935/-/32/203.68");
-    return 0;
+    return bench::runBench("table1", argc, argv, run);
 }

@@ -12,13 +12,13 @@
  * 100% during frame processing; InfiniGenP/ReKV lose more accuracy.
  */
 
-#include <cstdio>
 #include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "core/resv.hh"
 #include "pipeline/accuracy_eval.hh"
 #include "retrieval/policies.hh"
@@ -43,10 +43,8 @@ struct MethodEntry
         const ModelConfig &)> make;
 };
 
-} // namespace
-
-int
-main()
+void
+run(bench::Reporter &rep)
 {
     const ModelConfig cfg = ModelConfig::tiny();
     const uint64_t seed = 42;
@@ -80,17 +78,13 @@ main()
             new ResvPolicy(m, c));
     }});
 
-    bench::header("Table II: COIN accuracy proxy (Top-1) per method");
-    std::printf("%-16s", "Method");
-    for (CoinTask t : allCoinTasks())
-        std::printf(" %8s", coinTaskName(t).c_str());
-    std::printf(" %8s\n", "Avg");
+    rep.beginPanel("accuracy",
+                   "Table II: COIN accuracy proxy (Top-1) per method");
 
     struct Ratios { double frame, text; };
     std::map<std::string, std::vector<Ratios>> ratio_table;
 
     for (const auto &m : methods) {
-        std::printf("%-16s", m.name.c_str());
         double acc_sum = 0.0;
         for (CoinTask t : allCoinTasks()) {
             SessionScript script = WorkloadGenerator::coinTask(t, 3);
@@ -99,31 +93,42 @@ main()
                                                 policy.get(), seed);
             double acc = proxyAccuracy(vanillaAcc.at(t), f);
             acc_sum += acc;
-            std::printf(" %8.1f", acc);
+            rep.add(m.name, coinTaskName(t), acc, "", 1);
             ratio_table[m.name].push_back(
                 {f.frameRatio, f.textRatio});
         }
-        std::printf(" %8.1f\n", acc_sum / 5.0);
+        rep.add(m.name, "Avg", acc_sum / 5.0, "", 1);
     }
 
-    bench::header(
-        "Table II: retrieval ratio [frame stage / text stage] %");
-    for (const auto &m : methods) {
-        if (m.name == "VideoLLM-Online")
-            continue;  // No retrieval.
-        std::printf("%-16s", m.name.c_str());
-        double fs = 0.0, ts = 0.0;
-        for (const auto &r : ratio_table[m.name]) {
-            std::printf(" %5.1f/%-5.1f", 100.0 * r.frame,
-                        100.0 * r.text);
-            fs += r.frame;
-            ts += r.text;
+    const char *stages[2] = {"frame_ratio", "text_ratio"};
+    for (int stage = 0; stage < 2; ++stage) {
+        rep.beginPanel(stages[stage],
+                       std::string("Table II: ") + stages[stage] +
+                           " per method [%]");
+        for (const auto &m : methods) {
+            if (m.name == "VideoLLM-Online")
+                continue;  // No retrieval.
+            double sum = 0.0;
+            auto tasks = allCoinTasks();
+            for (size_t i = 0; i < tasks.size(); ++i) {
+                const Ratios &r = ratio_table[m.name][i];
+                double v = stage == 0 ? r.frame : r.text;
+                sum += v;
+                rep.add(m.name, coinTaskName(tasks[i]), 100.0 * v,
+                        "%", 1);
+            }
+            rep.add(m.name, "Avg", 100.0 * sum / 5.0, "%", 1);
         }
-        std::printf(" %5.1f/%-5.1f\n", 100.0 * fs / 5.0,
-                    100.0 * ts / 5.0);
     }
-    bench::note("paper averages: InfiniGen 100/6.8, InfiniGenP "
-                "50.8/6.8, ReKV 58.4/31.2, ReSV 32.7/2.5; ReSV drops "
-                "only 0.8% accuracy vs vanilla");
-    return 0;
+    rep.note("paper averages: InfiniGen 100/6.8, InfiniGenP "
+             "50.8/6.8, ReKV 58.4/31.2, ReSV 32.7/2.5; ReSV drops "
+             "only 0.8% accuracy vs vanilla");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBench("table2", argc, argv, run);
 }

@@ -6,52 +6,65 @@
  * smaller than AGX Orin, V-Rex48 far smaller than A100.
  */
 
-#include <cstdio>
-
 #include "bench_util.hh"
+#include "common/bench_report.hh"
 #include "sim/energy_model.hh"
 #include "sim/hw_config.hh"
 
 using namespace vrex;
 
-int
-main()
+namespace
+{
+
+void
+run(bench::Reporter &rep)
 {
     VRexCoreSpec spec;
-    bench::header("Table III: breakdown of area and power (1 core)");
-    std::printf("%-18s %10s %8s %12s %8s\n", "Component",
-                "Area[mm2]", "Area%", "Power[mW]", "Power%");
+    rep.beginPanel("core", "Table III: breakdown of area and power "
+                           "(1 core)");
     for (const auto &c : spec.all()) {
-        std::printf("%-18s %10.2f %7.2f%% %12.2f %7.2f%%\n",
-                    c.name.c_str(), c.areaMm2,
-                    100.0 * c.areaMm2 / spec.totalAreaMm2(),
-                    c.powerMw,
-                    100.0 * c.powerMw / spec.totalPowerMw());
+        rep.add(c.name, "area", c.areaMm2, "mm2", 2);
+        rep.add(c.name, "area_share",
+                100.0 * c.areaMm2 / spec.totalAreaMm2(), "%", 2);
+        rep.add(c.name, "power", c.powerMw, "mW", 2);
+        rep.add(c.name, "power_share",
+                100.0 * c.powerMw / spec.totalPowerMw(), "%", 2);
     }
-    std::printf("%-18s %10.2f %8s %12.2f %8s\n", "Total",
-                spec.totalAreaMm2(), "100%", spec.totalPowerMw(),
-                "100%");
+    rep.add("Total", "area", spec.totalAreaMm2(), "mm2", 2);
+    rep.add("Total", "power", spec.totalPowerMw(), "mW", 2);
+    rep.add("DRE share", "area_share",
+            100.0 * spec.dreAreaFraction(), "%", 1);
+    rep.add("DRE share", "power_share",
+            100.0 * spec.drePowerFraction(), "%", 1);
+    rep.note("paper: DRE 2.0% of area, 2.2% of power");
 
-    std::printf("\nDRE share: %.1f%% area, %.1f%% power "
-                "(paper: 2.0%% / 2.2%%)\n",
-                100.0 * spec.dreAreaFraction(),
-                100.0 * spec.drePowerFraction());
-
-    std::printf("\nScaled configurations:\n");
-    std::printf("  V-Rex8 : %6.2f mm2 vs AGX Orin ~200 mm2\n",
-                8 * spec.totalAreaMm2());
-    std::printf("  V-Rex48: %6.2f mm2 vs A100 ~826 mm2\n",
-                48 * spec.totalAreaMm2());
+    rep.beginPanel("system", "Scaled configurations vs GPUs");
     auto v8 = AcceleratorConfig::vrex8();
     auto v48 = AcceleratorConfig::vrex48();
     auto agx = AcceleratorConfig::agxOrin();
     auto a100 = AcceleratorConfig::a100();
-    std::printf("  system power: V-Rex8 %.0f W vs AGX %.0f W "
-                "(%.1f%% lower)\n", v8.systemPowerW, agx.systemPowerW,
-                100.0 * (1.0 - v8.systemPowerW / agx.systemPowerW));
-    std::printf("  system power: V-Rex48 %.2f W vs A100 %.0f W "
-                "(%.1f%% lower)\n", v48.systemPowerW,
-                a100.systemPowerW,
-                100.0 * (1.0 - v48.systemPowerW / a100.systemPowerW));
-    return 0;
+    rep.add("V-Rex8", "area", 8 * spec.totalAreaMm2(), "mm2", 2);
+    rep.add("V-Rex8", "gpu_area", 200.0, "mm2", 0);
+    rep.add("V-Rex8", "power", v8.systemPowerW, "W", 0);
+    rep.add("V-Rex8", "gpu_power", agx.systemPowerW, "W", 0);
+    rep.add("V-Rex8", "power_saving",
+            100.0 * (1.0 - v8.systemPowerW / agx.systemPowerW), "%",
+            1);
+    rep.add("V-Rex48", "area", 48 * spec.totalAreaMm2(), "mm2", 2);
+    rep.add("V-Rex48", "gpu_area", 826.0, "mm2", 0);
+    rep.add("V-Rex48", "power", v48.systemPowerW, "W", 2);
+    rep.add("V-Rex48", "gpu_power", a100.systemPowerW, "W", 0);
+    rep.add("V-Rex48", "power_saving",
+            100.0 * (1.0 - v48.systemPowerW / a100.systemPowerW), "%",
+            1);
+    rep.note("gpu_area/gpu_power columns are the compared GPU "
+             "(AGX Orin for V-Rex8, A100 for V-Rex48)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::runBench("table3", argc, argv, run);
 }

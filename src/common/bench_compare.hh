@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reader-side of the bench reporting subsystem: load and validate
+ * `vrex-bench-1` reports, cross-check CSV output, and diff a run
+ * against the checked-in `bench/baseline.json` with tolerance bands.
+ * The `drift_check` CLI in bench/ is a thin wrapper over this.
+ */
+
+#ifndef VREX_COMMON_BENCH_COMPARE_HH
+#define VREX_COMMON_BENCH_COMPARE_HH
+
+#include <string>
+#include <vector>
+
+namespace vrex::bench
+{
+
+/** One metric record with its owning bench (the baseline spans all). */
+struct Record
+{
+    std::string bench;
+    std::string panel;
+    std::string row;
+    std::string metric;
+    double value = 0.0;  // NaN when the report stored null.
+    std::string unit;
+
+    std::string key() const;    // Identity: bench/panel/row/metric.
+    std::string pretty() const; // Identity for error messages.
+};
+
+/** A parsed --json report from one bench binary. */
+struct LoadedReport
+{
+    std::string bench;
+    std::vector<Record> records;
+};
+
+/**
+ * Parse and schema-validate one report document. Returns false and
+ * sets `err` when the document is not valid vrex-bench-1 (wrong
+ * schema tag, missing/ill-typed fields, record bench mismatching the
+ * report bench, or duplicate record identities).
+ */
+bool loadReport(const std::string &jsonText, LoadedReport &out,
+                std::string &err);
+
+/** Parse a --csv file into records (same validation as loadReport). */
+bool loadCsv(const std::string &csvText, std::vector<Record> &out,
+             std::string &err);
+
+/**
+ * Check that a JSON report and a CSV report carry exactly the same
+ * records (the round-trip CI asserts). Order must match too: both
+ * writers emit insertion order.
+ */
+bool sameRecords(const LoadedReport &json,
+                 const std::vector<Record> &csv, std::string &err);
+
+/** The checked-in drift reference plus its tolerance policy. */
+struct Baseline
+{
+    double defaultRelTol = 0.05;
+    double defaultAbsTol = 1e-6;
+    /** Per-bench relative-tolerance overrides (noisier benches). */
+    std::vector<std::pair<std::string, double>> benchRelTol;
+    std::vector<Record> records;
+
+    double relTolFor(const std::string &bench) const;
+};
+
+bool loadBaseline(const std::string &jsonText, Baseline &out,
+                  std::string &err);
+
+/** Serialize a Baseline back to its vrex-bench-baseline-1 document. */
+std::string renderBaseline(const Baseline &b);
+
+/** One detected divergence between a run and the baseline. */
+struct DriftIssue
+{
+    enum class Kind { MissingMetric, UnitMismatch, OutOfTolerance };
+    Kind kind;
+    Record base;
+    double got = 0.0;  // Meaningful for OutOfTolerance only.
+    std::string describe() const;
+};
+
+struct DriftReport
+{
+    std::vector<DriftIssue> issues;
+    size_t compared = 0;
+    size_t newMetrics = 0;  // Present in the run, absent in baseline.
+    /** Benches that produced a report but have no baseline records. */
+    std::vector<std::string> benchesWithoutBaseline;
+
+    bool ok() const { return issues.empty(); }
+};
+
+/**
+ * Diff candidate reports against the baseline. Only baseline records
+ * whose bench actually produced a candidate report are enforced, so a
+ * partial run (one figure) can still be gated. A metric passes when
+ * |got - base| <= max(defaultAbsTol, relTol(bench) * |base|), or when
+ * both sides are non-finite.
+ */
+DriftReport compareToBaseline(const Baseline &baseline,
+                              const std::vector<LoadedReport> &runs);
+
+} // namespace vrex::bench
+
+#endif // VREX_COMMON_BENCH_COMPARE_HH

@@ -1,0 +1,365 @@
+#include "common/bench_report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/json_lite.hh"
+#include "common/logging.hh"
+
+namespace vrex::bench
+{
+
+std::string
+formatValue(double v)
+{
+    if (std::isnan(v))
+        return "nan";
+    if (std::isinf(v))
+        return v > 0 ? "inf" : "-inf";
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+namespace
+{
+
+/**
+ * Identity strings (bench/panel/row/metric/unit) end up as CSV
+ * fields, whose reader is line-based: embedded newlines would emit
+ * records the reader rejects, so forbid them at registration time.
+ */
+const std::string &
+checkIdent(const std::string &s)
+{
+    VREX_ASSERT(s.find_first_of("\n\r") == std::string::npos,
+                "newline in metric identity '%s'", s.c_str());
+    return s;
+}
+
+} // namespace
+
+Reporter::Reporter(std::string benchName) : bench_(std::move(benchName))
+{
+    VREX_ASSERT(!bench_.empty(), "bench name must be non-empty");
+    checkIdent(bench_);
+}
+
+Reporter::Panel &
+Reporter::currentPanel()
+{
+    if (panels_.empty())
+        panels_.push_back({"main", "", {}});
+    return panels_.back();
+}
+
+void
+Reporter::beginPanel(const std::string &id, const std::string &title)
+{
+    VREX_ASSERT(!id.empty(), "panel id must be non-empty");
+    checkIdent(id);
+    for (const auto &p : panels_)
+        VREX_ASSERT(p.id != id, "duplicate panel id '%s'", id.c_str());
+    panels_.push_back({id, title, {}});
+}
+
+void
+Reporter::add(const std::string &row, const std::string &metric,
+              double value, const std::string &unit, int prec)
+{
+    const std::string &panel = currentPanel().id;
+    VREX_ASSERT(!find(panel, row, metric),
+                "duplicate metric %s/%s/%s", panel.c_str(), row.c_str(),
+                metric.c_str());
+    metrics_.push_back({panel, checkIdent(row), checkIdent(metric),
+                        value, checkIdent(unit), prec});
+}
+
+void
+Reporter::addText(const std::string &row, const std::string &metric,
+                  const std::string &text)
+{
+    textCells_.push_back({currentPanel().id, row, metric, text});
+}
+
+void
+Reporter::note(const std::string &text)
+{
+    currentPanel().notes.push_back(text);
+}
+
+const Metric *
+Reporter::find(const std::string &panel, const std::string &row,
+               const std::string &metric) const
+{
+    for (const auto &m : metrics_) {
+        if (m.panel == panel && m.row == row && m.metric == metric)
+            return &m;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+std::string
+humanCell(const Metric &m)
+{
+    char buf[48];
+    if (m.prec >= 0)
+        std::snprintf(buf, sizeof(buf), "%.*f", m.prec, m.value);
+    else
+        std::snprintf(buf, sizeof(buf), "%.4g", m.value);
+    return buf + m.unit;
+}
+
+void
+appendPadded(std::string &out, const std::string &cell, size_t width,
+             bool leftAlign)
+{
+    if (!leftAlign && cell.size() < width)
+        out.append(width - cell.size(), ' ');
+    out += cell;
+    if (leftAlign && cell.size() < width)
+        out.append(width - cell.size(), ' ');
+}
+
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+Reporter::renderHuman() const
+{
+    std::string out;
+    for (const auto &panel : panels_) {
+        out += "\n=== ";
+        out += panel.title.empty() ? bench_ + " · " + panel.id
+                                   : panel.title;
+        out += " ===\n";
+
+        // Pivot: rows and metric columns in first-appearance order;
+        // cells carry their unit so mixed-unit rows stay readable.
+        std::vector<std::string> rows, cols;
+        auto noteName = [](std::vector<std::string> &v,
+                           const std::string &s) {
+            if (std::find(v.begin(), v.end(), s) == v.end())
+                v.push_back(s);
+        };
+        for (const auto &m : metrics_) {
+            if (m.panel != panel.id)
+                continue;
+            noteName(rows, m.row);
+            noteName(cols, m.metric);
+        }
+        for (const auto &t : textCells_) {
+            if (t.panel != panel.id)
+                continue;
+            noteName(rows, t.row);
+            noteName(cols, t.metric);
+        }
+
+        auto cell = [&](const std::string &row,
+                        const std::string &col) -> std::string {
+            if (const Metric *m = find(panel.id, row, col))
+                return humanCell(*m);
+            for (const auto &t : textCells_) {
+                if (t.panel == panel.id && t.row == row &&
+                    t.metric == col)
+                    return t.text;
+            }
+            return "-";
+        };
+
+        if (!rows.empty()) {
+            std::vector<size_t> widths(cols.size());
+            size_t rowWidth = 0;
+            for (const auto &r : rows)
+                rowWidth = std::max(rowWidth, r.size());
+            for (size_t c = 0; c < cols.size(); ++c) {
+                widths[c] = cols[c].size();
+                for (const auto &r : rows)
+                    widths[c] = std::max(widths[c],
+                                         cell(r, cols[c]).size());
+            }
+
+            appendPadded(out, "", rowWidth, true);
+            for (size_t c = 0; c < cols.size(); ++c) {
+                out += "  ";
+                appendPadded(out, cols[c], widths[c], false);
+            }
+            out += '\n';
+            for (const auto &r : rows) {
+                appendPadded(out, r, rowWidth, true);
+                for (size_t c = 0; c < cols.size(); ++c) {
+                    out += "  ";
+                    appendPadded(out, cell(r, cols[c]), widths[c],
+                                 false);
+                }
+                out += '\n';
+            }
+        }
+        for (const auto &n : panel.notes) {
+            out += "--- ";
+            out += n;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string
+Reporter::renderJson() const
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"vrex-bench-1\",\n";
+    out += "  \"bench\": " + json::quote(bench_) + ",\n";
+    out += "  \"metrics\": [";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+        const Metric &m = metrics_[i];
+        out += i ? ",\n    " : "\n    ";
+        out += "{\"bench\": " + json::quote(bench_);
+        out += ", \"panel\": " + json::quote(m.panel);
+        out += ", \"row\": " + json::quote(m.row);
+        out += ", \"metric\": " + json::quote(m.metric);
+        out += ", \"value\": ";
+        out += std::isfinite(m.value) ? formatValue(m.value) : "null";
+        out += ", \"unit\": " + json::quote(m.unit) + "}";
+    }
+    out += metrics_.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
+Reporter::renderCsv() const
+{
+    std::string out = "bench,panel,row,metric,value,unit\n";
+    for (const auto &m : metrics_) {
+        // JSON collapses every non-finite value to null (read back as
+        // NaN); write "nan" here so both formats carry the same
+        // record and the --verify cross-check holds.
+        out += csvField(bench_) + ',' + csvField(m.panel) + ',' +
+               csvField(m.row) + ',' + csvField(m.metric) + ',' +
+               (std::isfinite(m.value) ? formatValue(m.value)
+                                       : "nan") +
+               ',' + csvField(m.unit) + '\n';
+    }
+    return out;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts, std::string &err)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto pathArg = [&](std::string &dst) {
+            if (i + 1 >= argc) {
+                err = "missing path after " + arg;
+                return false;
+            }
+            dst = argv[++i];
+            return true;
+        };
+        if (arg == "--json") {
+            if (!pathArg(opts.jsonPath))
+                return false;
+        } else if (arg == "--csv") {
+            if (!pathArg(opts.csvPath))
+                return false;
+        } else if (arg == "--quiet" || arg == "-q") {
+            opts.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else {
+            err = "unknown argument '" + arg + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+usage(const std::string &benchName)
+{
+    return "usage: " + benchName +
+           " [--json PATH] [--csv PATH] [--quiet] [--help]\n"
+           "  --json PATH  write metrics as JSON (vrex-bench-1 schema)\n"
+           "  --csv PATH   write metrics as CSV "
+           "(bench,panel,row,metric,value,unit)\n"
+           "  --quiet      suppress the human-readable tables\n";
+}
+
+namespace
+{
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << content;
+    return static_cast<bool>(out.flush());
+}
+
+} // namespace
+
+int
+runBench(const std::string &benchName, int argc, char **argv,
+         const std::function<void(Reporter &)> &body)
+{
+    Options opts;
+    std::string err;
+    if (!parseArgs(argc, argv, opts, err)) {
+        std::fprintf(stderr, "%s: %s\n%s", benchName.c_str(),
+                     err.c_str(), usage(benchName).c_str());
+        return 2;
+    }
+    if (opts.help) {
+        std::fputs(usage(benchName).c_str(), stdout);
+        return 0;
+    }
+
+    Reporter reporter(benchName);
+    body(reporter);
+
+    if (!opts.quiet)
+        std::fputs(reporter.renderHuman().c_str(), stdout);
+    if (!opts.jsonPath.empty() &&
+        !writeFile(opts.jsonPath, reporter.renderJson())) {
+        std::fprintf(stderr, "%s: cannot write %s\n", benchName.c_str(),
+                     opts.jsonPath.c_str());
+        return 1;
+    }
+    if (!opts.csvPath.empty() &&
+        !writeFile(opts.csvPath, reporter.renderCsv())) {
+        std::fprintf(stderr, "%s: cannot write %s\n", benchName.c_str(),
+                     opts.csvPath.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace vrex::bench

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Structured metric reporting for the paper-figure benchmarks.
+ *
+ * Every bench registers named scalar metrics into a Reporter instead
+ * of printf-ing rows, and the shared harness renders them three ways:
+ *
+ *  - a human-readable table per panel on stdout (default),
+ *  - `--json PATH`: a machine-readable report with the stable record
+ *    schema `{bench, panel, row, metric, value, unit}`,
+ *  - `--csv PATH`: the same records as `bench,panel,row,metric,
+ *    value,unit` rows.
+ *
+ * The (bench, panel, row, metric) tuple is the stable identity CI uses
+ * to diff runs against `bench/baseline.json`; renaming any component
+ * is a schema change and requires a baseline refresh.
+ */
+
+#ifndef VREX_COMMON_BENCH_REPORT_HH
+#define VREX_COMMON_BENCH_REPORT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vrex::bench
+{
+
+/** One reported scalar: the unit of machine-readable output. */
+struct Metric
+{
+    std::string panel;
+    std::string row;
+    std::string metric;
+    double value = 0.0;
+    std::string unit;
+    /** Decimal places for the human table; -1 renders with %.4g. */
+    int prec = -1;
+};
+
+/**
+ * Format a double so that parsing it back yields the same value
+ * (shortest of %.15g/%.16g/%.17g that round-trips). Non-finite values
+ * format as "nan"/"inf"/"-inf"; the JSON writer emits null for them.
+ */
+std::string formatValue(double v);
+
+/** Collects metrics for one bench binary and renders every output. */
+class Reporter
+{
+  public:
+    explicit Reporter(std::string benchName);
+
+    const std::string &benchName() const { return bench_; }
+
+    /**
+     * Start a panel (one figure sub-plot or table). Subsequent add()
+     * and note() calls attach to it. Panel ids must be unique within
+     * the bench; the title is human-output only.
+     */
+    void beginPanel(const std::string &id, const std::string &title);
+
+    /** Register a scalar under the current panel. */
+    void add(const std::string &row, const std::string &metric,
+             double value, const std::string &unit = "", int prec = -1);
+
+    /**
+     * Put a non-numeric marker (e.g. "OOM", "-") into a human-table
+     * cell. Text cells never appear in JSON/CSV: pair them with a
+     * numeric companion metric when CI must see the condition.
+     */
+    void addText(const std::string &row, const std::string &metric,
+                 const std::string &text);
+
+    /** Attach a free-form note to the current panel (human only). */
+    void note(const std::string &text);
+
+    /** All registered metrics in insertion order. */
+    const std::vector<Metric> &metrics() const { return metrics_; }
+
+    /** Lookup by identity; nullptr when absent. */
+    const Metric *find(const std::string &panel, const std::string &row,
+                       const std::string &metric) const;
+
+    std::string renderHuman() const;
+    std::string renderJson() const;
+    std::string renderCsv() const;
+
+  private:
+    struct TextCell
+    {
+        std::string panel;
+        std::string row;
+        std::string metric;
+        std::string text;
+    };
+
+    struct Panel
+    {
+        std::string id;
+        std::string title;
+        std::vector<std::string> notes;
+    };
+
+    Panel &currentPanel();
+
+    std::string bench_;
+    std::vector<Panel> panels_;
+    std::vector<Metric> metrics_;
+    std::vector<TextCell> textCells_;
+};
+
+/** Output selection parsed from the shared bench command line. */
+struct Options
+{
+    std::string jsonPath;
+    std::string csvPath;
+    bool quiet = false;
+    bool help = false;
+};
+
+/**
+ * Parse the shared bench flags (--json PATH, --csv PATH, --quiet,
+ * --help/-h). Returns false and sets `err` on an unknown flag or a
+ * missing argument.
+ */
+bool parseArgs(int argc, char **argv, Options &opts, std::string &err);
+
+/** Usage string for one bench binary. */
+std::string usage(const std::string &benchName);
+
+/**
+ * Shared main() body: parse flags, run `body(reporter)`, then print
+ * the human tables (unless --quiet) and write the requested machine
+ * outputs. Returns the process exit code.
+ */
+int runBench(const std::string &benchName, int argc, char **argv,
+             const std::function<void(Reporter &)> &body);
+
+} // namespace vrex::bench
+
+#endif // VREX_COMMON_BENCH_REPORT_HH

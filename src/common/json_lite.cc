@@ -1,0 +1,385 @@
+#include "common/json_lite.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vrex::json
+{
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+Value::numberOr(const std::string &key, double fallback) const
+{
+    const Value *v = find(key);
+    return v && v->isNumber() ? v->number() : fallback;
+}
+
+std::string
+Value::strOr(const std::string &key, const std::string &fallback) const
+{
+    const Value *v = find(key);
+    return v && v->isString() ? v->str() : fallback;
+}
+
+Value
+Value::makeBool(bool b)
+{
+    Value v;
+    v.type_ = Type::Bool;
+    v.flag_ = b;
+    return v;
+}
+
+Value
+Value::makeNumber(double x)
+{
+    Value v;
+    v.type_ = Type::Number;
+    v.num_ = x;
+    return v;
+}
+
+Value
+Value::makeString(std::string s)
+{
+    Value v;
+    v.type_ = Type::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+Value
+Value::makeArray(std::vector<Value> items)
+{
+    Value v;
+    v.type_ = Type::Array;
+    v.arr_ = std::move(items);
+    return v;
+}
+
+Value
+Value::makeObject(std::vector<std::pair<std::string, Value>> members)
+{
+    Value v;
+    v.type_ = Type::Object;
+    v.obj_ = std::move(members);
+    return v;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a byte string. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : text(text), err(err) {}
+
+    Value
+    document()
+    {
+        Value v = value();
+        if (failed)
+            return Value();
+        skipWs();
+        if (pos != text.size()) {
+            fail("trailing characters after document");
+            return Value();
+        }
+        return v;
+    }
+
+    bool ok() const { return !failed; }
+
+  private:
+    void
+    fail(const std::string &what)
+    {
+        if (!failed && err)
+            *err = what + " at byte " + std::to_string(pos);
+        failed = true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = 0;
+        while (word[n])
+            ++n;
+        if (text.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    Value
+    value()
+    {
+        skipWs();
+        if (pos >= text.size()) {
+            fail("unexpected end of input");
+            return Value();
+        }
+        switch (text[pos]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return Value::makeString(string());
+          case 't':
+            if (literal("true"))
+                return Value::makeBool(true);
+            fail("bad literal");
+            return Value();
+          case 'f':
+            if (literal("false"))
+                return Value::makeBool(false);
+            fail("bad literal");
+            return Value();
+          case 'n':
+            if (literal("null"))
+                return Value::makeNull();
+            fail("bad literal");
+            return Value();
+          default: return number();
+        }
+    }
+
+    Value
+    object()
+    {
+        ++pos;  // '{'
+        std::vector<std::pair<std::string, Value>> members;
+        skipWs();
+        if (consume('}'))
+            return Value::makeObject(std::move(members));
+        while (true) {
+            skipWs();
+            if (pos >= text.size() || text[pos] != '"') {
+                fail("expected object key");
+                return Value();
+            }
+            std::string key = string();
+            if (failed)
+                return Value();
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after key");
+                return Value();
+            }
+            Value v = value();
+            if (failed)
+                return Value();
+            members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return Value::makeObject(std::move(members));
+            fail("expected ',' or '}' in object");
+            return Value();
+        }
+    }
+
+    Value
+    array()
+    {
+        ++pos;  // '['
+        std::vector<Value> items;
+        skipWs();
+        if (consume(']'))
+            return Value::makeArray(std::move(items));
+        while (true) {
+            Value v = value();
+            if (failed)
+                return Value();
+            items.push_back(std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return Value::makeArray(std::move(items));
+            fail("expected ',' or ']' in array");
+            return Value();
+        }
+    }
+
+    std::string
+    string()
+    {
+        ++pos;  // opening quote
+        std::string out;
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return out;
+            }
+            if (c == '\\') {
+                if (pos + 1 >= text.size())
+                    break;
+                char esc = text[pos + 1];
+                pos += 2;
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 > text.size()) {
+                        fail("truncated \\u escape");
+                        return "";
+                    }
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text[pos + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            code |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            code |= h - 'A' + 10;
+                        else {
+                            fail("bad \\u escape");
+                            return "";
+                        }
+                    }
+                    pos += 4;
+                    // Encode as UTF-8 (no surrogate-pair handling:
+                    // the writers only escape control characters).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xc0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (code >> 12));
+                        out += static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    fail("unknown escape");
+                    return "";
+                }
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+                return "";
+            }
+            out += c;
+            ++pos;
+        }
+        fail("unterminated string");
+        return "";
+    }
+
+    Value
+    number()
+    {
+        size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-'))
+            ++pos;
+        if (pos == start) {
+            fail("expected value");
+            return Value();
+        }
+        std::string tok = text.substr(start, pos - start);
+        char *end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size() || !std::isfinite(v)) {
+            fail("malformed number '" + tok + "'");
+            return Value();
+        }
+        return Value::makeNumber(v);
+    }
+
+    const std::string &text;
+    std::string *err;
+    size_t pos = 0;
+    bool failed = false;
+};
+
+} // namespace
+
+Value
+parse(const std::string &text, std::string *err)
+{
+    Parser p(text, err);
+    Value v = p.document();
+    return p.ok() ? v : Value();
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace vrex::json

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal JSON reader for the bench reporting subsystem.
+ *
+ * Parses the subset of JSON the Reporter emits (objects, arrays,
+ * strings with \-escapes, finite numbers, booleans, null) into an
+ * ordered DOM. This is a reader for machine-generated files
+ * (`BENCH_*.json`, `bench/baseline.json`), not a general-purpose JSON
+ * library: inputs must be UTF-8 and non-finite numbers are rejected at
+ * parse time (the writers emit `null` instead).
+ */
+
+#ifndef VREX_COMMON_JSON_LITE_HH
+#define VREX_COMMON_JSON_LITE_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vrex::json
+{
+
+/** One JSON value; object members keep their source order. */
+class Value
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Value() : type_(Type::Null) {}
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool boolean() const { return flag_; }
+    double number() const { return num_; }
+    const std::string &str() const { return str_; }
+    const std::vector<Value> &array() const { return arr_; }
+    const std::vector<std::pair<std::string, Value>> &
+    members() const { return obj_; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    /** Typed member accessors with defaults (for optional fields). */
+    double numberOr(const std::string &key, double fallback) const;
+    std::string strOr(const std::string &key,
+                      const std::string &fallback) const;
+
+    static Value makeNull() { return Value(); }
+    static Value makeBool(bool b);
+    static Value makeNumber(double v);
+    static Value makeString(std::string s);
+    static Value makeArray(std::vector<Value> items);
+    static Value
+    makeObject(std::vector<std::pair<std::string, Value>> members);
+
+  private:
+    Type type_;
+    bool flag_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Value> arr_;
+    std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/**
+ * Parse a complete JSON document. On failure returns Null and, when
+ * `err` is non-null, stores a message with the byte offset.
+ */
+Value parse(const std::string &text, std::string *err = nullptr);
+
+/** Escape a string for embedding in a JSON document (adds quotes). */
+std::string quote(const std::string &s);
+
+} // namespace vrex::json
+
+#endif // VREX_COMMON_JSON_LITE_HH

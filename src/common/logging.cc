@@ -40,6 +40,20 @@ panic(const char *fmt, ...)
 }
 
 void
+panicAt(const char *cond, const char *file, int line, const char *fmt,
+        ...)
+{
+    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d: ",
+                 cond, file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
 warn(const char *fmt, ...)
 {
     va_list args;

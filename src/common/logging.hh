@@ -26,6 +26,11 @@ namespace vrex
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/** panic() for VREX_ASSERT: prefixes the condition and location. */
+[[noreturn]] void panicAt(const char *cond, const char *file, int line,
+                          const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
 /** Print a warning that execution continues past. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
@@ -39,13 +44,18 @@ void setInformEnabled(bool enabled);
 
 /**
  * Assert an internal invariant; compiled in all build types because the
- * simulator's correctness claims depend on these checks.
+ * simulator's correctness claims depend on these checks. The message
+ * may be a printf format with arguments. (The previous expansion
+ * spliced __VA_ARGS__ *before* the condition/file/line arguments, so
+ * any formatted message paired specifiers with the wrong varargs —
+ * undefined behavior the moment such an assert fired.)
  */
 #define VREX_ASSERT(cond, ...)                                          \
     do {                                                                \
         if (!(cond)) {                                                  \
-            ::vrex::panic("assertion '%s' failed at %s:%d: " __VA_ARGS__,\
-                          #cond, __FILE__, __LINE__);                   \
+            /* "" concatenates with the message literal, and keeps */   \
+            /* VREX_ASSERT(cond) with no message compiling. */          \
+            ::vrex::panicAt(#cond, __FILE__, __LINE__, "" __VA_ARGS__); \
         }                                                               \
     } while (0)
 

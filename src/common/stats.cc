@@ -45,6 +45,12 @@ Histogram::Histogram(double lo, double hi, uint32_t bins)
 void
 Histogram::add(double x)
 {
+    // A NaN or infinite sample would make the float-to-integer cast
+    // below undefined behavior; count it separately instead.
+    if (!std::isfinite(x)) {
+        ++nonfinite;
+        return;
+    }
     double t = (x - lo) / (hi - lo);
     long bin = static_cast<long>(t * static_cast<double>(counts.size()));
     bin = std::clamp<long>(bin, 0, static_cast<long>(counts.size()) - 1);

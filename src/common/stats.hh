@@ -15,7 +15,15 @@
 namespace vrex
 {
 
-/** Online mean/variance/min/max accumulator (Welford). */
+/**
+ * Online mean/variance/min/max accumulator (Welford).
+ *
+ * Empty-state contract: with no samples, mean()/min()/max()/sum()
+ * and variance()/stddev() all return exactly 0.0 (never an
+ * uninitialized read) so accumulators over possibly-empty buckets can
+ * be reported without guards. Callers that must distinguish "no data"
+ * from "all zeros" check count() first.
+ */
 class RunningStat
 {
   public:
@@ -38,7 +46,12 @@ class RunningStat
     double total = 0.0;
 };
 
-/** Fixed-range histogram with uniform bins. */
+/**
+ * Fixed-range histogram with uniform bins. Out-of-range finite
+ * samples clamp into the edge bins; non-finite samples (NaN, ±inf)
+ * are rejected and tallied in nonFinite() so they can neither corrupt
+ * a bin index nor silently vanish.
+ */
 class Histogram
 {
   public:
@@ -49,6 +62,8 @@ class Histogram
     uint32_t bins() const { return static_cast<uint32_t>(counts.size()); }
     uint64_t count(uint32_t bin) const { return counts[bin]; }
     uint64_t total() const { return n; }
+    /** Samples rejected by add() because they were NaN or infinite. */
+    uint64_t nonFinite() const { return nonfinite; }
     double binCenter(uint32_t bin) const;
 
     /** Render a single-line ASCII sparkline of the distribution. */
@@ -59,6 +74,7 @@ class Histogram
     double hi;
     std::vector<uint64_t> counts;
     uint64_t n = 0;
+    uint64_t nonfinite = 0;
 };
 
 /** Pearson correlation coefficient of two equal-length samples. */

@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Tests for the bench reporting subsystem: Reporter rendering (human
+ * / JSON / CSV), the golden record schema, the shared arg parser, the
+ * json_lite reader, and the baseline drift comparison that CI runs
+ * against bench/baseline.json.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "../bench/bench_util.hh"
+#include "common/bench_compare.hh"
+#include "common/bench_report.hh"
+#include "common/json_lite.hh"
+
+using namespace vrex;
+using namespace vrex::bench;
+
+namespace
+{
+
+/** The fig04-shaped reporter used by the golden-output tests. */
+Reporter
+makeFig04Like()
+{
+    Reporter rep("fig04");
+    rep.beginPanel("a", "Fig. 4a: memory footprint");
+    rep.add("1min", "kv_cache", 3.15, "GB", 1);
+    rep.add("1min", "total", 18.2, "GB", 1);
+    rep.add("10min", "kv_cache", 31.5, "GB", 1);
+    rep.add("10min", "total", 46.5, "GB", 1);
+    rep.note("exceeds_32gb_edge=1 marks oversize footprints");
+    rep.beginPanel("b", "Fig. 4b: latency breakdown");
+    rep.add("40K", "prefill", 69.6, "%", 1);
+    return rep;
+}
+
+/** The table2-shaped reporter: mixed panels, text cell, OOM-less. */
+Reporter
+makeTable2Like()
+{
+    Reporter rep("table2");
+    rep.beginPanel("accuracy", "Table II: accuracy proxy");
+    rep.add("InfiniGen", "Step", 49.0, "", 1);
+    rep.add("InfiniGen", "Avg", 61.0, "", 1);
+    rep.add("V-Rex's ReSV", "Step", 48.2, "", 1);
+    rep.add("V-Rex's ReSV", "Avg", 60.2, "", 1);
+    rep.beginPanel("frame_ratio", "Table II: frame ratio");
+    rep.add("InfiniGen", "Step", 100.0, "%", 1);
+    rep.addText("VideoLLM-Online", "Step", "-");
+    return rep;
+}
+
+} // namespace
+
+TEST(FormatValue, RoundTripsExactly)
+{
+    for (double v : {0.0, 1.0, -1.5, 0.1, 1.0 / 3.0, 1e-300, 2.5e17,
+                     248.93754841905061}) {
+        std::string s = formatValue(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+    EXPECT_EQ(formatValue(std::nan("")), "nan");
+    EXPECT_EQ(formatValue(std::numeric_limits<double>::infinity()),
+              "inf");
+    EXPECT_EQ(formatValue(-std::numeric_limits<double>::infinity()),
+              "-inf");
+}
+
+TEST(KLabel, SubThousandValuesPrintExactly)
+{
+    // Regression: integer division used to print "0K" for anything
+    // below 1000 (cache=0 and the 500-token operating point alike).
+    EXPECT_EQ(kLabel(0), "0");
+    EXPECT_EQ(kLabel(1), "1");
+    EXPECT_EQ(kLabel(500), "500");
+    EXPECT_EQ(kLabel(999), "999");
+}
+
+TEST(KLabel, ThousandsRoundToNearest)
+{
+    EXPECT_EQ(kLabel(1000), "1K");
+    EXPECT_EQ(kLabel(1499), "1K");
+    EXPECT_EQ(kLabel(1500), "2K");
+    EXPECT_EQ(kLabel(40000), "40K");
+    EXPECT_EQ(kLabel(80000), "80K");
+}
+
+TEST(JsonLite, ParsesScalarsAndNesting)
+{
+    std::string err;
+    json::Value v = json::parse(
+        R"({"a": 1.5, "b": "x\ny", "c": [1, null, true], "d": {}})",
+        &err);
+    ASSERT_TRUE(v.isObject()) << err;
+    EXPECT_DOUBLE_EQ(v.numberOr("a", 0.0), 1.5);
+    EXPECT_EQ(v.strOr("b", ""), "x\ny");
+    ASSERT_TRUE(v.find("c")->isArray());
+    EXPECT_EQ(v.find("c")->array().size(), 3u);
+    EXPECT_TRUE(v.find("c")->array()[1].isNull());
+    EXPECT_TRUE(v.find("c")->array()[2].boolean());
+    EXPECT_TRUE(v.find("d")->isObject());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonLite, ParsesEscapes)
+{
+    std::string err;
+    json::Value v =
+        json::parse(R"(["\"\\\t\u0041\u00e9"])", &err);
+    ASSERT_TRUE(v.isArray()) << err;
+    EXPECT_EQ(v.array()[0].str(), "\"\\\tA\xc3\xa9");
+}
+
+TEST(JsonLite, RejectsMalformedDocuments)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru",
+          "[1] x", "\"unterminated", "[1e999]", "{\"a\": nan}"}) {
+        std::string err;
+        json::Value v = json::parse(bad, &err);
+        EXPECT_TRUE(v.isNull()) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+TEST(JsonLite, QuoteEscapesControlCharacters)
+{
+    EXPECT_EQ(json::quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    EXPECT_EQ(json::quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(Reporter, JsonGolden)
+{
+    Reporter rep("demo");
+    rep.beginPanel("p", "Panel");
+    rep.add("r1", "m1", 1.5, "ms");
+    rep.add("r1", "m2", std::nan(""), "");
+    const char *want =
+        "{\n"
+        "  \"schema\": \"vrex-bench-1\",\n"
+        "  \"bench\": \"demo\",\n"
+        "  \"metrics\": [\n"
+        "    {\"bench\": \"demo\", \"panel\": \"p\", \"row\": \"r1\","
+        " \"metric\": \"m1\", \"value\": 1.5, \"unit\": \"ms\"},\n"
+        "    {\"bench\": \"demo\", \"panel\": \"p\", \"row\": \"r1\","
+        " \"metric\": \"m2\", \"value\": null, \"unit\": \"\"}\n"
+        "  ]\n"
+        "}\n";
+    EXPECT_EQ(rep.renderJson(), want);
+}
+
+TEST(Reporter, CsvGoldenWithEscaping)
+{
+    Reporter rep("demo");
+    rep.beginPanel("p", "Panel");
+    rep.add("row,with,commas", "m\"q", 2.0, "x");
+    const char *want =
+        "bench,panel,row,metric,value,unit\n"
+        "demo,p,\"row,with,commas\",\"m\"\"q\",2,x\n";
+    EXPECT_EQ(rep.renderCsv(), want);
+}
+
+TEST(Reporter, JsonRoundTripsThroughLoader)
+{
+    Reporter rep = makeFig04Like();
+    LoadedReport loaded;
+    std::string err;
+    ASSERT_TRUE(loadReport(rep.renderJson(), loaded, err)) << err;
+    EXPECT_EQ(loaded.bench, "fig04");
+    ASSERT_EQ(loaded.records.size(), rep.metrics().size());
+    for (size_t i = 0; i < loaded.records.size(); ++i) {
+        const Record &r = loaded.records[i];
+        const Metric &m = rep.metrics()[i];
+        EXPECT_EQ(r.panel, m.panel);
+        EXPECT_EQ(r.row, m.row);
+        EXPECT_EQ(r.metric, m.metric);
+        EXPECT_EQ(r.unit, m.unit);
+        EXPECT_EQ(r.value, m.value);
+    }
+}
+
+TEST(Reporter, CsvRoundTripMatchesJson)
+{
+    for (Reporter rep : {makeFig04Like(), makeTable2Like()}) {
+        LoadedReport fromJson;
+        std::vector<Record> fromCsv;
+        std::string err;
+        ASSERT_TRUE(loadReport(rep.renderJson(), fromJson, err))
+            << err;
+        ASSERT_TRUE(loadCsv(rep.renderCsv(), fromCsv, err)) << err;
+        EXPECT_TRUE(sameRecords(fromJson, fromCsv, err)) << err;
+    }
+}
+
+TEST(Reporter, NonFiniteValuesAgreeAcrossJsonAndCsv)
+{
+    // Regression: JSON collapses non-finite values to null (NaN on
+    // read-back) while CSV used to print "inf", so the --verify
+    // JSON/CSV cross-check failed on any infinite metric.
+    Reporter rep("demo");
+    rep.beginPanel("p", "Panel");
+    rep.add("r", "pos_inf", std::numeric_limits<double>::infinity());
+    rep.add("r", "neg_inf", -std::numeric_limits<double>::infinity());
+    rep.add("r", "nan", std::nan(""));
+    LoadedReport fromJson;
+    std::vector<Record> fromCsv;
+    std::string err;
+    ASSERT_TRUE(loadReport(rep.renderJson(), fromJson, err)) << err;
+    ASSERT_TRUE(loadCsv(rep.renderCsv(), fromCsv, err)) << err;
+    EXPECT_TRUE(sameRecords(fromJson, fromCsv, err)) << err;
+    EXPECT_TRUE(std::isnan(fromCsv[0].value));
+}
+
+TEST(Reporter, HumanTableCarriesEveryMetric)
+{
+    // Human-table equivalence: each registered metric appears in the
+    // rendered table with its row label, column header, and formatted
+    // value+unit; notes and titles are preserved.
+    for (Reporter rep : {makeFig04Like(), makeTable2Like()}) {
+        std::string human = rep.renderHuman();
+        for (const Metric &m : rep.metrics()) {
+            char cell[48];
+            std::snprintf(cell, sizeof(cell), "%.*f", m.prec, m.value);
+            EXPECT_NE(human.find(m.row), std::string::npos) << m.row;
+            EXPECT_NE(human.find(m.metric), std::string::npos)
+                << m.metric;
+            EXPECT_NE(human.find(std::string(cell) + m.unit),
+                      std::string::npos)
+                << cell << m.unit;
+        }
+    }
+}
+
+TEST(Reporter, HumanTableRendersTextCellsAndGaps)
+{
+    Reporter rep = makeTable2Like();
+    std::string human = rep.renderHuman();
+    // Text cell from addText().
+    EXPECT_NE(human.find("VideoLLM-Online"), std::string::npos);
+    // The frame_ratio panel has no "Avg" column, and the accuracy
+    // panel's rows do not appear in it: missing cells render as "-".
+    EXPECT_NE(human.find("-"), std::string::npos);
+    EXPECT_NE(human.find("=== Table II: accuracy proxy ==="),
+              std::string::npos);
+    EXPECT_NE(human.find("=== Table II: frame ratio ==="),
+              std::string::npos);
+}
+
+TEST(Reporter, FindLooksUpByIdentity)
+{
+    Reporter rep = makeFig04Like();
+    const Metric *m = rep.find("a", "10min", "kv_cache");
+    ASSERT_NE(m, nullptr);
+    EXPECT_DOUBLE_EQ(m->value, 31.5);
+    EXPECT_EQ(rep.find("a", "10min", "nope"), nullptr);
+    EXPECT_EQ(rep.find("zzz", "10min", "kv_cache"), nullptr);
+}
+
+TEST(ParseArgs, AcceptsAllSharedFlags)
+{
+    const char *argv[] = {"bench", "--json", "a.json", "--csv",
+                          "b.csv", "--quiet"};
+    Options opts;
+    std::string err;
+    ASSERT_TRUE(parseArgs(6, const_cast<char **>(argv), opts, err))
+        << err;
+    EXPECT_EQ(opts.jsonPath, "a.json");
+    EXPECT_EQ(opts.csvPath, "b.csv");
+    EXPECT_TRUE(opts.quiet);
+    EXPECT_FALSE(opts.help);
+}
+
+TEST(ParseArgs, RejectsUnknownAndIncompleteFlags)
+{
+    {
+        const char *argv[] = {"bench", "--frobnicate"};
+        Options opts;
+        std::string err;
+        EXPECT_FALSE(
+            parseArgs(2, const_cast<char **>(argv), opts, err));
+        EXPECT_NE(err.find("--frobnicate"), std::string::npos);
+    }
+    {
+        const char *argv[] = {"bench", "--json"};
+        Options opts;
+        std::string err;
+        EXPECT_FALSE(
+            parseArgs(2, const_cast<char **>(argv), opts, err));
+        EXPECT_NE(err.find("--json"), std::string::npos);
+    }
+}
+
+TEST(LoadReport, RejectsSchemaViolations)
+{
+    LoadedReport out;
+    std::string err;
+    // Wrong schema tag.
+    EXPECT_FALSE(loadReport(
+        R"({"schema": "vrex-bench-0", "bench": "x", "metrics": []})",
+        out, err));
+    // Record bench mismatching report bench.
+    EXPECT_FALSE(loadReport(
+        R"({"schema": "vrex-bench-1", "bench": "x", "metrics": [
+            {"bench": "y", "panel": "p", "row": "r", "metric": "m",
+             "value": 1, "unit": ""}]})",
+        out, err));
+    EXPECT_NE(err.find("does not match"), std::string::npos);
+    // Duplicate identity.
+    EXPECT_FALSE(loadReport(
+        R"({"schema": "vrex-bench-1", "bench": "x", "metrics": [
+            {"bench": "x", "panel": "p", "row": "r", "metric": "m",
+             "value": 1, "unit": ""},
+            {"bench": "x", "panel": "p", "row": "r", "metric": "m",
+             "value": 2, "unit": ""}]})",
+        out, err));
+    EXPECT_NE(err.find("duplicate"), std::string::npos);
+    // Ill-typed value.
+    EXPECT_FALSE(loadReport(
+        R"({"schema": "vrex-bench-1", "bench": "x", "metrics": [
+            {"bench": "x", "panel": "p", "row": "r", "metric": "m",
+             "value": "1", "unit": ""}]})",
+        out, err));
+}
+
+TEST(LoadReport, NullValueBecomesNan)
+{
+    LoadedReport out;
+    std::string err;
+    ASSERT_TRUE(loadReport(
+        R"({"schema": "vrex-bench-1", "bench": "x", "metrics": [
+            {"bench": "x", "panel": "p", "row": "r", "metric": "m",
+             "value": null, "unit": ""}]})",
+        out, err)) << err;
+    EXPECT_TRUE(std::isnan(out.records[0].value));
+}
+
+namespace
+{
+
+Baseline
+makeBaseline()
+{
+    Baseline b;
+    b.defaultRelTol = 0.05;
+    b.defaultAbsTol = 1e-6;
+    b.benchRelTol = {{"noisy", 0.25}};
+    b.records = {
+        {"fig04", "a", "1min", "kv_cache", 3.0, "GB"},
+        {"fig04", "a", "1min", "total", 18.0, "GB"},
+        {"noisy", "p", "r", "m", 100.0, ""},
+        {"other", "p", "r", "m", 1.0, ""},
+    };
+    return b;
+}
+
+LoadedReport
+reportWith(const std::string &bench, std::vector<Record> records)
+{
+    return {bench, std::move(records)};
+}
+
+} // namespace
+
+TEST(Baseline, RenderLoadRoundTrip)
+{
+    Baseline b = makeBaseline();
+    Baseline b2;
+    std::string err;
+    ASSERT_TRUE(loadBaseline(renderBaseline(b), b2, err)) << err;
+    EXPECT_DOUBLE_EQ(b2.defaultRelTol, 0.05);
+    EXPECT_DOUBLE_EQ(b2.defaultAbsTol, 1e-6);
+    EXPECT_DOUBLE_EQ(b2.relTolFor("noisy"), 0.25);
+    EXPECT_DOUBLE_EQ(b2.relTolFor("fig04"), 0.05);
+    ASSERT_EQ(b2.records.size(), b.records.size());
+    EXPECT_EQ(b2.records[0].key(), b.records[0].key());
+}
+
+TEST(Drift, PassesWithinTolerance)
+{
+    Baseline b = makeBaseline();
+    // 3.0 -> 3.1 is within 5%; noisy 100 -> 120 within its 25% band.
+    auto drift = compareToBaseline(
+        b, {reportWith("fig04",
+                       {{"fig04", "a", "1min", "kv_cache", 3.1, "GB"},
+                        {"fig04", "a", "1min", "total", 18.0, "GB"}}),
+            reportWith("noisy", {{"noisy", "p", "r", "m", 120.0,
+                                  ""}})});
+    EXPECT_TRUE(drift.ok());
+    EXPECT_EQ(drift.compared, 3u);  // "other" was not part of the run.
+    EXPECT_EQ(drift.newMetrics, 0u);
+}
+
+TEST(Drift, FailsOutsideTolerance)
+{
+    Baseline b = makeBaseline();
+    auto drift = compareToBaseline(
+        b, {reportWith("fig04",
+                       {{"fig04", "a", "1min", "kv_cache", 3.2, "GB"},
+                        {"fig04", "a", "1min", "total", 18.0,
+                         "GB"}})});
+    ASSERT_EQ(drift.issues.size(), 1u);
+    EXPECT_EQ(drift.issues[0].kind,
+              DriftIssue::Kind::OutOfTolerance);
+    EXPECT_NE(drift.issues[0].describe().find("kv_cache"),
+              std::string::npos);
+}
+
+TEST(Drift, FlagsMissingMetricAndUnitMismatch)
+{
+    Baseline b = makeBaseline();
+    auto drift = compareToBaseline(
+        b, {reportWith("fig04",
+                       {{"fig04", "a", "1min", "kv_cache", 3.0,
+                         "GiB"}})});
+    ASSERT_EQ(drift.issues.size(), 2u);
+    EXPECT_EQ(drift.issues[0].kind, DriftIssue::Kind::UnitMismatch);
+    EXPECT_EQ(drift.issues[1].kind, DriftIssue::Kind::MissingMetric);
+}
+
+TEST(Drift, CountsNewMetricsAndUnknownBenches)
+{
+    Baseline b = makeBaseline();
+    auto drift = compareToBaseline(
+        b, {reportWith("fig04",
+                       {{"fig04", "a", "1min", "kv_cache", 3.0, "GB"},
+                        {"fig04", "a", "1min", "total", 18.0, "GB"},
+                        {"fig04", "a", "1min", "brand_new", 7.0,
+                         ""}}),
+            reportWith("unseen", {{"unseen", "p", "r", "m", 1.0,
+                                   ""}})});
+    EXPECT_TRUE(drift.ok());  // New metrics warn, never fail.
+    EXPECT_EQ(drift.newMetrics, 2u);
+    ASSERT_EQ(drift.benchesWithoutBaseline.size(), 1u);
+    EXPECT_EQ(drift.benchesWithoutBaseline[0], "unseen");
+}
+
+TEST(Drift, NonFiniteOnBothSidesPasses)
+{
+    Baseline b;
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    b.records = {{"x", "p", "r", "m", nan, ""}};
+    auto drift = compareToBaseline(
+        b, {reportWith("x", {{"x", "p", "r", "m", nan, ""}})});
+    EXPECT_TRUE(drift.ok());
+    auto drift2 = compareToBaseline(
+        b, {reportWith("x", {{"x", "p", "r", "m", 1.0, ""}})});
+    EXPECT_FALSE(drift2.ok());
+}
+
+TEST(LoadCsv, RejectsMalformedDocuments)
+{
+    std::vector<Record> out;
+    std::string err;
+    EXPECT_FALSE(loadCsv("", out, err));
+    EXPECT_FALSE(loadCsv("wrong,header\n", out, err));
+    EXPECT_FALSE(loadCsv(
+        "bench,panel,row,metric,value,unit\nb,p,r,m,notanumber,u\n",
+        out, err));
+    EXPECT_FALSE(loadCsv(
+        "bench,panel,row,metric,value,unit\nb,p,r,m,1\n", out, err));
+    ASSERT_TRUE(loadCsv(
+        "bench,panel,row,metric,value,unit\r\nb,p,r,m,1.5,u\r\n", out,
+        err)) << err;
+    EXPECT_EQ(out[0].value, 1.5);
+}

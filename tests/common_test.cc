@@ -339,9 +339,28 @@ TEST(RunningStat, Basics)
 
 TEST(RunningStat, EmptyIsZero)
 {
+    // The documented empty-state contract: every accessor returns
+    // exactly 0.0 with no samples (never an uninitialized read), so
+    // possibly-empty buckets can be reported without guards.
     RunningStat s;
     EXPECT_EQ(s.count(), 0u);
     EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStat, SingleSampleDefinesAllAccessors)
+{
+    RunningStat s;
+    s.add(-3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), -3.5);
+    EXPECT_DOUBLE_EQ(s.min(), -3.5);
+    EXPECT_DOUBLE_EQ(s.max(), -3.5);
+    EXPECT_DOUBLE_EQ(s.sum(), -3.5);
     EXPECT_EQ(s.variance(), 0.0);
 }
 
@@ -356,6 +375,26 @@ TEST(Histogram, BinningAndClamping)
     EXPECT_EQ(h.count(9), 2u);
     EXPECT_EQ(h.total(), 4u);
     EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+}
+
+TEST(Histogram, RejectsNonFiniteSamples)
+{
+    // Regression: static_cast<long>(t * size) on a NaN or infinite
+    // sample was undefined behavior (UBSan-visible). Non-finite
+    // inputs are now rejected and tallied separately.
+    Histogram h(0.0, 1.0, 4);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    h.add(std::numeric_limits<double>::infinity());
+    h.add(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.nonFinite(), 3u);
+    for (uint32_t b = 0; b < h.bins(); ++b)
+        EXPECT_EQ(h.count(b), 0u);
+    h.add(0.3);
+    EXPECT_EQ(h.total(), 1u);
+    EXPECT_EQ(h.nonFinite(), 3u);
+    auto n = h.normalized();
+    EXPECT_DOUBLE_EQ(n[1], 1.0);  // NaNs do not dilute the shares.
 }
 
 TEST(Histogram, Normalized)
