@@ -16,7 +16,7 @@
 #include "common/stats.hh"
 #include "core/hash_encoder.hh"
 #include "llm/model.hh"
-#include "pipeline/streaming_session.hh"
+#include "serve/engine.hh"
 #include "tensor/ops.hh"
 #include "video/workload.hh"
 
@@ -28,16 +28,20 @@ namespace
 void
 run(bench::Reporter &rep)
 {
-    // Stream a COIN-like session through the functional model and
-    // capture layer-3 keys.
+    // Stream a COIN-like session through the functional model (via
+    // the serving engine, full attention) and capture layer-3 keys.
     ModelConfig cfg = ModelConfig::smallVideo();
-    StreamingSession session(cfg, nullptr, 42);
-    SessionScript script = WorkloadGenerator::coinAverage(7);
-    session.run(script);
+    serve::EngineConfig engine_cfg;
+    engine_cfg.model = cfg;
+    engine_cfg.sessionSeed = 42;
+    serve::Engine engine(engine_cfg);
+    serve::SessionId id =
+        engine.submit(WorkloadGenerator::coinAverage(7));
+    engine.wait(id);
 
     const uint32_t layer = 2;  // "3rd layer".
-    const Matrix &keys = session.model().cache().layer(layer).keys;
-    const KVCache &cache = session.model().cache();
+    const Matrix &keys = engine.model(id).cache().layer(layer).keys;
+    const KVCache &cache = engine.model(id).cache();
     const uint32_t head_dim = cfg.headDim();
 
     rep.beginPanel("a", "Fig. 7a: key cosine similarity across frames "

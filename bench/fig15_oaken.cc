@@ -8,6 +8,11 @@
  *
  * OOM points appear as "<platform>_oom" = 1 with no fps metric, so
  * the drift gate notices if a platform starts/stops fitting.
+ *
+ * Note: this bench is purely analytic (sim/system_model sweeps) and
+ * drives no functional sessions, so unlike fig07/fig19/fig20/
+ * kvmu_layout/table2 it has nothing to migrate onto the
+ * vrex::serve::Engine API.
  */
 
 #include "bench_util.hh"

@@ -15,9 +15,8 @@
 
 #include "bench_util.hh"
 #include "common/bench_report.hh"
-#include "core/resv.hh"
-#include "pipeline/accuracy_eval.hh"
 #include "pipeline/coupling.hh"
+#include "serve/engine.hh"
 #include "sim/hw_config.hh"
 #include "sim/method_model.hh"
 #include "sim/system_model.hh"
@@ -45,16 +44,21 @@ run(bench::Reporter &rep)
     const double vanilla_acc = 49.5;  // COIN average, Fig. 19.
     SessionScript script = WorkloadGenerator::coinAverage(5);
 
-    // Functional accuracy of the two ReSV variants.
+    serve::EngineConfig engine_cfg;
+    engine_cfg.model = cfg;
+    engine_cfg.sessionSeed = 42;
+    serve::Engine engine(engine_cfg);
+
+    // Functional accuracy of the two ReSV variants (one concurrent
+    // engine batch).
     ResvConfig without_clustering;
     without_clustering.clustering = false;
-    ResvPolicy p_noclust(cfg, without_clustering);
-    FidelityResult f_noclust =
-        evaluateFidelity(cfg, script, &p_noclust, 42);
-
-    ResvConfig full;
-    ResvPolicy p_full(cfg, full);
-    FidelityResult f_full = evaluateFidelity(cfg, script, &p_full, 42);
+    const std::vector<FidelityResult> ablation =
+        engine.evaluateFidelityBatch(
+            {{script, serve::PolicySpec::resv(without_clustering)},
+             {script, serve::PolicySpec::resv()}});
+    const FidelityResult &f_noclust = ablation[0];
+    const FidelityResult &f_full = ablation[1];
 
     // Timing at 40K: baseline = full fetch on AGX; w/o clustering =
     // token-granular prediction; full = V-Rex8 with DRE + KVMU.
@@ -93,25 +97,46 @@ run(bench::Reporter &rep)
              "-0.8% with clustering");
 
     // Operating-point sweep: N_hp and Th_hd trade correlation
-    // quality against cluster compression.
+    // quality against cluster compression. Needs the HC-table state
+    // after each run, so it drives sessions explicitly: one shared
+    // full-attention reference, then nine concurrent teacher-forced
+    // sessions whose ReSV policies stay inspectable until close.
     rep.beginPanel("sweep",
                    "ReSV operating-point sweep (extension ablation)");
+    serve::SessionId ref_id = engine.submit(script);
+    const SessionRunResult ref = engine.result(ref_id);
+    engine.closeSession(ref_id);
+
+    struct SweepPoint
+    {
+        serve::SessionId id;
+        std::string row;
+    };
+    std::vector<SweepPoint> sweep;
     for (uint32_t n_hp : {16u, 32u, 64u}) {
         for (uint32_t th_hd : {3u, 7u, 12u}) {
             ResvConfig c;
             c.nHp = n_hp;
             c.thHd = th_hd;
-            ResvPolicy policy(cfg, c);
-            FidelityResult f =
-                evaluateFidelity(cfg, script, &policy, 42);
-            std::string row = "nhp=" + std::to_string(n_hp) +
-                              ",thd=" + std::to_string(th_hd);
-            rep.add(row, "agreement", 100.0 * f.tokenAgreement, "%",
-                    1);
-            rep.add(row, "frame_ratio", 100.0 * f.frameRatio, "%", 1);
-            rep.add(row, "tok_per_cluster", policy.avgClusterSize(),
-                    "", 1);
+            serve::SessionOptions o;
+            o.policy = serve::PolicySpec::resv(c);
+            o.forcedTokens = ref.generated;
+            sweep.push_back({engine.submit(script, o),
+                             "nhp=" + std::to_string(n_hp) +
+                                 ",thd=" + std::to_string(th_hd)});
         }
+    }
+    for (const SweepPoint &point : sweep) {
+        FidelityResult f =
+            compareRuns(ref, engine.result(point.id));
+        double tok_per_cluster =
+            engine.policy(point.id).resv()->avgClusterSize();
+        engine.closeSession(point.id);
+        rep.add(point.row, "agreement", 100.0 * f.tokenAgreement, "%",
+                1);
+        rep.add(point.row, "frame_ratio", 100.0 * f.frameRatio, "%",
+                1);
+        rep.add(point.row, "tok_per_cluster", tok_per_cluster, "", 1);
     }
     rep.note("the paper's N_hp=32, Th_hd=7 sits at the knee: "
              "strong compression with high agreement");

@@ -16,8 +16,7 @@
 #include "bench_util.hh"
 #include "common/bench_report.hh"
 #include "common/stats.hh"
-#include "core/resv.hh"
-#include "pipeline/streaming_session.hh"
+#include "serve/engine.hh"
 #include "video/workload.hh"
 
 using namespace vrex;
@@ -28,12 +27,15 @@ namespace
 void
 run(bench::Reporter &rep)
 {
-    ModelConfig cfg = ModelConfig::smallVideo();
-    ResvConfig rc;
-    ResvPolicy resv(cfg, rc);
-    StreamingSession session(cfg, &resv, 42);
-    SessionScript script = WorkloadGenerator::coinAverage(11);
-    SessionRunResult r = session.run(script);
+    serve::EngineConfig engine_cfg;
+    engine_cfg.model = ModelConfig::smallVideo();
+    engine_cfg.policy = serve::PolicySpec::resv();
+    engine_cfg.sessionSeed = 42;
+    serve::Engine engine(engine_cfg);
+    serve::SessionId id =
+        engine.submit(WorkloadGenerator::coinAverage(11));
+    SessionRunResult r = engine.result(id);
+    engine.closeSession(id);
 
     const double rekv_ratio = 0.584;       // Table II average.
     const double infinigenp_ratio = 0.508;

@@ -12,9 +12,7 @@
 
 #include "bench_util.hh"
 #include "common/bench_report.hh"
-#include "core/resv.hh"
-#include "pipeline/memory_driver.hh"
-#include "pipeline/streaming_session.hh"
+#include "serve/engine.hh"
 #include "sim/pcie_model.hh"
 #include "video/workload.hh"
 
@@ -27,22 +25,25 @@ void
 run(bench::Reporter &rep)
 {
     ModelConfig cfg = ModelConfig::smallVideo();
-    ResvConfig rc;
-    ResvPolicy resv(cfg, rc);
 
     TierConfig tiers;
     // Tiny device window so most selections require fetching.
     tiers.deviceKvCapacityBytes = 48 * cfg.kvBytesPerToken(2.0);
     tiers.offloadTarget = Tier::Storage;
 
-    MemoryTrackingPolicy tracked(&resv, cfg, tiers);
-    tracked.setClusterSource(&resv);
+    // ReSV with the memory-hierarchy replay decorator; the factory
+    // wires the HC tables as the KVMU cluster-layout source.
+    serve::EngineConfig engine_cfg;
+    engine_cfg.model = cfg;
+    engine_cfg.policy =
+        serve::PolicySpec::resv().withMemoryTracking(tiers);
+    engine_cfg.sessionSeed = 42;
+    serve::Engine engine(engine_cfg);
+    serve::SessionId id =
+        engine.submit(WorkloadGenerator::coinAverage(13));
+    engine.wait(id);
 
-    StreamingSession session(cfg, &tracked, 42);
-    SessionScript script = WorkloadGenerator::coinAverage(13);
-    session.run(script);
-
-    const MemoryReplayStats &s = tracked.stats();
+    const MemoryReplayStats &s = *engine.memoryStats(id);
     rep.beginPanel("replay",
                    "KVMU cluster-contiguous layout ablation "
                    "(functional replay)");

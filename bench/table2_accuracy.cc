@@ -10,18 +10,21 @@
  * against the paper: ReSV achieves the lowest ratios with the
  * smallest accuracy drop; InfiniGen holds accuracy but retrieves
  * 100% during frame processing; InfiniGenP/ReKV lose more accuracy.
+ *
+ * Driven through vrex::serve::Engine: policies are owned (built from
+ * declarative PolicySpecs by the PolicyFactory instead of raw `new`),
+ * and all 25 (method, task) fidelity evaluations run concurrently on
+ * the engine's worker pool. Per-session determinism keeps the
+ * reported numbers identical to the sequential wiring.
  */
 
-#include <functional>
 #include <map>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
 #include "common/bench_report.hh"
-#include "core/resv.hh"
-#include "pipeline/accuracy_eval.hh"
-#include "retrieval/policies.hh"
+#include "serve/engine.hh"
 #include "video/workload.hh"
 
 using namespace vrex;
@@ -39,44 +42,34 @@ const std::map<CoinTask, double> vanillaAcc = {
 struct MethodEntry
 {
     std::string name;
-    std::function<std::unique_ptr<SelectionPolicy>(
-        const ModelConfig &)> make;
+    serve::PolicySpec spec;
 };
 
 void
 run(bench::Reporter &rep)
 {
-    const ModelConfig cfg = ModelConfig::tiny();
-    const uint64_t seed = 42;
+    serve::EngineConfig engine_cfg;
+    engine_cfg.model = ModelConfig::tiny();
+    engine_cfg.sessionSeed = 42;
+    serve::Engine engine(engine_cfg);
 
-    std::vector<MethodEntry> methods;
-    methods.push_back({"VideoLLM-Online", [](const ModelConfig &) {
-        return std::unique_ptr<SelectionPolicy>();
-    }});
-    methods.push_back({"InfiniGen", [](const ModelConfig &m) {
-        InfiniGenConfig c;
-        c.ratio = 0.5f;
-        return std::unique_ptr<SelectionPolicy>(
-            new InfiniGenPolicy(m, c));
-    }});
-    methods.push_back({"InfiniGenP", [](const ModelConfig &m) {
-        InfiniGenConfig c;
-        c.ratio = 0.5f;
-        c.prefill = true;
-        return std::unique_ptr<SelectionPolicy>(
-            new InfiniGenPolicy(m, c));
-    }});
-    methods.push_back({"ReKV", [](const ModelConfig &m) {
-        ReKVConfig c;
-        c.ratio = 0.5f;
-        return std::unique_ptr<SelectionPolicy>(
-            new ReKVPolicy(m, c));
-    }});
-    methods.push_back({"V-Rex's ReSV", [](const ModelConfig &m) {
-        ResvConfig c;  // N_hp=32, Th_hd=7, Th_r-wics=0.3.
-        return std::unique_ptr<SelectionPolicy>(
-            new ResvPolicy(m, c));
-    }});
+    const std::vector<MethodEntry> methods = {
+        {"VideoLLM-Online", serve::PolicySpec::full()},
+        {"InfiniGen", serve::PolicySpec::infinigen(0.5f)},
+        {"InfiniGenP", serve::PolicySpec::infinigenP(0.5f)},
+        {"ReKV", serve::PolicySpec::rekv(0.5f)},
+        // N_hp=32, Th_hd=7 (paper defaults).
+        {"V-Rex's ReSV", serve::PolicySpec::resv()},
+    };
+
+    // One fidelity job per (method, task); the engine runs the whole
+    // batch concurrently and returns results in job order.
+    std::vector<serve::FidelityJob> jobs;
+    for (const auto &m : methods)
+        for (CoinTask t : allCoinTasks())
+            jobs.push_back({WorkloadGenerator::coinTask(t, 3), m.spec});
+    const std::vector<FidelityResult> fidelity =
+        engine.evaluateFidelityBatch(jobs);
 
     rep.beginPanel("accuracy",
                    "Table II: COIN accuracy proxy (Top-1) per method");
@@ -84,13 +77,11 @@ run(bench::Reporter &rep)
     struct Ratios { double frame, text; };
     std::map<std::string, std::vector<Ratios>> ratio_table;
 
+    size_t job = 0;
     for (const auto &m : methods) {
         double acc_sum = 0.0;
         for (CoinTask t : allCoinTasks()) {
-            SessionScript script = WorkloadGenerator::coinTask(t, 3);
-            auto policy = m.make(cfg);
-            FidelityResult f = evaluateFidelity(cfg, script,
-                                                policy.get(), seed);
+            const FidelityResult &f = fidelity[job++];
             double acc = proxyAccuracy(vanillaAcc.at(t), f);
             acc_sum += acc;
             rep.add(m.name, coinTaskName(t), acc, "", 1);

@@ -3,7 +3,9 @@
  * Cluster explorer: visualizes what hash-bit key clustering does to a
  * streaming key cache — cluster count growth, size distribution, and
  * the Hamming/cosine correlation that makes 32-bit signatures a
- * sound stand-in for full-precision similarity.
+ * sound stand-in for full-precision similarity. Ends with the same
+ * clustering observed in situ: a real engine-served session whose
+ * ReSV policy exposes its per-layer/head HC tables.
  */
 
 #include <algorithm>
@@ -14,8 +16,10 @@
 #include "common/stats.hh"
 #include "core/hash_encoder.hh"
 #include "core/hc_table.hh"
+#include "serve/engine.hh"
 #include "tensor/ops.hh"
 #include "video/frame_generator.hh"
+#include "video/workload.hh"
 
 using namespace vrex;
 
@@ -81,5 +85,30 @@ main()
                 pearson(cosines, hammings));
     std::printf("HC table memory: %.1f KiB for %u tokens\n",
                 table.memoryBytes() / 1024.0, table.tokenCount());
+
+    // The same clustering in situ: serve one session through the
+    // engine under ReSV and inspect the policy's own HC tables,
+    // which cluster post-RoPE *keys* per layer and KV head.
+    serve::EngineConfig engine_cfg;
+    engine_cfg.model = ModelConfig::tiny();
+    engine_cfg.policy = serve::PolicySpec::resv();
+    serve::Engine engine(engine_cfg);
+    serve::SessionId id =
+        engine.submit(WorkloadGenerator::coinAverage(21));
+    engine.wait(id);
+    const ResvPolicy *resv = engine.policy(id).resv();
+    const ModelConfig &mc = engine.config().model;
+    std::printf("\nin-session clustering (engine-served, %u layers "
+                "x %u KV heads):\n", mc.nLayers, mc.nKvHeads);
+    for (uint32_t l = 0; l < mc.nLayers; ++l) {
+        std::printf("  layer %u clusters per head:", l);
+        for (uint32_t h = 0; h < mc.nKvHeads; ++h)
+            std::printf(" %4u", resv->table(l, h).clusterCount());
+        std::printf("\n");
+    }
+    std::printf("overall: %.1f tokens/cluster, HC tables %.1f KiB\n",
+                resv->avgClusterSize(),
+                resv->tableMemoryBytes() / 1024.0);
+    engine.closeSession(id);
     return 0;
 }

@@ -1,57 +1,58 @@
 /**
  * @file
- * Quickstart: build a streaming video LLM with the ReSV retrieval
- * policy, stream a few frames, ask a question, and generate an
- * answer — the minimal end-to-end use of the public API.
+ * Quickstart: serve a streaming video QA session through
+ * vrex::serve::Engine with the ReSV retrieval policy — stream a few
+ * frames, ask a question, read the answer. The engine owns the model
+ * and the policy (built from a declarative PolicySpec); the session
+ * verbs queue work that executes on the engine's worker pool.
  */
 
 #include <cstdio>
 
-#include "core/resv.hh"
-#include "llm/model.hh"
-#include "pipeline/streaming_session.hh"
-#include "video/workload.hh"
+#include "serve/engine.hh"
 
 using namespace vrex;
 
 int
 main()
 {
-    // 1. Pick a model geometry. `tiny` runs in milliseconds; swap in
-    //    ModelConfig::llama3_8b() to parameterize the timing model.
-    ModelConfig model_cfg = ModelConfig::tiny();
+    // 1. Describe the deployment: model geometry + retrieval policy.
+    //    `tiny` runs in milliseconds; swap in ModelConfig::llama3_8b()
+    //    to parameterize the timing model.
+    serve::EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.policy = serve::PolicySpec::resv();  // N_hp=32, Th_hd=7.
+    cfg.policy.resvCfg.thrWics = 0.5f;
+    cfg.sessionSeed = 42;
+    serve::Engine engine(cfg);
 
-    // 2. Configure ReSV (paper defaults: N_hp=32, Th_hd=7).
-    ResvConfig resv_cfg;
-    resv_cfg.thrWics = 0.5f;
-    ResvPolicy resv(model_cfg, resv_cfg);
+    // 2. Open a session and drive it with the lifecycle verbs:
+    //    12 frames, then a 10-token question answered with 12 tokens.
+    serve::SessionOptions opts;
+    opts.name = "quickstart";
+    serve::SessionId id = engine.createSession(opts);
+    engine.feedFrame(id, 12);
+    engine.ask(id, /*question_tokens=*/10, /*answer_tokens=*/12);
 
-    // 3. Drive a scripted streaming session: 12 frames, then a
-    //    10-token question, then a 12-token answer.
-    SessionScript script;
-    script.name = "quickstart";
-    script.video = VideoConfig{};
-    for (int f = 0; f < 12; ++f)
-        script.events.push_back({SessionEvent::Type::Frame, 0});
-    script.events.push_back({SessionEvent::Type::Question, 10});
-    script.events.push_back({SessionEvent::Type::Generate, 12});
-
-    StreamingSession session(model_cfg, &resv, /*seed=*/42);
-    SessionRunResult result = session.run(script);
-
-    // 4. Inspect what happened.
+    // 3. result() drains the session and aggregates what happened.
+    SessionRunResult result = engine.result(id);
     std::printf("quickstart: streamed %u frames, %u cached tokens\n",
                 result.frames, result.totalTokens);
     std::printf("generated tokens:");
-    for (uint32_t id : result.generated)
-        std::printf(" %u", id);
+    for (uint32_t token : result.generated)
+        std::printf(" %u", token);
     std::printf("\n");
     std::printf("retrieval ratio: frame stage %.1f%%, "
                 "text stage %.1f%%\n",
                 100.0 * result.frameRatio, 100.0 * result.textRatio);
+
+    // 4. The owned policy stays inspectable while the session is open.
+    const ResvPolicy *resv = engine.policy(id).resv();
     std::printf("hash clusters: %.1f tokens/cluster on average, "
                 "HC tables use %.1f KiB\n",
-                resv.avgClusterSize(),
-                resv.tableMemoryBytes() / 1024.0);
+                resv->avgClusterSize(),
+                resv->tableMemoryBytes() / 1024.0);
+
+    engine.closeSession(id);
     return 0;
 }

@@ -8,19 +8,27 @@
  * Usage:
  *   sim_cli [--hw agx|a100|vrex8|vrex48] [--method flexgen|infinigen|
  *            infinigenp|rekv|resv|resv-kvpu|resv-sw|gpu|oaken]
- *           [--cache N] [--batch N] [--frame-tokens N]
+ *           [--cache N] [--batch N] [--frame-tokens N] [--serve N]
+ *
+ * With --serve N the CLI additionally runs N concurrent *functional*
+ * sessions through vrex::serve::Engine under the same retrieval
+ * method and prints the measured selection ratios next to the
+ * analytic model's assumptions.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
+#include "serve/engine.hh"
 #include "sim/hw_config.hh"
 #include "sim/method_model.hh"
 #include "sim/roofline.hh"
 #include "sim/system_model.hh"
+#include "video/workload.hh"
 
 using namespace vrex;
 
@@ -68,6 +76,62 @@ parseMethod(const std::string &name)
     fatal("unknown method '%s'", name.c_str());
 }
 
+/** The functional PolicySpec closest to a timing-model method. */
+serve::PolicySpec
+specForMethod(const std::string &name)
+{
+    if (name == "flexgen")
+        return serve::PolicySpec::flexgen();
+    if (name == "infinigen")
+        return serve::PolicySpec::infinigen(0.5f);
+    if (name == "infinigenp")
+        return serve::PolicySpec::infinigenP(0.5f);
+    if (name == "rekv")
+        return serve::PolicySpec::rekv(0.5f);
+    if (name == "resv" || name == "resv-kvpu" || name == "resv-sw" ||
+        name == "resv-oaken")
+        return serve::PolicySpec::resv();
+    // gpu / oaken keep the whole cache resident: full attention.
+    return serve::PolicySpec::full();
+}
+
+void
+serveFunctional(const std::string &method, uint32_t sessions)
+{
+    serve::EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.policy = specForMethod(method);
+    serve::Engine engine(cfg);
+
+    std::printf("\n[functional serve] %u concurrent sessions, "
+                "policy '%s', %u workers\n", sessions,
+                serve::policyKindName(cfg.policy.kind).c_str(),
+                engine.workerCount());
+
+    std::vector<serve::SessionId> ids;
+    for (uint32_t s = 0; s < sessions; ++s) {
+        SessionScript script =
+            WorkloadGenerator::coinAverage(/*seed=*/200 + s);
+        script.name = "cli-session-" + std::to_string(s);
+        ids.push_back(engine.submit(script));
+    }
+    double frame_sum = 0.0, text_sum = 0.0;
+    for (uint32_t s = 0; s < sessions; ++s) {
+        SessionRunResult r = engine.result(ids[s]);
+        engine.closeSession(ids[s]);
+        frame_sum += r.frameRatio;
+        text_sum += r.textRatio;
+        std::printf("  session %u: %u frames, %zu answer tokens, "
+                    "ratio frame %.1f%% / text %.1f%%\n", s, r.frames,
+                    r.generated.size(), 100.0 * r.frameRatio,
+                    100.0 * r.textRatio);
+    }
+    std::printf("  measured mean ratio: frame %.1f%%, text %.1f%% "
+                "(the analytic model's selection-ratio inputs)\n",
+                100.0 * frame_sum / sessions,
+                100.0 * text_sum / sessions);
+}
+
 void
 printPhase(const char *title, const PhaseResult &r)
 {
@@ -100,6 +164,7 @@ main(int argc, char **argv)
 {
     std::string hw = "vrex8", method = "resv";
     uint32_t cache = 40000, batch = 1, frame_tokens = 10;
+    uint32_t serve_sessions = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -118,6 +183,9 @@ main(int argc, char **argv)
             batch = static_cast<uint32_t>(std::atoi(next().c_str()));
         else if (arg == "--frame-tokens")
             frame_tokens =
+                static_cast<uint32_t>(std::atoi(next().c_str()));
+        else if (arg == "--serve")
+            serve_sessions =
                 static_cast<uint32_t>(std::atoi(next().c_str()));
         else
             fatal("unknown argument '%s'", arg.c_str());
@@ -145,5 +213,8 @@ main(int argc, char **argv)
     std::printf("\n[roofline] OI %.1f Op/B, achieved %.2f TFLOPS "
                 "(%.1f%% of roof)\n", p.opIntensity,
                 p.achievedTflops, 100.0 * p.fractionOfRoof());
+
+    if (serve_sessions > 0)
+        serveFunctional(method, serve_sessions);
     return 0;
 }

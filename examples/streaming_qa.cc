@@ -6,17 +6,16 @@
  * preserved KV history, which is why destructive cache pruning is
  * off the table and retrieval is used instead.
  *
- * Compares ReSV against fixed top-k (InfiniGenP-style) on the same
- * session: answer agreement with the full-attention reference and
- * the retrieval ratio each method needed.
+ * Compares ReSV against fixed top-k (InfiniGenP-style) and ReKV on
+ * the same session: answer agreement with the full-attention
+ * reference and the retrieval ratio each method needed. All three
+ * evaluations run concurrently on a vrex::serve::Engine batch.
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "core/resv.hh"
-#include "pipeline/accuracy_eval.hh"
-#include "pipeline/streaming_session.hh"
-#include "retrieval/policies.hh"
+#include "serve/engine.hh"
 #include "video/workload.hh"
 
 using namespace vrex;
@@ -24,7 +23,6 @@ using namespace vrex;
 int
 main()
 {
-    ModelConfig cfg = ModelConfig::tiny();
     SessionScript script = WorkloadGenerator::multiTurn(
         /*frames=*/24, /*turns=*/3, /*seed=*/7);
 
@@ -33,35 +31,35 @@ main()
                 script.frameCount(), script.questionTokens(),
                 script.answerTokens());
 
+    serve::EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.sessionSeed = 42;
+    serve::Engine engine(cfg);
+
+    serve::PolicySpec resv_spec = serve::PolicySpec::resv();
+    resv_spec.resvCfg.thrWics = 0.5f;
+    const struct
+    {
+        const char *label;
+        serve::PolicySpec spec;
+    } methods[3] = {
+        {"ReSV (dynamic)", resv_spec},
+        {"fixed top-k 50%", serve::PolicySpec::infinigenP(0.5f)},
+        {"ReKV (frame top-k)", serve::PolicySpec::rekv(0.5f)},
+    };
+
+    std::vector<serve::FidelityJob> jobs;
+    for (const auto &m : methods)
+        jobs.push_back({script, m.spec});
+    std::vector<FidelityResult> fidelity =
+        engine.evaluateFidelityBatch(jobs);
+
     std::printf("%-22s %10s %12s %12s\n", "policy", "agreement",
                 "frame-ratio", "text-ratio");
-
-    {
-        ResvConfig rc;
-        rc.thrWics = 0.5f;
-        ResvPolicy resv(cfg, rc);
-        FidelityResult f = evaluateFidelity(cfg, script, &resv, 42);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const FidelityResult &f = fidelity[i];
         std::printf("%-22s %9.1f%% %11.1f%% %11.1f%%\n",
-                    "ReSV (dynamic)", 100.0 * f.tokenAgreement,
-                    100.0 * f.frameRatio, 100.0 * f.textRatio);
-    }
-    {
-        InfiniGenConfig ic;
-        ic.ratio = 0.5f;
-        ic.prefill = true;
-        InfiniGenPolicy topk(cfg, ic);
-        FidelityResult f = evaluateFidelity(cfg, script, &topk, 42);
-        std::printf("%-22s %9.1f%% %11.1f%% %11.1f%%\n",
-                    "fixed top-k 50%", 100.0 * f.tokenAgreement,
-                    100.0 * f.frameRatio, 100.0 * f.textRatio);
-    }
-    {
-        ReKVConfig rc;
-        rc.ratio = 0.5f;
-        ReKVPolicy rekv(cfg, rc);
-        FidelityResult f = evaluateFidelity(cfg, script, &rekv, 42);
-        std::printf("%-22s %9.1f%% %11.1f%% %11.1f%%\n",
-                    "ReKV (frame top-k)", 100.0 * f.tokenAgreement,
+                    methods[i].label, 100.0 * f.tokenAgreement,
                     100.0 * f.frameRatio, 100.0 * f.textRatio);
     }
 

@@ -23,6 +23,12 @@ evaluateFidelity(const ModelConfig &model, const SessionScript &script,
     StreamingSession test_session(model, policy, seed);
     SessionRunResult test = test_session.run(script, ref.generated);
 
+    return compareRuns(ref, test);
+}
+
+FidelityResult
+compareRuns(const SessionRunResult &ref, const SessionRunResult &test)
+{
     FidelityResult out;
     const size_t n =
         std::min(ref.generated.size(), test.generated.size());

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "llm/selection.hh"
+#include "pipeline/streaming_session.hh"
 #include "video/workload.hh"
 
 namespace vrex
@@ -50,6 +51,14 @@ FidelityResult evaluateFidelity(const ModelConfig &model,
                                 const SessionScript &script,
                                 SelectionPolicy *policy,
                                 uint64_t seed);
+
+/**
+ * Score a teacher-forced policy run against its full-attention
+ * reference (agreement + logit cosine + measured ratios). The test
+ * run must have been forced with @p ref's generated tokens.
+ */
+FidelityResult compareRuns(const SessionRunResult &ref,
+                           const SessionRunResult &test);
 
 /**
  * Map fidelity onto a COIN-style Top-1 proxy: perfect agreement

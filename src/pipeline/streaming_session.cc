@@ -16,39 +16,136 @@ StreamingSession::StreamingSession(const ModelConfig &model_config,
 }
 
 void
-StreamingSession::accumulate(const BlockStats &stats,
-                             SessionRunResult &out,
-                             std::vector<std::vector<double>> &sums,
-                             uint32_t &ratio_blocks, double &frame_sum,
-                             uint32_t &frame_n, double &text_sum,
-                             uint32_t &text_n) const
+StreamingSession::begin(const std::string &name,
+                        const VideoConfig &video, uint64_t script_seed,
+                        std::vector<uint32_t> forced_tokens)
 {
-    (void)out;
+    llm.resetSession();
+    const ModelConfig &cfg = llm.config();
+    const uint32_t vision_dim = std::max(32u, cfg.dModel / 4);
+    stream = std::make_unique<Stream>(video, vision_dim, cfg.dModel,
+                                      seed ^ script_seed, seed, name);
+
+    scriptSeed = script_seed;
+    forced = std::move(forced_tokens);
+    forcedPos = 0;
+    frameId = 0;
+    questionNo = 0;
+
+    generatedTokens.clear();
+    logitsPerStep.clear();
+    ratioSums.clear();
+    ratioBlocks = 0;
+    framesFed = 0;
+    frameSum = textSum = 0.0;
+    frameN = textN = 0;
+}
+
+void
+StreamingSession::accumulate(const BlockStats &stats)
+{
     if (stats.pastLen == 0)
         return;
     const double ratio = stats.meanRatio();
     if (stats.stage == TokenStage::VideoFrame) {
-        frame_sum += ratio;
-        ++frame_n;
+        frameSum += ratio;
+        ++frameN;
     } else {
-        text_sum += ratio;
-        ++text_n;
+        textSum += ratio;
+        ++textN;
     }
     // Per-layer / per-head accumulation (all stages).
-    if (sums.empty()) {
-        sums.assign(stats.selectedPerHead.size(),
-                    std::vector<double>(
-                        stats.selectedPerHead.empty()
-                            ? 0
-                            : stats.selectedPerHead[0].size(),
-                        0.0));
+    if (ratioSums.empty()) {
+        ratioSums.assign(stats.selectedPerHead.size(),
+                         std::vector<double>(
+                             stats.selectedPerHead.empty()
+                                 ? 0
+                                 : stats.selectedPerHead[0].size(),
+                             0.0));
     }
     for (size_t l = 0; l < stats.selectedPerHead.size(); ++l)
         for (size_t h = 0; h < stats.selectedPerHead[l].size(); ++h)
-            sums[l][h] +=
+            ratioSums[l][h] +=
                 static_cast<double>(stats.selectedPerHead[l][h]) /
                 stats.pastLen;
-    ++ratio_blocks;
+    ++ratioBlocks;
+}
+
+void
+StreamingSession::feedFrame()
+{
+    VREX_ASSERT(stream != nullptr, "feedFrame before begin()");
+    Matrix latents = stream->gen.nextFrameLatents();
+    Matrix embeds =
+        stream->projector.project(stream->tower.encode(latents));
+    accumulate(llm.prefillFrame(embeds, frameId++));
+    ++framesFed;
+}
+
+void
+StreamingSession::feedQuestion(uint32_t tokens)
+{
+    VREX_ASSERT(stream != nullptr, "feedQuestion before begin()");
+    auto ids = WorkloadGenerator::questionTokens(
+        tokens, llm.config().vocabSize,
+        seed ^ scriptSeed ^ (0x9e37u + questionNo++));
+    accumulate(llm.prefillText(ids));
+}
+
+void
+StreamingSession::generate(uint32_t tokens)
+{
+    VREX_ASSERT(stream != nullptr, "generate before begin()");
+    for (uint32_t i = 0; i < tokens; ++i) {
+        // Argmax of the current state.
+        std::vector<float> logits = llm.lastLogits();
+        uint32_t best = static_cast<uint32_t>(
+            std::max_element(logits.begin(), logits.end()) -
+            logits.begin());
+        generatedTokens.push_back(best);
+        logitsPerStep.push_back(std::move(logits));
+        // Advance with the forced token when provided.
+        uint32_t next = best;
+        if (forcedPos < forced.size())
+            next = forced[forcedPos++];
+        accumulate(llm.forwardBlock(llm.embedTokens({next}), -1,
+                                    TokenStage::GeneratedText));
+    }
+}
+
+void
+StreamingSession::apply(const SessionEvent &event)
+{
+    switch (event.type) {
+      case SessionEvent::Type::Frame:
+        feedFrame();
+        break;
+      case SessionEvent::Type::Question:
+        feedQuestion(event.tokens);
+        break;
+      case SessionEvent::Type::Generate:
+        generate(event.tokens);
+        break;
+    }
+}
+
+SessionRunResult
+StreamingSession::snapshot() const
+{
+    SessionRunResult out;
+    out.generated = generatedTokens;
+    out.stepLogits = logitsPerStep;
+    out.frames = framesFed;
+    out.frameRatio = frameN ? frameSum / frameN : 1.0;
+    out.textRatio = textN ? textSum / textN : 1.0;
+    if (ratioBlocks > 0) {
+        out.layerHeadRatio = ratioSums;
+        for (auto &layer : out.layerHeadRatio)
+            for (auto &v : layer)
+                v /= ratioBlocks;
+    }
+    out.totalTokens = llm.cache().tokenCount();
+    return out;
 }
 
 SessionRunResult
@@ -61,78 +158,10 @@ SessionRunResult
 StreamingSession::run(const SessionScript &script,
                       const std::vector<uint32_t> &forced_tokens)
 {
-    llm.resetSession();
-    const ModelConfig &cfg = llm.config();
-
-    FrameGenerator gen(script.video, seed ^ script.seed, script.name);
-    const uint32_t vision_dim = std::max(32u, cfg.dModel / 4);
-    VisionTower tower(script.video.latentDim, vision_dim, seed);
-    MlpProjector projector(vision_dim, cfg.dModel, seed);
-
-    SessionRunResult out;
-    std::vector<std::vector<double>> sums;
-    uint32_t ratio_blocks = 0, frame_n = 0, text_n = 0;
-    double frame_sum = 0.0, text_sum = 0.0;
-
-    int32_t frame_id = 0;
-    uint32_t question_no = 0;
-    uint32_t forced_pos = 0;
-
-    for (const auto &event : script.events) {
-        switch (event.type) {
-          case SessionEvent::Type::Frame: {
-            Matrix latents = gen.nextFrameLatents();
-            Matrix embeds =
-                projector.project(tower.encode(latents));
-            BlockStats stats = llm.prefillFrame(embeds, frame_id++);
-            accumulate(stats, out, sums, ratio_blocks, frame_sum,
-                       frame_n, text_sum, text_n);
-            ++out.frames;
-            break;
-          }
-          case SessionEvent::Type::Question: {
-            auto ids = WorkloadGenerator::questionTokens(
-                event.tokens, cfg.vocabSize,
-                seed ^ script.seed ^ (0x9e37u + question_no++));
-            BlockStats stats = llm.prefillText(ids);
-            accumulate(stats, out, sums, ratio_blocks, frame_sum,
-                       frame_n, text_sum, text_n);
-            break;
-          }
-          case SessionEvent::Type::Generate: {
-            for (uint32_t i = 0; i < event.tokens; ++i) {
-                // Argmax of the current state.
-                std::vector<float> logits = llm.lastLogits();
-                uint32_t best = static_cast<uint32_t>(
-                    std::max_element(logits.begin(), logits.end()) -
-                    logits.begin());
-                out.generated.push_back(best);
-                out.stepLogits.push_back(std::move(logits));
-                // Advance with the forced token when provided.
-                uint32_t next = best;
-                if (forced_pos < forced_tokens.size())
-                    next = forced_tokens[forced_pos++];
-                BlockStats stats = llm.forwardBlock(
-                    llm.embedTokens({next}), -1,
-                    TokenStage::GeneratedText);
-                accumulate(stats, out, sums, ratio_blocks, frame_sum,
-                           frame_n, text_sum, text_n);
-            }
-            break;
-          }
-        }
-    }
-
-    out.frameRatio = frame_n ? frame_sum / frame_n : 1.0;
-    out.textRatio = text_n ? text_sum / text_n : 1.0;
-    if (ratio_blocks > 0) {
-        out.layerHeadRatio = sums;
-        for (auto &layer : out.layerHeadRatio)
-            for (auto &v : layer)
-                v /= ratio_blocks;
-    }
-    out.totalTokens = llm.cache().tokenCount();
-    return out;
+    begin(script.name, script.video, script.seed, forced_tokens);
+    for (const auto &event : script.events)
+        apply(event);
+    return snapshot();
 }
 
 } // namespace vrex

@@ -4,12 +4,23 @@
  * vision tower -> projector -> iterative prefill -> question prefill
  * -> generation, under any retrieval policy. Collects the selection
  * ratios that Table II and Fig. 20 report.
+ *
+ * The session is an *incremental* executor: begin() opens a stream,
+ * the feedFrame()/feedQuestion()/generate() verbs advance it event by
+ * event, and snapshot() aggregates the results so far. The one-shot
+ * run() entry points are implemented on top of the verbs, so a run
+ * driven incrementally (e.g. by vrex::serve::Engine) is byte-identical
+ * to a scripted run. One StreamingSession executes one session at a
+ * time and is not thread-safe; concurrency across sessions is the
+ * serve layer's job.
  */
 
 #ifndef VREX_PIPELINE_STREAMING_SESSION_HH
 #define VREX_PIPELINE_STREAMING_SESSION_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "llm/model.hh"
@@ -47,6 +58,39 @@ class StreamingSession
     StreamingSession(const ModelConfig &model_config,
                      SelectionPolicy *policy, uint64_t seed);
 
+    /**
+     * Open a fresh stream: reset the model and the policy, build the
+     * vision stack for @p video, and clear all accumulators. Must be
+     * called before the incremental verbs.
+     *
+     * @param name          Stream name (FrameGenerator substream).
+     * @param video         Video statistics of the stream.
+     * @param script_seed   Per-script seed (mixed into video and
+     *                      question randomness, as SessionScript::seed).
+     * @param forced_tokens When non-empty, generation steps consume
+     *                      these instead of the model's own argmax
+     *                      (teacher forcing), across generate() calls.
+     */
+    void begin(const std::string &name, const VideoConfig &video,
+               uint64_t script_seed,
+               std::vector<uint32_t> forced_tokens = {});
+
+    /** Stream one video frame through vision -> projector -> prefill. */
+    void feedFrame();
+
+    /** Prefill one question of @p tokens synthetic text tokens. */
+    void feedQuestion(uint32_t tokens);
+
+    /** Run @p tokens greedy generation steps (teacher-forced when
+     *  begin() received forced tokens). */
+    void generate(uint32_t tokens);
+
+    /** Apply one scripted event via the verbs above. */
+    void apply(const SessionEvent &event);
+
+    /** Aggregate everything since begin() (the stream stays open). */
+    SessionRunResult snapshot() const;
+
     /** Run a scripted session from an empty cache. */
     SessionRunResult run(const SessionScript &script);
 
@@ -59,16 +103,47 @@ class StreamingSession
                          const std::vector<uint32_t> &forced_tokens);
 
     Model &model() { return llm; }
+    const Model &model() const { return llm; }
 
   private:
+    void accumulate(const BlockStats &stats);
+
+    /** The per-stream vision stack, rebuilt by begin(). */
+    struct Stream
+    {
+        FrameGenerator gen;
+        VisionTower tower;
+        MlpProjector projector;
+
+        Stream(const VideoConfig &video, uint32_t vision_dim,
+               uint32_t d_model, uint64_t stream_seed,
+               uint64_t weight_seed, const std::string &name)
+            : gen(video, stream_seed, name),
+              tower(video.latentDim, vision_dim, weight_seed),
+              projector(vision_dim, d_model, weight_seed)
+        {
+        }
+    };
+
     uint64_t seed;
     Model llm;
+    std::unique_ptr<Stream> stream;
 
-    void accumulate(const BlockStats &stats, SessionRunResult &out,
-                    std::vector<std::vector<double>> &sums,
-                    uint32_t &ratio_blocks, double &frame_sum,
-                    uint32_t &frame_n, double &text_sum,
-                    uint32_t &text_n) const;
+    // Incremental run state (reset by begin()).
+    uint64_t scriptSeed = 0;
+    std::vector<uint32_t> forced;
+    uint32_t forcedPos = 0;
+    int32_t frameId = 0;
+    uint32_t questionNo = 0;
+
+    // Accumulators feeding snapshot().
+    std::vector<uint32_t> generatedTokens;
+    std::vector<std::vector<float>> logitsPerStep;
+    std::vector<std::vector<double>> ratioSums;
+    uint32_t ratioBlocks = 0;
+    uint32_t framesFed = 0;
+    double frameSum = 0.0, textSum = 0.0;
+    uint32_t frameN = 0, textN = 0;
 };
 
 } // namespace vrex

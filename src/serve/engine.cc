@@ -1,0 +1,290 @@
+#include "serve/engine.hh"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vrex::serve
+{
+
+SessionOptions
+SessionOptions::fromScript(const SessionScript &script)
+{
+    SessionOptions o;
+    o.name = script.name;
+    o.video = script.video;
+    o.scriptSeed = script.seed;
+    return o;
+}
+
+Engine::Engine(EngineConfig config)
+    : cfg(std::move(config)),
+      pool(resolveWorkerCount(cfg.workers))
+{
+}
+
+Engine::~Engine()
+{
+    waitAll();
+    // Members destroy in reverse declaration order: the session map
+    // dies first, then the pool. That is safe because waitAll()
+    // guarantees every queued job has finished, so no worker still
+    // references a session when the map goes away.
+}
+
+Engine::Session *
+Engine::findSession(SessionId id)
+{
+    auto it = sessions.find(id);
+    return it == sessions.end() ? nullptr : it->second.get();
+}
+
+Engine::Session &
+Engine::sessionRef(SessionId id)
+{
+    Session *s = findSession(id);
+    if (!s)
+        throw std::out_of_range(
+            "vrex::serve::Engine: unknown or closed session id " +
+            std::to_string(id));
+    return *s;
+}
+
+SessionId
+Engine::createSession(const SessionOptions &options)
+{
+    auto s = std::make_unique<Session>();
+    s->options = options;
+    const PolicySpec &spec =
+        options.policy ? *options.policy : cfg.policy;
+    const uint64_t seed =
+        options.sessionSeed ? *options.sessionSeed : cfg.sessionSeed;
+    s->policy = makePolicy(cfg.model, spec);
+    s->exec = std::make_unique<StreamingSession>(
+        cfg.model, s->policy.active(), seed);
+    s->exec->begin(options.name, options.video, options.scriptSeed,
+                   options.forcedTokens);
+
+    std::lock_guard<std::mutex> lock(mu);
+    SessionId id = nextId++;
+    sessions.emplace(id, std::move(s));
+    return id;
+}
+
+SessionId
+Engine::submit(const SessionScript &script)
+{
+    return submit(script, SessionOptions{});
+}
+
+SessionId
+Engine::submit(const SessionScript &script, SessionOptions options)
+{
+    // The script is the source of truth for stream identity (these
+    // three fields feed the per-session RNG streams); only the
+    // policy/seed/forcing overrides of @p options are honoured.
+    options.name = script.name;
+    options.video = script.video;
+    options.scriptSeed = script.seed;
+    SessionId id = createSession(options);
+    enqueue(id, script.events);
+    return id;
+}
+
+void
+Engine::scheduleLocked(SessionId, Session &s)
+{
+    if (s.running || s.pending.empty())
+        return;
+    s.running = true;
+    Session *sp = &s;
+    pool.submit([this, sp] { drain(sp); });
+}
+
+void
+Engine::drain(Session *s)
+{
+    for (;;) {
+        std::deque<SessionEvent> batch;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (s->pending.empty()) {
+                s->running = false;
+                idleCv.notify_all();
+                return;
+            }
+            batch.swap(s->pending);
+        }
+        // Exclusive access: `running` stays true until the locked
+        // branch above, so no other thread touches `exec`.
+        for (const SessionEvent &event : batch)
+            s->exec->apply(event);
+    }
+}
+
+void
+Engine::enqueue(SessionId id, const std::vector<SessionEvent> &events)
+{
+    if (events.empty())
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    Session &s = sessionRef(id);
+    s.pending.insert(s.pending.end(), events.begin(), events.end());
+    scheduleLocked(id, s);
+}
+
+void
+Engine::feedFrame(SessionId id, uint32_t frames)
+{
+    std::vector<SessionEvent> events(
+        frames, SessionEvent{SessionEvent::Type::Frame, 0});
+    enqueue(id, events);
+}
+
+void
+Engine::ask(SessionId id, uint32_t question_tokens,
+            uint32_t answer_tokens)
+{
+    enqueue(id, {{SessionEvent::Type::Question, question_tokens},
+                 {SessionEvent::Type::Generate, answer_tokens}});
+}
+
+void
+Engine::waitIdleLocked(std::unique_lock<std::mutex> &lock,
+                       SessionId id)
+{
+    // Re-resolve the session on every wake: a concurrent
+    // closeSession() may erase it while we sleep, and holding a
+    // reference across the wait would dangle.
+    idleCv.wait(lock, [this, id] {
+        Session *s = findSession(id);
+        return !s || (!s->running && s->pending.empty());
+    });
+    sessionRef(id); // Throws when the session was closed meanwhile.
+}
+
+void
+Engine::wait(SessionId id)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    waitIdleLocked(lock, id);
+}
+
+void
+Engine::waitAll()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    idleCv.wait(lock, [this] {
+        for (const auto &[id, s] : sessions)
+            if (s->running || !s->pending.empty())
+                return false;
+        return true;
+    });
+}
+
+SessionRunResult
+Engine::result(SessionId id)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    waitIdleLocked(lock, id);
+    Session &s = sessionRef(id);
+    // Pin the session with the drain convention (`running` = someone
+    // owns exec) and snapshot outside the lock, so the potentially
+    // large copy doesn't stall every other session's scheduling.
+    s.running = true;
+    lock.unlock();
+    SessionRunResult out = s.exec->snapshot();
+    lock.lock();
+    s.running = false;
+    idleCv.notify_all();
+    // Events enqueued while pinned were not scheduled; catch up.
+    scheduleLocked(id, s);
+    return out;
+}
+
+void
+Engine::closeSession(SessionId id)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    waitIdleLocked(lock, id);
+    sessions.erase(id);
+    // Wake peers blocked on this id so they observe the closure.
+    idleCv.notify_all();
+}
+
+size_t
+Engine::openSessions() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return sessions.size();
+}
+
+const Model &
+Engine::model(SessionId id)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    waitIdleLocked(lock, id);
+    return sessionRef(id).exec->model();
+}
+
+const PolicyInstance &
+Engine::policy(SessionId id)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    waitIdleLocked(lock, id);
+    return sessionRef(id).policy;
+}
+
+const MemoryReplayStats *
+Engine::memoryStats(SessionId id)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    waitIdleLocked(lock, id);
+    Session &s = sessionRef(id);
+    return s.policy.memory() ? &s.policy.memory()->stats() : nullptr;
+}
+
+FidelityResult
+Engine::evaluateFidelity(const SessionScript &script,
+                         const PolicySpec &spec)
+{
+    return evaluateFidelityBatch({{script, spec}})[0];
+}
+
+std::vector<FidelityResult>
+Engine::evaluateFidelityBatch(const std::vector<FidelityJob> &jobs)
+{
+    // Phase 1: full-attention reference runs, all concurrent.
+    std::vector<SessionId> refs;
+    refs.reserve(jobs.size());
+    for (const FidelityJob &job : jobs) {
+        SessionOptions o; // Stream identity comes from the script.
+        o.policy = PolicySpec::full();
+        refs.push_back(submit(job.script, o));
+    }
+    std::vector<SessionRunResult> ref_runs;
+    ref_runs.reserve(jobs.size());
+    for (SessionId id : refs) {
+        ref_runs.push_back(result(id));
+        closeSession(id);
+    }
+
+    // Phase 2: teacher-forced policy runs, all concurrent.
+    std::vector<SessionId> tests;
+    tests.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        SessionOptions o;
+        o.policy = jobs[i].policy;
+        o.forcedTokens = ref_runs[i].generated;
+        tests.push_back(submit(jobs[i].script, o));
+    }
+    std::vector<FidelityResult> out;
+    out.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        SessionRunResult test = result(tests[i]);
+        closeSession(tests[i]);
+        out.push_back(compareRuns(ref_runs[i], test));
+    }
+    return out;
+}
+
+} // namespace vrex::serve

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * vrex::serve::Engine — the session-oriented serving facade.
+ *
+ * An Engine owns a pool of worker threads and any number of
+ * independent streaming-QA sessions. Each session bundles its own
+ * Model, an *owned* retrieval policy built from a declarative
+ * PolicySpec, and its own RNG streams, so sessions share no mutable
+ * state: an N-way concurrent run is byte-identical to N sequential
+ * StreamingSession runs (locked by tests/serve_test.cc).
+ *
+ * Lifecycle:
+ *
+ *     Engine engine({.model = ModelConfig::tiny(),
+ *                    .policy = PolicySpec::resv()});
+ *     SessionId id = engine.createSession(opts);
+ *     engine.feedFrame(id, 12);       // async: queued per session
+ *     engine.ask(id, 10, 12);         // question + answer round
+ *     SessionRunResult r = engine.result(id);  // drains, snapshots
+ *     engine.closeSession(id);
+ *
+ * The verbs enqueue work and return immediately; a session's events
+ * execute in order on one worker at a time (actor style), while
+ * different sessions run concurrently. result()/model()/policy()
+ * block until the session is drained.
+ */
+
+#ifndef VREX_SERVE_ENGINE_HH
+#define VREX_SERVE_ENGINE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipeline/accuracy_eval.hh"
+#include "pipeline/streaming_session.hh"
+#include "serve/policy_factory.hh"
+#include "serve/thread_pool.hh"
+#include "video/workload.hh"
+
+namespace vrex::serve
+{
+
+/** Opaque handle of one open session. */
+using SessionId = uint64_t;
+
+/** Engine-wide configuration: geometry, default policy, pool size. */
+struct EngineConfig
+{
+    /** Backbone geometry shared by all sessions. */
+    ModelConfig model = ModelConfig::tiny();
+    /** Default retrieval policy of new sessions. */
+    PolicySpec policy;
+    /** Worker threads; 0 picks from hardware concurrency. */
+    uint32_t workers = 0;
+    /** Default per-session master seed (weights + streams). */
+    uint64_t sessionSeed = 42;
+};
+
+/** Per-session creation parameters. */
+struct SessionOptions
+{
+    std::string name = "session";
+    VideoConfig video;
+    /** Per-stream seed (mixed into video + question randomness),
+     *  mirroring SessionScript::seed. */
+    uint64_t scriptSeed = 0;
+    /** Master seed override; engine default when unset. */
+    std::optional<uint64_t> sessionSeed;
+    /** Policy override; engine default when unset. */
+    std::optional<PolicySpec> policy;
+    /** Teacher forcing: generation consumes these token ids. */
+    std::vector<uint32_t> forcedTokens;
+
+    /** Options matching a scripted session's stream parameters. */
+    static SessionOptions fromScript(const SessionScript &script);
+};
+
+/** One fidelity evaluation: a script run under a policy spec. */
+struct FidelityJob
+{
+    SessionScript script;
+    PolicySpec policy;
+};
+
+class Engine
+{
+  public:
+    explicit Engine(EngineConfig config);
+
+    /** Drains every open session, then stops the pool. */
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    const EngineConfig &config() const { return cfg; }
+    uint32_t workerCount() const { return pool.workerCount(); }
+
+    // ---- session lifecycle -------------------------------------
+
+    /** Open a session; its model/policy are built immediately. */
+    SessionId createSession(const SessionOptions &options = {});
+
+    /** createSession(fromScript(script)) + enqueue all its events. */
+    SessionId submit(const SessionScript &script);
+
+    /**
+     * submit() with policy/sessionSeed/forcedTokens overrides. The
+     * script remains the source of truth for stream identity:
+     * options.name/video/scriptSeed are taken from it.
+     */
+    SessionId submit(const SessionScript &script,
+                     SessionOptions options);
+
+    /** Stream @p frames video frames into the session (async). */
+    void feedFrame(SessionId id, uint32_t frames = 1);
+
+    /** One QA round: @p question_tokens prefilled, then
+     *  @p answer_tokens generated (async). */
+    void ask(SessionId id, uint32_t question_tokens,
+             uint32_t answer_tokens);
+
+    /** Enqueue scripted events verbatim (async). */
+    void enqueue(SessionId id, const std::vector<SessionEvent> &events);
+
+    /** Block until the session's queue is drained. */
+    void wait(SessionId id);
+
+    /** Block until every open session is drained. */
+    void waitAll();
+
+    /** Drain the session and aggregate its results so far. The
+     *  session stays open and can keep receiving events. */
+    SessionRunResult result(SessionId id);
+
+    /** Drain and destroy the session (model, policy, cache). */
+    void closeSession(SessionId id);
+
+    size_t openSessions() const;
+
+    // ---- drained-session accessors -----------------------------
+    // Each drains the session first. The returned reference/pointer
+    // stays valid until further events are fed or the session closes.
+
+    /** The session's model (KV cache inspection etc.). */
+    const Model &model(SessionId id);
+
+    /** The session's owned policy stack. */
+    const PolicyInstance &policy(SessionId id);
+
+    /** Replay stats when the spec enabled memory tracking. */
+    const MemoryReplayStats *memoryStats(SessionId id);
+
+    // ---- fidelity evaluation -----------------------------------
+
+    /**
+     * Accuracy-proxy evaluation of @p spec on @p script against the
+     * full-attention reference (pipeline/accuracy_eval semantics,
+     * executed through engine sessions).
+     */
+    FidelityResult evaluateFidelity(const SessionScript &script,
+                                    const PolicySpec &spec);
+
+    /**
+     * Evaluate many (script, policy) pairs, running the reference
+     * pass and the teacher-forced pass of all jobs concurrently on
+     * the pool. Results are returned in job order and are identical
+     * to calling evaluateFidelity() sequentially.
+     */
+    std::vector<FidelityResult>
+    evaluateFidelityBatch(const std::vector<FidelityJob> &jobs);
+
+  private:
+    struct Session
+    {
+        SessionOptions options;
+        PolicyInstance policy;
+        std::unique_ptr<StreamingSession> exec;
+        std::deque<SessionEvent> pending;
+        /** True while a worker owns exec (drain in flight). */
+        bool running = false;
+    };
+
+    Session *findSession(SessionId id);
+    Session &sessionRef(SessionId id);
+    void scheduleLocked(SessionId id, Session &s);
+    void waitIdleLocked(std::unique_lock<std::mutex> &lock,
+                        SessionId id);
+    void drain(Session *s);
+
+    EngineConfig cfg;
+    ThreadPool pool;
+
+    mutable std::mutex mu;
+    std::condition_variable idleCv;
+    std::map<SessionId, std::unique_ptr<Session>> sessions;
+    SessionId nextId = 1;
+};
+
+} // namespace vrex::serve
+
+#endif // VREX_SERVE_ENGINE_HH

@@ -1,0 +1,190 @@
+#include "serve/policy_factory.hh"
+
+#include "common/logging.hh"
+
+namespace vrex::serve
+{
+
+const std::vector<PolicyKind> &
+allPolicyKinds()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::Full,       PolicyKind::FlexGen,
+        PolicyKind::InfiniGen,  PolicyKind::InfiniGenP,
+        PolicyKind::ReKV,       PolicyKind::ReSV,
+    };
+    return kinds;
+}
+
+const std::string &
+policyKindName(PolicyKind kind)
+{
+    static const std::string names[] = {
+        "full", "flexgen", "infinigen", "infinigenp", "rekv", "resv",
+    };
+    const auto idx = static_cast<size_t>(kind);
+    VREX_ASSERT(idx < std::size(names), "bad PolicyKind");
+    return names[idx];
+}
+
+std::optional<PolicyKind>
+parsePolicyKind(const std::string &name)
+{
+    for (PolicyKind kind : allPolicyKinds())
+        if (policyKindName(kind) == name)
+            return kind;
+    return std::nullopt;
+}
+
+PolicySpec
+PolicySpec::full()
+{
+    return {};
+}
+
+PolicySpec
+PolicySpec::flexgen()
+{
+    PolicySpec s;
+    s.kind = PolicyKind::FlexGen;
+    return s;
+}
+
+PolicySpec
+PolicySpec::infinigen(float ratio)
+{
+    PolicySpec s;
+    s.kind = PolicyKind::InfiniGen;
+    s.ratio = ratio;
+    return s;
+}
+
+PolicySpec
+PolicySpec::infinigenP(float ratio)
+{
+    PolicySpec s;
+    s.kind = PolicyKind::InfiniGenP;
+    s.ratio = ratio;
+    return s;
+}
+
+PolicySpec
+PolicySpec::rekv(float ratio)
+{
+    PolicySpec s;
+    s.kind = PolicyKind::ReKV;
+    s.ratio = ratio;
+    return s;
+}
+
+PolicySpec
+PolicySpec::resv(const ResvConfig &config)
+{
+    PolicySpec s;
+    s.kind = PolicyKind::ReSV;
+    s.resvCfg = config;
+    return s;
+}
+
+PolicySpec
+PolicySpec::withMemoryTracking(const TierConfig &tier_config) const
+{
+    PolicySpec s = *this;
+    s.trackMemory = true;
+    s.tiers = tier_config;
+    return s;
+}
+
+namespace
+{
+
+InfiniGenConfig
+infinigenConfig(const PolicySpec &spec, bool prefill)
+{
+    InfiniGenConfig c;
+    c.ratio = spec.ratio;
+    c.projDim = spec.projDim;
+    c.prefill = prefill;
+    c.seed = spec.seed;
+    return c;
+}
+
+} // namespace
+
+PolicyFactory::PolicyFactory()
+    : makers(allPolicyKinds().size())
+{
+    registerMaker(PolicyKind::Full,
+                  [](const ModelConfig &, const PolicySpec &) {
+                      return std::make_unique<FullAttentionPolicy>();
+                  });
+    registerMaker(PolicyKind::FlexGen,
+                  [](const ModelConfig &, const PolicySpec &) {
+                      return std::make_unique<FlexGenPolicy>();
+                  });
+    registerMaker(PolicyKind::InfiniGen,
+                  [](const ModelConfig &m, const PolicySpec &spec) {
+                      return std::make_unique<InfiniGenPolicy>(
+                          m, infinigenConfig(spec, false));
+                  });
+    registerMaker(PolicyKind::InfiniGenP,
+                  [](const ModelConfig &m, const PolicySpec &spec) {
+                      return std::make_unique<InfiniGenPolicy>(
+                          m, infinigenConfig(spec, true));
+                  });
+    registerMaker(PolicyKind::ReKV,
+                  [](const ModelConfig &m, const PolicySpec &spec) {
+                      ReKVConfig c;
+                      c.ratio = spec.ratio;
+                      return std::make_unique<ReKVPolicy>(m, c);
+                  });
+    registerMaker(PolicyKind::ReSV,
+                  [](const ModelConfig &m, const PolicySpec &spec) {
+                      return std::make_unique<ResvPolicy>(m,
+                                                          spec.resvCfg);
+                  });
+}
+
+PolicyFactory &
+PolicyFactory::global()
+{
+    static PolicyFactory factory;
+    return factory;
+}
+
+void
+PolicyFactory::registerMaker(PolicyKind kind, Maker maker)
+{
+    const auto idx = static_cast<size_t>(kind);
+    VREX_ASSERT(idx < makers.size(), "bad PolicyKind");
+    makers[idx] = std::move(maker);
+}
+
+PolicyInstance
+PolicyFactory::make(const ModelConfig &model,
+                    const PolicySpec &spec) const
+{
+    const auto idx = static_cast<size_t>(spec.kind);
+    VREX_ASSERT(idx < makers.size() && makers[idx],
+                "no maker registered for policy kind");
+
+    PolicyInstance inst;
+    inst.kindValue = spec.kind;
+    inst.base = makers[idx](model, spec);
+    inst.resvView = dynamic_cast<ResvPolicy *>(inst.base.get());
+    if (spec.trackMemory) {
+        inst.tracker = std::make_unique<MemoryTrackingPolicy>(
+            inst.base.get(), model, spec.tiers);
+        if (inst.resvView)
+            inst.tracker->setClusterSource(inst.resvView);
+    }
+    return inst;
+}
+
+PolicyInstance
+makePolicy(const ModelConfig &model, const PolicySpec &spec)
+{
+    return PolicyFactory::global().make(model, spec);
+}
+
+} // namespace vrex::serve

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Declarative retrieval-policy construction for the serving layer.
+ *
+ * A PolicySpec names a policy kind plus its parameters; PolicyFactory
+ * turns the spec into an *owned* SelectionPolicy (replacing the raw
+ * pointer wiring of the low-level API), optionally decorated with the
+ * memory-hierarchy replay driver (MemoryTrackingPolicy) whose cluster
+ * layout is wired to the ReSV hash-cluster tables automatically.
+ */
+
+#ifndef VREX_SERVE_POLICY_FACTORY_HH
+#define VREX_SERVE_POLICY_FACTORY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/resv.hh"
+#include "kvstore/hierarchical_cache.hh"
+#include "llm/selection.hh"
+#include "pipeline/memory_driver.hh"
+#include "retrieval/policies.hh"
+
+namespace vrex::serve
+{
+
+/** The retrieval methods the paper evaluates (§VI-B). */
+enum class PolicyKind : uint8_t
+{
+    Full,       //!< Vanilla full attention (VideoLLM-Online).
+    FlexGen,    //!< Offload everything, fetch everything back.
+    InfiniGen,  //!< Fixed top-k, generation stage only.
+    InfiniGenP, //!< InfiniGen extended to iterative prefill.
+    ReKV,       //!< Frame-granular fixed top-k.
+    ReSV,       //!< V-Rex's dynamic clustering + WiCSum policy.
+};
+
+/** All kinds, in Table II column order. */
+const std::vector<PolicyKind> &allPolicyKinds();
+
+/** Canonical lowercase name ("full", "flexgen", ..., "resv"). */
+const std::string &policyKindName(PolicyKind kind);
+
+/** Inverse of policyKindName(); nullopt for unknown names. */
+std::optional<PolicyKind> parsePolicyKind(const std::string &name);
+
+/**
+ * Declarative policy description: a kind plus the parameters that
+ * kind consumes. Unused fields are ignored (e.g. `ratio` for ReSV).
+ */
+struct PolicySpec
+{
+    PolicyKind kind = PolicyKind::Full;
+
+    /** Fixed top-k budget of the InfiniGen* / ReKV baselines. */
+    float ratio = 0.5f;
+    /** InfiniGen partial-projection dimensionality. */
+    uint32_t projDim = 8;
+    /** Seed of the InfiniGen projection sketch. */
+    uint64_t seed = 11;
+    /** ReSV hyper-parameters (paper defaults). */
+    ResvConfig resvCfg;
+
+    /** Decorate with the memory-hierarchy replay driver. */
+    bool trackMemory = false;
+    /** Device window / offload target of the replay hierarchy. */
+    TierConfig tiers;
+
+    static PolicySpec full();
+    static PolicySpec flexgen();
+    static PolicySpec infinigen(float ratio = 0.5f);
+    static PolicySpec infinigenP(float ratio = 0.5f);
+    static PolicySpec rekv(float ratio = 0.5f);
+    static PolicySpec resv(const ResvConfig &config = {});
+
+    /** Copy of this spec with memory replay over @p tier_config. */
+    PolicySpec withMemoryTracking(const TierConfig &tier_config) const;
+};
+
+/**
+ * An owned, fully wired policy stack: the base retrieval policy and,
+ * when the spec asked for it, the memory-replay decorator on top.
+ * Movable, not copyable; install `active()` into a Model/session.
+ */
+class PolicyInstance
+{
+  public:
+    PolicyInstance() = default;
+
+    PolicyKind kind() const { return kindValue; }
+
+    /** The policy to install (decorator when present, else base). */
+    SelectionPolicy *active() const
+    {
+        return tracker ? static_cast<SelectionPolicy *>(tracker.get())
+                       : base.get();
+    }
+
+    /** The undecorated retrieval policy. */
+    SelectionPolicy *basePolicy() const { return base.get(); }
+
+    /** The ReSV policy, or nullptr for other kinds. */
+    ResvPolicy *resv() const { return resvView; }
+
+    /** The replay decorator, or nullptr when not requested. */
+    MemoryTrackingPolicy *memory() const { return tracker.get(); }
+
+  private:
+    friend class PolicyFactory;
+
+    PolicyKind kindValue = PolicyKind::Full;
+    std::unique_ptr<SelectionPolicy> base;
+    std::unique_ptr<MemoryTrackingPolicy> tracker;
+    ResvPolicy *resvView = nullptr;
+};
+
+/**
+ * Registry of policy constructors, keyed by kind. The five paper
+ * policies (plus Full) are built in; registerMaker() can override a
+ * kind (e.g. to inject an instrumented variant in tests).
+ */
+class PolicyFactory
+{
+  public:
+    using Maker = std::function<std::unique_ptr<SelectionPolicy>(
+        const ModelConfig &, const PolicySpec &)>;
+
+    /** A factory with the built-in kinds registered. */
+    PolicyFactory();
+
+    /** The process-wide default registry. */
+    static PolicyFactory &global();
+
+    /** Replace the constructor of @p kind. */
+    void registerMaker(PolicyKind kind, Maker maker);
+
+    /**
+     * Construct the policy stack for @p spec. The ReSV hash-cluster
+     * tables are wired as the replay decorator's layout source when
+     * both are present.
+     */
+    PolicyInstance make(const ModelConfig &model,
+                        const PolicySpec &spec) const;
+
+  private:
+    std::vector<Maker> makers; //!< Indexed by PolicyKind.
+};
+
+/** Shorthand: PolicyFactory::global().make(model, spec). */
+PolicyInstance makePolicy(const ModelConfig &model,
+                          const PolicySpec &spec);
+
+} // namespace vrex::serve
+
+#endif // VREX_SERVE_POLICY_FACTORY_HH

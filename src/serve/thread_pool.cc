@@ -1,0 +1,66 @@
+#include "serve/thread_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vrex::serve
+{
+
+uint32_t
+resolveWorkerCount(uint32_t requested)
+{
+    if (requested > 0)
+        return requested;
+    uint32_t hw = std::thread::hardware_concurrency();
+    return std::clamp(hw, 2u, 8u);
+}
+
+ThreadPool::ThreadPool(uint32_t workers)
+{
+    VREX_ASSERT(workers >= 1, "thread pool needs at least one worker");
+    threads.reserve(workers);
+    for (uint32_t i = 0; i < workers; ++i)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &t : threads)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        VREX_ASSERT(!stopping, "submit on a stopping thread pool");
+        jobs.push_back(std::move(job));
+    }
+    cv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [this] { return stopping || !jobs.empty(); });
+            if (jobs.empty())
+                return; // stopping and fully drained
+            job = std::move(jobs.front());
+            jobs.pop_front();
+        }
+        job();
+    }
+}
+
+} // namespace vrex::serve

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A minimal fixed-size worker pool for the serving engine. Jobs are
+ * plain closures executed FIFO; the destructor drains every queued
+ * job before joining, so submitted work is never silently dropped.
+ */
+
+#ifndef VREX_SERVE_THREAD_POOL_HH
+#define VREX_SERVE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vrex::serve
+{
+
+/** Sensible worker count: @p requested, or a hardware-derived pick
+ *  (clamped to [2, 8]) when @p requested is 0. */
+uint32_t resolveWorkerCount(uint32_t requested);
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers threads (must be >= 1). */
+    explicit ThreadPool(uint32_t workers);
+
+    /** Drains all queued jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job; runs on some worker in submission order. */
+    void submit(std::function<void()> job);
+
+    uint32_t workerCount() const
+    {
+        return static_cast<uint32_t>(threads.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> jobs;
+    bool stopping = false;
+    std::vector<std::thread> threads;
+};
+
+} // namespace vrex::serve
+
+#endif // VREX_SERVE_THREAD_POOL_HH

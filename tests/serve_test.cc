@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Serving-layer tests: PolicySpec/PolicyFactory round-trips, the
+ * Engine session lifecycle, session isolation, and the headline
+ * guarantee — an N-way concurrent engine run is byte-identical to N
+ * sequential StreamingSession runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/resv.hh"
+#include "pipeline/accuracy_eval.hh"
+#include "pipeline/memory_driver.hh"
+#include "pipeline/streaming_session.hh"
+#include "retrieval/policies.hh"
+#include "serve/engine.hh"
+#include "serve/policy_factory.hh"
+#include "serve/thread_pool.hh"
+
+using namespace vrex;
+using namespace vrex::serve;
+
+namespace
+{
+
+SessionScript
+shortScript(uint64_t seed, uint32_t frames = 8)
+{
+    SessionScript s = WorkloadGenerator::coinAverage(seed);
+    s.events.clear();
+    for (uint32_t f = 0; f < frames; ++f)
+        s.events.push_back({SessionEvent::Type::Frame, 0});
+    s.events.push_back({SessionEvent::Type::Question, 6});
+    s.events.push_back({SessionEvent::Type::Generate, 5});
+    return s;
+}
+
+/** Every non-Full spec kind, with distinguishable parameters. */
+std::vector<PolicySpec>
+specZoo()
+{
+    ResvConfig rc;
+    rc.thrWics = 0.4f;
+    return {
+        PolicySpec::full(),          PolicySpec::flexgen(),
+        PolicySpec::infinigen(0.4f), PolicySpec::infinigenP(0.6f),
+        PolicySpec::rekv(0.3f),      PolicySpec::resv(rc),
+    };
+}
+
+/** Exact structural equality of two run results. */
+void
+expectIdenticalRuns(const SessionRunResult &a, const SessionRunResult &b)
+{
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.stepLogits, b.stepLogits);
+    EXPECT_EQ(a.frames, b.frames);
+    EXPECT_EQ(a.totalTokens, b.totalTokens);
+    EXPECT_DOUBLE_EQ(a.frameRatio, b.frameRatio);
+    EXPECT_DOUBLE_EQ(a.textRatio, b.textRatio);
+    EXPECT_EQ(a.layerHeadRatio, b.layerHeadRatio);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// PolicyFactory
+// ---------------------------------------------------------------
+
+TEST(PolicyFactory, KindNamesRoundTrip)
+{
+    for (PolicyKind kind : allPolicyKinds()) {
+        auto parsed = parsePolicyKind(policyKindName(kind));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, kind);
+    }
+    EXPECT_FALSE(parsePolicyKind("no-such-policy").has_value());
+}
+
+TEST(PolicyFactory, BuildsEveryKindOwned)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    for (const PolicySpec &spec : specZoo()) {
+        PolicyInstance inst = makePolicy(cfg, spec);
+        EXPECT_EQ(inst.kind(), spec.kind);
+        ASSERT_NE(inst.basePolicy(), nullptr)
+            << policyKindName(spec.kind);
+        EXPECT_EQ(inst.active(), inst.basePolicy());
+        EXPECT_EQ(inst.memory(), nullptr);
+        // Kind-specific dynamic types and parameter plumbing.
+        switch (spec.kind) {
+          case PolicyKind::Full:
+            EXPECT_NE(dynamic_cast<FullAttentionPolicy *>(
+                          inst.basePolicy()), nullptr);
+            break;
+          case PolicyKind::FlexGen:
+            EXPECT_NE(dynamic_cast<FlexGenPolicy *>(
+                          inst.basePolicy()), nullptr);
+            break;
+          case PolicyKind::InfiniGen:
+          case PolicyKind::InfiniGenP: {
+            auto *p = dynamic_cast<InfiniGenPolicy *>(
+                inst.basePolicy());
+            ASSERT_NE(p, nullptr);
+            EXPECT_FLOAT_EQ(p->config().ratio, spec.ratio);
+            EXPECT_EQ(p->config().prefill,
+                      spec.kind == PolicyKind::InfiniGenP);
+            break;
+          }
+          case PolicyKind::ReKV:
+            EXPECT_NE(dynamic_cast<ReKVPolicy *>(inst.basePolicy()),
+                      nullptr);
+            break;
+          case PolicyKind::ReSV: {
+            ASSERT_NE(inst.resv(), nullptr);
+            EXPECT_EQ(inst.resv(), inst.basePolicy());
+            EXPECT_FLOAT_EQ(inst.resv()->config().thrWics, 0.4f);
+            break;
+          }
+        }
+        if (spec.kind != PolicyKind::ReSV) {
+            EXPECT_EQ(inst.resv(), nullptr);
+        }
+    }
+}
+
+TEST(PolicyFactory, MemoryTrackingDecoration)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    TierConfig tiers;
+    tiers.deviceKvCapacityBytes = 16 * cfg.kvBytesPerToken(2.0);
+    PolicySpec spec = PolicySpec::resv().withMemoryTracking(tiers);
+    EXPECT_TRUE(spec.trackMemory);
+
+    PolicyInstance inst = makePolicy(cfg, spec);
+    ASSERT_NE(inst.memory(), nullptr);
+    EXPECT_EQ(inst.active(),
+              static_cast<SelectionPolicy *>(inst.memory()));
+    EXPECT_NE(inst.resv(), nullptr);
+
+    // The decorated stack drives a session and fills replay stats
+    // identically to hand-wired MemoryTrackingPolicy + ResvPolicy.
+    SessionScript script = shortScript(31);
+    StreamingSession via_factory(cfg, inst.active(), 42);
+    SessionRunResult r1 = via_factory.run(script);
+
+    ResvPolicy resv(cfg, spec.resvCfg);
+    MemoryTrackingPolicy tracked(&resv, cfg, tiers);
+    tracked.setClusterSource(&resv);
+    StreamingSession by_hand(cfg, &tracked, 42);
+    SessionRunResult r2 = by_hand.run(script);
+
+    expectIdenticalRuns(r1, r2);
+    const MemoryReplayStats &s1 = inst.memory()->stats();
+    const MemoryReplayStats &s2 = tracked.stats();
+    EXPECT_GT(s1.fetchedBytes, 0u);
+    EXPECT_EQ(s1.fetchedBytes, s2.fetchedBytes);
+    EXPECT_EQ(s1.offloadedBytes, s2.offloadedBytes);
+    EXPECT_EQ(s1.runsTimeOrder, s2.runsTimeOrder);
+    EXPECT_EQ(s1.runsClustered, s2.runsClustered);
+}
+
+TEST(PolicyFactory, FullPolicyMatchesNullPolicy)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    SessionScript script = shortScript(32);
+
+    StreamingSession null_policy(cfg, nullptr, 42);
+    SessionRunResult r_null = null_policy.run(script);
+
+    PolicyInstance inst = makePolicy(cfg, PolicySpec::full());
+    StreamingSession full_policy(cfg, inst.active(), 42);
+    SessionRunResult r_full = full_policy.run(script);
+
+    expectIdenticalRuns(r_null, r_full);
+}
+
+TEST(PolicyFactory, ResetAfterReuseMatchesFresh)
+{
+    // evaluateFidelity() reuses one policy object across the
+    // reference and test runs, resetting in between; the factory
+    // builds a fresh object per session. Both must coincide, i.e.
+    // reset() has to restore construction state for every kind.
+    ModelConfig cfg = ModelConfig::tiny();
+    SessionScript script = shortScript(33);
+    for (const PolicySpec &spec : specZoo()) {
+        PolicyInstance reused = makePolicy(cfg, spec);
+        FidelityResult first = evaluateFidelity(
+            cfg, script, reused.basePolicy(), 42);
+        FidelityResult again = evaluateFidelity(
+            cfg, script, reused.basePolicy(), 42);
+        FidelityResult fresh = evaluateFidelity(
+            cfg, script, makePolicy(cfg, spec).basePolicy(), 42);
+        EXPECT_DOUBLE_EQ(again.tokenAgreement, first.tokenAgreement)
+            << policyKindName(spec.kind);
+        EXPECT_DOUBLE_EQ(again.logitCosine, first.logitCosine)
+            << policyKindName(spec.kind);
+        EXPECT_DOUBLE_EQ(fresh.frameRatio, first.frameRatio)
+            << policyKindName(spec.kind);
+        EXPECT_DOUBLE_EQ(fresh.textRatio, first.textRatio)
+            << policyKindName(spec.kind);
+        EXPECT_DOUBLE_EQ(fresh.logitCosine, first.logitCosine)
+            << policyKindName(spec.kind);
+    }
+}
+
+// ---------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryJob)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    std::atomic<int> counter{0};
+    {
+        ThreadPool inner(3);
+        for (int i = 0; i < 100; ++i)
+            inner.submit([&counter] { ++counter; });
+        // ~ThreadPool drains before joining.
+    }
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ResolveWorkerCount)
+{
+    EXPECT_EQ(resolveWorkerCount(3), 3u);
+    EXPECT_GE(resolveWorkerCount(0), 2u);
+    EXPECT_LE(resolveWorkerCount(0), 8u);
+}
+
+// ---------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------
+
+TEST(ServeEngine, LifecycleVerbsMatchScriptedRun)
+{
+    // createSession + feedFrame + ask == one scripted run.
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.policy = PolicySpec::resv();
+    cfg.workers = 2;
+    Engine engine(cfg);
+
+    SessionScript script = shortScript(40);
+    SessionOptions opts = SessionOptions::fromScript(script);
+    SessionId id = engine.createSession(opts);
+    engine.feedFrame(id, 8);
+    engine.ask(id, 6, 5);
+    SessionRunResult via_verbs = engine.result(id);
+    engine.closeSession(id);
+    EXPECT_EQ(engine.openSessions(), 0u);
+
+    PolicyInstance inst = makePolicy(cfg.model, cfg.policy);
+    StreamingSession seq(cfg.model, inst.active(), 42);
+    expectIdenticalRuns(via_verbs, seq.run(script));
+}
+
+TEST(ServeEngine, ConcurrentMatchesSequential)
+{
+    // The acceptance guarantee: N concurrent sessions, mixed tasks
+    // and policies, on a real worker pool — byte-identical to N
+    // sequential StreamingSession runs.
+    const std::vector<PolicySpec> specs = specZoo();
+    std::vector<SessionScript> scripts;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        SessionScript s = shortScript(50 + i, 6 + (i % 3));
+        s.task = allCoinTasks()[i % allCoinTasks().size()];
+        s.name = "concurrent-" + std::to_string(i);
+        scripts.push_back(s);
+    }
+
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 4;
+    Engine engine(cfg);
+
+    std::vector<SessionId> ids;
+    for (size_t i = 0; i < scripts.size(); ++i) {
+        SessionOptions o = SessionOptions::fromScript(scripts[i]);
+        o.policy = specs[i];
+        o.sessionSeed = 1000 + i;
+        ids.push_back(engine.submit(scripts[i], o));
+    }
+
+    for (size_t i = 0; i < scripts.size(); ++i) {
+        SessionRunResult concurrent = engine.result(ids[i]);
+        engine.closeSession(ids[i]);
+
+        PolicyInstance inst = makePolicy(cfg.model, specs[i]);
+        StreamingSession seq(cfg.model, inst.active(), 1000 + i);
+        SessionRunResult sequential = seq.run(scripts[i]);
+        expectIdenticalRuns(concurrent, sequential);
+    }
+}
+
+TEST(ServeEngine, InterleavedSessionsAreIsolated)
+{
+    // Feeding two sessions turn by turn must not perturb either:
+    // each result matches its own isolated sequential run.
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 2;
+    Engine engine(cfg);
+
+    SessionScript sa = shortScript(60), sb = shortScript(61);
+    sb.video.sceneCutProb = 0.3;  // Different stream statistics.
+    SessionOptions oa = SessionOptions::fromScript(sa);
+    oa.policy = PolicySpec::resv();
+    SessionOptions ob = SessionOptions::fromScript(sb);
+    ob.policy = PolicySpec::infinigenP(0.5f);
+    SessionId a = engine.createSession(oa);
+    SessionId b = engine.createSession(ob);
+
+    for (int round = 0; round < 4; ++round) {
+        engine.feedFrame(a, 2);
+        engine.feedFrame(b, 2);
+    }
+    engine.ask(a, 6, 5);
+    engine.ask(b, 6, 5);
+    SessionRunResult ra = engine.result(a);
+    SessionRunResult rb = engine.result(b);
+    engine.closeSession(a);
+    engine.closeSession(b);
+
+    PolicyInstance pa = makePolicy(cfg.model, *oa.policy);
+    StreamingSession ia(cfg.model, pa.active(), 42);
+    expectIdenticalRuns(ra, ia.run(sa));
+
+    PolicyInstance pb = makePolicy(cfg.model, *ob.policy);
+    StreamingSession ib(cfg.model, pb.active(), 42);
+    expectIdenticalRuns(rb, ib.run(sb));
+}
+
+TEST(ServeEngine, ResultIsIncrementalAndRepeatable)
+{
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 2;
+    Engine engine(cfg);
+
+    SessionId id = engine.createSession();
+    engine.feedFrame(id, 4);
+    SessionRunResult mid = engine.result(id);
+    EXPECT_EQ(mid.frames, 4u);
+    EXPECT_TRUE(mid.generated.empty());
+
+    engine.feedFrame(id, 4);
+    engine.ask(id, 6, 5);
+    SessionRunResult done = engine.result(id);
+    EXPECT_EQ(done.frames, 8u);
+    EXPECT_EQ(done.generated.size(), 5u);
+    // result() drains without consuming: calling it again is stable.
+    expectIdenticalRuns(done, engine.result(id));
+    engine.closeSession(id);
+}
+
+TEST(ServeEngine, UnknownOrClosedSessionThrows)
+{
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 1;
+    Engine engine(cfg);
+    EXPECT_THROW(engine.result(999), std::out_of_range);
+
+    SessionId id = engine.createSession();
+    engine.closeSession(id);
+    EXPECT_THROW(engine.feedFrame(id), std::out_of_range);
+    EXPECT_THROW(engine.closeSession(id), std::out_of_range);
+}
+
+TEST(ServeEngine, FidelityMatchesPipelineEvaluator)
+{
+    ModelConfig model = ModelConfig::tiny();
+    SessionScript script = shortScript(70);
+
+    EngineConfig cfg;
+    cfg.model = model;
+    cfg.workers = 2;
+    cfg.sessionSeed = 42;
+    Engine engine(cfg);
+
+    for (const PolicySpec &spec :
+         {PolicySpec::resv(), PolicySpec::infinigenP(0.5f)}) {
+        FidelityResult via_engine =
+            engine.evaluateFidelity(script, spec);
+        PolicyInstance inst = makePolicy(model, spec);
+        FidelityResult via_pipeline =
+            evaluateFidelity(model, script, inst.basePolicy(), 42);
+        EXPECT_DOUBLE_EQ(via_engine.tokenAgreement,
+                         via_pipeline.tokenAgreement);
+        EXPECT_DOUBLE_EQ(via_engine.logitCosine,
+                         via_pipeline.logitCosine);
+        EXPECT_DOUBLE_EQ(via_engine.frameRatio,
+                         via_pipeline.frameRatio);
+        EXPECT_DOUBLE_EQ(via_engine.textRatio,
+                         via_pipeline.textRatio);
+        EXPECT_EQ(via_engine.steps, via_pipeline.steps);
+    }
+}
+
+TEST(ServeEngine, FidelityBatchMatchesSequentialCalls)
+{
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 4;
+    Engine engine(cfg);
+
+    std::vector<FidelityJob> jobs;
+    for (uint64_t seed : {80u, 81u})
+        for (const PolicySpec &spec :
+             {PolicySpec::resv(), PolicySpec::rekv(0.5f)})
+            jobs.push_back({shortScript(seed), spec});
+
+    std::vector<FidelityResult> batch =
+        engine.evaluateFidelityBatch(jobs);
+    ASSERT_EQ(batch.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        FidelityResult single =
+            engine.evaluateFidelity(jobs[i].script, jobs[i].policy);
+        EXPECT_DOUBLE_EQ(batch[i].tokenAgreement,
+                         single.tokenAgreement);
+        EXPECT_DOUBLE_EQ(batch[i].logitCosine, single.logitCosine);
+        EXPECT_DOUBLE_EQ(batch[i].frameRatio, single.frameRatio);
+        EXPECT_DOUBLE_EQ(batch[i].textRatio, single.textRatio);
+    }
+}
+
+TEST(ServeEngine, ConcurrentWaitersAndCloseAreSafe)
+{
+    // Several threads blocking in result()/wait() while another
+    // closes the session must either get the (identical) result or
+    // a clean out_of_range — never touch freed session state.
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 2;
+    Engine engine(cfg);
+
+    for (int round = 0; round < 5; ++round) {
+        SessionId id = engine.createSession();
+        engine.feedFrame(id, 4);
+        engine.ask(id, 4, 3);
+
+        std::atomic<int> answered{0}, closed{0};
+        std::vector<std::thread> racers;
+        for (int t = 0; t < 3; ++t) {
+            racers.emplace_back([&, t] {
+                try {
+                    if (t == 0) {
+                        engine.closeSession(id);
+                        ++closed;
+                    } else {
+                        SessionRunResult r = engine.result(id);
+                        EXPECT_EQ(r.generated.size(), 3u);
+                        ++answered;
+                    }
+                } catch (const std::out_of_range &) {
+                    // Lost the race against closeSession: fine.
+                }
+            });
+        }
+        for (auto &t : racers)
+            t.join();
+        EXPECT_EQ(closed.load(), 1);
+        EXPECT_THROW(engine.result(id), std::out_of_range);
+    }
+}
+
+TEST(ServeEngine, DestructorDrainsPendingWork)
+{
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 2;
+    {
+        Engine engine(cfg);
+        SessionId id = engine.createSession();
+        engine.feedFrame(id, 6);
+        engine.ask(id, 4, 3);
+        // No result()/wait(): the destructor must drain cleanly.
+    }
+    SUCCEED();
+}
