@@ -9,11 +9,17 @@
  *   sim_cli [--hw agx|a100|vrex8|vrex48] [--method flexgen|infinigen|
  *            infinigenp|rekv|resv|resv-kvpu|resv-sw|gpu|oaken]
  *           [--cache N] [--batch N] [--frame-tokens N] [--serve N]
+ *           [--max-live M]
  *
  * With --serve N the CLI additionally runs N concurrent *functional*
  * sessions through vrex::serve::Engine under the same retrieval
  * method and prints the measured selection ratios next to the
- * analytic model's assumptions.
+ * analytic model's assumptions. --max-live M caps concurrently
+ * admitted sessions: overflow sessions are *rejected* by admission
+ * control and retried in waves as live sessions close, demonstrating
+ * the scheduler's backpressure path; the run ends with the engine's
+ * serve::Stats snapshot (admissions, queue depths, wait/service
+ * times).
  */
 
 #include <cstdio>
@@ -96,40 +102,78 @@ specForMethod(const std::string &name)
 }
 
 void
-serveFunctional(const std::string &method, uint32_t sessions)
+serveFunctional(const std::string &method, uint32_t sessions,
+                uint32_t max_live)
 {
     serve::EngineConfig cfg;
     cfg.model = ModelConfig::tiny();
     cfg.policy = specForMethod(method);
+    cfg.sched.maxLiveSessions = max_live; // 0 = unlimited
     serve::Engine engine(cfg);
 
-    std::printf("\n[functional serve] %u concurrent sessions, "
-                "policy '%s', %u workers\n", sessions,
+    std::printf("\n[functional serve] %u sessions, policy '%s', "
+                "%u workers, max live %u\n", sessions,
                 serve::policyKindName(cfg.policy.kind).c_str(),
-                engine.workerCount());
+                engine.workerCount(), max_live);
 
-    std::vector<serve::SessionId> ids;
-    for (uint32_t s = 0; s < sessions; ++s) {
-        SessionScript script =
-            WorkloadGenerator::coinAverage(/*seed=*/200 + s);
-        script.name = "cli-session-" + std::to_string(s);
-        ids.push_back(engine.submit(script));
-    }
+    // Admit in waves: sessions the admission controller rejects are
+    // retried after the current wave's sessions close.
+    std::vector<uint32_t> todo;
+    for (uint32_t s = 0; s < sessions; ++s)
+        todo.push_back(s);
     double frame_sum = 0.0, text_sum = 0.0;
-    for (uint32_t s = 0; s < sessions; ++s) {
-        SessionRunResult r = engine.result(ids[s]);
-        engine.closeSession(ids[s]);
-        frame_sum += r.frameRatio;
-        text_sum += r.textRatio;
-        std::printf("  session %u: %u frames, %zu answer tokens, "
-                    "ratio frame %.1f%% / text %.1f%%\n", s, r.frames,
-                    r.generated.size(), 100.0 * r.frameRatio,
-                    100.0 * r.textRatio);
+    uint32_t wave = 0;
+    while (!todo.empty()) {
+        std::vector<uint32_t> deferred;
+        std::vector<std::pair<uint32_t, serve::SessionId>> admitted;
+        for (uint32_t s : todo) {
+            SessionScript script =
+                WorkloadGenerator::coinAverage(/*seed=*/200 + s);
+            script.name = "cli-session-" + std::to_string(s);
+            serve::Admission a = engine.tryCreateSession(
+                serve::SessionOptions::fromScript(script));
+            if (!a.admitted()) {
+                deferred.push_back(s);
+                continue;
+            }
+            engine.enqueue(a.id, script.events);
+            admitted.emplace_back(s, a.id);
+        }
+        if (wave > 0 || !deferred.empty())
+            std::printf("  wave %u: %zu admitted, %zu deferred by "
+                        "admission control\n", wave, admitted.size(),
+                        deferred.size());
+        for (const auto &[s, id] : admitted) {
+            SessionRunResult r = engine.result(id);
+            engine.closeSession(id);
+            frame_sum += r.frameRatio;
+            text_sum += r.textRatio;
+            std::printf("  session %u: %u frames, %zu answer tokens, "
+                        "ratio frame %.1f%% / text %.1f%%\n", s,
+                        r.frames, r.generated.size(),
+                        100.0 * r.frameRatio, 100.0 * r.textRatio);
+        }
+        todo = std::move(deferred);
+        ++wave;
     }
     std::printf("  measured mean ratio: frame %.1f%%, text %.1f%% "
                 "(the analytic model's selection-ratio inputs)\n",
                 100.0 * frame_sum / sessions,
                 100.0 * text_sum / sessions);
+
+    serve::Stats st = engine.stats();
+    std::printf("  [scheduler] admitted %llu, rejected %llu, "
+                "max live %u, work items %llu in %llu slices, "
+                "max queue depth %u, max wait %llu slices, "
+                "mean wait %.2f ms, mean service %.2f ms\n",
+                static_cast<unsigned long long>(st.admitted),
+                static_cast<unsigned long long>(st.rejectedAdmissions),
+                st.maxLiveObserved,
+                static_cast<unsigned long long>(st.itemsExecuted),
+                static_cast<unsigned long long>(st.slices),
+                st.maxQueueDepth,
+                static_cast<unsigned long long>(st.maxWaitSlices),
+                st.meanWaitMs(), st.meanServiceMs());
 }
 
 void
@@ -164,7 +208,7 @@ main(int argc, char **argv)
 {
     std::string hw = "vrex8", method = "resv";
     uint32_t cache = 40000, batch = 1, frame_tokens = 10;
-    uint32_t serve_sessions = 0;
+    uint32_t serve_sessions = 0, max_live = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -186,6 +230,9 @@ main(int argc, char **argv)
                 static_cast<uint32_t>(std::atoi(next().c_str()));
         else if (arg == "--serve")
             serve_sessions =
+                static_cast<uint32_t>(std::atoi(next().c_str()));
+        else if (arg == "--max-live")
+            max_live =
                 static_cast<uint32_t>(std::atoi(next().c_str()));
         else
             fatal("unknown argument '%s'", arg.c_str());
@@ -215,6 +262,6 @@ main(int argc, char **argv)
                 p.achievedTflops, 100.0 * p.fractionOfRoof());
 
     if (serve_sessions > 0)
-        serveFunctional(method, serve_sessions);
+        serveFunctional(method, serve_sessions, max_live);
     return 0;
 }

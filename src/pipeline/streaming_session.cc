@@ -129,6 +129,15 @@ StreamingSession::apply(const SessionEvent &event)
     }
 }
 
+std::vector<SessionEvent>
+StreamingSession::unitEvents(const SessionEvent &event)
+{
+    if (event.type != SessionEvent::Type::Generate)
+        return {event};
+    return std::vector<SessionEvent>(
+        event.tokens, SessionEvent{SessionEvent::Type::Generate, 1});
+}
+
 SessionRunResult
 StreamingSession::snapshot() const
 {

@@ -88,6 +88,19 @@ class StreamingSession
     /** Apply one scripted event via the verbs above. */
     void apply(const SessionEvent &event);
 
+    /**
+     * Split a scripted event into *unit work items* — the grain the
+     * serve-layer scheduler interleaves across sessions:
+     * Generate{n} becomes n Generate{1} steps (each generation step
+     * only reads state the previous step committed, and teacher
+     * forcing advances one forced token per step, so applying the
+     * units in order is byte-identical to applying the original
+     * event); Frame and Question are already unit-granular and pass
+     * through; Generate{0} expands to nothing.
+     */
+    static std::vector<SessionEvent>
+    unitEvents(const SessionEvent &event);
+
     /** Aggregate everything since begin() (the stream stays open). */
     SessionRunResult snapshot() const;
 

@@ -1,7 +1,9 @@
 #include "serve/engine.hh"
 
-#include <stdexcept>
+#include <algorithm>
 #include <utility>
+
+#include "common/logging.hh"
 
 namespace vrex::serve
 {
@@ -18,56 +20,100 @@ SessionOptions::fromScript(const SessionScript &script)
 
 Engine::Engine(EngineConfig config)
     : cfg(std::move(config)),
-      pool(resolveWorkerCount(cfg.workers))
+      pool(resolveWorkerCount(cfg.workers)),
+      sched(pool, cfg.sched,
+            [this](Scheduler::Key key,
+                   const std::vector<SessionEvent> &batch) {
+                runItems(key, batch);
+            })
 {
 }
 
 Engine::~Engine()
 {
-    waitAll();
+    // A paused scheduler would deadlock waitAll(); always release.
+    sched.resume();
+    sched.waitAll();
     // Members destroy in reverse declaration order: the session map
-    // dies first, then the pool. That is safe because waitAll()
-    // guarantees every queued job has finished, so no worker still
-    // references a session when the map goes away.
+    // dies first, then the scheduler, then the pool. That is safe
+    // because waitAll() guarantees every dispatched slice finished
+    // and no slice job is queued, so no worker still references a
+    // session (or the scheduler) when they go away.
 }
 
-Engine::Session *
-Engine::findSession(SessionId id)
+StreamingSession *
+Engine::execFor(SessionId id)
 {
+    std::lock_guard<std::mutex> lock(smu);
     auto it = sessions.find(id);
-    return it == sessions.end() ? nullptr : it->second.get();
+    VREX_ASSERT(it != sessions.end(),
+                "scheduler dispatched an unknown session");
+    return it->second->exec.get();
 }
 
-Engine::Session &
-Engine::sessionRef(SessionId id)
+void
+Engine::runItems(SessionId id, const std::vector<SessionEvent> &batch)
 {
-    Session *s = findSession(id);
-    if (!s)
-        throw std::out_of_range(
-            "vrex::serve::Engine: unknown or closed session id " +
-            std::to_string(id));
-    return *s;
+    // Exclusive access: the scheduler never dispatches one session
+    // on two workers, and close/pin wait for idleness.
+    StreamingSession *exec = execFor(id);
+    for (const SessionEvent &event : batch)
+        exec->apply(event);
+}
+
+Admission
+Engine::tryCreateSession(const SessionOptions &options)
+{
+    SessionId id;
+    {
+        std::lock_guard<std::mutex> lock(smu);
+        id = nextId++;
+    }
+    if (!sched.tryAdmit(id)) {
+        Admission a;
+        a.status = Admission::Status::RejectedSessionLimit;
+        return a;
+    }
+
+    // Build the (expensive) per-session state only once admitted.
+    // Release the reserved slot if construction throws (e.g. a
+    // custom policy maker), or the cap would leak capacity.
+    try {
+        auto s = std::make_unique<Session>();
+        s->options = options;
+        const PolicySpec &spec =
+            options.policy ? *options.policy : cfg.policy;
+        const uint64_t seed = options.sessionSeed ? *options.sessionSeed
+                                                  : cfg.sessionSeed;
+        const PolicyFactory &factory =
+            cfg.factory ? *cfg.factory : PolicyFactory::global();
+        s->policy = factory.make(cfg.model, spec);
+        s->exec = std::make_unique<StreamingSession>(
+            cfg.model, s->policy.active(), seed);
+        s->exec->begin(options.name, options.video,
+                       options.scriptSeed, options.forcedTokens);
+
+        std::lock_guard<std::mutex> lock(smu);
+        sessions.emplace(id, std::move(s));
+    } catch (...) {
+        sched.remove(id);
+        throw;
+    }
+    Admission a;
+    a.id = id;
+    return a;
 }
 
 SessionId
 Engine::createSession(const SessionOptions &options)
 {
-    auto s = std::make_unique<Session>();
-    s->options = options;
-    const PolicySpec &spec =
-        options.policy ? *options.policy : cfg.policy;
-    const uint64_t seed =
-        options.sessionSeed ? *options.sessionSeed : cfg.sessionSeed;
-    s->policy = makePolicy(cfg.model, spec);
-    s->exec = std::make_unique<StreamingSession>(
-        cfg.model, s->policy.active(), seed);
-    s->exec->begin(options.name, options.video, options.scriptSeed,
-                   options.forcedTokens);
-
-    std::lock_guard<std::mutex> lock(mu);
-    SessionId id = nextId++;
-    sessions.emplace(id, std::move(s));
-    return id;
+    Admission a = tryCreateSession(options);
+    if (!a.admitted())
+        throw AdmissionError(
+            "vrex::serve::Engine: session rejected, " +
+            std::to_string(cfg.sched.maxLiveSessions) +
+            " sessions already live");
+    return a.id;
 }
 
 SessionId
@@ -86,58 +132,60 @@ Engine::submit(const SessionScript &script, SessionOptions options)
     options.video = script.video;
     options.scriptSeed = script.seed;
     SessionId id = createSession(options);
-    enqueue(id, script.events);
+    try {
+        enqueue(id, script.events);
+    } catch (...) {
+        // E.g. the script overflows a bounded queue: the caller
+        // never learns the id, so close it or the session (and its
+        // admission slot) would leak.
+        closeSession(id);
+        throw;
+    }
     return id;
 }
 
-void
-Engine::scheduleLocked(SessionId, Session &s)
+EnqueueResult
+Engine::tryEnqueue(SessionId id,
+                   const std::vector<SessionEvent> &events)
 {
-    if (s.running || s.pending.empty())
-        return;
-    s.running = true;
-    Session *sp = &s;
-    pool.submit([this, sp] { drain(sp); });
+    return sched.tryEnqueue(id, events);
 }
 
-void
-Engine::drain(Session *s)
+EnqueueResult
+Engine::tryFeedFrame(SessionId id, uint32_t frames)
 {
-    for (;;) {
-        std::deque<SessionEvent> batch;
-        {
-            std::lock_guard<std::mutex> lock(mu);
-            if (s->pending.empty()) {
-                s->running = false;
-                idleCv.notify_all();
-                return;
-            }
-            batch.swap(s->pending);
-        }
-        // Exclusive access: `running` stays true until the locked
-        // branch above, so no other thread touches `exec`.
-        for (const SessionEvent &event : batch)
-            s->exec->apply(event);
-    }
+    return tryEnqueue(
+        id, std::vector<SessionEvent>(
+                frames, SessionEvent{SessionEvent::Type::Frame, 0}));
+}
+
+EnqueueResult
+Engine::tryAsk(SessionId id, uint32_t question_tokens,
+               uint32_t answer_tokens)
+{
+    return tryEnqueue(
+        id, {{SessionEvent::Type::Question, question_tokens},
+             {SessionEvent::Type::Generate, answer_tokens}});
 }
 
 void
 Engine::enqueue(SessionId id, const std::vector<SessionEvent> &events)
 {
-    if (events.empty())
-        return;
-    std::lock_guard<std::mutex> lock(mu);
-    Session &s = sessionRef(id);
-    s.pending.insert(s.pending.end(), events.begin(), events.end());
-    scheduleLocked(id, s);
+    EnqueueResult r = tryEnqueue(id, events);
+    if (!r.accepted())
+        throw QueueFullError(
+            "vrex::serve::Engine: session " + std::to_string(id) +
+            " queue full (" + std::to_string(r.depth) + "/" +
+            std::to_string(cfg.sched.maxQueuedPerSession) +
+            " items queued, " + std::to_string(r.items) +
+            " requested); use the try* verbs for backpressure");
 }
 
 void
 Engine::feedFrame(SessionId id, uint32_t frames)
 {
-    std::vector<SessionEvent> events(
-        frames, SessionEvent{SessionEvent::Type::Frame, 0});
-    enqueue(id, events);
+    enqueue(id, std::vector<SessionEvent>(
+                    frames, SessionEvent{SessionEvent::Type::Frame, 0}));
 }
 
 void
@@ -149,97 +197,136 @@ Engine::ask(SessionId id, uint32_t question_tokens,
 }
 
 void
-Engine::waitIdleLocked(std::unique_lock<std::mutex> &lock,
-                       SessionId id)
-{
-    // Re-resolve the session on every wake: a concurrent
-    // closeSession() may erase it while we sleep, and holding a
-    // reference across the wait would dangle.
-    idleCv.wait(lock, [this, id] {
-        Session *s = findSession(id);
-        return !s || (!s->running && s->pending.empty());
-    });
-    sessionRef(id); // Throws when the session was closed meanwhile.
-}
-
-void
 Engine::wait(SessionId id)
 {
-    std::unique_lock<std::mutex> lock(mu);
-    waitIdleLocked(lock, id);
+    if (!sched.wait(id))
+        throw std::out_of_range(
+            "vrex::serve::Engine: unknown or closed session id " +
+            std::to_string(id));
 }
 
 void
 Engine::waitAll()
 {
-    std::unique_lock<std::mutex> lock(mu);
-    idleCv.wait(lock, [this] {
-        for (const auto &[id, s] : sessions)
-            if (s->running || !s->pending.empty())
-                return false;
-        return true;
-    });
+    sched.waitAll();
+}
+
+Engine::Session &
+Engine::pinnedSession(SessionId id)
+{
+    std::lock_guard<std::mutex> lock(smu);
+    auto it = sessions.find(id);
+    VREX_ASSERT(it != sessions.end(), "pinned session not in map");
+    return *it->second;
+}
+
+namespace
+{
+
+/** Releases a Scheduler pin on scope exit, so a throwing accessor
+ *  body cannot leave the session pinned (= deadlocked) forever. */
+class PinGuard
+{
+  public:
+    PinGuard(Scheduler &scheduler, Scheduler::Key key)
+        : sched(scheduler), pinned(key)
+    {
+    }
+    ~PinGuard() { sched.unpin(pinned); }
+    PinGuard(const PinGuard &) = delete;
+    PinGuard &operator=(const PinGuard &) = delete;
+
+  private:
+    Scheduler &sched;
+    Scheduler::Key pinned;
+};
+
+} // namespace
+
+void
+Engine::pinOrThrow(SessionId id)
+{
+    if (!sched.pinWhenIdle(id))
+        throw std::out_of_range(
+            "vrex::serve::Engine: unknown or closed session id " +
+            std::to_string(id));
 }
 
 SessionRunResult
 Engine::result(SessionId id)
 {
-    std::unique_lock<std::mutex> lock(mu);
-    waitIdleLocked(lock, id);
-    Session &s = sessionRef(id);
-    // Pin the session with the drain convention (`running` = someone
-    // owns exec) and snapshot outside the lock, so the potentially
-    // large copy doesn't stall every other session's scheduling.
-    s.running = true;
-    lock.unlock();
-    SessionRunResult out = s.exec->snapshot();
-    lock.lock();
-    s.running = false;
-    idleCv.notify_all();
-    // Events enqueued while pinned were not scheduled; catch up.
-    scheduleLocked(id, s);
-    return out;
+    // Pin when drained: the dispatcher skips the session while the
+    // potentially large snapshot copies outside any lock, so peers
+    // keep scheduling. Events enqueued meanwhile run after unpin.
+    pinOrThrow(id);
+    PinGuard pin(sched, id);
+    return pinnedSession(id).exec->snapshot();
 }
 
 void
 Engine::closeSession(SessionId id)
 {
-    std::unique_lock<std::mutex> lock(mu);
-    waitIdleLocked(lock, id);
+    if (!sched.remove(id))
+        throw std::out_of_range(
+            "vrex::serve::Engine: unknown or closed session id " +
+            std::to_string(id));
+    std::lock_guard<std::mutex> lock(smu);
     sessions.erase(id);
-    // Wake peers blocked on this id so they observe the closure.
-    idleCv.notify_all();
 }
 
 size_t
 Engine::openSessions() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    std::lock_guard<std::mutex> lock(smu);
     return sessions.size();
+}
+
+void
+Engine::pause()
+{
+    sched.pause();
+}
+
+void
+Engine::resume()
+{
+    sched.resume();
+}
+
+Stats
+Engine::stats() const
+{
+    return sched.stats();
+}
+
+QueueStats
+Engine::sessionStats(SessionId id) const
+{
+    return sched.queueStats(id);
 }
 
 const Model &
 Engine::model(SessionId id)
 {
-    std::unique_lock<std::mutex> lock(mu);
-    waitIdleLocked(lock, id);
-    return sessionRef(id).exec->model();
+    pinOrThrow(id);
+    PinGuard pin(sched, id);
+    return pinnedSession(id).exec->model();
 }
 
 const PolicyInstance &
 Engine::policy(SessionId id)
 {
-    std::unique_lock<std::mutex> lock(mu);
-    waitIdleLocked(lock, id);
-    return sessionRef(id).policy;
+    pinOrThrow(id);
+    PinGuard pin(sched, id);
+    return pinnedSession(id).policy;
 }
 
 const MemoryReplayStats *
 Engine::memoryStats(SessionId id)
 {
-    std::unique_lock<std::mutex> lock(mu);
-    waitIdleLocked(lock, id);
-    Session &s = sessionRef(id);
+    pinOrThrow(id);
+    PinGuard pin(sched, id);
+    Session &s = pinnedSession(id);
     return s.policy.memory() ? &s.policy.memory()->stats() : nullptr;
 }
 
@@ -253,38 +340,66 @@ Engine::evaluateFidelity(const SessionScript &script,
 std::vector<FidelityResult>
 Engine::evaluateFidelityBatch(const std::vector<FidelityJob> &jobs)
 {
-    // Phase 1: full-attention reference runs, all concurrent.
-    std::vector<SessionId> refs;
-    refs.reserve(jobs.size());
-    for (const FidelityJob &job : jobs) {
-        SessionOptions o; // Stream identity comes from the script.
-        o.policy = PolicySpec::full();
-        refs.push_back(submit(job.script, o));
-    }
-    std::vector<SessionRunResult> ref_runs;
-    ref_runs.reserve(jobs.size());
-    for (SessionId id : refs) {
-        ref_runs.push_back(result(id));
+    // Close every session this batch still owns if anything throws
+    // mid-flight (e.g. AdmissionError when the batch outgrows
+    // maxLiveSessions): the ids are local, so a leaked session could
+    // never be closed by the caller.
+    std::vector<SessionId> live;
+    live.reserve(jobs.size());
+    auto submitTracked = [this, &live](const SessionScript &script,
+                                       SessionOptions o) {
+        SessionId id = submit(script, std::move(o));
+        live.push_back(id);
+        return id;
+    };
+    auto closeTracked = [this, &live](SessionId id) {
         closeSession(id);
-    }
+        live.erase(std::find(live.begin(), live.end(), id));
+    };
 
-    // Phase 2: teacher-forced policy runs, all concurrent.
-    std::vector<SessionId> tests;
-    tests.reserve(jobs.size());
-    for (size_t i = 0; i < jobs.size(); ++i) {
-        SessionOptions o;
-        o.policy = jobs[i].policy;
-        o.forcedTokens = ref_runs[i].generated;
-        tests.push_back(submit(jobs[i].script, o));
+    try {
+        // Phase 1: full-attention reference runs, all concurrent.
+        std::vector<SessionId> refs;
+        refs.reserve(jobs.size());
+        for (const FidelityJob &job : jobs) {
+            SessionOptions o; // Stream identity: from the script.
+            o.policy = PolicySpec::full();
+            refs.push_back(submitTracked(job.script, o));
+        }
+        std::vector<SessionRunResult> ref_runs;
+        ref_runs.reserve(jobs.size());
+        for (SessionId id : refs) {
+            ref_runs.push_back(result(id));
+            closeTracked(id);
+        }
+
+        // Phase 2: teacher-forced policy runs, all concurrent.
+        std::vector<SessionId> tests;
+        tests.reserve(jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            SessionOptions o;
+            o.policy = jobs[i].policy;
+            o.forcedTokens = ref_runs[i].generated;
+            tests.push_back(submitTracked(jobs[i].script, o));
+        }
+        std::vector<FidelityResult> out;
+        out.reserve(jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            SessionRunResult test = result(tests[i]);
+            closeTracked(tests[i]);
+            out.push_back(compareRuns(ref_runs[i], test));
+        }
+        return out;
+    } catch (...) {
+        for (SessionId id : live) {
+            try {
+                closeSession(id);
+            } catch (...) {
+                // Best-effort cleanup; the original error wins.
+            }
+        }
+        throw;
     }
-    std::vector<FidelityResult> out;
-    out.reserve(jobs.size());
-    for (size_t i = 0; i < jobs.size(); ++i) {
-        SessionRunResult test = result(tests[i]);
-        closeSession(tests[i]);
-        out.push_back(compareRuns(ref_runs[i], test));
-    }
-    return out;
 }
 
 } // namespace vrex::serve

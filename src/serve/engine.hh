@@ -7,7 +7,8 @@
  * Model, an *owned* retrieval policy built from a declarative
  * PolicySpec, and its own RNG streams, so sessions share no mutable
  * state: an N-way concurrent run is byte-identical to N sequential
- * StreamingSession runs (locked by tests/serve_test.cc).
+ * StreamingSession runs (locked by tests/serve_test.cc and
+ * tests/serve_sched_test.cc).
  *
  * Lifecycle:
  *
@@ -19,36 +20,84 @@
  *     SessionRunResult r = engine.result(id);  // drains, snapshots
  *     engine.closeSession(id);
  *
- * The verbs enqueue work and return immediately; a session's events
- * execute in order on one worker at a time (actor style), while
- * different sessions run concurrently. result()/model()/policy()
- * block until the session is drained.
+ * Scheduling (PR 4): verbs enqueue work measured in *unit work
+ * items* (a Generate{n} weighs n single-token steps, split lazily at
+ * slice boundaries; see SessionEvent::unitCount and
+ * StreamingSession::unitEvents) into a per-session queue managed by
+ * the Scheduler. A fair
+ * round-robin dispatcher time-slices the queues onto the pool —
+ * `EngineConfig::sched.sliceEvents` items per turn — so one chatty
+ * session cannot starve the rest, and one session's frame ingest
+ * interleaves with another's generation steps at item granularity.
+ * Admission control (`sched.maxLiveSessions`) and bounded queues
+ * (`sched.maxQueuedPerSession`) turn overload into explicit
+ * backpressure results (tryCreateSession / tryFeedFrame / tryAsk /
+ * tryEnqueue) or typed exceptions (AdmissionError / QueueFullError
+ * from the classic verbs) instead of silent blocking. Scheduler
+ * observability is exported via stats() / sessionStats().
+ *
+ * A session's items still execute in order on one worker at a time
+ * (actor style), so per-session determinism is independent of the
+ * slice size, worker count, and cross-session interleaving.
+ * result()/model()/policy() block until the session is drained.
  */
 
 #ifndef VREX_SERVE_ENGINE_HH
 #define VREX_SERVE_ENGINE_HH
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "pipeline/accuracy_eval.hh"
 #include "pipeline/streaming_session.hh"
 #include "serve/policy_factory.hh"
+#include "serve/scheduler.hh"
+#include "serve/stats.hh"
 #include "serve/thread_pool.hh"
 #include "video/workload.hh"
 
 namespace vrex::serve
 {
 
-/** Opaque handle of one open session. */
+/** Opaque handle of one open session. 0 is never a valid id. */
 using SessionId = uint64_t;
+
+/** createSession() at the live-session cap. */
+class AdmissionError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** A queueing verb overflowed a bounded per-session queue. */
+class QueueFullError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Outcome of tryCreateSession(). */
+struct Admission
+{
+    enum class Status : uint8_t
+    {
+        Admitted,
+        RejectedSessionLimit,
+    };
+
+    /** Valid only when admitted (0 otherwise). */
+    SessionId id = 0;
+    Status status = Status::Admitted;
+
+    bool admitted() const { return status == Status::Admitted; }
+    explicit operator bool() const { return admitted(); }
+};
 
 /** Engine-wide configuration: geometry, default policy, pool size. */
 struct EngineConfig
@@ -61,6 +110,12 @@ struct EngineConfig
     uint32_t workers = 0;
     /** Default per-session master seed (weights + streams). */
     uint64_t sessionSeed = 42;
+    /** Admission + dispatch knobs (defaults: unlimited sessions,
+     *  unbounded queues, 4-item round-robin slices). */
+    SchedulerConfig sched;
+    /** Policy registry override; PolicyFactory::global() when null.
+     *  Must outlive the engine. */
+    const PolicyFactory *factory = nullptr;
 };
 
 /** Per-session creation parameters. */
@@ -105,8 +160,15 @@ class Engine
 
     // ---- session lifecycle -------------------------------------
 
-    /** Open a session; its model/policy are built immediately. */
+    /**
+     * Open a session; its model/policy are built on admission.
+     * @throws AdmissionError at the live-session cap.
+     */
     SessionId createSession(const SessionOptions &options = {});
+
+    /** createSession() that reports rejection as a result instead
+     *  of throwing. The model is not built on rejection. */
+    Admission tryCreateSession(const SessionOptions &options = {});
 
     /** createSession(fromScript(script)) + enqueue all its events. */
     SessionId submit(const SessionScript &script);
@@ -119,16 +181,31 @@ class Engine
     SessionId submit(const SessionScript &script,
                      SessionOptions options);
 
-    /** Stream @p frames video frames into the session (async). */
+    /** Stream @p frames video frames into the session (async).
+     *  @throws QueueFullError when a bounded queue overflows. */
     void feedFrame(SessionId id, uint32_t frames = 1);
 
     /** One QA round: @p question_tokens prefilled, then
-     *  @p answer_tokens generated (async). */
+     *  @p answer_tokens generated (async; the answer is enqueued as
+     *  answer_tokens unit steps).
+     *  @throws QueueFullError when a bounded queue overflows. */
     void ask(SessionId id, uint32_t question_tokens,
              uint32_t answer_tokens);
 
-    /** Enqueue scripted events verbatim (async). */
+    /** Enqueue scripted events (async, expanded to unit items).
+     *  @throws QueueFullError when a bounded queue overflows. */
     void enqueue(SessionId id, const std::vector<SessionEvent> &events);
+
+    // Backpressure-reporting twins of the verbs above. All-or-
+    // nothing: on RejectedQueueFull nothing was enqueued. Unknown /
+    // closed ids still throw std::out_of_range — that is a usage
+    // error, not backpressure.
+
+    EnqueueResult tryFeedFrame(SessionId id, uint32_t frames = 1);
+    EnqueueResult tryAsk(SessionId id, uint32_t question_tokens,
+                         uint32_t answer_tokens);
+    EnqueueResult tryEnqueue(SessionId id,
+                             const std::vector<SessionEvent> &events);
 
     /** Block until the session's queue is drained. */
     void wait(SessionId id);
@@ -144,6 +221,26 @@ class Engine
     void closeSession(SessionId id);
 
     size_t openSessions() const;
+
+    // ---- scheduling control / observability --------------------
+
+    /** Stop dispatching new work (in-flight slices finish; verbs
+     *  still enqueue). Useful to stage a deterministic burst.
+     *  Caution: the draining verbs (result/wait/model/policy/
+     *  memoryStats/closeSession/waitAll) block until the queue
+     *  empties, which cannot happen while paused — call resume()
+     *  first (or from another thread). */
+    void pause();
+
+    /** Undo pause() and dispatch everything that became ready. */
+    void resume();
+
+    /** Engine-wide scheduler snapshot: admissions, rejections,
+     *  queue depths, wait/service times. */
+    Stats stats() const;
+
+    /** One open session's queue counters. */
+    QueueStats sessionStats(SessionId id) const;
 
     // ---- drained-session accessors -----------------------------
     // Each drains the session first. The returned reference/pointer
@@ -172,7 +269,8 @@ class Engine
      * Evaluate many (script, policy) pairs, running the reference
      * pass and the teacher-forced pass of all jobs concurrently on
      * the pool. Results are returned in job order and are identical
-     * to calling evaluateFidelity() sequentially.
+     * to calling evaluateFidelity() sequentially. Opens jobs.size()
+     * sessions at once: needs headroom under maxLiveSessions.
      */
     std::vector<FidelityResult>
     evaluateFidelityBatch(const std::vector<FidelityJob> &jobs);
@@ -183,23 +281,21 @@ class Engine
         SessionOptions options;
         PolicyInstance policy;
         std::unique_ptr<StreamingSession> exec;
-        std::deque<SessionEvent> pending;
-        /** True while a worker owns exec (drain in flight). */
-        bool running = false;
     };
 
-    Session *findSession(SessionId id);
-    Session &sessionRef(SessionId id);
-    void scheduleLocked(SessionId id, Session &s);
-    void waitIdleLocked(std::unique_lock<std::mutex> &lock,
-                        SessionId id);
-    void drain(Session *s);
+    /** Executes one dispatch slice (Scheduler callback). */
+    void runItems(SessionId id,
+                  const std::vector<SessionEvent> &batch);
+    StreamingSession *execFor(SessionId id);
+    Session &pinnedSession(SessionId id);
+    /** pinWhenIdle or std::out_of_range for unknown/closed ids. */
+    void pinOrThrow(SessionId id);
 
     EngineConfig cfg;
     ThreadPool pool;
+    Scheduler sched;
 
-    mutable std::mutex mu;
-    std::condition_variable idleCv;
+    mutable std::mutex smu; //!< Guards `sessions` and `nextId` only.
     std::map<SessionId, std::unique_ptr<Session>> sessions;
     SessionId nextId = 1;
 };

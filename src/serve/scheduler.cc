@@ -1,0 +1,316 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace vrex::serve
+{
+
+Scheduler::Scheduler(ThreadPool &pool_ref, SchedulerConfig config,
+                     Executor executor_fn)
+    : pool(pool_ref), cfg(config), executor(std::move(executor_fn))
+{
+    VREX_ASSERT(executor != nullptr, "scheduler needs an executor");
+    agg.config = cfg;
+}
+
+Scheduler::Queue *
+Scheduler::find(Key key)
+{
+    auto it = queues.find(key);
+    return it == queues.end() ? nullptr : &it->second;
+}
+
+const Scheduler::Queue *
+Scheduler::find(Key key) const
+{
+    auto it = queues.find(key);
+    return it == queues.end() ? nullptr : &it->second;
+}
+
+bool
+Scheduler::idleLocked(const Queue &q) const
+{
+    return !q.running && !q.pinned && q.pending.empty();
+}
+
+bool
+Scheduler::tryAdmit(Key key)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (cfg.maxLiveSessions > 0 &&
+        queues.size() >= cfg.maxLiveSessions) {
+        ++agg.rejectedAdmissions;
+        return false;
+    }
+    VREX_ASSERT(queues.find(key) == queues.end(),
+                "scheduler key admitted twice");
+    queues.emplace(key, Queue{});
+    ++agg.admitted;
+    agg.maxLiveObserved = std::max(
+        agg.maxLiveObserved, static_cast<uint32_t>(queues.size()));
+    return true;
+}
+
+Scheduler::Queue *
+Scheduler::waitIdleLocked(std::unique_lock<std::mutex> &lock, Key key)
+{
+    cv.wait(lock, [this, key] {
+        Queue *q = find(key);
+        return !q || idleLocked(*q);
+    });
+    return find(key);
+}
+
+bool
+Scheduler::remove(Key key)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    if (!waitIdleLocked(lock, key))
+        return false;
+    queues.erase(key);
+    // Wake peers blocked on this key so they observe the removal.
+    cv.notify_all();
+    return true;
+}
+
+EnqueueResult
+Scheduler::tryEnqueue(Key key,
+                      const std::vector<SessionEvent> &events)
+{
+    // Events are *counted* in unit work items but stored compressed
+    // (one entry per event): a Generate{1e6} costs one queue slot of
+    // memory yet weighs 1e6 against the bound, so backpressure kicks
+    // in before any expansion-sized allocation could happen.
+    EnqueueResult r;
+    uint64_t units = 0;
+    for (const SessionEvent &event : events)
+        units += event.unitCount();
+    r.items = static_cast<uint32_t>(units);
+
+    std::lock_guard<std::mutex> lock(mu);
+    Queue *q = find(key);
+    if (!q)
+        throw std::out_of_range(
+            "vrex::serve::Scheduler: unknown or closed session id " +
+            std::to_string(key));
+    if (units == 0) {
+        r.depth = q->stats.depth;
+        return r; // Nothing to do (empty or all Generate{0}).
+    }
+
+    const uint32_t depth = q->stats.depth;
+    if (cfg.maxQueuedPerSession > 0 &&
+        depth + units > cfg.maxQueuedPerSession) {
+        q->stats.itemsRejected += units;
+        agg.itemsRejected += units;
+        r.status = EnqueueResult::Status::RejectedQueueFull;
+        r.depth = depth;
+        return r;
+    }
+
+    for (const SessionEvent &event : events)
+        if (event.unitCount() > 0)
+            q->pending.push_back(event);
+    r.depth = static_cast<uint32_t>(depth + units);
+    q->stats.itemsEnqueued += units;
+    agg.itemsEnqueued += units;
+    q->stats.depth = r.depth;
+    q->stats.maxDepth = std::max(q->stats.maxDepth, r.depth);
+    agg.maxQueueDepth = std::max(agg.maxQueueDepth, r.depth);
+
+    if (!q->running && !q->pinned && !q->ready)
+        makeReadyLocked(key, *q);
+    return r;
+}
+
+void
+Scheduler::makeReadyLocked(Key key, Queue &q)
+{
+    q.ready = true;
+    q.readyMark = dispatches;
+    q.readyAt = Clock::now();
+    readyKeys.push_back(key);
+    if (paused)
+        ++unsubmitted;
+    else
+        submitSliceJob();
+}
+
+void
+Scheduler::submitSliceJob()
+{
+    pool.submit([this] { runSlice(); });
+}
+
+void
+Scheduler::runSlice()
+{
+    std::vector<SessionEvent> batch;
+    Key key;
+    Queue *q;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        // One job per ready entry: the front key is always valid.
+        VREX_ASSERT(!readyKeys.empty(), "slice job without ready key");
+        key = readyKeys.front();
+        readyKeys.pop_front();
+        q = find(key);
+        VREX_ASSERT(q && q->ready && !q->running && !q->pinned,
+                    "ready key in inconsistent state");
+        q->ready = false;
+        q->running = true;
+
+        const uint64_t waited = dispatches - q->readyMark;
+        ++dispatches;
+        q->stats.maxWaitSlices =
+            std::max(q->stats.maxWaitSlices, waited);
+        agg.maxWaitSlices = std::max(agg.maxWaitSlices, waited);
+        const auto wait_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - q->readyAt)
+                .count());
+        q->stats.waitNs += wait_ns;
+        agg.waitNs += wait_ns;
+        q->stats.maxWaitNs = std::max(q->stats.maxWaitNs, wait_ns);
+        agg.maxWaitNs = std::max(agg.maxWaitNs, wait_ns);
+
+        // Take up to sliceEvents *units*, splitting a Generate run
+        // at the slice boundary (Generate{n} == n single steps, so
+        // the split is byte-identical).
+        uint64_t budget = cfg.sliceEvents > 0 ? cfg.sliceEvents
+                                              : q->stats.depth;
+        while (budget > 0 && !q->pending.empty()) {
+            SessionEvent &front = q->pending.front();
+            const uint32_t units = front.unitCount();
+            if (units > budget) {
+                const auto take = static_cast<uint32_t>(budget);
+                batch.push_back(
+                    {SessionEvent::Type::Generate, take});
+                front.tokens -= take;
+                budget = 0;
+            } else {
+                batch.push_back(front);
+                q->pending.pop_front();
+                budget -= units;
+            }
+        }
+        uint64_t batch_units = 0;
+        for (const SessionEvent &event : batch)
+            batch_units += event.unitCount();
+        q->stats.depth -= static_cast<uint32_t>(batch_units);
+        q->sliceUnits = batch_units;
+    }
+
+    // Exclusive access: `running` stays true until the locked block
+    // below, so no other worker (or pin holder) touches the session.
+    const Clock::time_point t0 = Clock::now();
+    executor(key, batch);
+    const auto service_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - t0)
+            .count());
+
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        // `q` stays valid: remove() cannot erase a running queue.
+        q->running = false;
+        ++q->stats.slices;
+        ++agg.slices;
+        q->stats.itemsExecuted += q->sliceUnits;
+        agg.itemsExecuted += q->sliceUnits;
+        q->stats.serviceNs += service_ns;
+        agg.serviceNs += service_ns;
+        if (!q->pending.empty())
+            makeReadyLocked(key, *q); // Rotate to the back: fairness.
+        cv.notify_all();
+    }
+}
+
+bool
+Scheduler::wait(Key key)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    return waitIdleLocked(lock, key) != nullptr;
+}
+
+void
+Scheduler::waitAll()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] {
+        for (const auto &[key, q] : queues)
+            if (!idleLocked(q))
+                return false;
+        return true;
+    });
+}
+
+bool
+Scheduler::pinWhenIdle(Key key)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    Queue *q = waitIdleLocked(lock, key);
+    if (!q)
+        return false;
+    q->pinned = true;
+    return true;
+}
+
+void
+Scheduler::unpin(Key key)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Queue *q = find(key);
+    VREX_ASSERT(q && q->pinned, "unpin without a matching pin");
+    q->pinned = false;
+    // Events enqueued while pinned were not scheduled; catch up.
+    if (!q->pending.empty() && !q->ready)
+        makeReadyLocked(key, *q);
+    cv.notify_all();
+}
+
+void
+Scheduler::pause()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    paused = true;
+}
+
+void
+Scheduler::resume()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (!paused)
+        return;
+    paused = false;
+    for (; unsubmitted > 0; --unsubmitted)
+        submitSliceJob();
+}
+
+Stats
+Scheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Stats out = agg;
+    out.liveSessions = static_cast<uint32_t>(queues.size());
+    return out;
+}
+
+QueueStats
+Scheduler::queueStats(Key key) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const Queue *q = find(key);
+    if (!q)
+        throw std::out_of_range(
+            "vrex::serve::Scheduler: unknown or closed session id " +
+            std::to_string(key));
+    return q->stats;
+}
+
+} // namespace vrex::serve

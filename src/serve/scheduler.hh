@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The engine scheduler: admission control, bounded per-session work
+ * queues with backpressure results, and a fair round-robin dispatcher
+ * that time-slices session work onto the ThreadPool.
+ *
+ * The scheduler knows nothing about models or policies — it manages
+ * FIFO queues of unit SessionEvents keyed by session id and calls an
+ * executor callback to run them. The Engine supplies a callback that
+ * drives the session's StreamingSession; because a queue is never
+ * dispatched on two workers at once (and pin/remove wait for
+ * idleness), the callback always has exclusive access to the session.
+ *
+ * Dispatch discipline: when a queue gains work it is appended to a
+ * ready list and one pool job is submitted. A job pops the *front*
+ * ready queue, executes at most `sliceEvents` unit items, and — if
+ * the queue still has work — re-appends it at the back. One chatty
+ * session therefore advances at most one slice ahead before every
+ * other ready session has run: between becoming ready and being
+ * dispatched, at most live-1 other slices are dispatched
+ * (QueueStats::maxWaitSlices), regardless of worker count.
+ */
+
+#ifndef VREX_SERVE_SCHEDULER_HH
+#define VREX_SERVE_SCHEDULER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "serve/stats.hh"
+#include "serve/thread_pool.hh"
+#include "video/workload.hh"
+
+namespace vrex::serve
+{
+
+/** Outcome of one (batched) enqueue attempt. */
+struct EnqueueResult
+{
+    enum class Status : uint8_t
+    {
+        Accepted,          //!< All items queued.
+        RejectedQueueFull, //!< Bounded queue: none queued.
+    };
+
+    Status status = Status::Accepted;
+    /** Unit work items in the request. */
+    uint32_t items = 0;
+    /** Queue depth after the call. */
+    uint32_t depth = 0;
+
+    bool accepted() const { return status == Status::Accepted; }
+    explicit operator bool() const { return accepted(); }
+};
+
+class Scheduler
+{
+  public:
+    using Key = uint64_t;
+    /** Executes a slice of unit events for one key. Called outside
+     *  the scheduler lock, never concurrently for the same key. */
+    using Executor =
+        std::function<void(Key, const std::vector<SessionEvent> &)>;
+
+    Scheduler(ThreadPool &pool, SchedulerConfig config,
+              Executor executor);
+
+    /** Requires all queues drained (Engine calls waitAll first). */
+    ~Scheduler() = default;
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    const SchedulerConfig &config() const { return cfg; }
+
+    // ---- admission ---------------------------------------------
+
+    /** Open a queue for @p key. False when the live-session cap is
+     *  reached (counted in Stats::rejectedAdmissions). */
+    bool tryAdmit(Key key);
+
+    /** Drain @p key's queue, then forget it (its counters stay in
+     *  the aggregate). False when the key is unknown — e.g. a lost
+     *  race against a concurrent remove(). */
+    bool remove(Key key);
+
+    // ---- work --------------------------------------------------
+
+    /**
+     * Append @p events to @p key's queue. Events are weighed in
+     * *unit work items* (SessionEvent::unitCount: Generate{n} = n)
+     * against the queue bound, but stored compressed — a huge
+     * Generate costs one queue slot of memory and is split lazily at
+     * slice boundaries. All-or-nothing: when the bounded queue
+     * cannot take the whole batch, nothing is queued and the result
+     * says RejectedQueueFull. Zero-unit batches validate the key,
+     * then accept as a no-op.
+     *
+     * @throws std::out_of_range on an unknown key.
+     */
+    EnqueueResult tryEnqueue(Key key,
+                             const std::vector<SessionEvent> &events);
+
+    /** Block until @p key's queue is drained and idle. False when
+     *  the key is unknown or removed while waiting. */
+    bool wait(Key key);
+
+    /** Block until every queue is drained and idle. Deadlocks if the
+     *  scheduler is left paused with queued work — resume() first. */
+    void waitAll();
+
+    // ---- exclusive access --------------------------------------
+
+    /** Wait until @p key is drained, then pin it: the dispatcher
+     *  skips it until unpin(), giving the caller exclusive access to
+     *  the session state. False when the key vanished. */
+    bool pinWhenIdle(Key key);
+
+    /** Release a pinWhenIdle() pin and reschedule queued work. */
+    void unpin(Key key);
+
+    // ---- staging -----------------------------------------------
+
+    /** Stop dispatching new slices (in-flight slices finish; verbs
+     *  still enqueue). Lets callers stage a deterministic burst.
+     *  Caution: wait()/waitAll()/pinWhenIdle()/remove() block until
+     *  queues drain, which cannot happen while paused — resume()
+     *  first (or from another thread). */
+    void pause();
+
+    /** Undo pause() and dispatch everything that became ready. */
+    void resume();
+
+    // ---- observability -----------------------------------------
+
+    /** Aggregate snapshot (includes closed sessions' counters). */
+    Stats stats() const;
+
+    /** Snapshot of one live queue's counters.
+     *  @throws std::out_of_range on an unknown key. */
+    QueueStats queueStats(Key key) const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Queue
+    {
+        std::deque<SessionEvent> pending;
+        bool running = false; //!< A worker owns this key's slice.
+        bool pinned = false;  //!< pinWhenIdle() holder owns the key.
+        bool ready = false;   //!< Present in the ready list.
+        /** Global dispatch count when this queue became ready. */
+        uint64_t readyMark = 0;
+        Clock::time_point readyAt{};
+        /** Unit items of the slice currently executing. */
+        uint64_t sliceUnits = 0;
+        QueueStats stats;
+    };
+
+    Queue *find(Key key);
+    const Queue *find(Key key) const;
+    /** Block until @p key's queue is idle or gone; returns the
+     *  still-registered queue, or nullptr when removed/unknown. */
+    Queue *waitIdleLocked(std::unique_lock<std::mutex> &lock, Key key);
+    /** Append to the ready list (and submit a job unless paused). */
+    void makeReadyLocked(Key key, Queue &q);
+    void submitSliceJob();
+    void runSlice();
+    bool idleLocked(const Queue &q) const;
+
+    ThreadPool &pool;
+    SchedulerConfig cfg;
+    Executor executor;
+
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::map<Key, Queue> queues;
+    std::deque<Key> readyKeys;
+    bool paused = false;
+    /** Ready entries accumulated while paused (jobs not submitted). */
+    uint32_t unsubmitted = 0;
+    /** Total slices dispatched (the logical clock for fairness). */
+    uint64_t dispatches = 0;
+    /** Aggregate counters, merged incrementally (survives remove). */
+    Stats agg;
+};
+
+} // namespace vrex::serve
+
+#endif // VREX_SERVE_SCHEDULER_HH

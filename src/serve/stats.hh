@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Scheduler observability: admission, queueing and dispatch counters
+ * exported by vrex::serve::Engine / Scheduler as plain value
+ * snapshots, so benches and tests can assert saturation and fairness
+ * behaviour without peeking into scheduler internals.
+ *
+ * Two kinds of numbers live here:
+ *
+ *  - *Logical* counters (items, slices, queue depths, wait measured
+ *    in dispatch slices). Item/slice/rejection totals are exact
+ *    given the verb arrival order; the wait/depth high-water marks
+ *    are schedule-dependent in live feeding (always within their
+ *    bounds — maxWaitSlices <= live-1) and become exact when bursts
+ *    are staged under pause()/resume(), which is how the tests and
+ *    the kvmu_layout --saturate panel assert on them.
+ *  - *Wall-clock* times (queue wait / service nanoseconds). These are
+ *    observability-only: never assert exact values on them.
+ */
+
+#ifndef VREX_SERVE_STATS_HH
+#define VREX_SERVE_STATS_HH
+
+#include <cstdint>
+
+namespace vrex::serve
+{
+
+/** Admission + dispatch knobs of the engine scheduler. */
+struct SchedulerConfig
+{
+    /** Max concurrently open sessions; 0 = unlimited. */
+    uint32_t maxLiveSessions = 0;
+    /** Max queued unit work items per session; 0 = unbounded.
+     *  A Generate{n} verb counts as n items (see
+     *  StreamingSession::unitEvents); Frame and Question count 1. */
+    uint32_t maxQueuedPerSession = 0;
+    /** Unit work items one dispatch slice executes before the
+     *  session rotates to the back of the ready queue; 0 = drain the
+     *  whole queue per slice (no time-slicing). */
+    uint32_t sliceEvents = 4;
+};
+
+/** Per-session queue counters (also aggregated into Stats). */
+struct QueueStats
+{
+    /** Unit work items accepted into the queue. */
+    uint64_t itemsEnqueued = 0;
+    /** Unit work items refused by backpressure (bounded queue). */
+    uint64_t itemsRejected = 0;
+    /** Unit work items executed. */
+    uint64_t itemsExecuted = 0;
+    /** Dispatch slices this session ran. */
+    uint64_t slices = 0;
+    /** Current queue depth (unit work items). */
+    uint32_t depth = 0;
+    /** High-water queue depth. */
+    uint32_t maxDepth = 0;
+    /**
+     * Fairness: the max number of *other* sessions' slices dispatched
+     * between this session becoming ready and being dispatched. The
+     * round-robin ready queue guarantees maxWaitSlices <= live - 1.
+     */
+    uint64_t maxWaitSlices = 0;
+    /** Wall-clock total time spent ready-but-waiting (ns). */
+    uint64_t waitNs = 0;
+    /** Wall-clock total time spent executing slices (ns). */
+    uint64_t serviceNs = 0;
+    /** Wall-clock worst single ready->dispatch wait (ns). */
+    uint64_t maxWaitNs = 0;
+};
+
+/** Engine-wide scheduler snapshot. */
+struct Stats
+{
+    // ---- admission ----------------------------------------------
+    /** Sessions admitted since construction. */
+    uint64_t admitted = 0;
+    /** createSession attempts refused by the live-session cap. */
+    uint64_t rejectedAdmissions = 0;
+    /** Currently open sessions. */
+    uint32_t liveSessions = 0;
+    /** High-water open-session count. */
+    uint32_t maxLiveObserved = 0;
+
+    // ---- queueing / dispatch (aggregated over all sessions, -----
+    // ---- including ones that have since closed) -----------------
+    uint64_t itemsEnqueued = 0;
+    uint64_t itemsRejected = 0;
+    uint64_t itemsExecuted = 0;
+    uint64_t slices = 0;
+    uint32_t maxQueueDepth = 0;
+    uint64_t maxWaitSlices = 0;
+    uint64_t waitNs = 0;
+    uint64_t serviceNs = 0;
+    uint64_t maxWaitNs = 0;
+
+    /** The knobs the scheduler was built with. */
+    SchedulerConfig config;
+
+    /** Mean ready->dispatch wait per slice, milliseconds. */
+    double
+    meanWaitMs() const
+    {
+        return slices ? waitNs / 1e6 / static_cast<double>(slices)
+                      : 0.0;
+    }
+
+    /** Mean slice service time, milliseconds. */
+    double
+    meanServiceMs() const
+    {
+        return slices ? serviceNs / 1e6 / static_cast<double>(slices)
+                      : 0.0;
+    }
+};
+
+} // namespace vrex::serve
+
+#endif // VREX_SERVE_STATS_HH

@@ -46,6 +46,15 @@ struct SessionEvent
     Type type;
     /** Question: token count. Generate: answer token count. */
     uint32_t tokens = 0;
+
+    /** Unit work items this event expands to — the grain the serve
+     *  scheduler time-slices: Generate{n} is n independent
+     *  single-token steps, Frame/Question are one item each. */
+    uint32_t
+    unitCount() const
+    {
+        return type == Type::Generate ? tokens : 1;
+    }
 };
 
 /** A full scripted streaming session. */

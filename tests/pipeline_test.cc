@@ -79,6 +79,35 @@ TEST(StreamingSession, TeacherForcingConsumesTokens)
     EXPECT_EQ(r.generated.size(), 5u);
 }
 
+TEST(StreamingSession, UnitEventReplayIsByteIdentical)
+{
+    // The serve-layer scheduler splits Generate{n} into n unit steps
+    // (StreamingSession::unitEvents); applying the units in order
+    // must be byte-identical to the scripted run.
+    ModelConfig cfg = ModelConfig::tiny();
+    ResvConfig rc;
+    SessionScript script = shortScript(7);
+
+    ResvPolicy whole_policy(cfg, rc);
+    StreamingSession whole(cfg, &whole_policy, 42);
+    SessionRunResult r_whole = whole.run(script);
+
+    ResvPolicy unit_policy(cfg, rc);
+    StreamingSession unit(cfg, &unit_policy, 42);
+    unit.begin(script.name, script.video, script.seed);
+    for (const auto &event : script.events)
+        for (const auto &u : StreamingSession::unitEvents(event))
+            unit.apply(u);
+    SessionRunResult r_unit = unit.snapshot();
+
+    EXPECT_EQ(r_whole.generated, r_unit.generated);
+    EXPECT_EQ(r_whole.stepLogits, r_unit.stepLogits);
+    EXPECT_EQ(r_whole.totalTokens, r_unit.totalTokens);
+    EXPECT_DOUBLE_EQ(r_whole.frameRatio, r_unit.frameRatio);
+    EXPECT_DOUBLE_EQ(r_whole.textRatio, r_unit.textRatio);
+    EXPECT_EQ(r_whole.layerHeadRatio, r_unit.layerHeadRatio);
+}
+
 TEST(AccuracyEval, FullAttentionPerfectAgreement)
 {
     ModelConfig cfg = ModelConfig::tiny();

@@ -471,6 +471,34 @@ TEST(ServeEngine, ConcurrentWaitersAndCloseAreSafe)
     }
 }
 
+TEST(ServeEngine, DefaultConfigNeverRejects)
+{
+    // Backwards compatibility with the PR-3 contract: without
+    // admission/queue caps, the try* verbs always accept and the
+    // classic verbs never throw AdmissionError/QueueFullError.
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 2;
+    Engine engine(cfg);
+
+    Admission a = engine.tryCreateSession();
+    ASSERT_TRUE(a.admitted());
+    ASSERT_NE(a.id, 0u);
+    EXPECT_TRUE(engine.tryFeedFrame(a.id, 64).accepted());
+    EXPECT_TRUE(engine.tryAsk(a.id, 6, 5).accepted());
+
+    Stats st = engine.stats();
+    EXPECT_EQ(st.rejectedAdmissions, 0u);
+    EXPECT_EQ(st.itemsRejected, 0u);
+    EXPECT_EQ(st.config.maxLiveSessions, 0u);
+    EXPECT_EQ(st.config.maxQueuedPerSession, 0u);
+
+    SessionRunResult r = engine.result(a.id);
+    EXPECT_EQ(r.frames, 64u);
+    EXPECT_EQ(r.generated.size(), 5u);
+    engine.closeSession(a.id);
+}
+
 TEST(ServeEngine, DestructorDrainsPendingWork)
 {
     EngineConfig cfg;
