@@ -10,9 +10,13 @@
  * `--saturate N` additionally drives N sessions through an engine
  * with admission control (live cap N/2) and bounded per-session
  * queues, reporting the scheduler's serve::Stats — admissions,
- * backpressure rejections, and the round-robin fairness bound. The
- * panel only exists when the flag is given, so the default report
- * (and the CI drift baseline) is unchanged.
+ * backpressure rejections, and the round-robin fairness bound —
+ * plus a second staged scenario mixing Interactive and Bulk
+ * scheduling classes under weighted round-robin, reported as a
+ * per-class latency panel (logical slice/item/wait counts as
+ * metrics, wall-clock p50/p95/p99 percentiles as notes). The panels
+ * only exist when the flag is given, so the default report (and the
+ * CI drift baseline) is unchanged.
  */
 
 #include <algorithm>
@@ -194,6 +198,103 @@ runSaturation(bench::Reporter &rep, uint32_t sessions)
              "round_robin_bound");
 }
 
+/**
+ * Priority-class latency scenario: ceil(N/2) Interactive QA
+ * sessions against floor(N/2) rate-limited Bulk ingest sessions,
+ * weighted round-robin {2,1}, one worker and one fully staged burst
+ * — so the dispatch order, and with it every logical counter
+ * (slices, items, rate-limited slices, max wait), is exact. The
+ * wall-clock wait/service percentiles go into notes, mirroring the
+ * saturation panel's treatment of non-deterministic numbers.
+ */
+void
+runClassLatency(bench::Reporter &rep, uint32_t sessions)
+{
+    const uint32_t interactive = (sessions + 1) / 2;
+    const uint32_t bulk = sessions / 2;
+
+    serve::EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.policy = serve::PolicySpec::resv();
+    cfg.workers = 1; // serial dispatch: logical counters are exact
+    cfg.sched.sliceEvents = 2;
+    cfg.sched.classWeights = {2, 1};
+    serve::Engine engine(cfg);
+
+    engine.pause();
+    std::vector<serve::SessionId> ids;
+    for (uint32_t s = 0; s < interactive; ++s) {
+        SessionScript script = WorkloadGenerator::coinAverage(
+            /*seed=*/700 + s);
+        script.name = "latency-i-" + std::to_string(s);
+        serve::SessionOptions o =
+            serve::SessionOptions::fromScript(script);
+        o.schedClass = serve::SchedClass::Interactive;
+        serve::SessionId id = engine.createSession(o);
+        engine.feedFrame(id, 4);
+        engine.ask(id, 2, 2); // 4 + 1 + 2 = 7 unit items
+        ids.push_back(id);
+    }
+    for (uint32_t s = 0; s < bulk; ++s) {
+        SessionScript script = WorkloadGenerator::coinAverage(
+            /*seed=*/800 + s);
+        script.name = "latency-b-" + std::to_string(s);
+        serve::SessionOptions o =
+            serve::SessionOptions::fromScript(script);
+        o.schedClass = serve::SchedClass::Bulk;
+        o.maxItemsPerRound = 1; // throttled below the slice size
+        serve::SessionId id = engine.createSession(o);
+        engine.feedFrame(id, 10);
+        ids.push_back(id);
+    }
+    engine.resume();
+    engine.waitAll();
+
+    uint64_t max_wait[serve::kSchedClasses] = {0, 0};
+    for (serve::SessionId id : ids) {
+        const serve::QueueStats qs = engine.sessionStats(id);
+        const auto c = static_cast<size_t>(qs.schedClass);
+        max_wait[c] = std::max(max_wait[c], qs.maxWaitSlices);
+    }
+
+    const serve::Stats st = engine.stats();
+    rep.beginPanel("latency",
+                   "per-class latency under weighted round-robin "
+                   "{2,1} with a bulk rate limit (--saturate)");
+    for (uint32_t c = 0; c < serve::kSchedClasses; ++c) {
+        const auto cls = static_cast<serve::SchedClass>(c);
+        const serve::ClassStats &cs = st.forClass(cls);
+        const char *row = serve::schedClassName(cls);
+        rep.add(row, "sessions",
+                cls == serve::SchedClass::Interactive ? interactive
+                                                      : bulk,
+                "", 0);
+        rep.add(row, "slices", static_cast<double>(cs.slices), "", 0);
+        rep.add(row, "items_executed",
+                static_cast<double>(cs.itemsExecuted), "", 0);
+        rep.add(row, "rate_limited_slices",
+                static_cast<double>(cs.rateLimitedSlices), "", 0);
+        rep.add(row, "max_wait_slices",
+                static_cast<double>(max_wait[c]), "", 0);
+        rep.add(row, "wait_samples",
+                static_cast<double>(cs.wait.samples()), "", 0);
+        char note[200];
+        std::snprintf(note, sizeof(note),
+                      "%s wall clock (not in machine output): wait "
+                      "p50/p95/p99 %.3f/%.3f/%.3f ms, service "
+                      "p50/p95/p99 %.3f/%.3f/%.3f ms",
+                      row, cs.wait.p50Ms(), cs.wait.p95Ms(),
+                      cs.wait.p99Ms(), cs.service.p50Ms(),
+                      cs.service.p95Ms(), cs.service.p99Ms());
+        rep.note(note);
+    }
+    rep.note("interactive keeps 2 slices per bulk slice; the bulk "
+             "rate limit (1 item/turn) stretches its queue without "
+             "touching interactive wait percentiles");
+    for (serve::SessionId id : ids)
+        engine.closeSession(id);
+}
+
 } // namespace
 
 int
@@ -215,7 +316,9 @@ main(int argc, char **argv)
         "kvmu_layout", static_cast<int>(args.size()), args.data(),
         [saturate](bench::Reporter &rep) {
             run(rep);
-            if (saturate > 0)
+            if (saturate > 0) {
                 runSaturation(rep, saturate);
+                runClassLatency(rep, saturate);
+            }
         });
 }

@@ -30,9 +30,10 @@ done
 # Analytic timing-model benches hold 5%; the functional-model benches
 # (clustering / fidelity proxies) can shift a few percent across
 # compilers when FP rounding flips a threshold decision, so they get
-# a looser band. Tighten these as the pipeline stabilizes.
+# a looser band — tightened from 20% to 10% as the pipeline
+# stabilized (PR 5); keep shrinking it as figures settle.
 "$BUILD/bench/drift_check" --write-baseline bench/baseline.json \
     --rel-tol 0.05 --abs-tol 1e-6 \
-    --tol fig07=0.20 --tol fig19=0.20 --tol fig20=0.20 \
-    --tol kvmu_layout=0.20 --tol table2=0.20 \
+    --tol fig07=0.10 --tol fig19=0.10 --tol fig20=0.10 \
+    --tol kvmu_layout=0.10 --tol table2=0.10 \
     "$TMP"/BENCH_*.json

@@ -65,6 +65,37 @@ Histogram::binCenter(uint32_t bin) const
     return lo + (static_cast<double>(bin) + 0.5) * width;
 }
 
+double
+Histogram::percentile(double q) const
+{
+    if (n == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(q * static_cast<double>(n))));
+    uint64_t cum = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        cum += counts[i];
+        if (cum >= rank)
+            return binCenter(static_cast<uint32_t>(i));
+    }
+    // Unreachable: the cumulative count reaches n >= rank.
+    return binCenter(bins() - 1);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    VREX_ASSERT(lo == other.lo && hi == other.hi &&
+                    counts.size() == other.counts.size(),
+                "histogram merge shape mismatch");
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    n += other.n;
+    nonfinite += other.nonfinite;
+}
+
 std::vector<double>
 Histogram::normalized() const
 {

@@ -65,6 +65,28 @@ class Histogram
     /** Samples rejected by add() because they were NaN or infinite. */
     uint64_t nonFinite() const { return nonfinite; }
     double binCenter(uint32_t bin) const;
+    double rangeLo() const { return lo; }
+    double rangeHi() const { return hi; }
+
+    /**
+     * Distribution percentile estimated at bin-center resolution:
+     * the center of the first bin whose cumulative count reaches
+     * rank ceil(q * total()), with q clamped into [0, 1] and the
+     * rank floored at 1 (so percentile(0) is the first non-empty
+     * bin's center). Only finite samples participate — non-finite
+     * ones were rejected by add() and live in nonFinite(). An empty
+     * histogram returns exactly 0.0, mirroring the RunningStat
+     * empty-state contract.
+     */
+    double percentile(double q) const;
+
+    /**
+     * Merge another snapshot of the same shape (identical range and
+     * bin count — asserted) into this one: bin counts, total() and
+     * nonFinite() add up, so percentile() over the merge equals
+     * percentile() over one histogram fed both sample sets.
+     */
+    void merge(const Histogram &other);
 
     /** Render a single-line ASCII sparkline of the distribution. */
     std::vector<double> normalized() const;

@@ -69,7 +69,10 @@ Engine::tryCreateSession(const SessionOptions &options)
         std::lock_guard<std::mutex> lock(smu);
         id = nextId++;
     }
-    if (!sched.tryAdmit(id)) {
+    const uint32_t rate = options.maxItemsPerRound
+                              ? *options.maxItemsPerRound
+                              : cfg.sched.maxItemsPerRound;
+    if (!sched.tryAdmit(id, options.schedClass, rate)) {
         Admission a;
         a.status = Admission::Status::RejectedSessionLimit;
         return a;
@@ -279,6 +282,15 @@ Engine::openSessions() const
 {
     std::lock_guard<std::mutex> lock(smu);
     return sessions.size();
+}
+
+void
+Engine::setClass(SessionId id, SchedClass cls)
+{
+    if (!sched.setClass(id, cls))
+        throw std::out_of_range(
+            "vrex::serve::Engine: unknown or closed session id " +
+            std::to_string(id));
 }
 
 void

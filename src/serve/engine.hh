@@ -36,6 +36,18 @@
  * from the classic verbs) instead of silent blocking. Scheduler
  * observability is exported via stats() / sessionStats().
  *
+ * Priority classes (PR 5): each session carries a SchedClass
+ * (`SessionOptions::schedClass`, default Interactive; mutable via
+ * setClass()) and the dispatcher serves the per-class ready lists
+ * weighted round-robin (`sched.classWeights`), optionally clamped by
+ * per-session rate limits (`sched.maxItemsPerRound` /
+ * `SessionOptions::maxItemsPerRound`) and deadline-aware slicing
+ * (`sched.deadlineSlices` promotes a session whose oldest queued
+ * item aged past the deadline to the front of its class). Defaults
+ * (one class in use, weights {1,1}, no limits) are byte-identical to
+ * the PR-4 round-robin. stats() additionally reports per-class
+ * p50/p95/p99 wait and service latency histograms.
+ *
  * A session's items still execute in order on one worker at a time
  * (actor style), so per-session determinism is independent of the
  * slice size, worker count, and cross-session interleaving.
@@ -132,6 +144,14 @@ struct SessionOptions
     std::optional<PolicySpec> policy;
     /** Teacher forcing: generation consumes these token ids. */
     std::vector<uint32_t> forcedTokens;
+    /** Scheduling class the session dispatches under (weighted
+     *  round-robin across classes; see SchedulerConfig). Mutable
+     *  mid-stream via Engine::setClass. */
+    SchedClass schedClass = SchedClass::Interactive;
+    /** Per-session rate limit override (max unit items per dispatch
+     *  slice); engine default `sched.maxItemsPerRound` when unset,
+     *  0 = no cap. */
+    std::optional<uint32_t> maxItemsPerRound;
 
     /** Options matching a scripted session's stream parameters. */
     static SessionOptions fromScript(const SessionScript &script);
@@ -223,6 +243,13 @@ class Engine
     size_t openSessions() const;
 
     // ---- scheduling control / observability --------------------
+
+    /** Move the session to scheduling class @p cls mid-stream (it
+     *  re-queues at the back of the new class's ready list; queued
+     *  work and results are unaffected — only dispatch order and
+     *  subsequent per-class accounting change).
+     *  @throws std::out_of_range on an unknown or closed id. */
+    void setClass(SessionId id, SchedClass cls);
 
     /** Stop dispatching new work (in-flight slices finish; verbs
      *  still enqueue). Useful to stage a deterministic burst.

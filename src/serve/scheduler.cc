@@ -1,6 +1,7 @@
 #include "serve/scheduler.hh"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -16,6 +17,14 @@ Scheduler::Scheduler(ThreadPool &pool_ref, SchedulerConfig config,
 {
     VREX_ASSERT(executor != nullptr, "scheduler needs an executor");
     agg.config = cfg;
+    classCredit = weightOf(classCursor);
+}
+
+uint32_t
+Scheduler::weightOf(uint32_t cls_index) const
+{
+    // A zero weight would wedge the rotation; treat it as 1.
+    return std::max(1u, cfg.classWeights[cls_index]);
 }
 
 Scheduler::Queue *
@@ -39,7 +48,7 @@ Scheduler::idleLocked(const Queue &q) const
 }
 
 bool
-Scheduler::tryAdmit(Key key)
+Scheduler::tryAdmit(Key key, SchedClass cls, uint32_t rate_limit)
 {
     std::lock_guard<std::mutex> lock(mu);
     if (cfg.maxLiveSessions > 0 &&
@@ -49,10 +58,37 @@ Scheduler::tryAdmit(Key key)
     }
     VREX_ASSERT(queues.find(key) == queues.end(),
                 "scheduler key admitted twice");
-    queues.emplace(key, Queue{});
+    Queue q;
+    q.cls = cls;
+    q.rateLimit = rate_limit;
+    q.stats.schedClass = cls;
+    q.stats.rateLimit = rate_limit;
+    queues.emplace(key, std::move(q));
     ++agg.admitted;
     agg.maxLiveObserved = std::max(
         agg.maxLiveObserved, static_cast<uint32_t>(queues.size()));
+    return true;
+}
+
+bool
+Scheduler::setClass(Key key, SchedClass cls)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Queue *q = find(key);
+    if (!q)
+        return false;
+    if (q->cls != cls) {
+        if (q->ready) {
+            auto &old_list =
+                readyKeys[static_cast<size_t>(q->cls)];
+            old_list.erase(std::find_if(
+                old_list.begin(), old_list.end(),
+                [key](const ReadyEntry &e) { return e.key == key; }));
+            readyKeys[static_cast<size_t>(cls)].push_back({key, q});
+        }
+        q->cls = cls;
+        q->stats.schedClass = cls;
+    }
     return true;
 }
 
@@ -115,7 +151,7 @@ Scheduler::tryEnqueue(Key key,
 
     for (const SessionEvent &event : events)
         if (event.unitCount() > 0)
-            q->pending.push_back(event);
+            q->pending.push_back({event, dispatches});
     r.depth = static_cast<uint32_t>(depth + units);
     q->stats.itemsEnqueued += units;
     agg.itemsEnqueued += units;
@@ -134,11 +170,91 @@ Scheduler::makeReadyLocked(Key key, Queue &q)
     q.ready = true;
     q.readyMark = dispatches;
     q.readyAt = Clock::now();
-    readyKeys.push_back(key);
+    readyKeys[static_cast<size_t>(q.cls)].push_back({key, &q});
     if (paused)
         ++unsubmitted;
     else
         submitSliceJob();
+}
+
+Scheduler::ReadyEntry
+Scheduler::popReadyLocked()
+{
+    // Weighted round-robin over the class ready lists: the cursor
+    // class keeps the turn while it has credit and work. Ready work
+    // dispatches on credit; when the turn class is *busy but not
+    // ready* (every ready-capable session mid-slice on another
+    // worker), the slice is loaned to the next class with ready
+    // work — consuming no credit and leaving the rotation in place,
+    // so work conservation does not degrade the weights. A class
+    // with neither ready nor in-flight work passes the turn on with
+    // a fresh credit. Two sweeps guarantee a non-empty class is
+    // reached even when every credit needs resetting first.
+    uint32_t pick_class = classCursor;
+    bool on_credit = true;
+    for (uint32_t step = 0; step < 2 * kSchedClasses; ++step) {
+        if (classCredit > 0) {
+            if (!readyKeys[classCursor].empty()) {
+                pick_class = classCursor;
+                break;
+            }
+            if (inFlight[classCursor] > 0) {
+                bool found = false;
+                for (uint32_t off = 1; off < kSchedClasses; ++off) {
+                    const uint32_t c =
+                        (classCursor + off) % kSchedClasses;
+                    if (!readyKeys[c].empty()) {
+                        pick_class = c;
+                        on_credit = false;
+                        found = true;
+                        break;
+                    }
+                }
+                // One job per ready entry: if the turn class has
+                // nothing ready, some other class must.
+                VREX_ASSERT(found, "slice job without ready key");
+                break;
+            }
+        }
+        classCursor = (classCursor + 1) % kSchedClasses;
+        classCredit = weightOf(classCursor);
+        pick_class = classCursor;
+    }
+    auto &list = readyKeys[pick_class];
+    VREX_ASSERT(!list.empty(), "slice job without ready key");
+    if (on_credit) {
+        VREX_ASSERT(classCredit > 0, "WRR pick without credit");
+        --classCredit;
+    }
+
+    // Deadline-aware slicing: serve the class FIFO unless a queue's
+    // oldest pending item has aged past the deadline — then the
+    // most-overdue queue (smallest enqueue mark; ties keep list
+    // order) is promoted to dispatch now.
+    size_t pick = 0;
+    if (cfg.deadlineSlices > 0) {
+        uint64_t best_mark = ~uint64_t{0};
+        for (size_t i = 0; i < list.size(); ++i) {
+            const Queue *q = list[i].queue;
+            VREX_ASSERT(!q->pending.empty(),
+                        "ready key without pending work");
+            const uint64_t mark = q->pending.front().mark;
+            if (dispatches - mark > cfg.deadlineSlices &&
+                mark < best_mark) {
+                best_mark = mark;
+                pick = i;
+            }
+        }
+    }
+    const ReadyEntry entry = list[pick];
+    if (pick != 0) {
+        ++entry.queue->stats.deadlinePromotions;
+        ++agg.classes[pick_class].deadlinePromotions;
+        list.erase(list.begin() + static_cast<ptrdiff_t>(pick));
+    } else {
+        list.pop_front();
+    }
+    return entry;
 }
 
 void
@@ -153,17 +269,21 @@ Scheduler::runSlice()
     std::vector<SessionEvent> batch;
     Key key;
     Queue *q;
+    SchedClass cls;
     {
         std::lock_guard<std::mutex> lock(mu);
-        // One job per ready entry: the front key is always valid.
-        VREX_ASSERT(!readyKeys.empty(), "slice job without ready key");
-        key = readyKeys.front();
-        readyKeys.pop_front();
-        q = find(key);
-        VREX_ASSERT(q && q->ready && !q->running && !q->pinned,
+        // One job per ready entry: a ready key always exists.
+        const ReadyEntry entry = popReadyLocked();
+        key = entry.key;
+        q = entry.queue;
+        VREX_ASSERT(q->ready && !q->running && !q->pinned,
                     "ready key in inconsistent state");
         q->ready = false;
         q->running = true;
+        cls = q->cls; // Sample under the dispatching class, even if
+                      // setClass() retags the session mid-slice.
+        ++inFlight[static_cast<size_t>(cls)];
+        ClassStats &cs = agg.classes[static_cast<size_t>(cls)];
 
         const uint64_t waited = dispatches - q->readyMark;
         ++dispatches;
@@ -178,23 +298,35 @@ Scheduler::runSlice()
         agg.waitNs += wait_ns;
         q->stats.maxWaitNs = std::max(q->stats.maxWaitNs, wait_ns);
         agg.maxWaitNs = std::max(agg.maxWaitNs, wait_ns);
+        q->stats.waitHist.add(wait_ns);
+        cs.wait.add(wait_ns);
 
-        // Take up to sliceEvents *units*, splitting a Generate run
-        // at the slice boundary (Generate{n} == n single steps, so
-        // the split is byte-identical).
+        // Take up to sliceEvents *units* — clamped by the session's
+        // rate limit — splitting a Generate run at the slice
+        // boundary (Generate{n} == n single steps, so the split is
+        // byte-identical).
         uint64_t budget = cfg.sliceEvents > 0 ? cfg.sliceEvents
                                               : q->stats.depth;
+        if (q->rateLimit > 0 && budget > q->rateLimit) {
+            budget = q->rateLimit;
+            if (q->stats.depth > q->rateLimit) {
+                // The cap left work queued: the session was rate
+                // limited this rotation turn.
+                ++q->stats.rateLimitedSlices;
+                ++cs.rateLimitedSlices;
+            }
+        }
         while (budget > 0 && !q->pending.empty()) {
-            SessionEvent &front = q->pending.front();
-            const uint32_t units = front.unitCount();
+            Pending &front = q->pending.front();
+            const uint32_t units = front.event.unitCount();
             if (units > budget) {
                 const auto take = static_cast<uint32_t>(budget);
                 batch.push_back(
                     {SessionEvent::Type::Generate, take});
-                front.tokens -= take;
+                front.event.tokens -= take;
                 budget = 0;
             } else {
-                batch.push_back(front);
+                batch.push_back(front.event);
                 q->pending.pop_front();
                 budget -= units;
             }
@@ -219,12 +351,18 @@ Scheduler::runSlice()
         std::lock_guard<std::mutex> lock(mu);
         // `q` stays valid: remove() cannot erase a running queue.
         q->running = false;
+        --inFlight[static_cast<size_t>(cls)];
         ++q->stats.slices;
         ++agg.slices;
         q->stats.itemsExecuted += q->sliceUnits;
         agg.itemsExecuted += q->sliceUnits;
         q->stats.serviceNs += service_ns;
         agg.serviceNs += service_ns;
+        q->stats.serviceHist.add(service_ns);
+        ClassStats &cs = agg.classes[static_cast<size_t>(cls)];
+        ++cs.slices;
+        cs.itemsExecuted += q->sliceUnits;
+        cs.service.add(service_ns);
         if (!q->pending.empty())
             makeReadyLocked(key, *q); // Rotate to the back: fairness.
         cv.notify_all();
@@ -298,6 +436,8 @@ Scheduler::stats() const
     std::lock_guard<std::mutex> lock(mu);
     Stats out = agg;
     out.liveSessions = static_cast<uint32_t>(queues.size());
+    out.wrrTurnClass = static_cast<SchedClass>(classCursor);
+    out.wrrTurnCredit = classCredit;
     return out;
 }
 

@@ -11,19 +11,24 @@
  * dispatched on two workers at once (and pin/remove wait for
  * idleness), the callback always has exclusive access to the session.
  *
- * Dispatch discipline: when a queue gains work it is appended to a
- * ready list and one pool job is submitted. A job pops the *front*
- * ready queue, executes at most `sliceEvents` unit items, and — if
- * the queue still has work — re-appends it at the back. One chatty
- * session therefore advances at most one slice ahead before every
- * other ready session has run: between becoming ready and being
- * dispatched, at most live-1 other slices are dispatched
- * (QueueStats::maxWaitSlices), regardless of worker count.
+ * Dispatch discipline: when a queue gains work it is appended to its
+ * scheduling class's ready list and one pool job is submitted. A job
+ * picks the next class by weighted round-robin (classWeights slices
+ * per class turn), pops that class's *front* ready queue — unless a
+ * deadline-overdue queue is promoted past it — executes at most
+ * `sliceEvents` unit items (clamped by the session's rate limit),
+ * and — if the queue still has work — re-appends it at the back of
+ * its class. With one class in use and default weights this is the
+ * PR-4 single FIFO: between becoming ready and being dispatched, at
+ * most live-1 other slices are dispatched (QueueStats::maxWaitSlices),
+ * regardless of worker count. The weighted multi-class bound is
+ * derived in serve/README.md.
  */
 
 #ifndef VREX_SERVE_SCHEDULER_HH
 #define VREX_SERVE_SCHEDULER_HH
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -81,9 +86,20 @@ class Scheduler
 
     // ---- admission ---------------------------------------------
 
-    /** Open a queue for @p key. False when the live-session cap is
-     *  reached (counted in Stats::rejectedAdmissions). */
-    bool tryAdmit(Key key);
+    /** Open a queue for @p key, dispatched under @p cls with an
+     *  optional per-session rate limit (@p rate_limit items per
+     *  slice; 0 = none). False when the live-session cap is reached
+     *  (counted in Stats::rejectedAdmissions). */
+    bool tryAdmit(Key key, SchedClass cls = SchedClass::Interactive,
+                  uint32_t rate_limit = 0);
+
+    /** Move @p key to scheduling class @p cls mid-stream. When the
+     *  session is in its old class's ready list it is re-queued at
+     *  the *back* of the new class's list (its readyMark — the wait
+     *  measurement origin — is preserved). Per-session results are
+     *  unaffected; only dispatch order changes. False when the key
+     *  is unknown. */
+    bool setClass(Key key, SchedClass cls);
 
     /** Drain @p key's queue, then forget it (its counters stay in
      *  the aggregate). False when the key is unknown — e.g. a lost
@@ -149,9 +165,22 @@ class Scheduler
   private:
     using Clock = std::chrono::steady_clock;
 
+    /** One queued (possibly compressed) event plus the dispatch-clock
+     *  value when it was enqueued — the age base for deadline-aware
+     *  slicing. A Generate split at a slice boundary keeps its mark:
+     *  the remainder is still the original, aging item. */
+    struct Pending
+    {
+        SessionEvent event;
+        uint64_t mark;
+    };
+
     struct Queue
     {
-        std::deque<SessionEvent> pending;
+        std::deque<Pending> pending;
+        SchedClass cls = SchedClass::Interactive;
+        /** Per-session rate limit (0 = none). */
+        uint32_t rateLimit = 0;
         bool running = false; //!< A worker owns this key's slice.
         bool pinned = false;  //!< pinWhenIdle() holder owns the key.
         bool ready = false;   //!< Present in the ready list.
@@ -163,15 +192,32 @@ class Scheduler
         QueueStats stats;
     };
 
+    /** One ready-list entry. The Queue pointer stays valid while
+     *  the entry is listed: map nodes are address-stable and
+     *  remove() cannot erase a ready (= non-idle) queue. Carrying
+     *  it avoids a map lookup per entry in the dispatch path. */
+    struct ReadyEntry
+    {
+        Key key;
+        Queue *queue;
+    };
+
     Queue *find(Key key);
     const Queue *find(Key key) const;
     /** Block until @p key's queue is idle or gone; returns the
      *  still-registered queue, or nullptr when removed/unknown. */
     Queue *waitIdleLocked(std::unique_lock<std::mutex> &lock, Key key);
-    /** Append to the ready list (and submit a job unless paused). */
+    /** Append to the class ready list (and submit a job unless
+     *  paused). */
     void makeReadyLocked(Key key, Queue &q);
     void submitSliceJob();
     void runSlice();
+    /** Pick + pop the next ready entry: weighted round-robin over
+     *  the class lists (with work-conserving loan slices when the
+     *  turn class is busy but not ready), deadline promotion within
+     *  the chosen class. */
+    ReadyEntry popReadyLocked();
+    uint32_t weightOf(uint32_t cls_index) const;
     bool idleLocked(const Queue &q) const;
 
     ThreadPool &pool;
@@ -181,7 +227,16 @@ class Scheduler
     mutable std::mutex mu;
     std::condition_variable cv;
     std::map<Key, Queue> queues;
-    std::deque<Key> readyKeys;
+    /** One ready list per scheduling class. */
+    std::array<std::deque<ReadyEntry>, kSchedClasses> readyKeys;
+    /** Weighted round-robin rotation state: the class currently
+     *  holding the dispatch turn and its remaining slice credit. */
+    uint32_t classCursor = 0;
+    uint32_t classCredit = 0;
+    /** Slices currently executing, per class: a class with in-flight
+     *  work keeps its turn (other classes run loan slices that
+     *  consume no credit) instead of forfeiting it. */
+    std::array<uint32_t, kSchedClasses> inFlight{};
     bool paused = false;
     /** Ready entries accumulated while paused (jobs not submitted). */
     uint32_t unsubmitted = 0;

@@ -8,23 +8,97 @@
  * Two kinds of numbers live here:
  *
  *  - *Logical* counters (items, slices, queue depths, wait measured
- *    in dispatch slices). Item/slice/rejection totals are exact
- *    given the verb arrival order; the wait/depth high-water marks
- *    are schedule-dependent in live feeding (always within their
- *    bounds — maxWaitSlices <= live-1) and become exact when bursts
- *    are staged under pause()/resume(), which is how the tests and
- *    the kvmu_layout --saturate panel assert on them.
- *  - *Wall-clock* times (queue wait / service nanoseconds). These are
- *    observability-only: never assert exact values on them.
+ *    in dispatch slices, deadline promotions, rate-limited slices).
+ *    Item/slice/rejection totals are exact given the verb arrival
+ *    order; the wait/depth high-water marks are schedule-dependent
+ *    in live feeding (always within their bounds) and become exact
+ *    when bursts are staged under pause()/resume(), which is how the
+ *    tests and the kvmu_layout --saturate panel assert on them.
+ *  - *Wall-clock* times (queue wait / service nanoseconds, and the
+ *    per-class latency-percentile histograms built on them). These
+ *    are observability-only: never assert exact values on them —
+ *    only sample counts, which are logical.
  */
 
 #ifndef VREX_SERVE_STATS_HH
 #define VREX_SERVE_STATS_HH
 
+#include <array>
+#include <cmath>
 #include <cstdint>
+
+#include "common/stats.hh"
 
 namespace vrex::serve
 {
+
+/**
+ * Scheduling class of a session. The dispatcher keeps one ready
+ * list per class and serves them weighted round-robin
+ * (SchedulerConfig::classWeights), so latency-sensitive generation
+ * (Interactive) can be preferred over background frame ingest (Bulk)
+ * without starving either. Sessions default to Interactive; with the
+ * default weights {1, 1} the two lists behave as one plain
+ * round-robin queue (the PR-4 contract).
+ */
+enum class SchedClass : uint8_t
+{
+    Interactive = 0,
+    Bulk = 1,
+};
+
+/** Number of scheduling classes (array dimension of the knobs). */
+inline constexpr uint32_t kSchedClasses = 2;
+
+inline const char *
+schedClassName(SchedClass c)
+{
+    return c == SchedClass::Interactive ? "interactive" : "bulk";
+}
+
+/**
+ * Latency histogram with logarithmic bins: samples are stored as
+ * log10(nanoseconds) over 1 ns .. 10 s in 0.1-decade bins, so
+ * percentiles carry ~±12% relative resolution across seven orders
+ * of magnitude. Wall-clock observability only — assert on samples()
+ * (a logical count), never on the percentile values.
+ */
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram() : hist(0.0, 10.0, 100) {}
+
+    void
+    add(uint64_t ns)
+    {
+        hist.add(std::log10(static_cast<double>(ns) + 1.0));
+    }
+
+    /** Samples recorded (== dispatch slices measured). */
+    uint64_t samples() const { return hist.total(); }
+
+    /** Percentile (q in [0, 1]) in milliseconds; 0 when empty. */
+    double
+    percentileMs(double q) const
+    {
+        if (samples() == 0)
+            return 0.0;
+        return std::pow(10.0, hist.percentile(q)) / 1e6;
+    }
+
+    double p50Ms() const { return percentileMs(0.50); }
+    double p95Ms() const { return percentileMs(0.95); }
+    double p99Ms() const { return percentileMs(0.99); }
+
+    /** Merge a same-shaped snapshot (counts and samples add up). */
+    void merge(const LatencyHistogram &other)
+    {
+        hist.merge(other.hist);
+    }
+
+  private:
+    Histogram hist;
+};
 
 /** Admission + dispatch knobs of the engine scheduler. */
 struct SchedulerConfig
@@ -39,11 +113,52 @@ struct SchedulerConfig
      *  session rotates to the back of the ready queue; 0 = drain the
      *  whole queue per slice (no time-slicing). */
     uint32_t sliceEvents = 4;
+    /** Weighted round-robin: consecutive slices class c may dispatch
+     *  before the rotation yields to the next class with ready work
+     *  (0 is treated as 1). Defaults {1, 1}: the classes alternate
+     *  slice-for-slice, which is byte-identical to the PR-4 single
+     *  ready list when only one class is in use. */
+    std::array<uint32_t, kSchedClasses> classWeights{1, 1};
+    /** Default per-session rate limit: max unit items one dispatch
+     *  slice may execute for a session (caps sliceEvents, so per
+     *  ready-list rotation the session advances at most this many
+     *  items); 0 = no cap. Per-session override:
+     *  SessionOptions::maxItemsPerRound. */
+    uint32_t maxItemsPerRound = 0;
+    /** Deadline-aware slicing: when a session's oldest queued item
+     *  has waited more than this many dispatch slices (the logical
+     *  clock), the session is promoted to the front of its class's
+     *  ready list; 0 = disabled. */
+    uint64_t deadlineSlices = 0;
+};
+
+/** Per-class dispatch counters + latency histograms (in Stats). */
+struct ClassStats
+{
+    /** Dispatch slices this class ran. */
+    uint64_t slices = 0;
+    /** Unit work items this class executed. */
+    uint64_t itemsExecuted = 0;
+    /** Times a session of this class was deadline-promoted to the
+     *  front of its ready list (logical — deterministic when bursts
+     *  are staged). */
+    uint64_t deadlinePromotions = 0;
+    /** Slices whose item budget was clamped by a per-session rate
+     *  limit while more work was queued (logical). */
+    uint64_t rateLimitedSlices = 0;
+    /** Ready->dispatch wait per slice (wall clock). */
+    LatencyHistogram wait;
+    /** Slice service time (wall clock). */
+    LatencyHistogram service;
 };
 
 /** Per-session queue counters (also aggregated into Stats). */
 struct QueueStats
 {
+    /** Scheduling class the session currently dispatches under. */
+    SchedClass schedClass = SchedClass::Interactive;
+    /** Effective per-session rate limit (0 = none). */
+    uint32_t rateLimit = 0;
     /** Unit work items accepted into the queue. */
     uint64_t itemsEnqueued = 0;
     /** Unit work items refused by backpressure (bounded queue). */
@@ -58,16 +173,29 @@ struct QueueStats
     uint32_t maxDepth = 0;
     /**
      * Fairness: the max number of *other* sessions' slices dispatched
-     * between this session becoming ready and being dispatched. The
-     * round-robin ready queue guarantees maxWaitSlices <= live - 1.
+     * between this session becoming ready and being dispatched. With
+     * a single class (or default weights and one class in use) the
+     * round-robin ready queue guarantees maxWaitSlices <= live - 1;
+     * the weighted multi-class bound is documented in
+     * serve/README.md.
      */
     uint64_t maxWaitSlices = 0;
+    /** Times this session was deadline-promoted to the front of its
+     *  class (logical). */
+    uint64_t deadlinePromotions = 0;
+    /** Slices whose budget was clamped by the rate limit while more
+     *  work was queued (logical). */
+    uint64_t rateLimitedSlices = 0;
     /** Wall-clock total time spent ready-but-waiting (ns). */
     uint64_t waitNs = 0;
     /** Wall-clock total time spent executing slices (ns). */
     uint64_t serviceNs = 0;
     /** Wall-clock worst single ready->dispatch wait (ns). */
     uint64_t maxWaitNs = 0;
+    /** Per-slice ready->dispatch wait distribution (wall clock). */
+    LatencyHistogram waitHist;
+    /** Per-slice service-time distribution (wall clock). */
+    LatencyHistogram serviceHist;
 };
 
 /** Engine-wide scheduler snapshot. */
@@ -95,8 +223,26 @@ struct Stats
     uint64_t serviceNs = 0;
     uint64_t maxWaitNs = 0;
 
+    /** Per-class dispatch counters and wait/service latency
+     *  percentiles (includes closed sessions). */
+    std::array<ClassStats, kSchedClasses> classes;
+
+    /** Weighted round-robin rotation snapshot: the class holding
+     *  the dispatch turn and its remaining slice credit. Loan
+     *  slices (dispatched for another class while the turn holder
+     *  is busy but not ready) consume no credit. Diagnostic — exact
+     *  only when dispatch is quiescent or externally gated. */
+    SchedClass wrrTurnClass = SchedClass::Interactive;
+    uint32_t wrrTurnCredit = 0;
+
     /** The knobs the scheduler was built with. */
     SchedulerConfig config;
+
+    const ClassStats &
+    forClass(SchedClass c) const
+    {
+        return classes[static_cast<size_t>(c)];
+    }
 
     /** Mean ready->dispatch wait per slice, milliseconds. */
     double

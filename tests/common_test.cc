@@ -409,6 +409,114 @@ TEST(Histogram, Normalized)
     EXPECT_DOUBLE_EQ(n[1], 0.5);
 }
 
+TEST(Histogram, PercentileEmptyIsZero)
+{
+    // Empty-state contract (mirrors RunningStat): no samples ->
+    // every percentile is exactly 0.0, never an uninitialized or
+    // range-derived value.
+    Histogram h(5.0, 15.0, 10);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(Histogram, PercentileSingleBin)
+{
+    // A one-bin histogram answers every percentile with its only
+    // bin center, whatever the sample values were.
+    Histogram h(0.0, 10.0, 1);
+    h.add(1.0);
+    h.add(9.0);
+    for (double q : {0.0, 0.25, 0.5, 0.95, 1.0})
+        EXPECT_DOUBLE_EQ(h.percentile(q), 5.0);
+}
+
+TEST(Histogram, PercentileAllEqualValues)
+{
+    // All-equal samples land in one bin: p0 through p100 all report
+    // that bin's center (resolution is one bin width by contract).
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(3.1);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 3.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 3.5);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 3.5);
+}
+
+TEST(Histogram, PercentileRanksAndClamping)
+{
+    // 4 samples, one per bin: rank boundaries are exact. q is
+    // clamped into [0, 1] and the rank floored at 1, so q = 0 is
+    // the first non-empty bin, q = 1 the last.
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(2.5);
+    h.add(3.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 0.5); // rank ceil(1) = 1
+    EXPECT_DOUBLE_EQ(h.percentile(0.26), 1.5); // rank 2
+    EXPECT_DOUBLE_EQ(h.percentile(0.75), 2.5);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 3.5);
+    EXPECT_DOUBLE_EQ(h.percentile(-7.0), 0.5); // clamped to q = 0
+    EXPECT_DOUBLE_EQ(h.percentile(42.0), 3.5); // clamped to q = 1
+}
+
+TEST(Histogram, PercentileIgnoresNonFiniteSamples)
+{
+    // Non-finite samples are rejected by add() (tallied in
+    // nonFinite()) and therefore never shift a percentile rank: the
+    // distribution over the finite samples is unchanged.
+    Histogram clean(0.0, 10.0, 10);
+    Histogram dirty(0.0, 10.0, 10);
+    for (double v : {1.0, 2.0, 2.0, 8.0}) {
+        clean.add(v);
+        dirty.add(v);
+    }
+    dirty.add(std::numeric_limits<double>::quiet_NaN());
+    dirty.add(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(dirty.nonFinite(), 2u);
+    EXPECT_EQ(dirty.total(), clean.total());
+    for (double q : {0.0, 0.5, 0.9, 1.0})
+        EXPECT_DOUBLE_EQ(dirty.percentile(q), clean.percentile(q));
+}
+
+TEST(Histogram, MergeOfSnapshotsIsConsistent)
+{
+    // Merging two same-shaped snapshots equals one histogram fed
+    // both sample sets: bin counts, totals, nonFinite() and every
+    // percentile agree. This is the contract the serve layer's
+    // per-class latency aggregation depends on.
+    Histogram a(0.0, 10.0, 20);
+    Histogram b(0.0, 10.0, 20);
+    Histogram whole(0.0, 10.0, 20);
+    for (double v : {0.5, 1.5, 1.5, 3.0, 9.9}) {
+        a.add(v);
+        whole.add(v);
+    }
+    for (double v : {0.5, 4.2, 7.7}) {
+        b.add(v);
+        whole.add(v);
+    }
+    b.add(std::numeric_limits<double>::infinity());
+    whole.add(std::numeric_limits<double>::infinity());
+
+    a.merge(b);
+    EXPECT_EQ(a.total(), whole.total());
+    EXPECT_EQ(a.nonFinite(), whole.nonFinite());
+    for (uint32_t bin = 0; bin < a.bins(); ++bin)
+        EXPECT_EQ(a.count(bin), whole.count(bin));
+    for (double q : {0.0, 0.1, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(a.percentile(q), whole.percentile(q));
+
+    // Merging an empty snapshot is a no-op.
+    Histogram empty(0.0, 10.0, 20);
+    const uint64_t before = a.total();
+    a.merge(empty);
+    EXPECT_EQ(a.total(), before);
+}
+
 TEST(Pearson, PerfectCorrelation)
 {
     std::vector<double> x = {1, 2, 3, 4, 5};

@@ -1,0 +1,721 @@
+/**
+ * @file
+ * Priority-class scheduling suite (ctest label `sched`, run under
+ * TSan and ASan in CI). Locks the PR-5 guarantees on top of the
+ * PR-4 round-robin contract:
+ *
+ *  - concurrent == sequential byte-identity under Interactive/Bulk
+ *    class mixes with weights, rate limits and deadlines, across
+ *    the scheduler shape zoo;
+ *  - exact weighted-fairness counts (staged bursts make the
+ *    weighted round-robin dispatch order fully deterministic) and
+ *    the provable wait bound
+ *      maxWaitSlices <= (n_c - 1) + w_other * (floor((n_c-1)/w_c) + 2)
+ *    under cross-class flooding;
+ *  - deadline-aware slicing: promotion order and counts are exact
+ *    at the Scheduler level (recording executor, one worker);
+ *  - per-session rate limits: slice counts, rate-limited-slice
+ *    counts and executed work items audited against an instrumented
+ *    registerMaker policy;
+ *  - setClass() mid-stream: results unchanged, per-class accounting
+ *    retagged, ready-list moves, error paths;
+ *  - per-class latency-percentile observability: sample counts are
+ *    logical (== slices) and percentiles are ordered.
+ *
+ * Shares the deterministic stress harness in testutil.hh with
+ * serve_sched_test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "serve/engine.hh"
+#include "serve/policy_factory.hh"
+#include "serve/scheduler.hh"
+#include "serve/stats.hh"
+#include "serve/thread_pool.hh"
+#include "testutil.hh"
+#include "video/workload.hh"
+
+using namespace vrex;
+using namespace vrex::serve;
+using testutil::CountingPolicy;
+using testutil::expectIdenticalRuns;
+using testutil::randomVerbScript;
+using testutil::sequentialReplay;
+using testutil::VerbMix;
+
+namespace
+{
+
+/** Unit work items of a script (Generate{n} = n; Frame/Question 1). */
+uint64_t
+unitItems(const SessionScript &script)
+{
+    uint64_t items = 0;
+    for (const SessionEvent &e : script.events)
+        items += e.unitCount();
+    return items;
+}
+
+std::vector<SessionEvent>
+frames(uint32_t n)
+{
+    return std::vector<SessionEvent>(
+        n, SessionEvent{SessionEvent::Type::Frame, 0});
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Byte-identity under class mixes
+// ---------------------------------------------------------------
+
+TEST(PrioStress, ClassMixInterleavingsMatchSequential)
+{
+    // 6 sessions alternating Interactive (QA-heavy scripts) and Bulk
+    // (frame-ingest-heavy scripts, rate-limited), under weighted
+    // round-robin {3,1} with deadline promotion armed, fed in
+    // seeded-random chunk interleavings across the shape zoo. Every
+    // concurrent result must equal its sequential replay, and the
+    // logical per-class item totals are exact.
+    const ModelConfig model = ModelConfig::tiny();
+    const std::vector<PolicySpec> specs = testutil::policySpecZoo();
+    const size_t kSessions = 6;
+    const VerbMix bulk_mix = VerbMix::bulkIngest();
+
+    for (const auto &[workers, slice] : testutil::schedShapeZoo()) {
+        EngineConfig cfg;
+        cfg.model = model;
+        cfg.workers = workers;
+        cfg.sched.sliceEvents = slice;
+        cfg.sched.classWeights = {3, 1};
+        cfg.sched.deadlineSlices = 3;
+        Engine engine(cfg);
+
+        std::vector<SessionScript> scripts;
+        std::vector<SessionId> ids;
+        uint64_t class_items[kSchedClasses] = {0, 0};
+        for (size_t i = 0; i < kSessions; ++i) {
+            const bool is_bulk = (i % 2) == 1;
+            scripts.push_back(is_bulk
+                                  ? randomVerbScript(600 + i, i,
+                                                     bulk_mix)
+                                  : randomVerbScript(600 + i, i));
+            SessionOptions o = SessionOptions::fromScript(scripts[i]);
+            o.policy = specs[i % specs.size()];
+            o.sessionSeed = 2000 + i;
+            o.schedClass = is_bulk ? SchedClass::Bulk
+                                   : SchedClass::Interactive;
+            if (is_bulk)
+                o.maxItemsPerRound = 2;
+            class_items[is_bulk ? 1 : 0] += unitItems(scripts[i]);
+            ids.push_back(engine.createSession(o));
+        }
+
+        // Interleaved feeding: rotate over the sessions, pushing a
+        // seeded-random 1..3-event chunk from each script per turn,
+        // while earlier chunks are already executing.
+        Rng feed(9000 + workers * 31 + slice, "prio-stress-feed");
+        std::vector<size_t> cursor(kSessions, 0);
+        bool remaining = true;
+        while (remaining) {
+            remaining = false;
+            for (size_t i = 0; i < kSessions; ++i) {
+                const auto &events = scripts[i].events;
+                if (cursor[i] >= events.size())
+                    continue;
+                const size_t k = std::min<size_t>(
+                    1 + feed.nextU64() % 3,
+                    events.size() - cursor[i]);
+                engine.enqueue(
+                    ids[i],
+                    {events.begin() +
+                         static_cast<ptrdiff_t>(cursor[i]),
+                     events.begin() +
+                         static_cast<ptrdiff_t>(cursor[i] + k)});
+                cursor[i] += k;
+                remaining |= cursor[i] < events.size();
+            }
+        }
+
+        for (size_t i = 0; i < kSessions; ++i) {
+            SessionRunResult concurrent = engine.result(ids[i]);
+            QueueStats qs = engine.sessionStats(ids[i]);
+            EXPECT_EQ(qs.schedClass, (i % 2) == 1
+                                         ? SchedClass::Bulk
+                                         : SchedClass::Interactive);
+            engine.closeSession(ids[i]);
+            expectIdenticalRuns(
+                concurrent,
+                sequentialReplay(model, scripts[i],
+                                 specs[i % specs.size()], 2000 + i));
+        }
+
+        Stats st = engine.stats();
+        EXPECT_EQ(st.itemsEnqueued, st.itemsExecuted);
+        EXPECT_EQ(st.itemsRejected, 0u);
+        EXPECT_EQ(st.admitted, kSessions);
+        // Sessions never change class here, so the per-class item
+        // partition is exact regardless of slicing or timing.
+        EXPECT_EQ(st.forClass(SchedClass::Interactive).itemsExecuted,
+                  class_items[0]);
+        EXPECT_EQ(st.forClass(SchedClass::Bulk).itemsExecuted,
+                  class_items[1]);
+        EXPECT_EQ(st.forClass(SchedClass::Interactive).slices +
+                      st.forClass(SchedClass::Bulk).slices,
+                  st.slices);
+    }
+}
+
+// ---------------------------------------------------------------
+// Weighted fairness
+// ---------------------------------------------------------------
+
+TEST(PrioFairness, WeightedRoundRobinExactCounts)
+{
+    // Staged symmetric burst, weights {2,1}, slice 1, one worker:
+    // the dispatch trace is I,I,B,I,I,B,... so the Bulk session
+    // waits exactly wI = 2 slices between turns and the Interactive
+    // session at most 1 (the single Bulk slice between its blocks).
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 1;
+    cfg.sched.sliceEvents = 1;
+    cfg.sched.classWeights = {2, 1};
+    Engine engine(cfg);
+
+    engine.pause();
+    SessionOptions oi;
+    oi.name = "wrr-interactive";
+    SessionId interactive = engine.createSession(oi);
+    engine.feedFrame(interactive, 6);
+    SessionOptions ob;
+    ob.name = "wrr-bulk";
+    ob.schedClass = SchedClass::Bulk;
+    SessionId bulk = engine.createSession(ob);
+    engine.feedFrame(bulk, 6);
+    engine.resume();
+    engine.waitAll();
+
+    EXPECT_EQ(engine.sessionStats(interactive).maxWaitSlices, 1u);
+    EXPECT_EQ(engine.sessionStats(bulk).maxWaitSlices, 2u);
+    EXPECT_EQ(engine.sessionStats(interactive).slices, 6u);
+    EXPECT_EQ(engine.sessionStats(bulk).slices, 6u);
+
+    Stats st = engine.stats();
+    EXPECT_EQ(st.slices, 12u);
+    EXPECT_EQ(st.forClass(SchedClass::Interactive).slices, 6u);
+    EXPECT_EQ(st.forClass(SchedClass::Bulk).slices, 6u);
+    EXPECT_EQ(st.forClass(SchedClass::Interactive).itemsExecuted, 6u);
+    EXPECT_EQ(st.forClass(SchedClass::Bulk).itemsExecuted, 6u);
+    EXPECT_EQ(st.forClass(SchedClass::Interactive).deadlinePromotions,
+              0u);
+    engine.closeSession(interactive);
+    engine.closeSession(bulk);
+}
+
+TEST(PrioFairness, InteractiveWaitBoundUnderBulkFlood)
+{
+    // 3 Interactive sessions vs 2 flooding Bulk sessions, weights
+    // {3,1}, slice 1, staged. Provable bound for class c:
+    //   maxWaitSlices <= (n_c - 1) + w_other*(floor((n_c-1)/w_c) + 2)
+    // Interactive: 2 + 1*(0 + 2) = 4. Bulk: 1 + 3*(1 + 2) = 10.
+    const uint32_t kInteractive = 3, kBulk = 2;
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 2;
+    cfg.sched.sliceEvents = 1;
+    cfg.sched.classWeights = {3, 1};
+    Engine engine(cfg);
+
+    engine.pause();
+    std::vector<SessionId> interactive, bulk;
+    for (uint32_t i = 0; i < kInteractive; ++i) {
+        SessionOptions o;
+        o.name = "flood-i-" + std::to_string(i);
+        interactive.push_back(engine.createSession(o));
+        engine.feedFrame(interactive[i], 4);
+    }
+    for (uint32_t i = 0; i < kBulk; ++i) {
+        SessionOptions o;
+        o.name = "flood-b-" + std::to_string(i);
+        o.schedClass = SchedClass::Bulk;
+        bulk.push_back(engine.createSession(o));
+        engine.feedFrame(bulk[i], 12);
+    }
+    engine.resume();
+    engine.waitAll();
+
+    for (SessionId id : interactive)
+        EXPECT_LE(engine.sessionStats(id).maxWaitSlices, 4u);
+    for (SessionId id : bulk)
+        EXPECT_LE(engine.sessionStats(id).maxWaitSlices, 10u);
+
+    Stats st = engine.stats();
+    EXPECT_EQ(st.forClass(SchedClass::Interactive).itemsExecuted,
+              uint64_t{kInteractive} * 4);
+    EXPECT_EQ(st.forClass(SchedClass::Bulk).itemsExecuted,
+              uint64_t{kBulk} * 12);
+    for (SessionId id : interactive)
+        engine.closeSession(id);
+    for (SessionId id : bulk)
+        engine.closeSession(id);
+}
+
+TEST(PrioFairness, LoanSlicesPreserveTurnCreditWorkConservation)
+{
+    // When every session of the turn-holding class is mid-slice on
+    // another worker (busy but not ready), a ready session of the
+    // other class dispatches immediately — work conservation — as a
+    // *loan* that consumes no credit and leaves the rotation in
+    // place. Without loans the turn holder would forfeit its credit
+    // every rotation and weights {3,1} would silently degrade
+    // toward 1:1. Gated executors make both in-flight picks
+    // deterministic so the rotation snapshot is exact.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::set<Scheduler::Key> started;
+    bool release = false;
+
+    SchedulerConfig cfg;
+    cfg.sliceEvents = 1;
+    cfg.classWeights = {3, 1};
+    ThreadPool pool(2);
+    Scheduler sched(
+        pool, cfg,
+        [&](Scheduler::Key key, const std::vector<SessionEvent> &) {
+            std::unique_lock<std::mutex> lock(mu);
+            started.insert(key);
+            cv.notify_all();
+            cv.wait(lock, [&] { return release; });
+        });
+
+    const Scheduler::Key I = 1, B = 2;
+    ASSERT_TRUE(sched.tryAdmit(I, SchedClass::Interactive));
+    ASSERT_TRUE(sched.tryAdmit(B, SchedClass::Bulk));
+    sched.pause();
+    EXPECT_TRUE(sched.tryEnqueue(I, frames(2)).accepted());
+    EXPECT_TRUE(sched.tryEnqueue(B, frames(2)).accepted());
+    sched.resume();
+
+    {
+        // Both first slices in flight: pick #1 took Interactive on
+        // credit (3 -> 2); pick #2 found Interactive busy-but-not-
+        // ready and loaned the slice to the ready Bulk session.
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock,
+                [&] { return started.count(I) && started.count(B); });
+    }
+    Stats mid = sched.stats();
+    EXPECT_EQ(mid.wrrTurnClass, SchedClass::Interactive);
+    EXPECT_EQ(mid.wrrTurnCredit, 2u); // the Bulk loan consumed none
+    EXPECT_EQ(mid.forClass(SchedClass::Bulk).slices, 0u);
+
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        release = true;
+    }
+    cv.notify_all();
+    sched.waitAll();
+
+    Stats done = sched.stats();
+    EXPECT_EQ(done.forClass(SchedClass::Interactive).slices, 2u);
+    EXPECT_EQ(done.forClass(SchedClass::Bulk).slices, 2u);
+    EXPECT_EQ(done.itemsExecuted, 4u);
+}
+
+// ---------------------------------------------------------------
+// Deadline-aware slicing
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** Scheduler harness with a recording executor: one worker makes
+ *  the dispatch sequence fully deterministic under staged bursts. */
+class RecordingScheduler
+{
+  public:
+    explicit RecordingScheduler(SchedulerConfig cfg)
+        : pool(1),
+          sched(pool, cfg,
+                [this](Scheduler::Key key,
+                       const std::vector<SessionEvent> &batch) {
+                    std::lock_guard<std::mutex> lock(mu);
+                    for (const SessionEvent &e : batch)
+                        order.push_back(
+                            {key, e.unitCount()});
+                })
+    {
+    }
+
+    /** (key, units) per executed event, in dispatch order. */
+    std::vector<std::pair<Scheduler::Key, uint32_t>>
+    dispatched()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return order;
+    }
+
+    ThreadPool pool;
+    Scheduler sched;
+
+  private:
+    std::mutex mu;
+    std::vector<std::pair<Scheduler::Key, uint32_t>> order;
+};
+
+} // namespace
+
+TEST(PrioDeadline, PromotionOrderAndCountsAreExact)
+{
+    // Session A's items age while it is pinned; C burns the logical
+    // clock; B enqueues fresh work and lands ahead of A in the ready
+    // list. With deadlineSlices = 2, A's oldest item (age 4 > 2) is
+    // promoted past B on every dispatch until A drains — the full
+    // dispatch sequence and promotion counts are exact.
+    SchedulerConfig cfg;
+    cfg.sliceEvents = 1;
+    cfg.deadlineSlices = 2;
+    RecordingScheduler rs(cfg);
+    Scheduler &s = rs.sched;
+
+    const Scheduler::Key A = 1, B = 2, C = 3;
+    ASSERT_TRUE(s.tryAdmit(A));
+    ASSERT_TRUE(s.tryAdmit(B));
+    ASSERT_TRUE(s.tryAdmit(C));
+    ASSERT_TRUE(s.pinWhenIdle(A));
+
+    s.pause();
+    EXPECT_TRUE(s.tryEnqueue(A, frames(3)).accepted()); // marks 0
+    EXPECT_TRUE(s.tryEnqueue(C, frames(4)).accepted()); // marks 0
+    s.resume();
+    ASSERT_TRUE(s.wait(C)); // clock now at 4 dispatches
+
+    s.pause();
+    EXPECT_TRUE(s.tryEnqueue(B, frames(2)).accepted()); // marks 4
+    s.unpin(A); // ready list: [B, A], A's front item mark 0
+    s.resume();
+    s.waitAll();
+
+    // C,C,C,C then A promoted past B three times, then B,B.
+    const std::vector<std::pair<Scheduler::Key, uint32_t>> expected =
+        {{C, 1}, {C, 1}, {C, 1}, {C, 1},
+         {A, 1}, {A, 1}, {A, 1}, {B, 1}, {B, 1}};
+    EXPECT_EQ(rs.dispatched(), expected);
+    EXPECT_EQ(s.queueStats(A).deadlinePromotions, 3u);
+    EXPECT_EQ(s.queueStats(B).deadlinePromotions, 0u);
+    EXPECT_EQ(s.queueStats(B).maxWaitSlices, 3u); // behind A's 3
+    Stats st = s.stats();
+    EXPECT_EQ(st.forClass(SchedClass::Interactive).deadlinePromotions,
+              3u);
+    EXPECT_EQ(st.itemsExecuted, 9u);
+}
+
+TEST(PrioDeadline, DisabledDeadlineKeepsFifoRotation)
+{
+    // The identical scenario with deadlineSlices = 0 must keep the
+    // plain FIFO rotation: B dispatches first, then A and B
+    // alternate — and nothing is ever counted as promoted.
+    SchedulerConfig cfg;
+    cfg.sliceEvents = 1;
+    RecordingScheduler rs(cfg);
+    Scheduler &s = rs.sched;
+
+    const Scheduler::Key A = 1, B = 2, C = 3;
+    ASSERT_TRUE(s.tryAdmit(A));
+    ASSERT_TRUE(s.tryAdmit(B));
+    ASSERT_TRUE(s.tryAdmit(C));
+    ASSERT_TRUE(s.pinWhenIdle(A));
+
+    s.pause();
+    EXPECT_TRUE(s.tryEnqueue(A, frames(3)).accepted());
+    EXPECT_TRUE(s.tryEnqueue(C, frames(4)).accepted());
+    s.resume();
+    ASSERT_TRUE(s.wait(C));
+
+    s.pause();
+    EXPECT_TRUE(s.tryEnqueue(B, frames(2)).accepted());
+    s.unpin(A);
+    s.resume();
+    s.waitAll();
+
+    const std::vector<std::pair<Scheduler::Key, uint32_t>> expected =
+        {{C, 1}, {C, 1}, {C, 1}, {C, 1},
+         {B, 1}, {A, 1}, {B, 1}, {A, 1}, {A, 1}};
+    EXPECT_EQ(rs.dispatched(), expected);
+    EXPECT_EQ(s.queueStats(A).deadlinePromotions, 0u);
+    EXPECT_EQ(s.queueStats(B).deadlinePromotions, 0u);
+}
+
+// ---------------------------------------------------------------
+// Per-session rate limits
+// ---------------------------------------------------------------
+
+TEST(PrioRate, RateLimitExactAccountingAgainstInstrumentedPolicy)
+{
+    // Engine-default rate limit 3 with slice 4: every dispatch turn
+    // executes at most 3 unit items, so 14 staged items take exactly
+    // ceil(14/3) = 5 slices, 4 of them clamped with work left. The
+    // registerMaker'd CountingPolicy audits that the executed model
+    // blocks equal the scheduler's item accounting, and the result
+    // still matches the sequential replay.
+    std::atomic<uint64_t> blocks{0};
+    PolicyFactory factory;
+    factory.registerMaker(
+        PolicyKind::ReKV,
+        [&blocks](const ModelConfig &m, const PolicySpec &spec) {
+            ReKVConfig c;
+            c.ratio = spec.ratio;
+            return std::make_unique<CountingPolicy>(
+                std::make_unique<ReKVPolicy>(m, c), &blocks);
+        });
+
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 2;
+    cfg.sched.sliceEvents = 4;
+    cfg.sched.maxItemsPerRound = 3;
+    cfg.factory = &factory;
+    cfg.policy = PolicySpec::rekv(0.4f);
+    Engine engine(cfg);
+
+    SessionId id = engine.createSession();
+    EXPECT_EQ(engine.sessionStats(id).rateLimit, 3u);
+    engine.pause();
+    engine.feedFrame(id, 7);
+    engine.ask(id, 2, 6); // 7 + 1 + 6 = 14 unit items
+    engine.resume();
+    engine.wait(id);
+
+    QueueStats qs = engine.sessionStats(id);
+    EXPECT_EQ(qs.itemsExecuted, 14u);
+    EXPECT_EQ(qs.slices, 5u);            // ceil(14/3)
+    EXPECT_EQ(qs.rateLimitedSlices, 4u); // depths 14,11,8,5 clamped
+    EXPECT_EQ(blocks.load(), 14u);
+    Stats st = engine.stats();
+    EXPECT_EQ(st.forClass(SchedClass::Interactive).rateLimitedSlices,
+              4u);
+    EXPECT_EQ(st.itemsExecuted, 14u);
+
+    SessionScript script;
+    script.name = "session";
+    script.events.assign(7, {SessionEvent::Type::Frame, 0});
+    script.events.push_back({SessionEvent::Type::Question, 2});
+    script.events.push_back({SessionEvent::Type::Generate, 6});
+    expectIdenticalRuns(
+        engine.result(id),
+        sequentialReplay(cfg.model, script, PolicySpec::rekv(0.4f),
+                         42));
+    engine.closeSession(id);
+
+    // A per-session override of 0 disables the engine default: the
+    // same 14 items now take ceil(14/4) = 4 unclamped slices.
+    SessionOptions unlimited;
+    unlimited.maxItemsPerRound = 0;
+    SessionId free_id = engine.createSession(unlimited);
+    EXPECT_EQ(engine.sessionStats(free_id).rateLimit, 0u);
+    engine.pause();
+    engine.feedFrame(free_id, 7);
+    engine.ask(free_id, 2, 6);
+    engine.resume();
+    engine.wait(free_id);
+    EXPECT_EQ(engine.sessionStats(free_id).slices, 4u);
+    EXPECT_EQ(engine.sessionStats(free_id).rateLimitedSlices, 0u);
+    engine.closeSession(free_id);
+}
+
+// ---------------------------------------------------------------
+// setClass mid-stream
+// ---------------------------------------------------------------
+
+TEST(PrioSetClass, MidStreamSwitchKeepsResultsAndRetags)
+{
+    // Feed half a session as Interactive, retag to Bulk, feed the
+    // rest: the result is byte-identical to the sequential replay of
+    // the whole script, and the per-class slice accounting splits
+    // exactly at the switch (staged, slice 2).
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 2;
+    cfg.sched.sliceEvents = 2;
+    cfg.sched.classWeights = {2, 1};
+    Engine engine(cfg);
+
+    SessionId id = engine.createSession();
+    EXPECT_EQ(engine.sessionStats(id).schedClass,
+              SchedClass::Interactive);
+    engine.pause();
+    engine.feedFrame(id, 4); // 4 items -> 2 Interactive slices
+    engine.resume();
+    engine.wait(id);
+
+    engine.setClass(id, SchedClass::Bulk);
+    EXPECT_EQ(engine.sessionStats(id).schedClass, SchedClass::Bulk);
+    engine.pause();
+    engine.ask(id, 3, 3); // 4 items -> 2 Bulk slices
+    engine.resume();
+    engine.wait(id);
+
+    Stats st = engine.stats();
+    EXPECT_EQ(st.forClass(SchedClass::Interactive).slices, 2u);
+    EXPECT_EQ(st.forClass(SchedClass::Bulk).slices, 2u);
+    EXPECT_EQ(st.forClass(SchedClass::Interactive).itemsExecuted, 4u);
+    EXPECT_EQ(st.forClass(SchedClass::Bulk).itemsExecuted, 4u);
+
+    SessionScript script;
+    script.name = "session";
+    script.events.assign(4, {SessionEvent::Type::Frame, 0});
+    script.events.push_back({SessionEvent::Type::Question, 3});
+    script.events.push_back({SessionEvent::Type::Generate, 3});
+    expectIdenticalRuns(
+        engine.result(id),
+        sequentialReplay(cfg.model, script, PolicySpec::full(), 42));
+    engine.closeSession(id);
+}
+
+TEST(PrioSetClass, SwitchWhileQueuedMovesReadyListEntry)
+{
+    // Retag a session whose work is staged (it sits in the old
+    // class's ready list): the entry must move lists, dispatch under
+    // the new class, and drain completely.
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 1;
+    cfg.sched.sliceEvents = 1;
+    cfg.sched.classWeights = {3, 1};
+    Engine engine(cfg);
+
+    SessionId id = engine.createSession(); // Interactive
+    engine.pause();
+    engine.feedFrame(id, 3);
+    engine.setClass(id, SchedClass::Bulk); // moves the ready entry
+    engine.setClass(id, SchedClass::Bulk); // same-class no-op
+    engine.resume();
+    engine.wait(id);
+
+    QueueStats qs = engine.sessionStats(id);
+    EXPECT_EQ(qs.schedClass, SchedClass::Bulk);
+    EXPECT_EQ(qs.itemsExecuted, 3u);
+    Stats st = engine.stats();
+    EXPECT_EQ(st.forClass(SchedClass::Bulk).slices, 3u);
+    EXPECT_EQ(st.forClass(SchedClass::Interactive).slices, 0u);
+    engine.closeSession(id);
+}
+
+TEST(PrioSetClass, UnknownAndClosedIdsThrow)
+{
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 1;
+    Engine engine(cfg);
+
+    EXPECT_THROW(engine.setClass(999, SchedClass::Bulk),
+                 std::out_of_range);
+    SessionId id = engine.createSession();
+    engine.feedFrame(id, 1);
+    engine.closeSession(id);
+    EXPECT_THROW(engine.setClass(id, SchedClass::Bulk),
+                 std::out_of_range);
+
+    // The engine stays serviceable after the error paths.
+    SessionId next = engine.createSession();
+    engine.setClass(next, SchedClass::Bulk);
+    engine.ask(next, 2, 2);
+    EXPECT_EQ(engine.result(next).generated.size(), 2u);
+    engine.closeSession(next);
+}
+
+// ---------------------------------------------------------------
+// Per-class latency observability
+// ---------------------------------------------------------------
+
+TEST(PrioStats, PerClassPercentileSampleCountsAreLogical)
+{
+    // Wall-clock values are never asserted — but the histogram
+    // *sample counts* are logical (one per dispatched slice) and the
+    // percentile estimates must be ordered and finite.
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 2;
+    cfg.sched.sliceEvents = 2;
+    cfg.sched.classWeights = {2, 1};
+    Engine engine(cfg);
+
+    engine.pause();
+    SessionId inter = engine.createSession();
+    engine.feedFrame(inter, 6); // 3 slices
+    SessionOptions ob;
+    ob.schedClass = SchedClass::Bulk;
+    SessionId bulk = engine.createSession(ob);
+    engine.feedFrame(bulk, 4); // 2 slices
+    engine.resume();
+    engine.waitAll();
+
+    Stats st = engine.stats();
+    const ClassStats &ci = st.forClass(SchedClass::Interactive);
+    const ClassStats &cb = st.forClass(SchedClass::Bulk);
+    EXPECT_EQ(ci.slices, 3u);
+    EXPECT_EQ(cb.slices, 2u);
+    EXPECT_EQ(ci.wait.samples(), ci.slices);
+    EXPECT_EQ(ci.service.samples(), ci.slices);
+    EXPECT_EQ(cb.wait.samples(), cb.slices);
+    EXPECT_EQ(cb.service.samples(), cb.slices);
+    EXPECT_LE(ci.wait.p50Ms(), ci.wait.p95Ms());
+    EXPECT_LE(ci.wait.p95Ms(), ci.wait.p99Ms());
+    EXPECT_LE(ci.service.p50Ms(), ci.service.p99Ms());
+    EXPECT_GT(ci.service.p50Ms(), 0.0); // executing took > 1 ns
+
+    // Per-session histograms carry the same logical counts, and a
+    // merge across sessions adds them up (snapshot consistency).
+    QueueStats qi = engine.sessionStats(inter);
+    QueueStats qb = engine.sessionStats(bulk);
+    EXPECT_EQ(qi.waitHist.samples(), qi.slices);
+    EXPECT_EQ(qb.serviceHist.samples(), qb.slices);
+    LatencyHistogram merged = qi.waitHist;
+    merged.merge(qb.waitHist);
+    EXPECT_EQ(merged.samples(), qi.slices + qb.slices);
+
+    engine.closeSession(inter);
+    engine.closeSession(bulk);
+}
+
+TEST(PrioStats, DefaultConfigReportsSingleClassUnlimited)
+{
+    // The PR-4 compatibility contract, observable: defaults keep
+    // every session Interactive, no rate limit, no deadline, weights
+    // {1,1}, and the Bulk class never dispatches.
+    EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.workers = 2;
+    Engine engine(cfg);
+
+    SessionId id = engine.createSession();
+    engine.ask(id, 3, 2);
+    engine.wait(id);
+
+    QueueStats qs = engine.sessionStats(id);
+    EXPECT_EQ(qs.schedClass, SchedClass::Interactive);
+    EXPECT_EQ(qs.rateLimit, 0u);
+    EXPECT_EQ(qs.rateLimitedSlices, 0u);
+    EXPECT_EQ(qs.deadlinePromotions, 0u);
+
+    Stats st = engine.stats();
+    EXPECT_EQ(st.config.classWeights[0], 1u);
+    EXPECT_EQ(st.config.classWeights[1], 1u);
+    EXPECT_EQ(st.config.maxItemsPerRound, 0u);
+    EXPECT_EQ(st.config.deadlineSlices, 0u);
+    EXPECT_EQ(st.forClass(SchedClass::Bulk).slices, 0u);
+    EXPECT_EQ(st.forClass(SchedClass::Interactive).slices, st.slices);
+    engine.closeSession(id);
+}

@@ -15,6 +15,11 @@
  *    rejected admission, double close, verbs after close;
  *  - PolicyFactory::registerMaker with a custom instrumented policy
  *    kind, used to count scheduled unit work items.
+ *
+ * The seeded-random verb-script generator, the sequential ground
+ * truth, and the instrumented CountingPolicy live in testutil.hh so
+ * serve_prio_test (priority classes) shares the same deterministic
+ * stress harness.
  */
 
 #include <gtest/gtest.h>
@@ -33,84 +38,29 @@
 #include "serve/policy_factory.hh"
 #include "serve/scheduler.hh"
 #include "serve/stats.hh"
+#include "testutil.hh"
 #include "video/workload.hh"
 
 using namespace vrex;
 using namespace vrex::serve;
+using testutil::CountingPolicy;
+using testutil::expectIdenticalRuns;
+using testutil::sequentialReplay;
 
 namespace
 {
 
-/** Exact structural equality of two run results. */
-void
-expectIdenticalRuns(const SessionRunResult &a, const SessionRunResult &b)
-{
-    EXPECT_EQ(a.generated, b.generated);
-    EXPECT_EQ(a.stepLogits, b.stepLogits);
-    EXPECT_EQ(a.frames, b.frames);
-    EXPECT_EQ(a.totalTokens, b.totalTokens);
-    EXPECT_DOUBLE_EQ(a.frameRatio, b.frameRatio);
-    EXPECT_DOUBLE_EQ(a.textRatio, b.textRatio);
-    EXPECT_EQ(a.layerHeadRatio, b.layerHeadRatio);
-}
-
-/** A seeded-random verb sequence over a task-specific stream. */
+/** The shared generator under this suite's historical name. */
 SessionScript
 randomScript(uint64_t seed, size_t index)
 {
-    Rng rng(seed, "sched-stress-script");
-    const auto &tasks = allCoinTasks();
-    SessionScript s =
-        WorkloadGenerator::coinTask(tasks[index % tasks.size()], seed);
-    s.name = "sched-stress-" + std::to_string(index);
-    s.events.clear();
-    const uint32_t n = 8 + static_cast<uint32_t>(rng.nextU64() % 6);
-    for (uint32_t i = 0; i < n; ++i) {
-        switch (rng.nextU64() % 8) {
-          case 0:
-          case 1:
-            s.events.push_back(
-                {SessionEvent::Type::Question,
-                 1 + static_cast<uint32_t>(rng.nextU64() % 5)});
-            break;
-          case 2:
-          case 3:
-            s.events.push_back(
-                {SessionEvent::Type::Generate,
-                 static_cast<uint32_t>(rng.nextU64() % 5)});
-            break;
-          default:
-            s.events.push_back({SessionEvent::Type::Frame, 0});
-            break;
-        }
-    }
-    // Always end with a QA round so every script generates tokens.
-    s.events.push_back({SessionEvent::Type::Question, 4});
-    s.events.push_back({SessionEvent::Type::Generate, 3});
-    return s;
+    return testutil::randomVerbScript(seed, index);
 }
 
-/** The sequential ground truth for (script, spec, master seed). */
-SessionRunResult
-sequentialReplay(const ModelConfig &model, const SessionScript &script,
-                 const PolicySpec &spec, uint64_t session_seed)
-{
-    PolicyInstance inst = makePolicy(model, spec);
-    StreamingSession seq(model, inst.active(), session_seed);
-    return seq.run(script);
-}
-
-/** Every non-Full spec kind, with distinguishable parameters. */
 std::vector<PolicySpec>
 specZoo()
 {
-    ResvConfig rc;
-    rc.thrWics = 0.4f;
-    return {
-        PolicySpec::full(),          PolicySpec::flexgen(),
-        PolicySpec::infinigen(0.4f), PolicySpec::infinigenP(0.6f),
-        PolicySpec::rekv(0.3f),      PolicySpec::resv(rc),
-    };
+    return testutil::policySpecZoo();
 }
 
 } // namespace
@@ -175,12 +125,7 @@ TEST(SchedStress, SeededRandomInterleavingsMatchSequential)
     const std::vector<PolicySpec> specs = specZoo();
     const size_t kSessions = 5;
 
-    const std::pair<uint32_t, uint32_t> shapes[] = {
-        {4u, 1u}, // max interleaving: one item per slice
-        {2u, 4u}, // default-ish slice
-        {3u, 0u}, // drain-all (PR-3 behaviour)
-    };
-    for (const auto &[workers, slice] : shapes) {
+    for (const auto &[workers, slice] : testutil::schedShapeZoo()) {
         EngineConfig cfg;
         cfg.model = model;
         cfg.workers = workers;
@@ -605,47 +550,6 @@ TEST(SchedEdge, DoubleCloseAndVerbsAfterClose)
 // ---------------------------------------------------------------
 // Custom policy kinds (PolicyFactory::registerMaker)
 // ---------------------------------------------------------------
-
-namespace
-{
-
-/** Forwarding decorator that counts model blocks (= executed unit
- *  work items: one block per frame, question, or generate step). */
-class CountingPolicy final : public SelectionPolicy
-{
-  public:
-    CountingPolicy(std::unique_ptr<SelectionPolicy> inner_policy,
-                   std::atomic<uint64_t> *block_counter)
-        : inner(std::move(inner_policy)), blocks(block_counter)
-    {
-    }
-
-    void
-    onBlockAppended(uint32_t layer, const KVCache &cache,
-                    uint32_t block_start, uint32_t block_len,
-                    TokenStage stage) override
-    {
-        if (layer == 0)
-            blocks->fetch_add(1, std::memory_order_relaxed);
-        inner->onBlockAppended(layer, cache, block_start, block_len,
-                               stage);
-    }
-
-    LayerSelection
-    select(uint32_t layer, const Matrix &q, const KVCache &cache,
-           uint32_t past_len, TokenStage stage) override
-    {
-        return inner->select(layer, q, cache, past_len, stage);
-    }
-
-    void reset() override { inner->reset(); }
-
-  private:
-    std::unique_ptr<SelectionPolicy> inner;
-    std::atomic<uint64_t> *blocks;
-};
-
-} // namespace
 
 TEST(SchedPolicy, RegisteredCustomKindCountsScheduledWorkItems)
 {
