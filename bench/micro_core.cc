@@ -1,24 +1,40 @@
 /**
  * @file
- * google-benchmark micro-benchmarks of the DRE kernels: hash-bit
- * encoding, packed Hamming distance vs. float cosine similarity,
- * HC-table insertion, and WiCSum (reference sort vs. early-exit
- * bucket sweep) — the software-side counterparts of the HCU and WTU.
+ * Micro-benchmarks of the DRE kernels behind the runtime dispatch
+ * layer (core/kernels): XOR+popcount Hamming, hash-bit encoding,
+ * WiCSum min/max + bucket-membership scan — the software-side
+ * counterparts of the HCU and WTU — plus a continuity panel for the
+ * surrounding operations (cosine similarity, HC-table insert, the
+ * reference WiCSum sort).
  *
- * Unlike the figure/table harnesses this binary does not use
- * vrex::bench::Reporter: Google Benchmark already provides machine
- * output (`--benchmark_format=json --benchmark_out=PATH`). Its
- * numbers are wall-clock timings of the host machine, so they are
- * deliberately excluded from the bench/baseline.json drift gate.
+ * Unlike the figure/table harnesses, the ns/op numbers here are host
+ * wall-clock timings, so they are excluded from the figure drift gate
+ * (`bench/baseline.json`). Instead every kernel row reports the
+ * scalar-vs-dispatched `speedup` ratio — machine-relative and far
+ * more stable — and `bench/perf_baseline.json` floor-gates those
+ * ratios via `drift_check --baseline` (see bench/README.md: rows with
+ * a measured speedup >= 2x get a floor at half the measured value;
+ * everything else is recorded as `info`).
+ *
+ *   micro_core [--json PATH] [--csv PATH] [--quiet]
+ *              [--write-perf-baseline PATH]
  */
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
+#include "common/bench_compare.hh"
+#include "common/bench_report.hh"
+#include "common/bits.hh"
 #include "common/rng.hh"
 #include "core/hash_encoder.hh"
 #include "core/hc_table.hh"
+#include "core/kernels.hh"
 #include "core/wicsum.hh"
 #include "tensor/ops.hh"
 
@@ -27,110 +43,344 @@ using namespace vrex;
 namespace
 {
 
+/** Optimization sinks: every measured op feeds one of these. */
+volatile uint64_t sinkU64 = 0;
+volatile float sinkF32 = 0.0f;
+
+/**
+ * Best-of-3 ns per call of @p fn: batch size is calibrated until one
+ * batch takes >= 1 ms, then the fastest of three batches wins (the
+ * usual min-of-reps defense against scheduler noise).
+ */
+template <typename Fn>
+double
+nsPerOp(Fn &&fn)
+{
+    using Clock = std::chrono::steady_clock;
+    auto batchNs = [&](uint64_t iters) {
+        const auto t0 = Clock::now();
+        for (uint64_t i = 0; i < iters; ++i)
+            fn();
+        return std::chrono::duration<double, std::nano>(
+                   Clock::now() - t0)
+            .count();
+    };
+    fn();  // Warm caches and the dispatch table.
+    uint64_t iters = 1;
+    while (batchNs(iters) < 1e6 && iters < (1ull << 28))
+        iters *= 2;
+    double best = batchNs(iters);
+    for (int rep = 0; rep < 2; ++rep)
+        best = std::min(best, batchNs(iters));
+    return best / static_cast<double>(iters);
+}
+
+/** Non-scalar ISAs usable on this build + CPU. */
+std::vector<kernels::Isa>
+simdIsas()
+{
+    std::vector<kernels::Isa> out;
+    for (kernels::Isa isa : kernels::compiledIsas()) {
+        if (isa != kernels::Isa::Scalar && kernels::isaAvailable(isa))
+            out.push_back(isa);
+    }
+    return out;
+}
+
+/** One kernel row: scalar + per-ISA ns/op and the speedup ratio. */
+struct RowResult
+{
+    std::string panel;
+    std::string row;
+    double scalarNs = 0.0;
+    std::vector<std::pair<kernels::Isa, double>> simdNs;
+    double speedup = 1.0;  // scalar / best simd (1.0 without SIMD).
+};
+
+/**
+ * Measure @p fn under the scalar table and under every available SIMD
+ * table. @p fn must route through kernels::active() (directly or via
+ * the rewired BitSig/HashEncoder/WiCSum paths).
+ */
+template <typename Fn>
+RowResult
+measureRow(const std::string &panel, const std::string &row, Fn &&fn)
+{
+    RowResult out;
+    out.panel = panel;
+    out.row = row;
+    kernels::setActive(kernels::Isa::Scalar);
+    out.scalarNs = nsPerOp(fn);
+    double bestNs = out.scalarNs;
+    for (kernels::Isa isa : simdIsas()) {
+        kernels::setActive(isa);
+        const double ns = nsPerOp(fn);
+        out.simdNs.emplace_back(isa, ns);
+        bestNs = std::min(bestNs, ns);
+    }
+    kernels::resetToAuto();
+    out.speedup = out.scalarNs / bestNs;
+    return out;
+}
+
+std::vector<uint64_t>
+randomWords(Rng &rng, size_t n)
+{
+    std::vector<uint64_t> w(n);
+    for (auto &v : w)
+        v = rng.nextU64();
+    return w;
+}
+
 std::vector<float>
 randomKeys(uint32_t n, uint32_t dim, uint64_t seed)
 {
     Rng rng(seed);
-    std::vector<float> keys(size_t(n) * dim);
+    std::vector<float> keys(static_cast<size_t>(n) * dim);
     rng.fillGaussian(keys.data(), keys.size(), 1.0f);
     return keys;
 }
 
+void
+runKernelRows(std::vector<RowResult> &rows)
+{
+    // --- Hamming: XOR + popcount over packed signature words. ------
+    Rng rng(0x11);
+    for (uint32_t nbits : {64u, 256u, 512u, 4096u}) {
+        const size_t nwords = bitWords(nbits);
+        const auto a = randomWords(rng, nwords);
+        const auto b = randomWords(rng, nwords);
+        rows.push_back(measureRow(
+            "hamming", "nbits=" + std::to_string(nbits), [&] {
+                sinkU64 = sinkU64 +
+                          kernels::hammingDistance(a.data(), b.data(),
+                                                   nwords);
+            }));
+    }
+
+    // --- Hash-bit encode (end-to-end HashEncoder::encode). ---------
+    for (uint32_t nbits : {32u, 512u}) {
+        const uint32_t dim = 128;
+        HashEncoder enc(dim, nbits, 7);
+        const auto keys = randomKeys(256, dim, 1);
+        uint32_t i = 0;
+        rows.push_back(measureRow(
+            "encode",
+            "dim=128,nbits=" + std::to_string(nbits), [&] {
+                const BitSig sig =
+                    enc.encode(keys.data() + (i++ % 256) * dim);
+                sinkU64 = sinkU64 + sig.raw()[0];
+            }));
+    }
+
+    // --- WiCSum: min/max scan and the early-exit selection. --------
+    {
+        const uint32_t n = 4096;
+        Rng wrng(5);
+        std::vector<float> scores(n);
+        std::vector<uint32_t> counts(n);
+        for (uint32_t i = 0; i < n; ++i) {
+            scores[i] = static_cast<float>(wrng.uniform());
+            counts[i] =
+                1 + static_cast<uint32_t>(wrng.uniformInt(32));
+        }
+        rows.push_back(measureRow("wicsum", "minmax n=4096", [&] {
+            float lo, hi;
+            kernels::active().minMaxF32(scores.data(), scores.size(),
+                                        &lo, &hi);
+            sinkF32 = sinkF32 + lo + hi;
+        }));
+        rows.push_back(measureRow("wicsum", "select n=4096", [&] {
+            const WicsumResult r =
+                wicsumSelectEarlyExit(scores, counts, 0.3f, 16);
+            sinkU64 = sinkU64 + r.scanned + r.bucketsVisited;
+        }));
+    }
+}
+
+/** Info-gated baseline record for a context metric. */
+bench::Record
+infoRecord(const std::string &row, const std::string &metric,
+           double value, const std::string &unit)
+{
+    bench::Record r;
+    r.bench = "micro_core";
+    r.panel = "context";
+    r.row = row;
+    r.metric = metric;
+    r.value = value;
+    r.unit = unit;
+    r.gate = bench::Gate::Info;
+    return r;
+}
+
+/** Non-dispatched neighbours, for longitudinal context (info only). */
+void
+runContextRows(bench::Reporter &rep, std::vector<bench::Record> &info)
+{
+    rep.beginPanel("context",
+                   "Non-dispatched neighbours (host ns, info only)");
+    rep.note("Wall-clock of the operations the kernels replace or "
+             "feed; no dispatch, no gating.");
+
+    const auto keys = randomKeys(2, 128, 3);
+    const double nsCosine = nsPerOp([&] {
+        sinkF32 = sinkF32 + cosineSimilarity(keys.data(),
+                                             keys.data() + 128, 128);
+    });
+    rep.add("cosine dim=128", "ns", nsCosine, "ns", 1);
+    info.push_back(infoRecord("cosine dim=128", "ns", nsCosine, "ns"));
+
+    {
+        const uint32_t n = 256, dim = 128;
+        HashEncoder enc(dim, 32, 7);
+        const auto tkeys = randomKeys(n, dim, 4);
+        std::vector<BitSig> sigs;
+        for (uint32_t t = 0; t < n; ++t)
+            sigs.push_back(
+                enc.encode(tkeys.data() + static_cast<size_t>(t) * dim));
+        const double nsInsert = nsPerOp([&] {
+            HCTable tab(dim, 32, 7);
+            for (uint32_t t = 0; t < n; ++t)
+                tab.insert(t,
+                           tkeys.data() + static_cast<size_t>(t) * dim,
+                           sigs[t]);
+            sinkU64 = sinkU64 + tab.clusterCount();
+        });
+        rep.add("hc_insert n=256", "ns_per_token", nsInsert / n, "ns",
+                1);
+        info.push_back(infoRecord("hc_insert n=256", "ns_per_token",
+                                  nsInsert / n, "ns"));
+    }
+
+    {
+        const uint32_t n = 4096;
+        Rng wrng(5);
+        std::vector<float> scores(n);
+        std::vector<uint32_t> counts(n);
+        for (uint32_t i = 0; i < n; ++i) {
+            scores[i] = static_cast<float>(wrng.uniform());
+            counts[i] =
+                1 + static_cast<uint32_t>(wrng.uniformInt(32));
+        }
+        const double nsRef = nsPerOp([&] {
+            const WicsumResult r =
+                wicsumSelectReference(scores, counts, 0.3f);
+            sinkU64 = sinkU64 + r.scanned;
+        });
+        rep.add("wicsum_ref n=4096", "ns", nsRef, "ns", 1);
+        info.push_back(
+            infoRecord("wicsum_ref n=4096", "ns", nsRef, "ns"));
+    }
+}
+
+void
+reportRows(bench::Reporter &rep, const std::vector<RowResult> &rows)
+{
+    std::string curPanel;
+    for (const auto &r : rows) {
+        if (r.panel != curPanel) {
+            curPanel = r.panel;
+            rep.beginPanel(
+                r.panel,
+                "DRE kernel: " + r.panel +
+                    " (ns/op per ISA + scalar/simd speedup)");
+            rep.note("ns values are host wall-clock (info only); the "
+                     "dimensionless speedup ratios are what "
+                     "bench/perf_baseline.json floor-gates.");
+        }
+        rep.add(r.row, "scalar_ns", r.scalarNs, "ns", 1);
+        for (const auto &[isa, ns] : r.simdNs)
+            rep.add(r.row, std::string(kernels::isaName(isa)) + "_ns",
+                    ns, "ns", 1);
+        rep.add(r.row, "speedup", r.speedup, "x", 2);
+    }
+}
+
+/**
+ * Derive the floor-gated perf baseline from this run: ns metrics are
+ * informational; a speedup only becomes a floor when this machine
+ * measured at least 2x (floor = half the measured ratio, so shared
+ * runners have headroom), otherwise it is informational too.
+ */
+bool
+writePerfBaseline(const std::string &path,
+                  const std::vector<RowResult> &rows,
+                  const std::vector<bench::Record> &info)
+{
+    bench::Baseline base;
+    base.defaultRelTol = 0.25;
+    base.defaultAbsTol = 1e-6;
+    auto push = [&](const std::string &panel, const std::string &row,
+                    const std::string &metric, double value,
+                    const std::string &unit, bench::Gate gate) {
+        bench::Record r;
+        r.bench = "micro_core";
+        r.panel = panel;
+        r.row = row;
+        r.metric = metric;
+        r.value = value;
+        r.unit = unit;
+        r.gate = gate;
+        base.records.push_back(std::move(r));
+    };
+    for (const auto &r : rows) {
+        push(r.panel, r.row, "scalar_ns", r.scalarNs, "ns",
+             bench::Gate::Info);
+        for (const auto &[isa, ns] : r.simdNs)
+            push(r.panel, r.row,
+                 std::string(kernels::isaName(isa)) + "_ns", ns, "ns",
+                 bench::Gate::Info);
+        const bool gate = r.speedup >= 2.0;
+        push(r.panel, r.row, "speedup",
+             gate ? r.speedup / 2.0 : r.speedup, "x",
+             gate ? bench::Gate::Floor : bench::Gate::Info);
+    }
+    for (const auto &r : info)
+        base.records.push_back(r);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << bench::renderBaseline(base)).flush()) {
+        std::fprintf(stderr, "micro_core: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::printf("wrote %s: %zu perf metrics\n", path.c_str(),
+                base.records.size());
+    return true;
+}
+
 } // namespace
 
-static void
-BM_HashEncode(benchmark::State &state)
+int
+main(int argc, char **argv)
 {
-    const uint32_t dim = 128;
-    HashEncoder enc(dim, 32, 7);
-    auto keys = randomKeys(256, dim, 1);
-    uint32_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            enc.encode(keys.data() + (i++ % 256) * dim));
+    // Strip the bench-local --write-perf-baseline flag before the
+    // shared flag parser sees the command line.
+    std::string perfBaselinePath;
+    std::vector<char *> passThrough{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (i + 1 < argc &&
+            std::strcmp(argv[i], "--write-perf-baseline") == 0) {
+            perfBaselinePath = argv[++i];
+            continue;
+        }
+        passThrough.push_back(argv[i]);
     }
-}
-BENCHMARK(BM_HashEncode);
 
-static void
-BM_HammingDistance(benchmark::State &state)
-{
-    HashEncoder enc(128, 32, 7);
-    auto keys = randomKeys(2, 128, 2);
-    BitSig a = enc.encode(keys.data());
-    BitSig b = enc.encode(keys.data() + 128);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(a.hamming(b));
+    std::vector<RowResult> rows;
+    std::vector<bench::Record> contextInfo;
+    const int rc = bench::runBench(
+        "micro_core", static_cast<int>(passThrough.size()),
+        passThrough.data(),
+        [&rows, &contextInfo](bench::Reporter &rep) {
+            runKernelRows(rows);
+            reportRows(rep, rows);
+            runContextRows(rep, contextInfo);
+        });
+    if (rc != 0)
+        return rc;
+    if (!perfBaselinePath.empty() &&
+        !writePerfBaseline(perfBaselinePath, rows, contextInfo))
+        return 1;
+    return 0;
 }
-BENCHMARK(BM_HammingDistance);
-
-static void
-BM_CosineSimilarityFullPrecision(benchmark::State &state)
-{
-    // The expensive operation hash bits replace.
-    auto keys = randomKeys(2, 128, 3);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(
-            cosineSimilarity(keys.data(), keys.data() + 128, 128));
-}
-BENCHMARK(BM_CosineSimilarityFullPrecision);
-
-static void
-BM_HcTableInsert(benchmark::State &state)
-{
-    const uint32_t dim = 128;
-    const uint32_t n = static_cast<uint32_t>(state.range(0));
-    HashEncoder enc(dim, 32, 7);
-    auto keys = randomKeys(n, dim, 4);
-    std::vector<BitSig> sigs;
-    for (uint32_t t = 0; t < n; ++t)
-        sigs.push_back(enc.encode(keys.data() + size_t(t) * dim));
-    for (auto _ : state) {
-        HCTable tab(dim, 32, 7);
-        for (uint32_t t = 0; t < n; ++t)
-            tab.insert(t, keys.data() + size_t(t) * dim, sigs[t]);
-        benchmark::DoNotOptimize(tab.clusterCount());
-    }
-    state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_HcTableInsert)->Arg(64)->Arg(256)->Arg(1024);
-
-static void
-BM_WicsumReference(benchmark::State &state)
-{
-    const uint32_t n = static_cast<uint32_t>(state.range(0));
-    Rng rng(5);
-    std::vector<float> scores(n);
-    std::vector<uint32_t> counts(n);
-    for (uint32_t i = 0; i < n; ++i) {
-        scores[i] = static_cast<float>(rng.uniform());
-        counts[i] = 1 + static_cast<uint32_t>(rng.uniformInt(32));
-    }
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            wicsumSelectReference(scores, counts, 0.3f));
-    }
-    state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_WicsumReference)->Arg(256)->Arg(1024)->Arg(4096);
-
-static void
-BM_WicsumEarlyExit(benchmark::State &state)
-{
-    const uint32_t n = static_cast<uint32_t>(state.range(0));
-    Rng rng(5);
-    std::vector<float> scores(n);
-    std::vector<uint32_t> counts(n);
-    for (uint32_t i = 0; i < n; ++i) {
-        scores[i] = static_cast<float>(rng.uniform());
-        counts[i] = 1 + static_cast<uint32_t>(rng.uniformInt(32));
-    }
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            wicsumSelectEarlyExit(scores, counts, 0.3f, 16));
-    }
-    state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_WicsumEarlyExit)->Arg(256)->Arg(1024)->Arg(4096);
-
-BENCHMARK_MAIN();

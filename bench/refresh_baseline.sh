@@ -12,7 +12,8 @@ cd "$(dirname "$0")/.."
 BUILD=${1:-build}
 
 # Every figure/table harness. micro_core is excluded: its numbers are
-# host wall-clock timings (use --benchmark_format=json directly).
+# host wall-clock timings, gated separately by bench/perf_baseline.json
+# (see bench/refresh_perf_baseline.sh).
 BENCHES="fig04_motivation fig07_similarity fig13_edge fig13_server
          fig14_e2e_breakdown fig15_oaken fig16_ablation_hw
          fig17_bandwidth fig18_roofline fig19_resv_ablation

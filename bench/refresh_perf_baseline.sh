@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Refresh bench/perf_baseline.json from a micro_core run on THIS
+# machine.
+#
+# The perf baseline floor-gates the scalar-vs-SIMD speedup ratios of
+# the dispatched DRE kernels (see src/core/README.md): a row whose
+# measured speedup is >= 2x gets a floor at half the measured value,
+# everything else (and every raw ns/op timing) is recorded as "info"
+# and never compared. Regenerate it when the kernels change shape, a
+# new ISA variant lands, or the gating machine class changes — and
+# run it on a machine representative of CI, since floors written on a
+# fast desktop may be unreachable on shared runners.
+#
+# usage: bench/refresh_perf_baseline.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/bench/micro_core" --quiet --json "$TMP/BENCH_micro_core.json" \
+    --write-perf-baseline bench/perf_baseline.json
+
+# Sanity: the run that produced the baseline must pass its own gate.
+"$BUILD/bench/drift_check" --baseline bench/perf_baseline.json \
+    "$TMP/BENCH_micro_core.json"

@@ -19,6 +19,22 @@ namespace
 const char kReportSchema[] = "vrex-bench-1";
 const char kBaselineSchema[] = "vrex-bench-baseline-1";
 
+bool
+parseGate(const std::string &text, Gate &out)
+{
+    if (text == "band")
+        out = Gate::Band;
+    else if (text == "floor")
+        out = Gate::Floor;
+    else if (text == "ceiling")
+        out = Gate::Ceiling;
+    else if (text == "info")
+        out = Gate::Info;
+    else
+        return false;
+    return true;
+}
+
 /**
  * Convert one JSON record object into a Record. `reportBench` is the
  * enclosing report's bench name ("" for baselines, which mix benches).
@@ -56,6 +72,15 @@ recordFromJson(const json::Value &v, const std::string &reportBench,
     out.value = value->isNull()
         ? std::numeric_limits<double>::quiet_NaN() : value->number();
     out.unit = unit->str();
+    out.gate = Gate::Band;
+    if (const json::Value *gate = v.find("gate")) {
+        if (!gate->isString() ||
+            !parseGate(gate->str(), out.gate)) {
+            err = "record field 'gate' must be one of "
+                  "band/floor/ceiling/info";
+            return false;
+        }
+    }
     if (!reportBench.empty() && out.bench != reportBench) {
         err = "record bench '" + out.bench +
               "' does not match report bench '" + reportBench + "'";
@@ -78,6 +103,22 @@ hasDuplicateKeys(const std::vector<Record> &records, std::string &dup)
 }
 
 } // namespace
+
+const char *
+gateName(Gate gate)
+{
+    switch (gate) {
+      case Gate::Band:
+        return "band";
+      case Gate::Floor:
+        return "floor";
+      case Gate::Ceiling:
+        return "ceiling";
+      case Gate::Info:
+        return "info";
+    }
+    return "unknown";
+}
 
 std::string
 Record::key() const
@@ -352,7 +393,11 @@ renderBaseline(const Baseline &b)
         out += ", \"metric\": " + json::quote(r.metric);
         out += ", \"value\": ";
         out += std::isfinite(r.value) ? formatValue(r.value) : "null";
-        out += ", \"unit\": " + json::quote(r.unit) + "}";
+        out += ", \"unit\": " + json::quote(r.unit);
+        if (r.gate != Gate::Band)
+            out += std::string(", \"gate\": \"") + gateName(r.gate) +
+                   "\"";
+        out += "}";
     }
     out += b.records.empty() ? "]\n" : "\n  ]\n";
     out += "}\n";
@@ -370,6 +415,18 @@ DriftIssue::describe() const
         return "unit mismatch for " + base.pretty() + ": baseline '" +
                base.unit + "'";
       case Kind::OutOfTolerance:
+        switch (base.gate) {
+          case Gate::Floor:
+            return "below floor for " + base.pretty() + ": floor " +
+                   formatValue(base.value) + base.unit + ", got " +
+                   formatValue(got) + base.unit;
+          case Gate::Ceiling:
+            return "above ceiling for " + base.pretty() +
+                   ": ceiling " + formatValue(base.value) + base.unit +
+                   ", got " + formatValue(got) + base.unit;
+          default:
+            break;
+        }
         return "drift in " + base.pretty() + ": baseline " +
                formatValue(base.value) + base.unit + ", got " +
                formatValue(got) + base.unit;
@@ -411,12 +468,28 @@ compareToBaseline(const Baseline &baseline,
                 {DriftIssue::Kind::UnitMismatch, base, got.value});
             continue;
         }
+        if (base.gate == Gate::Info)
+            continue;  // Recorded for humans; never compared.
         if (std::isnan(base.value) && std::isnan(got.value))
             continue;
         double tol = std::max(
             baseline.defaultAbsTol,
             baseline.relTolFor(base.bench) * std::fabs(base.value));
-        if (!(std::fabs(got.value - base.value) <= tol)) {
+        bool out_of_gate = false;
+        switch (base.gate) {
+          case Gate::Band:
+            out_of_gate = !(std::fabs(got.value - base.value) <= tol);
+            break;
+          case Gate::Floor:
+            out_of_gate = !(got.value >= base.value - tol);
+            break;
+          case Gate::Ceiling:
+            out_of_gate = !(got.value <= base.value + tol);
+            break;
+          case Gate::Info:
+            break;
+        }
+        if (out_of_gate) {
             report.issues.push_back(
                 {DriftIssue::Kind::OutOfTolerance, base, got.value});
         }

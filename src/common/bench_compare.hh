@@ -15,6 +15,22 @@
 namespace vrex::bench
 {
 
+/**
+ * How a baseline record is enforced by compareToBaseline. The figure
+ * baseline uses the default two-sided Band everywhere; the kernel
+ * perf baseline (bench/perf_baseline.json) marks speedup ratios as
+ * Floor (only a drop below baseline - tol fails) and raw ns/op
+ * timings as Info (recorded for trend reading, never compared —
+ * wall-clock numbers are machine-relative).
+ */
+enum class Gate : uint8_t
+{
+    Band = 0,  //!< |got - base| must stay within the tolerance.
+    Floor,     //!< got must not drop below base - tolerance.
+    Ceiling,   //!< got must not rise above base + tolerance.
+    Info,      //!< Presence/unit checked; value never compared.
+};
+
 /** One metric record with its owning bench (the baseline spans all). */
 struct Record
 {
@@ -24,10 +40,15 @@ struct Record
     std::string metric;
     double value = 0.0;  // NaN when the report stored null.
     std::string unit;
+    /** Enforcement mode; only meaningful on baseline records. */
+    Gate gate = Gate::Band;
 
     std::string key() const;    // Identity: bench/panel/row/metric.
     std::string pretty() const; // Identity for error messages.
 };
+
+/** Lower-case gate name ("band", "floor", "ceiling", "info"). */
+const char *gateName(Gate gate);
 
 /** A parsed --json report from one bench binary. */
 struct LoadedReport

@@ -1,0 +1,17 @@
+#include "common/bits.hh"
+
+namespace vrex::detail
+{
+
+uint32_t
+hammingWordsScalar(const uint64_t *a, const uint64_t *b, size_t n)
+{
+    uint32_t dist = 0;
+    for (size_t w = 0; w < n; ++w)
+        dist += static_cast<uint32_t>(std::popcount(a[w] ^ b[w]));
+    return dist;
+}
+
+std::atomic<HammingWordsFn> bitsigHammingHook{&hammingWordsScalar};
+
+} // namespace vrex::detail

@@ -5,24 +5,60 @@
  * Hash signatures are stored as packed 64-bit words; the Hamming
  * distance between two signatures is a XOR + popcount over the words,
  * mirroring the HCU's XOR-accumulator datapath.
+ *
+ * The word-level Hamming loop is dispatched through
+ * `detail::bitsigHammingHook`: it defaults to the portable scalar
+ * implementation, and `core/kernels` installs the runtime-selected
+ * SIMD variant (AVX2/NEON) when that layer initializes. Every variant
+ * is an exact integer kernel, so the dispatched result is always
+ * bit-identical to the scalar one (locked by tests/core_kernels_test).
  */
 
 #ifndef VREX_COMMON_BITS_HH
 #define VREX_COMMON_BITS_HH
 
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
+
 namespace vrex
 {
 
-/** Number of 64-bit words needed to hold @p nbits bits. */
+namespace detail
+{
+
+/** Word-level Hamming kernel signature (n = word count). */
+using HammingWordsFn = uint32_t (*)(const uint64_t *a, const uint64_t *b,
+                                    size_t n);
+
+/** Portable reference: XOR + std::popcount per word. */
+uint32_t hammingWordsScalar(const uint64_t *a, const uint64_t *b, size_t n);
+
+/**
+ * Active Hamming kernel. Defaults to hammingWordsScalar; the
+ * core/kernels dispatch layer swaps in a SIMD variant at init (or when
+ * a test forces an ISA). Relaxed atomics: the pointer is written
+ * before worker threads start (static init) or from single-threaded
+ * test setup, and every installed kernel computes the same value.
+ */
+extern std::atomic<HammingWordsFn> bitsigHammingHook;
+
+} // namespace detail
+
+/**
+ * Number of 64-bit words needed to hold @p nbits bits. Computed in
+ * 64-bit arithmetic: the naive (nbits + 63) / 64 wraps for
+ * nbits > UINT32_MAX - 63 and silently returned 0 words.
+ */
 inline uint32_t
 bitWords(uint32_t nbits)
 {
-    return (nbits + 63u) / 64u;
+    return static_cast<uint32_t>(
+        (static_cast<uint64_t>(nbits) + 63u) / 64u);
 }
 
 /** A packed bit signature of fixed width. */
@@ -41,6 +77,9 @@ class BitSig
     void
     set(uint32_t i, bool value)
     {
+        VREX_DEBUG_ASSERT(i < numBits,
+                          "BitSig::set(%u) out of range (width %u)",
+                          i, numBits);
         uint64_t mask = 1ull << (i & 63u);
         if (value)
             words[i >> 6] |= mask;
@@ -51,19 +90,35 @@ class BitSig
     bool
     get(uint32_t i) const
     {
+        VREX_DEBUG_ASSERT(i < numBits,
+                          "BitSig::get(%u) out of range (width %u)",
+                          i, numBits);
         return (words[i >> 6] >> (i & 63u)) & 1u;
     }
 
     const std::vector<uint64_t> &raw() const { return words; }
 
-    /** Hamming distance to another signature of the same width. */
+    /**
+     * Mutable word storage for bulk writers (the hash-encode kernels
+     * fill whole signatures at once). Contract: bits at positions
+     * >= size() in the last word must remain zero — hamming() and
+     * operator== rely on zeroed padding.
+     */
+    uint64_t *rawMutable() { return words.data(); }
+
+    /**
+     * Hamming distance to another signature of the same width.
+     * Widths must match: comparing mismatched signatures used to read
+     * past the shorter word array.
+     */
     uint32_t
     hamming(const BitSig &other) const
     {
-        uint32_t dist = 0;
-        for (size_t w = 0; w < words.size(); ++w)
-            dist += std::popcount(words[w] ^ other.words[w]);
-        return dist;
+        VREX_ASSERT(numBits == other.numBits,
+                    "BitSig width mismatch: %u vs %u bits",
+                    numBits, other.numBits);
+        return detail::bitsigHammingHook.load(std::memory_order_relaxed)(
+            words.data(), other.words.data(), words.size());
     }
 
     bool

@@ -59,4 +59,19 @@ void setInformEnabled(bool enabled);
         }                                                               \
     } while (0)
 
+/**
+ * Debug-build-only invariant check for per-element hot paths (bit
+ * accessors, inner loops) where an always-on branch would be a
+ * measurable tax. Compiles to nothing under NDEBUG; the condition is
+ * not evaluated, so it must be side-effect free.
+ */
+#ifdef NDEBUG
+#define VREX_DEBUG_ASSERT(cond, ...) \
+    do {                             \
+    } while (0)
+#else
+#define VREX_DEBUG_ASSERT(cond, ...) \
+    VREX_ASSERT(cond __VA_OPT__(, ) __VA_ARGS__)
+#endif
+
 #endif // VREX_COMMON_LOGGING_HH

@@ -16,12 +16,22 @@
 #include <vector>
 
 #include "common/bits.hh"
+#include "core/kernels.hh"
 #include "tensor/matrix.hh"
 
 namespace vrex
 {
 
-/** Random-hyperplane sign hasher for key vectors. */
+/**
+ * Random-hyperplane sign hasher for key vectors.
+ *
+ * encode() runs on the runtime-dispatched kernel layer
+ * (core/kernels): the hyperplanes are kept both row-major (scalar
+ * walks one contiguous row per bit) and as a zero-padded transpose
+ * (SIMD loads one coefficient of kernels::kEncodeBlock adjacent bits
+ * per vector load). Every ISA produces bit-identical signatures; see
+ * the contract in kernels.hh.
+ */
 class HashEncoder
 {
   public:
@@ -45,9 +55,15 @@ class HashEncoder
     const Matrix &hyperplanes() const { return planes; }
 
   private:
+    /** Kernel-facing views of both hyperplane layouts. */
+    kernels::HashPlanes planesView() const;
+
     uint32_t dim;
     uint32_t nBits;
     Matrix planes;
+    /** keyDim x colStride transpose of planes, zero-padded to
+     * kernels::kEncodeBlock columns. */
+    Matrix planesT;
 };
 
 } // namespace vrex

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "core/kernels.hh"
 
 namespace vrex
 {
@@ -18,10 +19,18 @@ HCTable::insert(uint32_t token_idx, const float *key, const BitSig &sig)
 {
     VREX_ASSERT(sig.size() == nBits, "signature width mismatch");
 
+    // The scan against every cluster signature is the HCU hot loop:
+    // widths are checked once above (all rows share nBits), so go
+    // straight to the dispatched word-level kernel instead of paying
+    // BitSig::hamming's per-call width assert and hook load.
+    const auto hammingKernel = kernels::active().hammingWords;
+    const uint64_t *sigWords = sig.raw().data();
+    const size_t sigNWords = sig.raw().size();
     uint32_t best = std::numeric_limits<uint32_t>::max();
     uint32_t best_dist = thHd + 1;
     for (uint32_t c = 0; c < rows.size(); ++c) {
-        uint32_t d = rows[c].signature.hamming(sig);
+        uint32_t d = hammingKernel(rows[c].signature.raw().data(),
+                                   sigWords, sigNWords);
         ++comparisons;
         if (d < best_dist) {
             best_dist = d;

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * AVX2 kernel table. This translation unit is compiled with
+ * `-mavx2 -mno-fma` on x86-64 (see the top-level CMakeLists) and as an
+ * empty probe elsewhere; the dispatcher only calls into it after a
+ * CPUID check, so the library stays runnable on non-AVX2 x86 parts.
+ *
+ * Numeric contract (see kernels.hh): hashEncode assigns one signature
+ * bit per float lane and walks the key dimension sequentially with
+ * unfused mul+add, so each lane reproduces the scalar dot() rounding
+ * exactly. -mno-fma plus the global -ffp-contract=off guarantee the
+ * compiler cannot fuse the mul/add intrinsics into an FMA. All other
+ * kernels are integer or exact-predicate operations.
+ */
+
+#include "core/kernels.hh"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "common/bits.hh"
+
+namespace vrex::kernels
+{
+
+namespace
+{
+
+/**
+ * Mula's nibble-LUT popcount: per-byte popcounts via two PSHUFB table
+ * lookups, horizontally summed into the four 64-bit lanes with SAD.
+ */
+inline __m256i
+popcount256(__m256i v)
+{
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low_mask = _mm256_set1_epi8(0x0f);
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+    const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                        _mm256_shuffle_epi8(lut, hi));
+    return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+uint32_t
+hammingWordsAvx2(const uint64_t *a, const uint64_t *b, size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(a + w));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b + w));
+        acc = _mm256_add_epi64(acc,
+                               popcount256(_mm256_xor_si256(va, vb)));
+    }
+    uint64_t dist = 0;
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    dist = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; w < n; ++w)
+        dist += static_cast<uint64_t>(std::popcount(a[w] ^ b[w]));
+    return static_cast<uint32_t>(dist);
+}
+
+void
+hashEncodeAvx2(const HashPlanes &p, const float *key, uint64_t *words)
+{
+    static_assert(kEncodeBlock == 8,
+                  "AVX2 encode assumes 8 float lanes per block");
+    const uint32_t nwords = bitWords(p.nbits);
+    std::fill(words, words + nwords, 0ull);
+
+    const uint32_t blockEnd = p.nbits & ~(kEncodeBlock - 1);
+    for (uint32_t b0 = 0; b0 < blockEnd; b0 += kEncodeBlock) {
+        // Lane k accumulates dot(key, plane_{b0+k}) in key-dimension
+        // order: the same mul-then-add sequence per lane as the
+        // scalar dot(), hence the same rounding and the same sign.
+        __m256 acc = _mm256_setzero_ps();
+        const float *col = p.cols + b0;
+        for (uint32_t j = 0; j < p.dim; ++j) {
+            const __m256 kj = _mm256_set1_ps(key[j]);
+            const __m256 pj = _mm256_loadu_ps(
+                col + static_cast<size_t>(j) * p.colStride);
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(kj, pj));
+        }
+        const __m256 gt = _mm256_cmp_ps(acc, _mm256_setzero_ps(),
+                                        _CMP_GT_OQ);
+        const uint64_t mask =
+            static_cast<uint64_t>(
+                static_cast<uint32_t>(_mm256_movemask_ps(gt))) &
+            0xffull;
+        // b0 is a multiple of 8, so a block never straddles a word.
+        words[b0 >> 6] |= mask << (b0 & 63u);
+    }
+
+    // Ragged tail: per-bit scalar dot over the row-major planes.
+    for (uint32_t b = blockEnd; b < p.nbits; ++b) {
+        const float *row = p.rows + static_cast<size_t>(b) * p.dim;
+        float s = 0.0f;
+        for (uint32_t j = 0; j < p.dim; ++j)
+            s += key[j] * row[j];
+        if (s > 0.0f)
+            words[b >> 6] |= 1ull << (b & 63u);
+    }
+}
+
+void
+minMaxF32Avx2(const float *s, size_t n, float *lo, float *hi)
+{
+    size_t i = 0;
+    float mn = s[0], mx = s[0];
+    if (n >= 8) {
+        __m256 vmn = _mm256_loadu_ps(s);
+        __m256 vmx = vmn;
+        for (i = 8; i + 8 <= n; i += 8) {
+            const __m256 v = _mm256_loadu_ps(s + i);
+            vmn = _mm256_min_ps(vmn, v);
+            vmx = _mm256_max_ps(vmx, v);
+        }
+        alignas(32) float lanes[8];
+        _mm256_store_ps(lanes, vmn);
+        mn = lanes[0];
+        for (int k = 1; k < 8; ++k)
+            mn = std::min(mn, lanes[k]);
+        _mm256_store_ps(lanes, vmx);
+        mx = lanes[0];
+        for (int k = 1; k < 8; ++k)
+            mx = std::max(mx, lanes[k]);
+    }
+    for (; i < n; ++i) {
+        mn = std::min(mn, s[i]);
+        mx = std::max(mx, s[i]);
+    }
+    *lo = mn;
+    *hi = mx;
+}
+
+void
+rangeBitmapAvx2(const float *s, size_t n, double lower, double upper,
+                bool closedTop, uint64_t *bitmap)
+{
+    const size_t nwords = bitWords(static_cast<uint32_t>(n));
+    std::fill(bitmap, bitmap + nwords, 0ull);
+
+    const __m256d vlo = _mm256_set1_pd(lower);
+    const __m256d vhi = _mm256_set1_pd(upper);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        // The scalar sweep compares double(s[i]) against double
+        // bounds; float->double conversion is exact, so widening the
+        // lanes preserves the predicate bit-for-bit.
+        const __m128 f0 = _mm_loadu_ps(s + i);
+        const __m128 f1 = _mm_loadu_ps(s + i + 4);
+        const __m256d d0 = _mm256_cvtps_pd(f0);
+        const __m256d d1 = _mm256_cvtps_pd(f1);
+        __m256d in0 = _mm256_cmp_pd(d0, vlo, _CMP_GE_OQ);
+        __m256d in1 = _mm256_cmp_pd(d1, vlo, _CMP_GE_OQ);
+        if (!closedTop) {
+            in0 = _mm256_and_pd(in0,
+                                _mm256_cmp_pd(d0, vhi, _CMP_LT_OQ));
+            in1 = _mm256_and_pd(in1,
+                                _mm256_cmp_pd(d1, vhi, _CMP_LT_OQ));
+        }
+        const uint64_t mask =
+            (static_cast<uint64_t>(
+                 static_cast<uint32_t>(_mm256_movemask_pd(in0))) &
+             0xfull) |
+            ((static_cast<uint64_t>(
+                  static_cast<uint32_t>(_mm256_movemask_pd(in1))) &
+              0xfull)
+             << 4);
+        bitmap[i >> 6] |= mask << (i & 63u);
+    }
+    for (; i < n; ++i) {
+        const double v = s[i];
+        const bool in =
+            closedTop ? (v >= lower) : (v >= lower && v < upper);
+        if (in)
+            bitmap[i >> 6] |= 1ull << (i & 63u);
+    }
+}
+
+const Ops kAvx2Ops = {
+    "avx2",
+    &hammingWordsAvx2,
+    &hashEncodeAvx2,
+    &minMaxF32Avx2,
+    &rangeBitmapAvx2,
+};
+
+} // namespace
+
+const Ops *
+avx2OpsOrNull()
+{
+    return &kAvx2Ops;
+}
+
+} // namespace vrex::kernels
+
+#else // !defined(__AVX2__)
+
+namespace vrex::kernels
+{
+
+const Ops *
+avx2OpsOrNull()
+{
+    return nullptr;
+}
+
+} // namespace vrex::kernels
+
+#endif // defined(__AVX2__)

@@ -1,10 +1,13 @@
 #include "core/wicsum.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
 
+#include "common/bits.hh"
 #include "common/logging.hh"
+#include "core/kernels.hh"
 
 namespace vrex
 {
@@ -12,6 +15,13 @@ namespace vrex
 namespace
 {
 
+/**
+ * Eq. 1 accumulation. Deliberately scalar on every ISA: the result
+ * feeds the Eq. 2/3 threshold comparisons, and a reassociated
+ * (vectorized) double sum can differ in the last ulp — enough to flip
+ * a selection at the boundary and move a figure. The sequential
+ * accumulation order *is* the contract.
+ */
 double
 weightedSum(const std::vector<float> &scores,
             const std::vector<uint32_t> &counts)
@@ -68,12 +78,11 @@ wicsumSelectEarlyExit(const std::vector<float> &scores,
         return result;
 
     // Preprocess step: weighted sum, threshold, min/max (Fig. 11).
+    // min/max runs on the dispatched SIMD kernel — value-exact in any
+    // evaluation order, so the bucket boundaries below are unchanged.
     const double threshold = weightedSum(scores, counts) * thr_ratio;
-    float lo = scores[0], hi = scores[0];
-    for (float s : scores) {
-        lo = std::min(lo, s);
-        hi = std::max(hi, s);
-    }
+    float lo, hi;
+    kernels::active().minMaxF32(scores.data(), scores.size(), &lo, &hi);
     if (hi <= lo) {
         // Degenerate row: all scores equal; accumulate in index order.
         double acc = 0.0;
@@ -88,26 +97,37 @@ wicsumSelectEarlyExit(const std::vector<float> &scores,
         return result;
     }
 
-    // Token selection step: sweep buckets from the highest range.
+    // Token selection step: sweep buckets from the highest range. The
+    // membership scan (compare all scores against the bucket bounds)
+    // is the hot loop and runs on the dispatched rangeBitmap kernel;
+    // the bitmap is then walked in ascending index order, so the
+    // visit order and the sequential threshold accumulation are
+    // exactly the scalar sweep's.
     const double width =
         (static_cast<double>(hi) - lo) / n_buckets;
+    const auto rangeBitmap = kernels::active().rangeBitmap;
+    std::vector<uint64_t> bitmap(
+        bitWords(static_cast<uint32_t>(scores.size())));
     double acc = 0.0;
     for (uint32_t b = n_buckets; b-- > 0;) {
         ++result.bucketsVisited;
         const double lower = lo + width * b;
         const double upper = lo + width * (b + 1);
-        for (uint32_t i = 0; i < scores.size(); ++i) {
-            const double s = scores[i];
-            const bool in_bucket = (b + 1 == n_buckets)
-                ? (s >= lower)
-                : (s >= lower && s < upper);
-            if (!in_bucket)
-                continue;
-            result.selected.push_back(i);
-            ++result.scanned;
-            acc += s * counts[i];
-            if (acc > threshold)
-                return result;  // Early exit.
+        rangeBitmap(scores.data(), scores.size(), lower, upper,
+                    b + 1 == n_buckets, bitmap.data());
+        for (size_t w = 0; w < bitmap.size(); ++w) {
+            uint64_t bits = bitmap[w];
+            while (bits != 0) {
+                const uint32_t i = static_cast<uint32_t>(
+                    w * 64 + static_cast<uint32_t>(
+                                 std::countr_zero(bits)));
+                bits &= bits - 1;
+                result.selected.push_back(i);
+                ++result.scanned;
+                acc += static_cast<double>(scores[i]) * counts[i];
+                if (acc > threshold)
+                    return result;  // Early exit.
+            }
         }
     }
     return result;

@@ -451,6 +451,102 @@ TEST(Drift, NonFiniteOnBothSidesPasses)
     EXPECT_FALSE(drift2.ok());
 }
 
+TEST(Baseline, GateFieldRoundTrips)
+{
+    Baseline b;
+    b.records = {
+        {"mc", "p", "r", "band", 1.0, "x", Gate::Band},
+        {"mc", "p", "r", "floor", 2.0, "x", Gate::Floor},
+        {"mc", "p", "r", "ceil", 3.0, "x", Gate::Ceiling},
+        {"mc", "p", "r", "info", 4.0, "ns", Gate::Info},
+    };
+    const std::string doc = renderBaseline(b);
+    // Band is the default and stays implicit in the document.
+    EXPECT_EQ(doc.find("\"gate\": \"band\""), std::string::npos);
+    EXPECT_NE(doc.find("\"gate\": \"floor\""), std::string::npos);
+    EXPECT_NE(doc.find("\"gate\": \"ceiling\""), std::string::npos);
+    EXPECT_NE(doc.find("\"gate\": \"info\""), std::string::npos);
+
+    Baseline b2;
+    std::string err;
+    ASSERT_TRUE(loadBaseline(doc, b2, err)) << err;
+    ASSERT_EQ(b2.records.size(), 4u);
+    EXPECT_EQ(b2.records[0].gate, Gate::Band);
+    EXPECT_EQ(b2.records[1].gate, Gate::Floor);
+    EXPECT_EQ(b2.records[2].gate, Gate::Ceiling);
+    EXPECT_EQ(b2.records[3].gate, Gate::Info);
+}
+
+TEST(Baseline, RejectsUnknownGate)
+{
+    Baseline out;
+    std::string err;
+    EXPECT_FALSE(loadBaseline(
+        R"({"schema": "vrex-bench-baseline-1", "default_rel_tol": 0.05,
+            "default_abs_tol": 1e-6, "bench_rel_tol": {}, "metrics": [
+            {"bench": "b", "panel": "p", "row": "r", "metric": "m",
+             "value": 1.0, "unit": "", "gate": "vibes"}]})",
+        out, err));
+    EXPECT_NE(err.find("gate"), std::string::npos) << err;
+}
+
+TEST(Drift, FloorGateOnlyFailsBelow)
+{
+    Baseline b;
+    b.defaultRelTol = 0.25;  // Floor 2.0 -> effective bound 1.5.
+    b.records = {{"mc", "p", "r", "speedup", 2.0, "x", Gate::Floor}};
+    auto above = compareToBaseline(
+        b, {reportWith("mc", {{"mc", "p", "r", "speedup", 50.0,
+                               "x"}})});
+    EXPECT_TRUE(above.ok()) << "a floor has no upper bound";
+    auto grazing = compareToBaseline(
+        b,
+        {reportWith("mc", {{"mc", "p", "r", "speedup", 1.6, "x"}})});
+    EXPECT_TRUE(grazing.ok());
+    auto below = compareToBaseline(
+        b,
+        {reportWith("mc", {{"mc", "p", "r", "speedup", 1.4, "x"}})});
+    ASSERT_EQ(below.issues.size(), 1u);
+    EXPECT_EQ(below.issues[0].kind,
+              DriftIssue::Kind::OutOfTolerance);
+    EXPECT_NE(below.issues[0].describe().find("below floor"),
+              std::string::npos);
+}
+
+TEST(Drift, CeilingGateOnlyFailsAbove)
+{
+    Baseline b;
+    b.defaultRelTol = 0.25;
+    b.records = {{"mc", "p", "r", "lat", 2.0, "ms", Gate::Ceiling}};
+    auto below = compareToBaseline(
+        b, {reportWith("mc", {{"mc", "p", "r", "lat", 0.1, "ms"}})});
+    EXPECT_TRUE(below.ok()) << "a ceiling has no lower bound";
+    auto above = compareToBaseline(
+        b, {reportWith("mc", {{"mc", "p", "r", "lat", 2.6, "ms"}})});
+    ASSERT_EQ(above.issues.size(), 1u);
+    EXPECT_NE(above.issues[0].describe().find("above ceiling"),
+              std::string::npos);
+}
+
+TEST(Drift, InfoGateChecksPresenceAndUnitOnly)
+{
+    Baseline b;
+    b.records = {{"mc", "p", "r", "ns", 100.0, "ns", Gate::Info}};
+    auto wild = compareToBaseline(
+        b, {reportWith("mc", {{"mc", "p", "r", "ns", 1e9, "ns"}})});
+    EXPECT_TRUE(wild.ok()) << "info values are never compared";
+    EXPECT_EQ(wild.compared, 1u);
+    auto wrongUnit = compareToBaseline(
+        b, {reportWith("mc", {{"mc", "p", "r", "ns", 100.0, "ms"}})});
+    ASSERT_EQ(wrongUnit.issues.size(), 1u);
+    EXPECT_EQ(wrongUnit.issues[0].kind,
+              DriftIssue::Kind::UnitMismatch);
+    auto missing = compareToBaseline(b, {reportWith("mc", {})});
+    ASSERT_EQ(missing.issues.size(), 1u);
+    EXPECT_EQ(missing.issues[0].kind,
+              DriftIssue::Kind::MissingMetric);
+}
+
 TEST(LoadCsv, RejectsMalformedDocuments)
 {
     std::vector<Record> out;

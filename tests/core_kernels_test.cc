@@ -1,0 +1,512 @@
+/**
+ * @file
+ * Property suite locking the bit-identical contract of the runtime-
+ * dispatched DRE kernels (core/kernels): every compiled ISA variant
+ * must produce output exactly equal to the scalar reference — for the
+ * raw kernels, and end-to-end through BitSig / HashEncoder / HCTable /
+ * WiCSum. Also covers the dispatch plumbing itself (selection,
+ * overrides, unavailable ISAs) and the hardening added alongside it
+ * (width-mismatch assert, debug bounds asserts, bitWords overflow).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "core/hash_encoder.hh"
+#include "core/hc_table.hh"
+#include "core/kernels.hh"
+#include "core/wicsum.hh"
+#include "tensor/matrix.hh"
+#include "testutil.hh"
+
+using namespace vrex;
+
+namespace
+{
+
+/** Force one ISA for a scope; teardown re-runs the auto selection. */
+class ForcedIsa
+{
+  public:
+    explicit ForcedIsa(kernels::Isa isa)
+        : ok_(kernels::setActive(isa))
+    {
+    }
+    ~ForcedIsa() { kernels::resetToAuto(); }
+    bool ok() const { return ok_; }
+
+  private:
+    bool ok_;
+};
+
+/** Every ISA this binary can actually run, Scalar first. */
+std::vector<kernels::Isa>
+runnableIsas()
+{
+    std::vector<kernels::Isa> out;
+    for (kernels::Isa isa : kernels::compiledIsas()) {
+        if (kernels::isaAvailable(isa))
+            out.push_back(isa);
+    }
+    return out;
+}
+
+/** The Ops table of each runnable ISA (selection restored after). */
+std::vector<std::pair<kernels::Isa, const kernels::Ops *>>
+runnableOps()
+{
+    std::vector<std::pair<kernels::Isa, const kernels::Ops *>> out;
+    for (kernels::Isa isa : runnableIsas()) {
+        EXPECT_TRUE(kernels::setActive(isa));
+        out.emplace_back(isa, &kernels::active());
+    }
+    kernels::resetToAuto();
+    return out;
+}
+
+/** Bit-by-bit Hamming reference, independent of the word kernels. */
+uint32_t
+naiveHamming(const std::vector<uint64_t> &a,
+             const std::vector<uint64_t> &b, uint32_t nbits)
+{
+    uint32_t d = 0;
+    for (uint32_t i = 0; i < nbits; ++i) {
+        const uint64_t abit = (a[i >> 6] >> (i & 63u)) & 1u;
+        const uint64_t bbit = (b[i >> 6] >> (i & 63u)) & 1u;
+        d += static_cast<uint32_t>(abit ^ bbit);
+    }
+    return d;
+}
+
+class CoreKernelsTest : public testutil::SeededRngTest
+{
+};
+
+// ---------------------------------------------------------------------
+// Hamming: every ISA == scalar == naive, across widths and patterns.
+// ---------------------------------------------------------------------
+
+TEST_F(CoreKernelsTest, HammingEquivalenceAllWidths)
+{
+    const auto ops = runnableOps();
+    ASSERT_FALSE(ops.empty());
+    for (uint32_t nbits = 1; nbits <= 512; ++nbits) {
+        const size_t nwords = bitWords(nbits);
+        std::vector<uint64_t> a(nwords), b(nwords);
+        for (size_t w = 0; w < nwords; ++w) {
+            a[w] = rng.nextU64();
+            b[w] = rng.nextU64();
+        }
+        // Mask padding so the naive reference sees the same universe.
+        if (nbits & 63u) {
+            const uint64_t mask = (1ull << (nbits & 63u)) - 1;
+            a.back() &= mask;
+            b.back() &= mask;
+        }
+        const uint32_t want = naiveHamming(a, b, nbits);
+        for (const auto &[isa, table] : ops) {
+            EXPECT_EQ(table->hammingWords(a.data(), b.data(), nwords),
+                      want)
+                << "isa=" << kernels::isaName(isa)
+                << " nbits=" << nbits;
+        }
+    }
+}
+
+TEST_F(CoreKernelsTest, HammingAdversarialPatterns)
+{
+    const auto ops = runnableOps();
+    const std::vector<uint64_t> fills = {
+        0x0ull, ~0x0ull, 0xAAAAAAAAAAAAAAAAull,
+        0x5555555555555555ull, 0x8000000000000001ull};
+    for (uint32_t nbits :
+         {1u, 63u, 64u, 65u, 127u, 128u, 255u, 256u, 511u, 512u}) {
+        const size_t nwords = bitWords(nbits);
+        for (uint64_t fa : fills) {
+            for (uint64_t fb : fills) {
+                std::vector<uint64_t> a(nwords, fa), b(nwords, fb);
+                if (nbits & 63u) {
+                    const uint64_t mask =
+                        (1ull << (nbits & 63u)) - 1;
+                    a.back() &= mask;
+                    b.back() &= mask;
+                }
+                const uint32_t want = naiveHamming(a, b, nbits);
+                for (const auto &[isa, table] : ops) {
+                    EXPECT_EQ(table->hammingWords(a.data(), b.data(),
+                                                  nwords),
+                              want)
+                        << "isa=" << kernels::isaName(isa)
+                        << " nbits=" << nbits;
+                }
+            }
+        }
+    }
+}
+
+TEST_F(CoreKernelsTest, BitSigHammingUsesDispatchedKernel)
+{
+    for (kernels::Isa isa : runnableIsas()) {
+        ForcedIsa guard(isa);
+        ASSERT_TRUE(guard.ok());
+        BitSig a(130), b(130);
+        for (uint32_t i = 0; i < 130; i += 3)
+            a.set(i, true);
+        for (uint32_t i = 0; i < 130; i += 5)
+            b.set(i, true);
+        EXPECT_EQ(a.hamming(b),
+                  naiveHamming(a.raw(), b.raw(), 130))
+            << "isa=" << kernels::isaName(isa);
+        EXPECT_EQ(a.hamming(a), 0u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hash encode: raw kernel and HashEncoder path, all ISAs vs scalar.
+// ---------------------------------------------------------------------
+
+TEST_F(CoreKernelsTest, HashEncodeKernelEquivalence)
+{
+    const auto ops = runnableOps();
+    for (uint32_t dim : {3u, 8u, 16u, 128u}) {
+        for (uint32_t nbits : {1u, 7u, 8u, 31u, 32u, 33u, 64u, 512u}) {
+            // Build the two plane views by hand: random row-major
+            // planes plus the zero-padded transpose the SIMD side
+            // consumes.
+            const uint32_t stride =
+                (nbits + kernels::kEncodeBlock - 1) /
+                kernels::kEncodeBlock * kernels::kEncodeBlock;
+            Matrix rows(nbits, dim);
+            Matrix cols(dim, stride);
+            for (uint32_t b = 0; b < nbits; ++b) {
+                for (uint32_t j = 0; j < dim; ++j) {
+                    const float v = static_cast<float>(
+                        rng.uniform(-1.0, 1.0));
+                    rows.at(b, j) = v;
+                    cols.at(j, b) = v;
+                }
+            }
+            const kernels::HashPlanes view{rows.row(0), cols.row(0),
+                                           dim, nbits, stride};
+            std::vector<float> key(dim);
+            rng.fillGaussian(key.data(), dim, 1.0f);
+
+            const size_t nwords = bitWords(nbits);
+            // Poisoned output buffers: the kernels must overwrite
+            // every word, including zeroing the padding bits.
+            std::vector<uint64_t> want(nwords, ~0ull);
+            kernels::scalarOps().hashEncode(view, key.data(),
+                                            want.data());
+            if (nbits & 63u) {
+                EXPECT_EQ(want.back() >> (nbits & 63u), 0u);
+            }
+            for (const auto &[isa, table] : ops) {
+                std::vector<uint64_t> got(nwords, ~0ull);
+                table->hashEncode(view, key.data(), got.data());
+                EXPECT_EQ(got, want)
+                    << "isa=" << kernels::isaName(isa)
+                    << " dim=" << dim << " nbits=" << nbits;
+            }
+        }
+    }
+}
+
+TEST_F(CoreKernelsTest, HashEncoderCrossIsaEquivalence)
+{
+    for (uint32_t dim : {3u, 16u, 128u}) {
+        for (uint32_t nbits : {1u, 31u, 32u, 33u, 512u}) {
+            const HashEncoder enc(dim, nbits, /*seed=*/42);
+            std::vector<float> key(dim);
+            rng.fillGaussian(key.data(), dim, 1.0f);
+            const std::vector<float> zero(dim, 0.0f);
+
+            BitSig want, wantZero;
+            {
+                ForcedIsa guard(kernels::Isa::Scalar);
+                ASSERT_TRUE(guard.ok());
+                want = enc.encode(key.data());
+                wantZero = enc.encode(zero.data());
+            }
+            EXPECT_EQ(want.size(), nbits);
+            for (kernels::Isa isa : runnableIsas()) {
+                ForcedIsa guard(isa);
+                ASSERT_TRUE(guard.ok());
+                // operator== compares widths AND all words, so this
+                // also locks the padding-stays-zero contract.
+                EXPECT_TRUE(enc.encode(key.data()) == want)
+                    << "isa=" << kernels::isaName(isa)
+                    << " dim=" << dim << " nbits=" << nbits;
+                EXPECT_TRUE(enc.encode(zero.data()) == wantZero)
+                    << "zero key, isa=" << kernels::isaName(isa);
+            }
+        }
+    }
+}
+
+TEST_F(CoreKernelsTest, EncodeRowsCrossIsaEquivalence)
+{
+    const uint32_t dim = 24, nbits = 48, n = 17;
+    const HashEncoder enc(dim, nbits, 7);
+    Matrix keys(n, dim);
+    rng.fillGaussian(keys.row(0), keys.size(), 1.0f);
+
+    std::vector<BitSig> want;
+    {
+        ForcedIsa guard(kernels::Isa::Scalar);
+        ASSERT_TRUE(guard.ok());
+        want = enc.encodeRows(keys);
+    }
+    ASSERT_EQ(want.size(), n);
+    for (kernels::Isa isa : runnableIsas()) {
+        ForcedIsa guard(isa);
+        ASSERT_TRUE(guard.ok());
+        const auto got = enc.encodeRows(keys);
+        ASSERT_EQ(got.size(), n);
+        for (uint32_t i = 0; i < n; ++i)
+            EXPECT_TRUE(got[i] == want[i])
+                << "row " << i << " isa=" << kernels::isaName(isa);
+    }
+}
+
+// ---------------------------------------------------------------------
+// minMaxF32 / rangeBitmap: exact equality across ISAs.
+// ---------------------------------------------------------------------
+
+TEST_F(CoreKernelsTest, MinMaxEquivalence)
+{
+    const auto ops = runnableOps();
+    for (size_t n : {1u, 2u, 7u, 8u, 9u, 31u, 64u, 1000u}) {
+        std::vector<float> s(n);
+        for (auto &v : s)
+            v = static_cast<float>(rng.uniform(-100.0, 100.0));
+        float wantLo, wantHi;
+        kernels::scalarOps().minMaxF32(s.data(), n, &wantLo, &wantHi);
+        for (const auto &[isa, table] : ops) {
+            float lo = 0, hi = 0;
+            table->minMaxF32(s.data(), n, &lo, &hi);
+            EXPECT_EQ(lo, wantLo)
+                << "isa=" << kernels::isaName(isa) << " n=" << n;
+            EXPECT_EQ(hi, wantHi)
+                << "isa=" << kernels::isaName(isa) << " n=" << n;
+        }
+        // All-equal input: lo == hi exactly.
+        std::fill(s.begin(), s.end(), 3.25f);
+        for (const auto &[isa, table] : ops) {
+            float lo = 0, hi = 0;
+            table->minMaxF32(s.data(), n, &lo, &hi);
+            EXPECT_EQ(lo, 3.25f) << kernels::isaName(isa);
+            EXPECT_EQ(hi, 3.25f) << kernels::isaName(isa);
+        }
+    }
+}
+
+TEST_F(CoreKernelsTest, RangeBitmapEquivalence)
+{
+    const auto ops = runnableOps();
+    for (size_t n : {1u, 5u, 8u, 64u, 65u, 333u}) {
+        std::vector<float> s(n);
+        for (auto &v : s)
+            v = static_cast<float>(rng.uniform());
+        // Boundary landmines: values exactly at the bucket edges.
+        s[0] = 0.25f;
+        if (n > 2)
+            s[n / 2] = 0.75f;
+        const size_t nwords = bitWords(static_cast<uint32_t>(n));
+        for (bool closedTop : {false, true}) {
+            std::vector<uint64_t> want(nwords, ~0ull);
+            kernels::scalarOps().rangeBitmap(s.data(), n, 0.25, 0.75,
+                                             closedTop, want.data());
+            if (n & 63u) {
+                EXPECT_EQ(want.back() >> (n & 63u), 0u);
+            }
+            for (const auto &[isa, table] : ops) {
+                std::vector<uint64_t> got(nwords, ~0ull);
+                table->rangeBitmap(s.data(), n, 0.25, 0.75, closedTop,
+                                   got.data());
+                EXPECT_EQ(got, want)
+                    << "isa=" << kernels::isaName(isa) << " n=" << n
+                    << " closedTop=" << closedTop;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: WiCSum selection and HCTable clustering are invariant
+// under the active ISA.
+// ---------------------------------------------------------------------
+
+TEST_F(CoreKernelsTest, WicsumCrossIsaEquivalence)
+{
+    for (size_t n : {1u, 17u, 256u, 4096u}) {
+        std::vector<float> scores(n);
+        std::vector<uint32_t> counts(n);
+        for (size_t i = 0; i < n; ++i) {
+            scores[i] = static_cast<float>(rng.uniform());
+            counts[i] =
+                1 + static_cast<uint32_t>(rng.uniformInt(32));
+        }
+        WicsumResult want;
+        {
+            ForcedIsa guard(kernels::Isa::Scalar);
+            ASSERT_TRUE(guard.ok());
+            want = wicsumSelectEarlyExit(scores, counts, 0.3f, 16);
+        }
+        for (kernels::Isa isa : runnableIsas()) {
+            ForcedIsa guard(isa);
+            ASSERT_TRUE(guard.ok());
+            const WicsumResult got =
+                wicsumSelectEarlyExit(scores, counts, 0.3f, 16);
+            EXPECT_EQ(got.selected, want.selected)
+                << "isa=" << kernels::isaName(isa) << " n=" << n;
+            EXPECT_EQ(got.scanned, want.scanned);
+            EXPECT_EQ(got.bucketsVisited, want.bucketsVisited);
+        }
+    }
+    // Degenerate row: all scores equal (hi <= lo fallback path).
+    const std::vector<float> flat(64, 0.5f);
+    const std::vector<uint32_t> ones(64, 1);
+    WicsumResult want;
+    {
+        ForcedIsa guard(kernels::Isa::Scalar);
+        ASSERT_TRUE(guard.ok());
+        want = wicsumSelectEarlyExit(flat, ones, 0.3f, 16);
+    }
+    for (kernels::Isa isa : runnableIsas()) {
+        ForcedIsa guard(isa);
+        ASSERT_TRUE(guard.ok());
+        const WicsumResult got =
+            wicsumSelectEarlyExit(flat, ones, 0.3f, 16);
+        EXPECT_EQ(got.selected, want.selected);
+        EXPECT_EQ(got.bucketsVisited, want.bucketsVisited);
+    }
+}
+
+TEST_F(CoreKernelsTest, HCTableCrossIsaEquivalence)
+{
+    const uint32_t dim = 16, nbits = 32, n = 200;
+    std::vector<float> keys(static_cast<size_t>(n) * dim);
+    rng.fillGaussian(keys.data(), keys.size(), 1.0f);
+
+    auto run = [&](kernels::Isa isa, std::vector<uint32_t> &assign) {
+        ForcedIsa guard(isa);
+        ASSERT_TRUE(guard.ok());
+        const HashEncoder enc(dim, nbits, 9);
+        HCTable tab(dim, nbits, 7);
+        for (uint32_t t = 0; t < n; ++t) {
+            const float *key = keys.data() +
+                               static_cast<size_t>(t) * dim;
+            assign.push_back(tab.insert(t, key, enc.encode(key)));
+        }
+    };
+    std::vector<uint32_t> want;
+    run(kernels::Isa::Scalar, want);
+    ASSERT_EQ(want.size(), n);
+    for (kernels::Isa isa : runnableIsas()) {
+        std::vector<uint32_t> got;
+        run(isa, got);
+        EXPECT_EQ(got, want) << "isa=" << kernels::isaName(isa);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch plumbing: selection, parsing, unavailable ISAs.
+// ---------------------------------------------------------------------
+
+TEST(CoreKernelsDispatchTest, ScalarAlwaysCompiledAndSelectable)
+{
+    const auto compiled = kernels::compiledIsas();
+    ASSERT_FALSE(compiled.empty());
+    EXPECT_EQ(compiled.front(), kernels::Isa::Scalar);
+    EXPECT_TRUE(kernels::isaAvailable(kernels::Isa::Scalar));
+    {
+        ForcedIsa guard(kernels::Isa::Scalar);
+        EXPECT_TRUE(guard.ok());
+        EXPECT_EQ(kernels::activeIsa(), kernels::Isa::Scalar);
+        EXPECT_STREQ(kernels::active().name, "scalar");
+    }
+    // resetToAuto restored a runnable selection.
+    EXPECT_TRUE(kernels::isaAvailable(kernels::activeIsa()));
+}
+
+TEST(CoreKernelsDispatchTest, SetActiveUnavailableIsRefused)
+{
+    for (kernels::Isa isa :
+         {kernels::Isa::Scalar, kernels::Isa::Avx2,
+          kernels::Isa::Neon}) {
+        if (kernels::isaAvailable(isa))
+            continue;
+        const kernels::Isa before = kernels::activeIsa();
+        EXPECT_FALSE(kernels::setActive(isa))
+            << kernels::isaName(isa);
+        EXPECT_EQ(kernels::activeIsa(), before)
+            << "refused setActive must not change the selection";
+    }
+}
+
+TEST(CoreKernelsDispatchTest, ParseIsa)
+{
+    kernels::Isa isa = kernels::Isa::Scalar;
+    bool isAuto = false;
+    EXPECT_TRUE(kernels::parseIsa("avx2", isa, isAuto));
+    EXPECT_EQ(isa, kernels::Isa::Avx2);
+    EXPECT_FALSE(isAuto);
+    EXPECT_TRUE(kernels::parseIsa("neon", isa, isAuto));
+    EXPECT_EQ(isa, kernels::Isa::Neon);
+    EXPECT_TRUE(kernels::parseIsa("scalar", isa, isAuto));
+    EXPECT_EQ(isa, kernels::Isa::Scalar);
+    isa = kernels::Isa::Neon;
+    EXPECT_TRUE(kernels::parseIsa("auto", isa, isAuto));
+    EXPECT_TRUE(isAuto);
+    EXPECT_EQ(isa, kernels::Isa::Neon) << "auto must not touch out";
+    EXPECT_FALSE(kernels::parseIsa("sse9", isa, isAuto));
+    EXPECT_FALSE(kernels::parseIsa("", isa, isAuto));
+}
+
+TEST(CoreKernelsDispatchTest, IsaNames)
+{
+    EXPECT_STREQ(kernels::isaName(kernels::Isa::Scalar), "scalar");
+    EXPECT_STREQ(kernels::isaName(kernels::Isa::Avx2), "avx2");
+    EXPECT_STREQ(kernels::isaName(kernels::Isa::Neon), "neon");
+}
+
+// ---------------------------------------------------------------------
+// Hardening: width-mismatch assert, debug bounds asserts, bitWords
+// overflow.
+// ---------------------------------------------------------------------
+
+TEST(BitSigDeathTest, HammingWidthMismatchAborts)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    BitSig a(64), b(128);
+    EXPECT_DEATH({ (void)a.hamming(b); }, "width mismatch");
+}
+
+#ifndef NDEBUG
+TEST(BitSigDeathTest, OutOfRangeAccessAbortsInDebug)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    BitSig sig(64);
+    EXPECT_DEATH(sig.set(64, true), "out of range");
+    EXPECT_DEATH((void)sig.get(1000), "out of range");
+}
+#endif
+
+TEST(BitsTest, BitWordsNoOverflow)
+{
+    EXPECT_EQ(bitWords(0), 0u);
+    EXPECT_EQ(bitWords(1), 1u);
+    EXPECT_EQ(bitWords(64), 1u);
+    EXPECT_EQ(bitWords(65), 2u);
+    // (UINT32_MAX + 63) wraps in 32-bit arithmetic and used to yield
+    // 0 words; the widened computation returns the true count.
+    EXPECT_EQ(bitWords(UINT32_MAX), 67108864u);
+    EXPECT_EQ(bitWords(UINT32_MAX - 62), 67108864u);
+}
+
+} // namespace
