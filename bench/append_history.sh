@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Append bench reports to the longitudinal history log.
+#
+# Each BENCH_<name>.json report (vrex-bench-1 schema) becomes one line
+# in bench/history.jsonl keyed by (commit, bench), carrying the full
+# metric map so figure trends across commits can be plotted without
+# re-running old binaries. Re-running on the same commit is idempotent:
+# a (commit, bench) pair already present in the log is skipped, so the
+# log never accumulates duplicates from repeated CI runs or local use.
+#
+# usage: bench/append_history.sh BENCH_foo.json [BENCH_bar.json ...]
+#
+# The CI bench-drift job runs this warn-only and uploads the result as
+# an artifact; committing the refreshed bench/history.jsonl alongside a
+# baseline refresh is what persists a new row for posterity.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+[ "$#" -ge 1 ] || { echo "usage: $0 BENCH_*.json..." >&2; exit 2; }
+
+COMMIT=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+DATE=$(git show -s --format=%cs HEAD 2>/dev/null || date -u +%F)
+HISTORY=bench/history.jsonl
+touch "$HISTORY"
+
+python3 - "$COMMIT" "$DATE" "$HISTORY" "$@" <<'PY'
+import json, sys
+
+commit, date, history_path = sys.argv[1:4]
+reports = sys.argv[4:]
+
+seen = set()
+with open(history_path) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        seen.add((row.get("commit"), row.get("bench")))
+
+appended = 0
+with open(history_path, "a") as out:
+    for path in reports:
+        with open(path) as f:
+            report = json.load(f)
+        if report.get("schema") != "vrex-bench-1":
+            print(f"skip {path}: not a vrex-bench-1 report", file=sys.stderr)
+            continue
+        bench = report["bench"]
+        if (commit, bench) in seen:
+            print(f"skip {bench}: already logged for {commit}")
+            continue
+        # Flatten the metric records into one map; the panel/row/metric
+        # triple is the stable identity drift_check keys on.
+        metrics = {}
+        for m in report.get("metrics", []):
+            key = f'{m["panel"]}/{m["row"]}/{m["metric"]}'
+            metrics[key] = m["value"]
+        row = {"commit": commit, "date": date, "bench": bench,
+               "metrics": metrics}
+        out.write(json.dumps(row, sort_keys=True) + "\n")
+        seen.add((commit, bench))
+        appended += 1
+
+print(f"appended {appended} row(s) to {history_path}")
+PY

@@ -10,6 +10,7 @@
  *            infinigenp|rekv|resv|resv-kvpu|resv-sw|gpu|oaken]
  *           [--cache N] [--batch N] [--frame-tokens N] [--serve N]
  *           [--max-live M] [--class-mix N]
+ *           [--sessions N] [--kv-budget BYTES]
  *
  * With --serve N the CLI additionally runs N concurrent *functional*
  * sessions through vrex::serve::Engine under the same retrieval
@@ -28,6 +29,16 @@
  * scheduler panel: slices, work items, rate-limited slices, deadline
  * promotions, and the p50/p95/p99 wait and service latency
  * percentiles from serve::Stats.
+ *
+ * With --sessions N --kv-budget BYTES the CLI over-subscribes the
+ * engine's KV budget: N sessions (e.g. 10000) each ingest a short
+ * clip and one QA round while the budget only fits a small fraction
+ * of them resident, so the engine hibernates idle sessions to the
+ * cold store as it goes. A sample of sessions is then asked a
+ * trailing question — waking them transparently — and the run ends
+ * with the hibernation panel from serve::Stats::kv: resident vs.
+ * hibernated sessions, cold-store bytes, hibernate/wake counts and
+ * latency percentiles.
  */
 
 #include <cstdio>
@@ -263,6 +274,86 @@ serveClassMix(const std::string &method, uint32_t pairs)
 }
 
 void
+serveHibernation(const std::string &method, uint32_t sessions,
+                 uint64_t budget_bytes)
+{
+    serve::EngineConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.policy = specForMethod(method);
+    cfg.kvBudget.budgetBytes = budget_bytes;
+    serve::Engine engine(cfg);
+
+    std::printf("\n[hibernation] %u sessions vs a %.2f MiB KV "
+                "budget, policy '%s', %u workers\n", sessions,
+                budget_bytes / 1048576.0,
+                serve::policyKindName(cfg.policy.kind).c_str(),
+                engine.workerCount());
+
+    // Small frames keep per-session work cheap; the KV still grows
+    // enough that a few sessions overflow a small budget.
+    VideoConfig video;
+    video.tokensPerFrame = 8;
+
+    std::vector<serve::SessionId> ids;
+    ids.reserve(sessions);
+    for (uint32_t s = 0; s < sessions; ++s) {
+        serve::SessionOptions o;
+        o.name = "hib-" + std::to_string(s);
+        o.video = video;
+        o.scriptSeed = 500 + s;
+        serve::SessionId id = engine.createSession(o);
+        engine.enqueue(id, {{SessionEvent::Type::Frame, 0},
+                            {SessionEvent::Type::Frame, 0},
+                            {SessionEvent::Type::Question, 2},
+                            {SessionEvent::Type::Generate, 2}});
+        ids.push_back(id);
+        // Drain in waves so the resident set (sessions awaiting
+        // their first slice hold a model) stays bounded while the
+        // budget hibernates the finished ones behind us.
+        if ((s + 1) % 64 == 0)
+            engine.waitAll();
+    }
+    engine.waitAll();
+
+    auto panel = [&](const char *tag) {
+        const serve::KvBudgetStats kv = engine.stats().kv;
+        const uint32_t open = kv.residentSessions + kv.hibernatedSessions;
+        std::printf("  [%s] resident %u/%u sessions (%.1f%%), "
+                    "%.2f MiB KV resident, %.2f MiB cold in %llu "
+                    "blobs\n", tag, kv.residentSessions, open,
+                    open ? 100.0 * kv.residentSessions / open : 0.0,
+                    kv.residentBytes / 1048576.0,
+                    kv.coldBytes / 1048576.0,
+                    static_cast<unsigned long long>(
+                        kv.hibernatedSessions));
+        std::printf("        hibernates %llu (p50/p95 %.3f/%.3f ms), "
+                    "wakes %llu (p50/p95 %.3f/%.3f ms)\n",
+                    static_cast<unsigned long long>(kv.hibernates),
+                    kv.hibernateLatency.p50Ms(),
+                    kv.hibernateLatency.p95Ms(),
+                    static_cast<unsigned long long>(kv.wakes),
+                    kv.wakeLatency.p50Ms(), kv.wakeLatency.p95Ms());
+    };
+    panel("after ingest");
+
+    // Wake a sample with a trailing question: restore is transparent
+    // (byte-identical state), only the wake latency is observable.
+    const uint32_t step = sessions > 16 ? sessions / 16 : 1;
+    uint32_t asked = 0;
+    for (uint32_t s = 0; s < sessions; s += step) {
+        engine.ask(ids[s], 2, 2);
+        ++asked;
+    }
+    engine.waitAll();
+    std::printf("  asked %u sampled sessions a trailing question\n",
+                asked);
+    panel("after wake ");
+
+    for (serve::SessionId id : ids)
+        engine.closeSession(id);
+}
+
+void
 printPhase(const char *title, const PhaseResult &r)
 {
     std::printf("\n[%s]\n", title);
@@ -295,6 +386,8 @@ main(int argc, char **argv)
     std::string hw = "vrex8", method = "resv";
     uint32_t cache = 40000, batch = 1, frame_tokens = 10;
     uint32_t serve_sessions = 0, max_live = 0, class_mix = 0;
+    uint32_t hib_sessions = 0;
+    uint64_t kv_budget = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -323,6 +416,12 @@ main(int argc, char **argv)
         else if (arg == "--class-mix")
             class_mix =
                 static_cast<uint32_t>(std::atoi(next().c_str()));
+        else if (arg == "--sessions")
+            hib_sessions =
+                static_cast<uint32_t>(std::atoi(next().c_str()));
+        else if (arg == "--kv-budget")
+            kv_budget =
+                static_cast<uint64_t>(std::atoll(next().c_str()));
         else
             fatal("unknown argument '%s'", arg.c_str());
     }
@@ -354,5 +453,11 @@ main(int argc, char **argv)
         serveFunctional(method, serve_sessions, max_live);
     if (class_mix > 0)
         serveClassMix(method, class_mix);
+    if (hib_sessions > 0) {
+        if (kv_budget == 0)
+            fatal("--sessions needs --kv-budget BYTES (a budget of 0 "
+                  "disables hibernation)");
+        serveHibernation(method, hib_sessions, kv_budget);
+    }
     return 0;
 }

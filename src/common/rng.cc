@@ -128,4 +128,24 @@ Rng::permutation(uint32_t n)
     return perm;
 }
 
+RngState
+Rng::state() const
+{
+    RngState st;
+    for (int i = 0; i < 4; ++i)
+        st.s[i] = s[i];
+    st.spare = spare;
+    st.hasSpare = hasSpare;
+    return st;
+}
+
+void
+Rng::setState(const RngState &st)
+{
+    for (int i = 0; i < 4; ++i)
+        s[i] = st.s[i];
+    spare = st.spare;
+    hasSpare = st.hasSpare;
+}
+
 } // namespace vrex

@@ -37,6 +37,17 @@ class SplitMix64
 };
 
 /**
+ * Complete Rng state, exposed so session hibernation can serialize a
+ * generator mid-stream and resume it bit-exactly (the Box-Muller
+ * spare is part of the stream position, not just the xoshiro words).
+ */
+struct RngState {
+    uint64_t s[4];
+    double spare;
+    bool hasSpare;
+};
+
+/**
  * xoshiro256** PRNG with helpers for the distributions the simulator
  * needs. Small, fast, and statistically sound for simulation use.
  */
@@ -75,6 +86,12 @@ class Rng
 
     /** Random permutation of [0, n). */
     std::vector<uint32_t> permutation(uint32_t n);
+
+    /** Snapshot the full generator state (for serialization). */
+    RngState state() const;
+
+    /** Overwrite the generator state (restore counterpart). */
+    void setState(const RngState &st);
 
   private:
     uint64_t s[4];

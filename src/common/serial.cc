@@ -1,0 +1,104 @@
+#include "common/serial.hh"
+
+namespace vrex::serial
+{
+
+uint64_t
+fnv1a64(const uint8_t *data, size_t n)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+ByteWriter::ByteWriter(uint32_t version)
+{
+    put<uint32_t>(kBlobMagic);
+    put<uint32_t>(version);
+}
+
+void
+ByteWriter::putString(const std::string &s)
+{
+    put<uint64_t>(s.size());
+    const size_t at = buf.size();
+    buf.resize(at + s.size());
+    if (!s.empty())
+        std::memcpy(buf.data() + at, s.data(), s.size());
+}
+
+std::vector<uint8_t>
+ByteWriter::finish()
+{
+    const uint64_t sum = fnv1a64(buf.data(), buf.size());
+    put<uint64_t>(sum);
+    return std::move(buf);
+}
+
+ByteReader::ByteReader(const std::vector<uint8_t> &blob,
+                       uint32_t expect_version)
+    : data(blob.data()), pos(0), end(0)
+{
+    // Smallest possible blob: magic + version + checksum.
+    constexpr size_t kHeader = sizeof(uint32_t) * 2;
+    constexpr size_t kFooter = sizeof(uint64_t);
+    if (blob.size() < kHeader + kFooter)
+        throw SerialError("vrex::serial: blob too short (" +
+                          std::to_string(blob.size()) + " bytes)");
+
+    const size_t body = blob.size() - kFooter;
+    uint64_t stored;
+    std::memcpy(&stored, data + body, sizeof(stored));
+    if (stored != fnv1a64(data, body))
+        throw SerialError("vrex::serial: checksum mismatch "
+                          "(corrupted or truncated blob)");
+
+    end = body;
+    const uint32_t magic = get<uint32_t>();
+    if (magic != kBlobMagic)
+        throw SerialError("vrex::serial: bad magic (not a vrex "
+                          "session blob)");
+    const uint32_t version = get<uint32_t>();
+    if (version != expect_version)
+        throw SerialError(
+            "vrex::serial: unsupported blob version " +
+            std::to_string(version) + " (this build reads version " +
+            std::to_string(expect_version) + ")");
+}
+
+std::string
+ByteReader::getString()
+{
+    const uint64_t n = get<uint64_t>();
+    if (n > remaining())
+        throw SerialError(
+            "vrex::serial: truncated blob (string length " +
+            std::to_string(n) + " exceeds remaining payload)");
+    std::string s(reinterpret_cast<const char *>(data + pos),
+                  static_cast<size_t>(n));
+    pos += static_cast<size_t>(n);
+    return s;
+}
+
+void
+ByteReader::expectEnd() const
+{
+    if (pos != end)
+        throw SerialError("vrex::serial: " +
+                          std::to_string(end - pos) +
+                          " trailing payload bytes after restore");
+}
+
+void
+ByteReader::need(size_t n) const
+{
+    if (n > end - pos)
+        throw SerialError("vrex::serial: truncated blob (need " +
+                          std::to_string(n) + " bytes, have " +
+                          std::to_string(end - pos) + ")");
+}
+
+} // namespace vrex::serial

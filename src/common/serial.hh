@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Versioned, checksummed binary serialization for session state.
+ *
+ * The hibernation/migration path (StreamingSession::serialize /
+ * restore, serve::ColdStore) moves whole sessions as opaque byte
+ * blobs. The contract is *byte-exactness*: every float crosses the
+ * boundary via bit-preserving copies, so a restored session computes
+ * bit-identical results to one that never hibernated.
+ *
+ * Blob layout:
+ *
+ *     u32 magic  'VXSB'        (rejects foreign data early)
+ *     u32 version               (cross-version restores are refused)
+ *     ...payload...             (ByteWriter/ByteReader primitives)
+ *     u64 fnv1a64(everything above)
+ *
+ * ByteReader validates magic, version and checksum up front, so
+ * truncated or corrupted blobs fail with SerialError before any
+ * payload is interpreted. Numbers are stored in the host byte order
+ * (little-endian on every supported target); blobs are not an
+ * interchange format across differently-ordered architectures.
+ */
+
+#ifndef VREX_COMMON_SERIAL_HH
+#define VREX_COMMON_SERIAL_HH
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace vrex::serial
+{
+
+/** Any restore-side failure: truncation, corruption, bad version,
+ *  or a blob that does not match the restoring object's identity. */
+class SerialError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** FNV-1a 64-bit hash (the blob footer checksum). */
+uint64_t fnv1a64(const uint8_t *data, size_t n);
+
+/** Blob magic: 'V' 'X' 'S' 'B' (v-rex session blob). */
+inline constexpr uint32_t kBlobMagic = 0x42535856u;
+
+/** Appends primitives to a growing byte buffer. */
+class ByteWriter
+{
+  public:
+    /** Opens a blob: writes the magic + @p version header. */
+    explicit ByteWriter(uint32_t version);
+
+    template <typename T>
+    void
+    put(T value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "put() needs a trivially copyable type");
+        const size_t at = buf.size();
+        buf.resize(at + sizeof(T));
+        std::memcpy(buf.data() + at, &value, sizeof(T));
+    }
+
+    void putBool(bool value) { put<uint8_t>(value ? 1 : 0); }
+
+    void putString(const std::string &s);
+
+    /** Raw bytes, no length prefix (caller encodes the shape). */
+    void
+    putBytes(const void *p, size_t n)
+    {
+        const size_t at = buf.size();
+        buf.resize(at + n);
+        if (n > 0)
+            std::memcpy(buf.data() + at, p, n);
+    }
+
+    /** Length-prefixed vector of trivially copyable elements. */
+    template <typename T>
+    void
+    putVec(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "putVec() needs trivially copyable elements");
+        put<uint64_t>(v.size());
+        const size_t at = buf.size();
+        buf.resize(at + v.size() * sizeof(T));
+        if (!v.empty())
+            std::memcpy(buf.data() + at, v.data(),
+                        v.size() * sizeof(T));
+    }
+
+    /** Seals the blob: appends the checksum and returns the bytes.
+     *  The writer must not be reused afterwards. */
+    std::vector<uint8_t> finish();
+
+  private:
+    std::vector<uint8_t> buf;
+};
+
+/** Reads primitives back; throws SerialError on any overrun. */
+class ByteReader
+{
+  public:
+    /**
+     * Validates the header and footer of @p blob: magic, checksum,
+     * and that the stored version equals @p expect_version (a
+     * version mismatch is refused — state layouts are not forward or
+     * backward compatible).
+     */
+    ByteReader(const std::vector<uint8_t> &blob,
+               uint32_t expect_version);
+
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "get() needs a trivially copyable type");
+        need(sizeof(T));
+        T value;
+        std::memcpy(&value, data + pos, sizeof(T));
+        pos += sizeof(T);
+        return value;
+    }
+
+    bool getBool() { return get<uint8_t>() != 0; }
+
+    std::string getString();
+
+    /** Raw bytes, no length prefix (caller knows the shape). */
+    void
+    getBytes(void *p, size_t n)
+    {
+        need(n);
+        if (n > 0)
+            std::memcpy(p, data + pos, n);
+        pos += n;
+    }
+
+    template <typename T>
+    std::vector<T>
+    getVec()
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "getVec() needs trivially copyable elements");
+        const uint64_t n = get<uint64_t>();
+        // Guard the multiply: a corrupted length must not overflow
+        // into a small allocation.
+        if (n > remaining() / sizeof(T))
+            throw SerialError(
+                "vrex::serial: truncated blob (vector length " +
+                std::to_string(n) + " exceeds remaining payload)");
+        std::vector<T> v(static_cast<size_t>(n));
+        if (n > 0)
+            std::memcpy(v.data(), data + pos,
+                        static_cast<size_t>(n) * sizeof(T));
+        pos += static_cast<size_t>(n) * sizeof(T);
+        return v;
+    }
+
+    /** Payload bytes not yet consumed (excludes the footer). */
+    size_t remaining() const { return end - pos; }
+
+    /** Asserts the payload was consumed exactly. */
+    void expectEnd() const;
+
+  private:
+    void need(size_t n) const;
+
+    const uint8_t *data;
+    size_t pos;  //!< Next unread payload byte.
+    size_t end;  //!< One past the last payload byte (pre-footer).
+};
+
+} // namespace vrex::serial
+
+#endif // VREX_COMMON_SERIAL_HH

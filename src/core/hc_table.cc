@@ -1,5 +1,6 @@
 #include "core/hc_table.hh"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/logging.hh"
@@ -100,6 +101,55 @@ HCTable::clear()
     rows.clear();
     numTokens = 0;
     comparisons = 0;
+}
+
+void
+HCTable::serialize(serial::ByteWriter &w) const
+{
+    w.put<uint32_t>(keyDim);
+    w.put<uint32_t>(nBits);
+    w.put<uint32_t>(thHd);
+    w.put<uint32_t>(numTokens);
+    w.put<uint64_t>(comparisons);
+    w.put<uint64_t>(rows.size());
+    for (const auto &c : rows) {
+        w.putVec(c.signature.raw());
+        w.putVec(c.centroid);
+        w.putVec(c.tokenIdx);
+        w.putVec(c.bitOnes);
+    }
+}
+
+void
+HCTable::restore(serial::ByteReader &r)
+{
+    const uint32_t key_dim = r.get<uint32_t>();
+    const uint32_t n_bits = r.get<uint32_t>();
+    const uint32_t th_hd = r.get<uint32_t>();
+    if (key_dim != keyDim || n_bits != nBits || th_hd != thHd)
+        throw serial::SerialError(
+            "HCTable::restore: blob geometry mismatch");
+    numTokens = r.get<uint32_t>();
+    comparisons = r.get<uint64_t>();
+    const uint64_t n_rows = r.get<uint64_t>();
+    rows.clear();
+    for (uint64_t i = 0; i < n_rows; ++i) {
+        HashCluster c;
+        const std::vector<uint64_t> words = r.getVec<uint64_t>();
+        c.signature = BitSig(nBits);
+        if (words.size() != c.signature.raw().size())
+            throw serial::SerialError(
+                "HCTable::restore: signature width mismatch");
+        std::copy(words.begin(), words.end(),
+                  c.signature.rawMutable());
+        c.centroid = r.getVec<float>();
+        c.tokenIdx = r.getVec<uint32_t>();
+        c.bitOnes = r.getVec<uint32_t>();
+        if (c.centroid.size() != keyDim || c.bitOnes.size() != nBits)
+            throw serial::SerialError(
+                "HCTable::restore: cluster shape mismatch");
+        rows.push_back(std::move(c));
+    }
 }
 
 } // namespace vrex

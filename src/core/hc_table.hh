@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/bits.hh"
+#include "common/serial.hh"
 
 namespace vrex
 {
@@ -78,6 +79,15 @@ class HCTable
     uint64_t hammingComparisons() const { return comparisons; }
 
     void clear();
+
+    /**
+     * Serialize the clustering state (rows, counters). The geometry
+     * (key_dim, n_bits, th_hd) is NOT serialized — restore() runs on
+     * a table constructed with the same parameters and validates the
+     * blob against them.
+     */
+    void serialize(serial::ByteWriter &w) const;
+    void restore(serial::ByteReader &r);
 
   private:
     void refreshSignature(HashCluster &cluster);

@@ -219,4 +219,56 @@ ResvPolicy::totalHammingComparisons() const
     return n;
 }
 
+namespace
+{
+
+void
+serializeResvCounters(serial::ByteWriter &w, const ResvCounters &c)
+{
+    w.put<uint64_t>(c.predictionMacs);
+    w.put<uint64_t>(c.clustersScanned);
+    w.put<uint64_t>(c.clustersSelected);
+    w.put<uint64_t>(c.tokensSelected);
+    w.put<uint64_t>(c.pastTokens);
+    w.put<uint64_t>(c.wicsumScanned);
+    w.put<uint64_t>(c.selectCalls);
+}
+
+void
+restoreResvCounters(serial::ByteReader &r, ResvCounters &c)
+{
+    c.predictionMacs = r.get<uint64_t>();
+    c.clustersScanned = r.get<uint64_t>();
+    c.clustersSelected = r.get<uint64_t>();
+    c.tokensSelected = r.get<uint64_t>();
+    c.pastTokens = r.get<uint64_t>();
+    c.wicsumScanned = r.get<uint64_t>();
+    c.selectCalls = r.get<uint64_t>();
+}
+
+} // namespace
+
+void
+ResvPolicy::serializeState(serial::ByteWriter &w) const
+{
+    w.put<uint64_t>(tables.size());
+    for (const auto &tab : tables)
+        tab.serialize(w);
+    serializeResvCounters(w, frameCtr);
+    serializeResvCounters(w, textCtr);
+}
+
+void
+ResvPolicy::restoreState(serial::ByteReader &r)
+{
+    const uint64_t n = r.get<uint64_t>();
+    if (n != tables.size())
+        throw serial::SerialError(
+            "ResvPolicy::restoreState: table count mismatch");
+    for (auto &tab : tables)
+        tab.restore(r);
+    restoreResvCounters(r, frameCtr);
+    restoreResvCounters(r, textCtr);
+}
+
 } // namespace vrex

@@ -93,6 +93,10 @@ class ResvPolicy : public SelectionPolicy
     /** Total Hamming comparisons performed (HCU work). */
     uint64_t totalHammingComparisons() const;
 
+    /** HC tables + stage counters (encoder is seed-deterministic). */
+    void serializeState(serial::ByteWriter &w) const override;
+    void restoreState(serial::ByteReader &r) override;
+
   private:
     ResvCounters &countersFor(TokenStage stage);
 

@@ -1,0 +1,193 @@
+#include "kvstore/cold_store.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace vrex
+{
+
+// ---------------------------------------------------------------------
+// MemoryColdStore
+
+void
+MemoryColdStore::put(uint64_t key, const std::vector<uint8_t> &blob)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    xfer.offloadedBytes += blob.size();
+    ++xfer.touchedTokens;
+    blobs[key] = blob;
+}
+
+std::vector<uint8_t>
+MemoryColdStore::get(uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = blobs.find(key);
+    if (it == blobs.end())
+        throw std::out_of_range("MemoryColdStore: no blob for key " +
+                                std::to_string(key));
+    xfer.fetchedBytes += it->second.size();
+    ++xfer.fetchedTokens;
+    return it->second;
+}
+
+bool
+MemoryColdStore::contains(uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return blobs.count(key) > 0;
+}
+
+void
+MemoryColdStore::erase(uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    blobs.erase(key);
+}
+
+uint64_t
+MemoryColdStore::totalBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    uint64_t bytes = 0;
+    for (const auto &[key, blob] : blobs)
+        bytes += blob.size();
+    return bytes;
+}
+
+uint64_t
+MemoryColdStore::count() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return blobs.size();
+}
+
+TransferStats
+MemoryColdStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return xfer;
+}
+
+// ---------------------------------------------------------------------
+// FileColdStore
+
+FileColdStore::FileColdStore(std::string directory,
+                             std::string file_prefix)
+    : dir(std::move(directory)), prefix(std::move(file_prefix))
+{
+    VREX_ASSERT(!dir.empty(), "FileColdStore needs a directory");
+}
+
+std::string
+FileColdStore::pathFor(uint64_t key) const
+{
+    return dir + "/" + prefix + std::to_string(key) + ".blob";
+}
+
+void
+FileColdStore::put(uint64_t key, const std::vector<uint8_t> &blob)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    fs::create_directories(dir);
+    const std::string path = pathFor(key);
+    // Write-then-rename so a concurrent crash never leaves a torn
+    // blob under the final name (the checksum would catch it, but a
+    // clean store beats a detected-corrupt one).
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("FileColdStore: cannot write " +
+                                     tmp);
+        out.write(reinterpret_cast<const char *>(blob.data()),
+                  static_cast<std::streamsize>(blob.size()));
+        if (!out)
+            throw std::runtime_error("FileColdStore: short write to " +
+                                     tmp);
+    }
+    fs::rename(tmp, path);
+    xfer.offloadedBytes += blob.size();
+    ++xfer.touchedTokens;
+}
+
+std::vector<uint8_t>
+FileColdStore::get(uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const std::string path = pathFor(key);
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        throw std::out_of_range("FileColdStore: no blob for key " +
+                                std::to_string(key));
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    std::vector<uint8_t> blob(static_cast<size_t>(size));
+    in.read(reinterpret_cast<char *>(blob.data()), size);
+    if (!in)
+        throw std::runtime_error("FileColdStore: short read from " +
+                                 path);
+    xfer.fetchedBytes += blob.size();
+    ++xfer.fetchedTokens;
+    return blob;
+}
+
+bool
+FileColdStore::contains(uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::error_code ec;
+    return fs::exists(pathFor(key), ec);
+}
+
+void
+FileColdStore::erase(uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::error_code ec;
+    fs::remove(pathFor(key), ec);
+}
+
+uint64_t
+FileColdStore::totalBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::error_code ec;
+    uint64_t bytes = 0;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file(ec) &&
+            entry.path().extension() == ".blob")
+            bytes += entry.file_size(ec);
+    }
+    return bytes;
+}
+
+uint64_t
+FileColdStore::count() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::error_code ec;
+    uint64_t n = 0;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file(ec) &&
+            entry.path().extension() == ".blob")
+            ++n;
+    }
+    return n;
+}
+
+TransferStats
+FileColdStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return xfer;
+}
+
+} // namespace vrex

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Cold storage for hibernated session blobs.
+ *
+ * When the serve-layer KV budget evicts an idle session, the session
+ * serializes itself (pipeline/streaming_session) and the blob moves
+ * to a ColdStore — the session's KV leaves the hot tier entirely, not
+ * just the device window that HierarchicalKVCache models. The store
+ * reuses the Tier/TransferStats vocabulary so sim/{pcie,ssd}_model
+ * can price hibernate/wake traffic the same way they price KV
+ * offload/fetch traffic.
+ *
+ * Implementations must be safe for concurrent use from multiple
+ * engine workers.
+ */
+
+#ifndef VREX_KVSTORE_COLD_STORE_HH
+#define VREX_KVSTORE_COLD_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kvstore/hierarchical_cache.hh"
+
+namespace vrex
+{
+
+/** Key-value store of hibernated session blobs. */
+class ColdStore
+{
+  public:
+    virtual ~ColdStore() = default;
+
+    /** Store @p blob under @p key, replacing any previous blob. */
+    virtual void put(uint64_t key,
+                     const std::vector<uint8_t> &blob) = 0;
+
+    /** Fetch the blob stored under @p key.
+     *  @throws std::out_of_range when the key is absent. */
+    virtual std::vector<uint8_t> get(uint64_t key) const = 0;
+
+    virtual bool contains(uint64_t key) const = 0;
+
+    /** Drop the blob under @p key (no-op when absent). */
+    virtual void erase(uint64_t key) = 0;
+
+    /** Total bytes currently stored. */
+    virtual uint64_t totalBytes() const = 0;
+
+    /** Number of blobs currently stored. */
+    virtual uint64_t count() const = 0;
+
+    /** Which memory tier this store represents (pricing). */
+    virtual Tier tier() const = 0;
+
+    /**
+     * Cumulative traffic: offloadedBytes = bytes written by put(),
+     * fetchedBytes = bytes read by get(); the token counters carry
+     * blob counts (a hibernated session is one opaque unit, not a
+     * token stream).
+     */
+    virtual TransferStats stats() const = 0;
+};
+
+/** Cold store in host DRAM (Tier::CpuMem). */
+class MemoryColdStore : public ColdStore
+{
+  public:
+    void put(uint64_t key, const std::vector<uint8_t> &blob) override;
+    std::vector<uint8_t> get(uint64_t key) const override;
+    bool contains(uint64_t key) const override;
+    void erase(uint64_t key) override;
+    uint64_t totalBytes() const override;
+    uint64_t count() const override;
+    Tier tier() const override { return Tier::CpuMem; }
+    TransferStats stats() const override;
+
+  private:
+    mutable std::mutex mu;
+    std::map<uint64_t, std::vector<uint8_t>> blobs;
+    mutable TransferStats xfer;
+};
+
+/**
+ * Cold store on the filesystem (Tier::Storage): one file per blob
+ * under a directory, named <prefix><key>.blob. The directory is
+ * created on first put(). Files surviving a crash are picked up
+ * again — contains()/get() consult the filesystem, not memory.
+ */
+class FileColdStore : public ColdStore
+{
+  public:
+    explicit FileColdStore(std::string directory,
+                           std::string file_prefix = "session-");
+
+    void put(uint64_t key, const std::vector<uint8_t> &blob) override;
+    std::vector<uint8_t> get(uint64_t key) const override;
+    bool contains(uint64_t key) const override;
+    void erase(uint64_t key) override;
+    uint64_t totalBytes() const override;
+    uint64_t count() const override;
+    Tier tier() const override { return Tier::Storage; }
+    TransferStats stats() const override;
+
+    const std::string &directory() const { return dir; }
+
+  private:
+    std::string pathFor(uint64_t key) const;
+
+    std::string dir;
+    std::string prefix;
+    mutable std::mutex mu;
+    mutable TransferStats xfer;
+};
+
+} // namespace vrex
+
+#endif // VREX_KVSTORE_COLD_STORE_HH

@@ -22,8 +22,12 @@ HierarchicalKVCache::appendTokens(uint32_t count)
         firstResident = numTokens;
         return;
     }
+    // The constructor asserts bytesPerToken > 0, so the division is
+    // safe. A zero-byte capacity yields a zero-token window: every
+    // appended token spills immediately (write-through, same traffic
+    // as offloadAll but still honouring the capacity path).
     const uint64_t capacity_tokens =
-        bytesPerToken ? cfg.deviceKvCapacityBytes / bytesPerToken : 0;
+        cfg.deviceKvCapacityBytes / bytesPerToken;
     if (numTokens - firstResident > capacity_tokens) {
         uint32_t spill = numTokens - firstResident -
             static_cast<uint32_t>(capacity_tokens);
@@ -68,6 +72,33 @@ HierarchicalKVCache::clear()
     numTokens = 0;
     firstResident = 0;
     xfer = TransferStats{};
+}
+
+void
+HierarchicalKVCache::serialize(serial::ByteWriter &w) const
+{
+    w.put<uint64_t>(bytesPerToken);
+    w.put<uint32_t>(numTokens);
+    w.put<uint32_t>(firstResident);
+    w.put<uint64_t>(xfer.offloadedBytes);
+    w.put<uint64_t>(xfer.fetchedBytes);
+    w.put<uint64_t>(xfer.fetchedTokens);
+    w.put<uint64_t>(xfer.touchedTokens);
+}
+
+void
+HierarchicalKVCache::restore(serial::ByteReader &r)
+{
+    const uint64_t bpt = r.get<uint64_t>();
+    if (bpt != bytesPerToken)
+        throw serial::SerialError(
+            "HierarchicalKVCache::restore: bytes-per-token mismatch");
+    numTokens = r.get<uint32_t>();
+    firstResident = r.get<uint32_t>();
+    xfer.offloadedBytes = r.get<uint64_t>();
+    xfer.fetchedBytes = r.get<uint64_t>();
+    xfer.fetchedTokens = r.get<uint64_t>();
+    xfer.touchedTokens = r.get<uint64_t>();
 }
 
 } // namespace vrex

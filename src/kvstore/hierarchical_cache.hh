@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serial.hh"
+
 namespace vrex
 {
 
@@ -30,7 +32,10 @@ enum class Tier : uint8_t
 /** Capacity and offload-target configuration. */
 struct TierConfig
 {
-    uint64_t deviceKvCapacityBytes = 0;  //!< Budget for resident KV.
+    /** Budget for resident KV. Zero (the default) means a zero-token
+     *  device window: every appended token spills straight to the
+     *  offload target, equivalent traffic to offloadAll. */
+    uint64_t deviceKvCapacityBytes = 0;
     Tier offloadTarget = Tier::CpuMem;
     /** If true (FlexGen), every entry is offloaded regardless of
      *  capacity and the device holds no persistent window. */
@@ -64,6 +69,10 @@ class HierarchicalKVCache
     /**
      * Account one layer's attention access to @p tokens.
      *
+     * An empty @p tokens list is a no-op (legal on an empty cache);
+     * touching a token index >= totalTokens() is a caller bug and
+     * panics.
+     *
      * @param tokens                Global token indices accessed.
      * @param bytes_per_token_layer KV bytes per token for one layer.
      * @return Bytes fetched from the lower tier for this access.
@@ -81,6 +90,14 @@ class HierarchicalKVCache
     const TierConfig &config() const { return cfg; }
 
     void clear();
+
+    /**
+     * Serialize the residency window and transfer counters. The
+     * geometry (bytes-per-token, tier config) is NOT serialized;
+     * restore() validates the blob against this tracker's own.
+     */
+    void serialize(serial::ByteWriter &w) const;
+    void restore(serial::ByteReader &r);
 
   private:
     uint64_t bytesPerToken;

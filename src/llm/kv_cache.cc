@@ -79,4 +79,57 @@ KVCache::clear()
     numFrames = 0;
 }
 
+void
+KVCache::serialize(serial::ByteWriter &w) const
+{
+    w.put<uint32_t>(static_cast<uint32_t>(layers.size()));
+    for (const auto &l : layers) {
+        serializeMatrix(w, l.keys);
+        serializeMatrix(w, l.values);
+    }
+    // TokenMeta is written field-by-field: memcpy'ing the struct
+    // would embed uninitialized padding bytes, breaking the
+    // re-serialize == original-blob byte-equality contract.
+    w.put<uint64_t>(meta.size());
+    for (const auto &m : meta) {
+        w.put<int32_t>(m.frameId);
+        w.put<uint8_t>(static_cast<uint8_t>(m.stage));
+        w.put<uint32_t>(m.position);
+    }
+    w.put<uint32_t>(pendingTokens);
+    w.put<uint32_t>(numFrames);
+}
+
+void
+KVCache::restore(serial::ByteReader &r)
+{
+    const uint32_t n_layers = r.get<uint32_t>();
+    if (n_layers != layers.size())
+        throw serial::SerialError(
+            "KVCache::restore: blob has " + std::to_string(n_layers) +
+            " layers, cache is configured for " +
+            std::to_string(layers.size()));
+    for (auto &l : layers) {
+        l.keys = restoreMatrix(r);
+        l.values = restoreMatrix(r);
+    }
+    const uint64_t n_meta = r.get<uint64_t>();
+    // Each meta record is 9 payload bytes; reject a corrupted count
+    // before reserving.
+    if (n_meta > r.remaining() / 9)
+        throw serial::SerialError(
+            "KVCache::restore: truncated blob (meta count)");
+    meta.clear();
+    meta.reserve(static_cast<size_t>(n_meta));
+    for (uint64_t i = 0; i < n_meta; ++i) {
+        TokenMeta m;
+        m.frameId = r.get<int32_t>();
+        m.stage = static_cast<TokenStage>(r.get<uint8_t>());
+        m.position = r.get<uint32_t>();
+        meta.push_back(m);
+    }
+    pendingTokens = r.get<uint32_t>();
+    numFrames = r.get<uint32_t>();
+}
+
 } // namespace vrex

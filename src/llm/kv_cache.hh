@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serial.hh"
 #include "llm/config.hh"
 #include "tensor/matrix.hh"
 
@@ -80,6 +81,15 @@ class KVCache
 
     /** Drop all cached state. */
     void clear();
+
+    /**
+     * Serialize all layers, token metadata, and append-progress
+     * counters. restore() expects this cache to be constructed with
+     * an identical ModelConfig geometry (layer count is validated;
+     * per-layer shapes come from the blob).
+     */
+    void serialize(serial::ByteWriter &w) const;
+    void restore(serial::ByteReader &r);
 
   private:
     ModelConfig cfg;

@@ -125,4 +125,45 @@ Model::resetSession()
     lastHid.assign(cfg.dModel, 0.0f);
 }
 
+void
+Model::serializeState(serial::ByteWriter &w) const
+{
+    kv.serialize(w);
+    w.putVec(lastHid);
+    w.put<uint64_t>(blockHistory.size());
+    for (const auto &b : blockHistory) {
+        w.put<uint8_t>(static_cast<uint8_t>(b.stage));
+        w.put<uint32_t>(b.blockLen);
+        w.put<uint32_t>(b.pastLen);
+        w.putVec(b.layerRatios);
+        w.put<uint64_t>(b.selectedPerHead.size());
+        for (const auto &heads : b.selectedPerHead)
+            w.putVec(heads);
+    }
+}
+
+void
+Model::restoreState(serial::ByteReader &r)
+{
+    kv.restore(r);
+    lastHid = r.getVec<float>();
+    if (lastHid.size() != cfg.dModel)
+        throw serial::SerialError(
+            "Model::restoreState: lastHidden size mismatch");
+    const uint64_t n_blocks = r.get<uint64_t>();
+    blockHistory.clear();
+    for (uint64_t i = 0; i < n_blocks; ++i) {
+        BlockStats b;
+        b.stage = static_cast<TokenStage>(r.get<uint8_t>());
+        b.blockLen = r.get<uint32_t>();
+        b.pastLen = r.get<uint32_t>();
+        b.layerRatios = r.getVec<double>();
+        const uint64_t n_layers = r.get<uint64_t>();
+        b.selectedPerHead.clear();
+        for (uint64_t l = 0; l < n_layers; ++l)
+            b.selectedPerHead.push_back(r.getVec<uint32_t>());
+        blockHistory.push_back(std::move(b));
+    }
+}
+
 } // namespace vrex

@@ -80,6 +80,20 @@ class Model
     /** Reset the cache, the policy state, and history. */
     void resetSession();
 
+    /** The installed retrieval policy (nullptr = full attention). */
+    SelectionPolicy *policy() const { return selPolicy; }
+
+    /**
+     * Serialize the mutable model state: KV cache, last hidden
+     * state, and block history. Weights are NOT serialized — they
+     * are deterministic from (config, seed) and the restoring model
+     * must be constructed with the same pair. Policy state is
+     * serialized separately by the owner (the policy object lives
+     * outside the model).
+     */
+    void serializeState(serial::ByteWriter &w) const;
+    void restoreState(serial::ByteReader &r);
+
   private:
     ModelConfig cfg;
     KVCache kv;

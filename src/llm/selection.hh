@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serial.hh"
 #include "llm/kv_cache.hh"
 #include "tensor/matrix.hh"
 
@@ -89,6 +90,23 @@ class SelectionPolicy
 
     /** Reset per-session state (clustering tables etc.). */
     virtual void reset() {}
+
+    /**
+     * Serialize mutable per-session state (counters, clustering
+     * tables) for hibernation. Stateless policies keep the empty
+     * default. restoreState() runs on a freshly constructed policy
+     * of the same spec and must leave it bit-identical to the
+     * serialized one. Implementations must write/read a fixed byte
+     * layout so hibernate -> wake -> re-hibernate reproduces the
+     * original blob exactly.
+     */
+    virtual void serializeState(serial::ByteWriter &w) const
+    {
+        (void)w;
+    }
+
+    /** Counterpart of serializeState(); see its contract. */
+    virtual void restoreState(serial::ByteReader &r) { (void)r; }
 };
 
 /** The no-op policy: attend the full cache (vanilla / FlexGen). */

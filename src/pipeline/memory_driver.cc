@@ -103,4 +103,30 @@ MemoryTrackingPolicy::reset()
     replay = MemoryReplayStats{};
 }
 
+void
+MemoryTrackingPolicy::serializeState(serial::ByteWriter &w) const
+{
+    tiersState.serialize(w);
+    w.put<uint64_t>(replay.fetchedBytes);
+    w.put<uint64_t>(replay.offloadedBytes);
+    w.put<uint64_t>(replay.fetchEvents);
+    w.put<uint64_t>(replay.runsTimeOrder);
+    w.put<uint64_t>(replay.runsClustered);
+    w.put<uint64_t>(replay.selectedTokens);
+    inner->serializeState(w);
+}
+
+void
+MemoryTrackingPolicy::restoreState(serial::ByteReader &r)
+{
+    tiersState.restore(r);
+    replay.fetchedBytes = r.get<uint64_t>();
+    replay.offloadedBytes = r.get<uint64_t>();
+    replay.fetchEvents = r.get<uint64_t>();
+    replay.runsTimeOrder = r.get<uint64_t>();
+    replay.runsClustered = r.get<uint64_t>();
+    replay.selectedTokens = r.get<uint64_t>();
+    inner->restoreState(r);
+}
+
 } // namespace vrex

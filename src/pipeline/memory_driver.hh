@@ -69,6 +69,11 @@ class MemoryTrackingPolicy : public SelectionPolicy
 
     void reset() override;
 
+    /** Serializes the replay/tier accounting AND forwards to the
+     *  inner policy, so one call covers the whole decorator stack. */
+    void serializeState(serial::ByteWriter &w) const override;
+    void restoreState(serial::ByteReader &r) override;
+
     const MemoryReplayStats &stats() const { return replay; }
     const HierarchicalKVCache &hierarchy() const { return tiersState; }
 

@@ -26,6 +26,8 @@ StreamingSession::begin(const std::string &name,
     stream = std::make_unique<Stream>(video, vision_dim, cfg.dModel,
                                       seed ^ script_seed, seed, name);
 
+    streamName = name;
+    streamVideo = video;
     scriptSeed = script_seed;
     forced = std::move(forced_tokens);
     forcedPos = 0;
@@ -171,6 +173,158 @@ StreamingSession::run(const SessionScript &script,
     for (const auto &event : script.events)
         apply(event);
     return snapshot();
+}
+
+std::vector<uint8_t>
+StreamingSession::serialize() const
+{
+    serial::ByteWriter w(kBlobVersion);
+
+    // Identity block: validated (not applied) by restore().
+    w.put<uint64_t>(seed);
+    const ModelConfig &cfg = llm.config();
+    w.putString(cfg.name);
+    w.put<uint32_t>(cfg.nLayers);
+    w.put<uint32_t>(cfg.dModel);
+    w.put<uint32_t>(cfg.nHeads);
+    w.put<uint32_t>(cfg.nKvHeads);
+    w.put<uint32_t>(cfg.ffnDim);
+    w.put<uint32_t>(cfg.vocabSize);
+    w.put<float>(cfg.ropeTheta);
+    w.putBool(llm.policy() != nullptr);
+
+    // Stream block (absent before begin()).
+    w.putBool(stream != nullptr);
+    if (stream) {
+        w.putString(streamName);
+        w.put<uint32_t>(streamVideo.tokensPerFrame);
+        w.put<uint32_t>(streamVideo.latentDim);
+        w.put<double>(streamVideo.driftRate);
+        w.put<double>(streamVideo.sceneCutProb);
+        w.put<double>(streamVideo.tokenNoise);
+        w.put<double>(streamVideo.tokenIdentity);
+        w.put<uint64_t>(scriptSeed);
+        stream->gen.serialize(w);
+    }
+
+    // Executor position.
+    w.putVec(forced);
+    w.put<uint32_t>(forcedPos);
+    w.put<int32_t>(frameId);
+    w.put<uint32_t>(questionNo);
+
+    // Model mutable state (KV cache, last hidden, history).
+    llm.serializeState(w);
+
+    // Retrieval-policy state (the full decorator stack forwards).
+    if (llm.policy())
+        llm.policy()->serializeState(w);
+
+    // Snapshot accumulators.
+    w.putVec(generatedTokens);
+    w.put<uint64_t>(logitsPerStep.size());
+    for (const auto &step : logitsPerStep)
+        w.putVec(step);
+    w.put<uint64_t>(ratioSums.size());
+    for (const auto &layer : ratioSums)
+        w.putVec(layer);
+    w.put<uint32_t>(ratioBlocks);
+    w.put<uint32_t>(framesFed);
+    w.put<double>(frameSum);
+    w.put<double>(textSum);
+    w.put<uint32_t>(frameN);
+    w.put<uint32_t>(textN);
+
+    return w.finish();
+}
+
+void
+StreamingSession::restore(const std::vector<uint8_t> &blob)
+{
+    serial::ByteReader r(blob, kBlobVersion);
+
+    // Identity block.
+    const uint64_t blob_seed = r.get<uint64_t>();
+    if (blob_seed != seed)
+        throw serial::SerialError(
+            "StreamingSession::restore: seed mismatch (blob " +
+            std::to_string(blob_seed) + ", session " +
+            std::to_string(seed) + ")");
+    const ModelConfig &cfg = llm.config();
+    const std::string blob_model = r.getString();
+    const bool geom_ok = blob_model == cfg.name &&
+        r.get<uint32_t>() == cfg.nLayers &&
+        r.get<uint32_t>() == cfg.dModel &&
+        r.get<uint32_t>() == cfg.nHeads &&
+        r.get<uint32_t>() == cfg.nKvHeads &&
+        r.get<uint32_t>() == cfg.ffnDim &&
+        r.get<uint32_t>() == cfg.vocabSize &&
+        r.get<float>() == cfg.ropeTheta;
+    if (!geom_ok)
+        throw serial::SerialError(
+            "StreamingSession::restore: model geometry mismatch "
+            "(blob was serialized from model '" + blob_model + "')");
+    const bool blob_has_policy = r.getBool();
+    if (blob_has_policy != (llm.policy() != nullptr))
+        throw serial::SerialError(
+            "StreamingSession::restore: policy presence mismatch "
+            "(blob and session must carry the same policy spec)");
+
+    // Stream block: rebuild exactly as begin() does, then overlay
+    // the serialized generator position.
+    if (r.getBool()) {
+        streamName = r.getString();
+        streamVideo.tokensPerFrame = r.get<uint32_t>();
+        streamVideo.latentDim = r.get<uint32_t>();
+        streamVideo.driftRate = r.get<double>();
+        streamVideo.sceneCutProb = r.get<double>();
+        streamVideo.tokenNoise = r.get<double>();
+        streamVideo.tokenIdentity = r.get<double>();
+        scriptSeed = r.get<uint64_t>();
+        const uint32_t vision_dim = std::max(32u, cfg.dModel / 4);
+        stream = std::make_unique<Stream>(streamVideo, vision_dim,
+                                          cfg.dModel,
+                                          seed ^ scriptSeed, seed,
+                                          streamName);
+        stream->gen.restore(r);
+    } else {
+        stream.reset();
+        streamName.clear();
+        streamVideo = VideoConfig{};
+        scriptSeed = 0;
+    }
+
+    // Executor position.
+    forced = r.getVec<uint32_t>();
+    forcedPos = r.get<uint32_t>();
+    frameId = r.get<int32_t>();
+    questionNo = r.get<uint32_t>();
+
+    // Model mutable state.
+    llm.restoreState(r);
+
+    // Policy state.
+    if (llm.policy())
+        llm.policy()->restoreState(r);
+
+    // Snapshot accumulators.
+    generatedTokens = r.getVec<uint32_t>();
+    const uint64_t n_steps = r.get<uint64_t>();
+    logitsPerStep.clear();
+    for (uint64_t i = 0; i < n_steps; ++i)
+        logitsPerStep.push_back(r.getVec<float>());
+    const uint64_t n_layers = r.get<uint64_t>();
+    ratioSums.clear();
+    for (uint64_t i = 0; i < n_layers; ++i)
+        ratioSums.push_back(r.getVec<double>());
+    ratioBlocks = r.get<uint32_t>();
+    framesFed = r.get<uint32_t>();
+    frameSum = r.get<double>();
+    textSum = r.get<double>();
+    frameN = r.get<uint32_t>();
+    textN = r.get<uint32_t>();
+
+    r.expectEnd();
 }
 
 } // namespace vrex

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serial.hh"
 #include "llm/model.hh"
 #include "video/vision_tower.hh"
 #include "video/workload.hh"
@@ -118,6 +119,46 @@ class StreamingSession
     Model &model() { return llm; }
     const Model &model() const { return llm; }
 
+    /** Version of the serialize() blob layout. */
+    static constexpr uint32_t kBlobVersion = 1;
+
+    /**
+     * Serialize the complete session state into a versioned,
+     * checksummed blob: stream position (video RNG, scene state),
+     * KV cache + token metadata, executor position (forced tokens,
+     * frame/question counters), retrieval-policy state, and the
+     * snapshot accumulators.
+     *
+     * Weights are not serialized — they are deterministic from the
+     * construction pair (model config, seed), which restore()
+     * validates. The installed policy's *state* is included (via
+     * SelectionPolicy::serializeState); the policy object itself is
+     * identity the owner must recreate before restoring.
+     *
+     * Contract: restoring onto a freshly constructed equivalent
+     * session yields a bit-identical continuation — every subsequent
+     * verb and snapshot() matches a session that never serialized.
+     * Re-serializing a restored session reproduces the original blob
+     * byte for byte.
+     */
+    std::vector<uint8_t> serialize() const;
+
+    /**
+     * Counterpart of serialize(). Must be called on a session
+     * constructed with the same (model config, policy spec, seed);
+     * begin() is not required first. Throws serial::SerialError on
+     * corrupted/truncated blobs, version mismatch, or identity
+     * mismatch (seed, model geometry, policy presence).
+     */
+    void restore(const std::vector<uint8_t> &blob);
+
+    /** Current KV working-set bytes (the hibernation currency). */
+    uint64_t
+    kvBytes(double bytes_per_elem = 2.0) const
+    {
+        return llm.cache().totalBytes(bytes_per_elem);
+    }
+
   private:
     void accumulate(const BlockStats &stats);
 
@@ -143,6 +184,8 @@ class StreamingSession
     std::unique_ptr<Stream> stream;
 
     // Incremental run state (reset by begin()).
+    std::string streamName;   //!< Stream identity, for serialize().
+    VideoConfig streamVideo;  //!< Stream identity, for serialize().
     uint64_t scriptSeed = 0;
     std::vector<uint32_t> forced;
     uint32_t forcedPos = 0;

@@ -36,6 +36,24 @@ struct BaselineCounters
             ? static_cast<double>(tokensSelected) / pastTokens
             : 1.0;
     }
+
+    void
+    serialize(serial::ByteWriter &w) const
+    {
+        w.put<uint64_t>(predictionMacs);
+        w.put<uint64_t>(tokensSelected);
+        w.put<uint64_t>(pastTokens);
+        w.put<uint64_t>(selectCalls);
+    }
+
+    void
+    restore(serial::ByteReader &r)
+    {
+        predictionMacs = r.get<uint64_t>();
+        tokensSelected = r.get<uint64_t>();
+        pastTokens = r.get<uint64_t>();
+        selectCalls = r.get<uint64_t>();
+    }
 };
 
 /** FlexGen: offloads everything and fetches everything back. */
@@ -59,6 +77,20 @@ class FlexGenPolicy : public SelectionPolicy
     const BaselineCounters &textCounters() const { return textCtr; }
 
     void reset() override { frameCtr = {}; textCtr = {}; }
+
+    void
+    serializeState(serial::ByteWriter &w) const override
+    {
+        frameCtr.serialize(w);
+        textCtr.serialize(w);
+    }
+
+    void
+    restoreState(serial::ByteReader &r) override
+    {
+        frameCtr.restore(r);
+        textCtr.restore(r);
+    }
 
   private:
     BaselineCounters frameCtr, textCtr;
@@ -95,6 +127,22 @@ class InfiniGenPolicy : public SelectionPolicy
     const BaselineCounters &textCounters() const { return textCtr; }
     const InfiniGenConfig &config() const { return cfg; }
 
+    // The projection matrix is deterministic from cfg.seed; only the
+    // counters are mutable session state.
+    void
+    serializeState(serial::ByteWriter &w) const override
+    {
+        frameCtr.serialize(w);
+        textCtr.serialize(w);
+    }
+
+    void
+    restoreState(serial::ByteReader &r) override
+    {
+        frameCtr.restore(r);
+        textCtr.restore(r);
+    }
+
   private:
     ModelConfig model;
     InfiniGenConfig cfg;
@@ -126,6 +174,20 @@ class ReKVPolicy : public SelectionPolicy
 
     const BaselineCounters &frameCounters() const { return frameCtr; }
     const BaselineCounters &textCounters() const { return textCtr; }
+
+    void
+    serializeState(serial::ByteWriter &w) const override
+    {
+        frameCtr.serialize(w);
+        textCtr.serialize(w);
+    }
+
+    void
+    restoreState(serial::ByteReader &r) override
+    {
+        frameCtr.restore(r);
+        textCtr.restore(r);
+    }
 
   private:
     ModelConfig model;

@@ -1,6 +1,7 @@
 #include "serve/engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/logging.hh"
@@ -25,7 +26,11 @@ Engine::Engine(EngineConfig config)
             [this](Scheduler::Key key,
                    const std::vector<SessionEvent> &batch) {
                 runItems(key, batch);
-            })
+            }),
+      coldStore(cfg.kvBudget.store
+                    ? cfg.kvBudget.store
+                    : std::make_shared<MemoryColdStore>()),
+      budget(cfg.kvBudget)
 {
 }
 
@@ -41,14 +46,14 @@ Engine::~Engine()
     // session (or the scheduler) when they go away.
 }
 
-StreamingSession *
-Engine::execFor(SessionId id)
+Engine::Session *
+Engine::sessionFor(SessionId id)
 {
     std::lock_guard<std::mutex> lock(smu);
     auto it = sessions.find(id);
     VREX_ASSERT(it != sessions.end(),
                 "scheduler dispatched an unknown session");
-    return it->second->exec.get();
+    return it->second.get();
 }
 
 void
@@ -56,9 +61,17 @@ Engine::runItems(SessionId id, const std::vector<SessionEvent> &batch)
 {
     // Exclusive access: the scheduler never dispatches one session
     // on two workers, and close/pin wait for idleness.
-    StreamingSession *exec = execFor(id);
+    Session *s = sessionFor(id);
+    if (s->hibernated)
+        wakeSession(id, *s);
+    StreamingSession *exec = s->exec.get();
     for (const SessionEvent &event : batch)
         exec->apply(event);
+    if (budget.enabled()) {
+        budget.onExecuted(
+            id, exec->kvBytes(budget.config().bytesPerElem));
+        enforceBudget(id);
+    }
 }
 
 Admission
@@ -102,6 +115,8 @@ Engine::tryCreateSession(const SessionOptions &options)
         sched.remove(id);
         throw;
     }
+    if (budget.enabled())
+        budget.onAdmit(id, options.schedClass);
     Admission a;
     a.id = id;
     return a;
@@ -255,6 +270,87 @@ Engine::pinOrThrow(SessionId id)
             std::to_string(id));
 }
 
+namespace
+{
+
+uint64_t
+elapsedNs(std::chrono::steady_clock::time_point since)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - since)
+            .count());
+}
+
+} // namespace
+
+void
+Engine::wakeSession(SessionId id, Session &s)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<uint8_t> blob = coldStore->get(id);
+    // Rebuild exactly what tryCreateSession built — weights, policy
+    // and RNG streams are deterministic from (config, seed), so only
+    // the blob's state overlay distinguishes this from a fresh
+    // session. restore() validates the identity and is bit-exact.
+    const SessionOptions &options = s.options;
+    const PolicySpec &spec =
+        options.policy ? *options.policy : cfg.policy;
+    const uint64_t seed =
+        options.sessionSeed ? *options.sessionSeed : cfg.sessionSeed;
+    const PolicyFactory &factory =
+        cfg.factory ? *cfg.factory : PolicyFactory::global();
+    s.policy = factory.make(cfg.model, spec);
+    s.exec = std::make_unique<StreamingSession>(
+        cfg.model, s.policy.active(), seed);
+    s.exec->restore(blob);
+    s.hibernated = false;
+    coldStore->erase(id);
+    budget.markWoken(id,
+                     s.exec->kvBytes(budget.config().bytesPerElem),
+                     blob.size(), elapsedNs(t0));
+}
+
+void
+Engine::hibernateSession(SessionId id, Session &s)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<uint8_t> blob = s.exec->serialize();
+    coldStore->put(id, blob);
+    s.exec.reset();
+    s.policy = PolicyInstance{};
+    s.hibernated = true;
+    budget.markHibernated(id, blob.size(), elapsedNs(t0));
+}
+
+void
+Engine::enforceBudget(SessionId self)
+{
+    while (budget.overBudget()) {
+        bool progressed = false;
+        for (SessionId victim : budget.victims(self)) {
+            if (!budget.overBudget())
+                return;
+            // Non-blocking: a busy victim is skipped, not awaited —
+            // the dispatch path must never stall behind a peer.
+            if (!sched.tryPinIdle(victim))
+                continue;
+            PinGuard pin(sched, victim);
+            // The pin blocks closeSession's sched.remove() until we
+            // unpin, so the session is still in the map.
+            Session &s = pinnedSession(victim);
+            if (s.hibernated)
+                continue;
+            hibernateSession(victim, s);
+            progressed = true;
+        }
+        // Every remaining candidate is busy (or gone): give up this
+        // sweep; the next slice's enforcement tries again.
+        if (!progressed)
+            return;
+    }
+}
+
 SessionRunResult
 Engine::result(SessionId id)
 {
@@ -263,7 +359,10 @@ Engine::result(SessionId id)
     // keep scheduling. Events enqueued meanwhile run after unpin.
     pinOrThrow(id);
     PinGuard pin(sched, id);
-    return pinnedSession(id).exec->snapshot();
+    Session &s = pinnedSession(id);
+    if (s.hibernated)
+        wakeSession(id, s);
+    return s.exec->snapshot();
 }
 
 void
@@ -273,8 +372,13 @@ Engine::closeSession(SessionId id)
         throw std::out_of_range(
             "vrex::serve::Engine: unknown or closed session id " +
             std::to_string(id));
-    std::lock_guard<std::mutex> lock(smu);
-    sessions.erase(id);
+    {
+        std::lock_guard<std::mutex> lock(smu);
+        sessions.erase(id);
+    }
+    // A hibernated session closes without waking: just drop the blob.
+    budget.onClose(id);
+    coldStore->erase(id);
 }
 
 size_t
@@ -291,6 +395,7 @@ Engine::setClass(SessionId id, SchedClass cls)
         throw std::out_of_range(
             "vrex::serve::Engine: unknown or closed session id " +
             std::to_string(id));
+    budget.setClass(id, cls);
 }
 
 void
@@ -308,7 +413,9 @@ Engine::resume()
 Stats
 Engine::stats() const
 {
-    return sched.stats();
+    Stats s = sched.stats();
+    s.kv = budget.snapshot(*coldStore);
+    return s;
 }
 
 QueueStats
@@ -322,7 +429,10 @@ Engine::model(SessionId id)
 {
     pinOrThrow(id);
     PinGuard pin(sched, id);
-    return pinnedSession(id).exec->model();
+    Session &s = pinnedSession(id);
+    if (s.hibernated)
+        wakeSession(id, s);
+    return s.exec->model();
 }
 
 const PolicyInstance &
@@ -330,7 +440,10 @@ Engine::policy(SessionId id)
 {
     pinOrThrow(id);
     PinGuard pin(sched, id);
-    return pinnedSession(id).policy;
+    Session &s = pinnedSession(id);
+    if (s.hibernated)
+        wakeSession(id, s);
+    return s.policy;
 }
 
 const MemoryReplayStats *
@@ -339,6 +452,8 @@ Engine::memoryStats(SessionId id)
     pinOrThrow(id);
     PinGuard pin(sched, id);
     Session &s = pinnedSession(id);
+    if (s.hibernated)
+        wakeSession(id, s);
     return s.policy.memory() ? &s.policy.memory()->stats() : nullptr;
 }
 

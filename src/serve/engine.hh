@@ -52,6 +52,22 @@
  * (actor style), so per-session determinism is independent of the
  * slice size, worker count, and cross-session interleaving.
  * result()/model()/policy() block until the session is drained.
+ *
+ * Session hibernation (PR 7): when `EngineConfig::kvBudget.budgetBytes`
+ * is non-zero, the engine tracks every session's KV working set and,
+ * whenever the resident total overflows the budget, hibernates idle
+ * sessions — serializing their full state (StreamingSession::
+ * serialize) into a ColdStore and releasing model, policy and KV
+ * cache. Victims are picked least-recently-executed first, Bulk class
+ * before Interactive; busy sessions are skipped, never waited for.
+ * The next verb (or drained accessor) wakes the session
+ * transparently: the blob is fetched, the model/policy rebuilt from
+ * config + seed, and state restored bit-exactly, so a hibernated
+ * session's results are byte-identical to an uninterrupted run
+ * (locked by tests/hibernate_test.cc). With the default budget of 0
+ * nothing changes: no accounting, no hibernation, the pre-PR-7
+ * engine. Stats::kv reports resident/cold bytes, transition counts
+ * and hibernate/wake latency percentiles.
  */
 
 #ifndef VREX_SERVE_ENGINE_HH
@@ -66,8 +82,10 @@
 #include <string>
 #include <vector>
 
+#include "kvstore/cold_store.hh"
 #include "pipeline/accuracy_eval.hh"
 #include "pipeline/streaming_session.hh"
+#include "serve/kv_budget.hh"
 #include "serve/policy_factory.hh"
 #include "serve/scheduler.hh"
 #include "serve/stats.hh"
@@ -128,6 +146,9 @@ struct EngineConfig
     /** Policy registry override; PolicyFactory::global() when null.
      *  Must outlive the engine. */
     const PolicyFactory *factory = nullptr;
+    /** KV working-set budget + hibernation knobs. Default (budget 0)
+     *  disables hibernation entirely. */
+    KvBudgetConfig kvBudget;
 };
 
 /** Per-session creation parameters. */
@@ -308,19 +329,39 @@ class Engine
         SessionOptions options;
         PolicyInstance policy;
         std::unique_ptr<StreamingSession> exec;
+        /** True while the session state lives in the cold store
+         *  (exec and policy are released). Only touched with
+         *  exclusive access to the session (running or pinned). */
+        bool hibernated = false;
     };
 
     /** Executes one dispatch slice (Scheduler callback). */
     void runItems(SessionId id,
                   const std::vector<SessionEvent> &batch);
-    StreamingSession *execFor(SessionId id);
+    Session *sessionFor(SessionId id);
     Session &pinnedSession(SessionId id);
     /** pinWhenIdle or std::out_of_range for unknown/closed ids. */
     void pinOrThrow(SessionId id);
 
+    // Hibernation transitions. Callers hold exclusive access to the
+    // session (it is running on this worker, or pinned by us).
+    /** Rebuild model/policy from config + seed and restore the cold
+     *  blob bit-exactly; erases the blob on success. */
+    void wakeSession(SessionId id, Session &s);
+    /** Serialize into the cold store, release exec + policy. */
+    void hibernateSession(SessionId id, Session &s);
+    /** Hibernate idle victims (skipping @p self and busy sessions)
+     *  until the resident set fits the budget or no candidate can be
+     *  pinned. */
+    void enforceBudget(SessionId self);
+
     EngineConfig cfg;
     ThreadPool pool;
     Scheduler sched;
+    /** Cold store for hibernated blobs (config's, or an owned
+     *  MemoryColdStore). */
+    std::shared_ptr<ColdStore> coldStore;
+    KvBudget budget;
 
     mutable std::mutex smu; //!< Guards `sessions` and `nextId` only.
     std::map<SessionId, std::unique_ptr<Session>> sessions;

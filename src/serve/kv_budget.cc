@@ -1,0 +1,165 @@
+#include "serve/kv_budget.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vrex::serve
+{
+
+void
+KvBudget::onAdmit(Key key, SchedClass cls)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Entry &e = entries[key];
+    e.kvBytes = 0;
+    e.tick = ++clock;
+    e.cls = cls;
+    e.hibernated = false;
+}
+
+void
+KvBudget::onExecuted(Key key, uint64_t kv_bytes)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    if (it == entries.end())
+        return;
+    Entry &e = it->second;
+    VREX_ASSERT(!e.hibernated,
+                "onExecuted for a hibernated session (wake first)");
+    resident += kv_bytes - e.kvBytes;
+    e.kvBytes = kv_bytes;
+    e.tick = ++clock;
+}
+
+void
+KvBudget::onClose(Key key)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    if (it == entries.end())
+        return;
+    if (!it->second.hibernated)
+        resident -= it->second.kvBytes;
+    entries.erase(it);
+}
+
+void
+KvBudget::setClass(Key key, SchedClass cls)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    if (it != entries.end())
+        it->second.cls = cls;
+}
+
+void
+KvBudget::markHibernated(Key key, uint64_t blob_bytes, uint64_t ns)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    VREX_ASSERT(it != entries.end() && !it->second.hibernated,
+                "markHibernated on unknown or hibernated session");
+    resident -= it->second.kvBytes;
+    it->second.hibernated = true;
+    ++hibernates;
+    hibernatedBlobBytes += blob_bytes;
+    hibernateLatency.add(ns);
+}
+
+void
+KvBudget::markWoken(Key key, uint64_t kv_bytes, uint64_t blob_bytes,
+                    uint64_t ns)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    VREX_ASSERT(it != entries.end() && it->second.hibernated,
+                "markWoken on unknown or resident session");
+    Entry &e = it->second;
+    e.hibernated = false;
+    e.kvBytes = kv_bytes;
+    e.tick = ++clock;
+    resident += kv_bytes;
+    ++wakes;
+    wokenBlobBytes += blob_bytes;
+    wakeLatency.add(ns);
+}
+
+bool
+KvBudget::hibernated(Key key) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    return it != entries.end() && it->second.hibernated;
+}
+
+uint64_t
+KvBudget::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return resident;
+}
+
+bool
+KvBudget::overBudget() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return cfg.budgetBytes > 0 && resident > cfg.budgetBytes;
+}
+
+std::vector<KvBudget::Key>
+KvBudget::victims(Key exclude) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    struct Candidate
+    {
+        Key key;
+        uint64_t tick;
+        SchedClass cls;
+    };
+    std::vector<Candidate> cands;
+    cands.reserve(entries.size());
+    for (const auto &[key, e] : entries) {
+        if (key == exclude || e.hibernated || e.kvBytes == 0)
+            continue;
+        cands.push_back({key, e.tick, e.cls});
+    }
+    // Bulk before Interactive; LRU (oldest tick) within a class.
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.cls != b.cls)
+                      return a.cls == SchedClass::Bulk;
+                  return a.tick < b.tick;
+              });
+    std::vector<Key> out;
+    out.reserve(cands.size());
+    for (const Candidate &c : cands)
+        out.push_back(c.key);
+    return out;
+}
+
+KvBudgetStats
+KvBudget::snapshot(const ColdStore &store) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    KvBudgetStats s;
+    s.budgetBytes = cfg.budgetBytes;
+    s.residentBytes = resident;
+    for (const auto &[key, e] : entries) {
+        if (e.hibernated)
+            ++s.hibernatedSessions;
+        else
+            ++s.residentSessions;
+    }
+    s.coldBytes = store.totalBytes();
+    s.hibernates = hibernates;
+    s.wakes = wakes;
+    s.hibernatedBytes = hibernatedBlobBytes;
+    s.wokenBytes = wokenBlobBytes;
+    s.hibernateLatency = hibernateLatency;
+    s.wakeLatency = wakeLatency;
+    return s;
+}
+
+} // namespace vrex::serve

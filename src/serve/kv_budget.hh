@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Engine-level KV working-set budget and hibernation bookkeeping.
+ *
+ * KvBudget tracks every open session's KV bytes against a configured
+ * budget and decides, when the resident set overflows, which idle
+ * sessions to hibernate: least-recently-executed first, Bulk-class
+ * sessions before Interactive ones (background ingest pays the wake
+ * penalty before latency-sensitive chat does). The Engine performs
+ * the actual serialize/cold-store/restore transitions — this class
+ * is pure accounting plus victim selection, so it can be tested
+ * deterministically without an engine.
+ *
+ * Recency is a logical tick (incremented per recorded execution),
+ * not wall clock, so victim order is deterministic for a given
+ * execution order.
+ *
+ * With budgetBytes = 0 (the default) the budget is unlimited: no
+ * session ever hibernates and the engine behaves exactly as before
+ * the budget existed.
+ */
+
+#ifndef VREX_SERVE_KV_BUDGET_HH
+#define VREX_SERVE_KV_BUDGET_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "kvstore/cold_store.hh"
+#include "serve/stats.hh"
+
+namespace vrex::serve
+{
+
+/** KV-budget / hibernation knobs (EngineConfig::kvBudget). */
+struct KvBudgetConfig
+{
+    /** Max KV bytes resident across all sessions; 0 = unlimited
+     *  (hibernation disabled — the pre-budget engine behavior). */
+    uint64_t budgetBytes = 0;
+    /** KV element precision used to price a session's working set
+     *  (matches KVCache::totalBytes). */
+    double bytesPerElem = 2.0;
+    /** Cold store for hibernated session blobs. When null the
+     *  engine owns a MemoryColdStore (host-DRAM tier). Shared so
+     *  callers can keep a handle for inspection or persistence. */
+    std::shared_ptr<ColdStore> store;
+};
+
+/** Accounting + victim selection for session hibernation. */
+class KvBudget
+{
+  public:
+    using Key = uint64_t;
+
+    explicit KvBudget(const KvBudgetConfig &config) : cfg(config) {}
+
+    bool enabled() const { return cfg.budgetBytes > 0; }
+    const KvBudgetConfig &config() const { return cfg; }
+
+    /** Register a new resident session. */
+    void onAdmit(Key key, SchedClass cls);
+
+    /** Record a dispatch slice: update the session's KV bytes and
+     *  bump its recency tick. (The class is tracked separately via
+     *  onAdmit/setClass — slices do not change it.) */
+    void onExecuted(Key key, uint64_t kv_bytes);
+
+    /** Forget the session entirely (closeSession). */
+    void onClose(Key key);
+
+    /** Track a mid-stream scheduling-class change (affects victim
+     *  ordering only). No-op on unknown keys. */
+    void setClass(Key key, SchedClass cls);
+
+    /** Transition @p key to hibernated: its KV bytes leave the
+     *  resident set; @p blob_bytes and @p ns feed the counters. */
+    void markHibernated(Key key, uint64_t blob_bytes, uint64_t ns);
+
+    /** Transition @p key back to resident with @p kv_bytes of KV
+     *  (also bumps recency — the waking verb is an execution). */
+    void markWoken(Key key, uint64_t kv_bytes, uint64_t blob_bytes,
+                   uint64_t ns);
+
+    /** True when @p key is currently hibernated. */
+    bool hibernated(Key key) const;
+
+    /** Resident KV bytes across all non-hibernated sessions. */
+    uint64_t residentBytes() const;
+
+    /** True when the budget is enabled and the resident set
+     *  (excluding nothing) exceeds it. */
+    bool overBudget() const;
+
+    /**
+     * Hibernation candidates, in eviction order: Bulk sessions
+     * least-recently-executed first, then Interactive likewise.
+     * Excludes @p exclude (the caller's own session — it is running
+     * and could never be pinned anyway) and already-hibernated
+     * sessions. The caller must still tryPinIdle() each candidate:
+     * busy sessions are skipped, not waited for.
+     */
+    std::vector<Key> victims(Key exclude) const;
+
+    /** Snapshot (cold-store numbers come from @p store). */
+    KvBudgetStats snapshot(const ColdStore &store) const;
+
+  private:
+    struct Entry
+    {
+        uint64_t kvBytes = 0;
+        uint64_t tick = 0;
+        SchedClass cls = SchedClass::Interactive;
+        bool hibernated = false;
+    };
+
+    KvBudgetConfig cfg;
+    mutable std::mutex mu;
+    std::map<Key, Entry> entries;
+    uint64_t clock = 0;       //!< Logical recency tick.
+    uint64_t resident = 0;    //!< Sum of non-hibernated kvBytes.
+    uint64_t hibernates = 0;
+    uint64_t wakes = 0;
+    uint64_t hibernatedBlobBytes = 0;
+    uint64_t wokenBlobBytes = 0;
+    LatencyHistogram hibernateLatency;
+    LatencyHistogram wakeLatency;
+};
+
+} // namespace vrex::serve
+
+#endif // VREX_SERVE_KV_BUDGET_HH

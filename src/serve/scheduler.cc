@@ -399,6 +399,17 @@ Scheduler::pinWhenIdle(Key key)
     return true;
 }
 
+bool
+Scheduler::tryPinIdle(Key key)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Queue *q = find(key);
+    if (!q || !idleLocked(*q))
+        return false;
+    q->pinned = true;
+    return true;
+}
+
 void
 Scheduler::unpin(Key key)
 {

@@ -138,6 +138,13 @@ class Scheduler
      *  the session state. False when the key vanished. */
     bool pinWhenIdle(Key key);
 
+    /** Non-blocking pinWhenIdle(): pin @p key only if it is idle
+     *  *right now* (drained, not running, not pinned). False when
+     *  the key is unknown or busy — never waits. The hibernation
+     *  sweep uses this to pass over busy sessions instead of
+     *  stalling the dispatch path behind them. */
+    bool tryPinIdle(Key key);
+
     /** Release a pinWhenIdle() pin and reschedule queued work. */
     void unpin(Key key);
 

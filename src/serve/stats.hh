@@ -198,6 +198,35 @@ struct QueueStats
     LatencyHistogram serviceHist;
 };
 
+/**
+ * KV-budget / session-hibernation snapshot (Engine::stats()::kv).
+ * All byte values are logical; the latency histograms are wall-clock
+ * observability only (assert on samples(), never on values).
+ */
+struct KvBudgetStats
+{
+    /** Configured budget (0 = unlimited, hibernation disabled). */
+    uint64_t budgetBytes = 0;
+    /** KV working-set bytes of resident (non-hibernated) sessions. */
+    uint64_t residentBytes = 0;
+    uint32_t residentSessions = 0;
+    uint32_t hibernatedSessions = 0;
+    /** Bytes currently held by the cold store. */
+    uint64_t coldBytes = 0;
+    /** Cumulative hibernate / wake transitions. */
+    uint64_t hibernates = 0;
+    uint64_t wakes = 0;
+    /** Cumulative serialized blob bytes written on hibernate. */
+    uint64_t hibernatedBytes = 0;
+    /** Cumulative blob bytes read back on wake. */
+    uint64_t wokenBytes = 0;
+    /** Serialize + cold-store put time per hibernate (wall clock). */
+    LatencyHistogram hibernateLatency;
+    /** Cold-store get + rebuild + restore time per wake
+     *  (wall clock) — the wake-latency contract surface. */
+    LatencyHistogram wakeLatency;
+};
+
 /** Engine-wide scheduler snapshot. */
 struct Stats
 {
@@ -237,6 +266,11 @@ struct Stats
 
     /** The knobs the scheduler was built with. */
     SchedulerConfig config;
+
+    /** KV-budget / hibernation state. The Scheduler itself leaves
+     *  this default; Engine::stats() fills it in (the budget manager
+     *  lives in the engine, not the dispatcher). */
+    KvBudgetStats kv;
 
     const ClassStats &
     forClass(SchedClass c) const

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/serial.hh"
 
 namespace vrex
 {
@@ -81,6 +82,32 @@ class Matrix
     uint32_t numCols = 0;
     std::vector<float> data;
 };
+
+/** Shape + raw float payload, bit-preserving. */
+inline void
+serializeMatrix(serial::ByteWriter &w, const Matrix &m)
+{
+    w.put<uint32_t>(m.rows());
+    w.put<uint32_t>(m.cols());
+    w.putBytes(m.raw(), m.size() * sizeof(float));
+}
+
+/** Counterpart of serializeMatrix. */
+inline Matrix
+restoreMatrix(serial::ByteReader &r)
+{
+    const uint32_t rows = r.get<uint32_t>();
+    const uint32_t cols = r.get<uint32_t>();
+    // Check before allocating: a corrupted shape must fail as a
+    // truncation error, not as a giant allocation.
+    if (size_t(rows) * cols * sizeof(float) > r.remaining())
+        throw serial::SerialError(
+            "vrex::serial: truncated blob (matrix shape exceeds "
+            "remaining payload)");
+    Matrix m(rows, cols);
+    r.getBytes(m.raw(), m.size() * sizeof(float));
+    return m;
+}
 
 } // namespace vrex
 

@@ -47,4 +47,39 @@ FrameGenerator::nextFrameLatents()
     return latents;
 }
 
+void
+FrameGenerator::serialize(serial::ByteWriter &w) const
+{
+    const RngState st = rng.state();
+    for (int i = 0; i < 4; ++i)
+        w.put<uint64_t>(st.s[i]);
+    w.put<double>(st.spare);
+    w.putBool(st.hasSpare);
+    w.putVec(sceneLatent);
+    w.put<uint64_t>(tokenOffsets.size());
+    for (const auto &offset : tokenOffsets)
+        w.putVec(offset);
+    w.put<uint32_t>(frameCount);
+    w.put<uint32_t>(scenes);
+}
+
+void
+FrameGenerator::restore(serial::ByteReader &r)
+{
+    RngState st;
+    for (int i = 0; i < 4; ++i)
+        st.s[i] = r.get<uint64_t>();
+    st.spare = r.get<double>();
+    st.hasSpare = r.getBool();
+    rng.setState(st);
+    sceneLatent = r.getVec<float>();
+    const uint64_t n = r.get<uint64_t>();
+    tokenOffsets.clear();
+    tokenOffsets.reserve(n);
+    for (uint64_t i = 0; i < n; ++i)
+        tokenOffsets.push_back(r.getVec<float>());
+    frameCount = r.get<uint32_t>();
+    scenes = r.get<uint32_t>();
+}
+
 } // namespace vrex

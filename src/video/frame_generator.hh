@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/serial.hh"
 #include "tensor/matrix.hh"
 
 namespace vrex
@@ -52,6 +53,14 @@ class FrameGenerator
     uint32_t sceneCount() const { return scenes; }
 
     const VideoConfig &config() const { return cfg; }
+
+    /**
+     * Serialize the full stream position (RNG state, current scene
+     * latent/offsets, counters). Restoring onto a generator built
+     * with the same config + seed resumes the stream bit-exactly.
+     */
+    void serialize(serial::ByteWriter &w) const;
+    void restore(serial::ByteReader &r);
 
   private:
     void startScene();

@@ -72,6 +72,65 @@ TEST(HierarchicalCache, IncrementalAppends)
     EXPECT_EQ(cache.stats().offloadedBytes, 70u);
 }
 
+TEST(HierarchicalCache, ZeroCapacityWindowSpillsEverything)
+{
+    // Default TierConfig: deviceKvCapacityBytes = 0, offloadAll off.
+    // The zero-byte capacity means a zero-token device window: every
+    // appended token spills straight through, same traffic as
+    // offloadAll but via the capacity path.
+    TierConfig cfg;
+    HierarchicalKVCache cache(10, cfg);
+    cache.appendTokens(7);
+    EXPECT_EQ(cache.totalTokens(), 7u);
+    EXPECT_EQ(cache.residentTokens(), 0u);
+    EXPECT_EQ(cache.windowStart(), 7u);
+    EXPECT_EQ(cache.stats().offloadedBytes, 70u);
+    EXPECT_EQ(cache.residency(0), Tier::CpuMem);
+    EXPECT_EQ(cache.residency(6), Tier::CpuMem);
+    // Every touched token is a fetch: nothing is resident.
+    EXPECT_EQ(cache.touch({0, 6}, 4), 8u);
+    EXPECT_EQ(cache.stats().fetchedTokens, 2u);
+}
+
+TEST(HierarchicalCache, ZeroCapacityMatchesOffloadAllTraffic)
+{
+    TierConfig zero; // capacity 0, offloadAll = false.
+    TierConfig all;
+    all.deviceKvCapacityBytes = 1000000;
+    all.offloadAll = true;
+    HierarchicalKVCache a(10, zero), b(10, all);
+    for (int i = 0; i < 4; ++i) {
+        a.appendTokens(3);
+        b.appendTokens(3);
+    }
+    EXPECT_EQ(a.stats().offloadedBytes, b.stats().offloadedBytes);
+    EXPECT_EQ(a.residentTokens(), b.residentTokens());
+}
+
+TEST(HierarchicalCache, EmptyTouchIsNoOp)
+{
+    TierConfig cfg;
+    HierarchicalKVCache cache(10, cfg);
+    // Legal on a completely empty cache...
+    EXPECT_EQ(cache.touch({}, 4), 0u);
+    EXPECT_EQ(cache.stats().touchedTokens, 0u);
+    EXPECT_EQ(cache.stats().fetchedTokens, 0u);
+    EXPECT_EQ(cache.stats().fetchedBytes, 0u);
+    // ...and on a populated one.
+    cache.appendTokens(3);
+    EXPECT_EQ(cache.touch({}, 4), 0u);
+    EXPECT_EQ(cache.stats().touchedTokens, 0u);
+}
+
+TEST(HierarchicalCacheDeathTest, TouchUnknownTokenPanics)
+{
+    TierConfig cfg;
+    cfg.deviceKvCapacityBytes = 100;
+    HierarchicalKVCache cache(10, cfg);
+    cache.appendTokens(2);
+    EXPECT_DEATH((void)cache.touch({2}, 4), "unknown token");
+}
+
 TEST(HierarchicalCache, ClearResets)
 {
     TierConfig cfg;
