@@ -44,6 +44,14 @@ uint32_t hammingWordsScalar(const uint64_t *a, const uint64_t *b, size_t n);
  * a test forces an ISA). Relaxed atomics: the pointer is written
  * before worker threads start (static init) or from single-threaded
  * test setup, and every installed kernel computes the same value.
+ *
+ * Deliberately lock-free (an std::atomic, not a VREX_GUARDED_BY
+ * member): the hook sits on the per-token Hamming hot path, and a
+ * data race is impossible by construction — loads and stores of the
+ * function pointer are individually atomic, and *any* interleaving
+ * yields a correct kernel because every installed variant is
+ * bit-identical. Clang thread-safety analysis has nothing to check
+ * here; atomics are outside its capability model by design.
  */
 extern std::atomic<HammingWordsFn> bitsigHammingHook;
 

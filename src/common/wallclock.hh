@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The one sanctioned wall-clock source in src/.
+ *
+ * Everything a session computes must be a pure function of (config,
+ * seed, event order) — that is the concurrent == sequential
+ * byte-identity contract — so reading a clock anywhere near result
+ * data is banned (`tools/vrex_lint`, rule `nondet-clock`). The only
+ * legitimate consumers of wall time are the *observability* paths:
+ * wait/service latency histograms, hibernate/wake timings. Those
+ * paths funnel through this alias, which carries the single lint
+ * suppression; any other clock use in src/ fails `ctest -L lint`.
+ */
+
+#ifndef VREX_COMMON_WALLCLOCK_HH
+#define VREX_COMMON_WALLCLOCK_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace vrex
+{
+
+/** Monotonic wall clock for latency stats only — never for results.
+ *  The readings feed Histogram/LatencyHistogram sample *values*;
+ *  sample counts and every figure metric stay deterministic. */
+// vrex-lint: allow(nondet-clock) -- observability-only: latency
+// histogram sample values, never result data (see file comment).
+using WallClock = std::chrono::steady_clock;
+
+/** Nanoseconds elapsed since @p since (stats plumbing helper). */
+inline uint64_t
+elapsedNs(WallClock::time_point since)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            WallClock::now() - since)
+            .count());
+}
+
+} // namespace vrex
+
+#endif // VREX_COMMON_WALLCLOCK_HH

@@ -19,7 +19,7 @@ namespace vrex
 void
 MemoryColdStore::put(uint64_t key, const std::vector<uint8_t> &blob)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     xfer.offloadedBytes += blob.size();
     ++xfer.touchedTokens;
     blobs[key] = blob;
@@ -28,7 +28,7 @@ MemoryColdStore::put(uint64_t key, const std::vector<uint8_t> &blob)
 std::vector<uint8_t>
 MemoryColdStore::get(uint64_t key) const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     const auto it = blobs.find(key);
     if (it == blobs.end())
         throw std::out_of_range("MemoryColdStore: no blob for key " +
@@ -41,21 +41,21 @@ MemoryColdStore::get(uint64_t key) const
 bool
 MemoryColdStore::contains(uint64_t key) const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     return blobs.count(key) > 0;
 }
 
 void
 MemoryColdStore::erase(uint64_t key)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     blobs.erase(key);
 }
 
 uint64_t
 MemoryColdStore::totalBytes() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     uint64_t bytes = 0;
     for (const auto &[key, blob] : blobs)
         bytes += blob.size();
@@ -65,14 +65,14 @@ MemoryColdStore::totalBytes() const
 uint64_t
 MemoryColdStore::count() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     return blobs.size();
 }
 
 TransferStats
 MemoryColdStore::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     return xfer;
 }
 
@@ -95,7 +95,7 @@ FileColdStore::pathFor(uint64_t key) const
 void
 FileColdStore::put(uint64_t key, const std::vector<uint8_t> &blob)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     fs::create_directories(dir);
     const std::string path = pathFor(key);
     // Write-then-rename so a concurrent crash never leaves a torn
@@ -121,7 +121,7 @@ FileColdStore::put(uint64_t key, const std::vector<uint8_t> &blob)
 std::vector<uint8_t>
 FileColdStore::get(uint64_t key) const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     const std::string path = pathFor(key);
     std::ifstream in(path, std::ios::binary | std::ios::ate);
     if (!in)
@@ -142,7 +142,7 @@ FileColdStore::get(uint64_t key) const
 bool
 FileColdStore::contains(uint64_t key) const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     std::error_code ec;
     return fs::exists(pathFor(key), ec);
 }
@@ -150,7 +150,7 @@ FileColdStore::contains(uint64_t key) const
 void
 FileColdStore::erase(uint64_t key)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     std::error_code ec;
     fs::remove(pathFor(key), ec);
 }
@@ -158,7 +158,7 @@ FileColdStore::erase(uint64_t key)
 uint64_t
 FileColdStore::totalBytes() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     std::error_code ec;
     uint64_t bytes = 0;
     for (const auto &entry : fs::directory_iterator(dir, ec)) {
@@ -172,7 +172,7 @@ FileColdStore::totalBytes() const
 uint64_t
 FileColdStore::count() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     std::error_code ec;
     uint64_t n = 0;
     for (const auto &entry : fs::directory_iterator(dir, ec)) {
@@ -186,7 +186,7 @@ FileColdStore::count() const
 TransferStats
 FileColdStore::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     return xfer;
 }
 

@@ -19,10 +19,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "kvstore/hierarchical_cache.hh"
 
 namespace vrex
@@ -79,9 +79,9 @@ class MemoryColdStore : public ColdStore
     TransferStats stats() const override;
 
   private:
-    mutable std::mutex mu;
-    std::map<uint64_t, std::vector<uint8_t>> blobs;
-    mutable TransferStats xfer;
+    mutable Mutex mu;
+    std::map<uint64_t, std::vector<uint8_t>> blobs VREX_GUARDED_BY(mu);
+    mutable TransferStats xfer VREX_GUARDED_BY(mu);
 };
 
 /**
@@ -110,10 +110,13 @@ class FileColdStore : public ColdStore
   private:
     std::string pathFor(uint64_t key) const;
 
-    std::string dir;
-    std::string prefix;
-    mutable std::mutex mu;
-    mutable TransferStats xfer;
+    std::string dir;    //!< Immutable after construction.
+    std::string prefix; //!< Immutable after construction.
+    /** Also serializes the filesystem accesses themselves: the
+     *  write-then-rename in put() must not interleave with a
+     *  concurrent get()/erase() of the same key. */
+    mutable Mutex mu;
+    mutable TransferStats xfer VREX_GUARDED_BY(mu);
 };
 
 } // namespace vrex

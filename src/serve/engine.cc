@@ -1,10 +1,10 @@
 #include "serve/engine.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/wallclock.hh"
 
 namespace vrex::serve
 {
@@ -49,7 +49,7 @@ Engine::~Engine()
 Engine::Session *
 Engine::sessionFor(SessionId id)
 {
-    std::lock_guard<std::mutex> lock(smu);
+    LockGuard lock(smu);
     auto it = sessions.find(id);
     VREX_ASSERT(it != sessions.end(),
                 "scheduler dispatched an unknown session");
@@ -79,7 +79,7 @@ Engine::tryCreateSession(const SessionOptions &options)
 {
     SessionId id;
     {
-        std::lock_guard<std::mutex> lock(smu);
+        LockGuard lock(smu);
         id = nextId++;
     }
     const uint32_t rate = options.maxItemsPerRound
@@ -109,7 +109,7 @@ Engine::tryCreateSession(const SessionOptions &options)
         s->exec->begin(options.name, options.video,
                        options.scriptSeed, options.forcedTokens);
 
-        std::lock_guard<std::mutex> lock(smu);
+        LockGuard lock(smu);
         sessions.emplace(id, std::move(s));
     } catch (...) {
         sched.remove(id);
@@ -232,7 +232,7 @@ Engine::waitAll()
 Engine::Session &
 Engine::pinnedSession(SessionId id)
 {
-    std::lock_guard<std::mutex> lock(smu);
+    LockGuard lock(smu);
     auto it = sessions.find(id);
     VREX_ASSERT(it != sessions.end(), "pinned session not in map");
     return *it->second;
@@ -270,24 +270,10 @@ Engine::pinOrThrow(SessionId id)
             std::to_string(id));
 }
 
-namespace
-{
-
-uint64_t
-elapsedNs(std::chrono::steady_clock::time_point since)
-{
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - since)
-            .count());
-}
-
-} // namespace
-
 void
 Engine::wakeSession(SessionId id, Session &s)
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = WallClock::now();
     std::vector<uint8_t> blob = coldStore->get(id);
     // Rebuild exactly what tryCreateSession built — weights, policy
     // and RNG streams are deterministic from (config, seed), so only
@@ -314,7 +300,7 @@ Engine::wakeSession(SessionId id, Session &s)
 void
 Engine::hibernateSession(SessionId id, Session &s)
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = WallClock::now();
     std::vector<uint8_t> blob = s.exec->serialize();
     coldStore->put(id, blob);
     s.exec.reset();
@@ -373,7 +359,7 @@ Engine::closeSession(SessionId id)
             "vrex::serve::Engine: unknown or closed session id " +
             std::to_string(id));
     {
-        std::lock_guard<std::mutex> lock(smu);
+        LockGuard lock(smu);
         sessions.erase(id);
     }
     // A hibernated session closes without waking: just drop the blob.
@@ -384,7 +370,7 @@ Engine::closeSession(SessionId id)
 size_t
 Engine::openSessions() const
 {
-    std::lock_guard<std::mutex> lock(smu);
+    LockGuard lock(smu);
     return sessions.size();
 }
 

@@ -76,12 +76,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "kvstore/cold_store.hh"
 #include "pipeline/accuracy_eval.hh"
 #include "pipeline/streaming_session.hh"
@@ -363,9 +363,10 @@ class Engine
     std::shared_ptr<ColdStore> coldStore;
     KvBudget budget;
 
-    mutable std::mutex smu; //!< Guards `sessions` and `nextId` only.
-    std::map<SessionId, std::unique_ptr<Session>> sessions;
-    SessionId nextId = 1;
+    mutable Mutex smu; //!< Guards `sessions` and `nextId` only.
+    std::map<SessionId, std::unique_ptr<Session>> sessions
+        VREX_GUARDED_BY(smu);
+    SessionId nextId VREX_GUARDED_BY(smu) = 1;
 };
 
 } // namespace vrex::serve

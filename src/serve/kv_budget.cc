@@ -10,7 +10,7 @@ namespace vrex::serve
 void
 KvBudget::onAdmit(Key key, SchedClass cls)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     Entry &e = entries[key];
     e.kvBytes = 0;
     e.tick = ++clock;
@@ -21,7 +21,7 @@ KvBudget::onAdmit(Key key, SchedClass cls)
 void
 KvBudget::onExecuted(Key key, uint64_t kv_bytes)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     auto it = entries.find(key);
     if (it == entries.end())
         return;
@@ -36,7 +36,7 @@ KvBudget::onExecuted(Key key, uint64_t kv_bytes)
 void
 KvBudget::onClose(Key key)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     auto it = entries.find(key);
     if (it == entries.end())
         return;
@@ -48,7 +48,7 @@ KvBudget::onClose(Key key)
 void
 KvBudget::setClass(Key key, SchedClass cls)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     auto it = entries.find(key);
     if (it != entries.end())
         it->second.cls = cls;
@@ -57,7 +57,7 @@ KvBudget::setClass(Key key, SchedClass cls)
 void
 KvBudget::markHibernated(Key key, uint64_t blob_bytes, uint64_t ns)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     auto it = entries.find(key);
     VREX_ASSERT(it != entries.end() && !it->second.hibernated,
                 "markHibernated on unknown or hibernated session");
@@ -72,7 +72,7 @@ void
 KvBudget::markWoken(Key key, uint64_t kv_bytes, uint64_t blob_bytes,
                     uint64_t ns)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     auto it = entries.find(key);
     VREX_ASSERT(it != entries.end() && it->second.hibernated,
                 "markWoken on unknown or resident session");
@@ -89,7 +89,7 @@ KvBudget::markWoken(Key key, uint64_t kv_bytes, uint64_t blob_bytes,
 bool
 KvBudget::hibernated(Key key) const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     auto it = entries.find(key);
     return it != entries.end() && it->second.hibernated;
 }
@@ -97,21 +97,21 @@ KvBudget::hibernated(Key key) const
 uint64_t
 KvBudget::residentBytes() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     return resident;
 }
 
 bool
 KvBudget::overBudget() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     return cfg.budgetBytes > 0 && resident > cfg.budgetBytes;
 }
 
 std::vector<KvBudget::Key>
 KvBudget::victims(Key exclude) const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     struct Candidate
     {
         Key key;
@@ -142,7 +142,7 @@ KvBudget::victims(Key exclude) const
 KvBudgetStats
 KvBudget::snapshot(const ColdStore &store) const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     KvBudgetStats s;
     s.budgetBytes = cfg.budgetBytes;
     s.residentBytes = resident;

@@ -26,9 +26,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "kvstore/cold_store.hh"
 #include "serve/stats.hh"
 
@@ -62,38 +62,39 @@ class KvBudget
     const KvBudgetConfig &config() const { return cfg; }
 
     /** Register a new resident session. */
-    void onAdmit(Key key, SchedClass cls);
+    void onAdmit(Key key, SchedClass cls) VREX_EXCLUDES(mu);
 
     /** Record a dispatch slice: update the session's KV bytes and
      *  bump its recency tick. (The class is tracked separately via
      *  onAdmit/setClass — slices do not change it.) */
-    void onExecuted(Key key, uint64_t kv_bytes);
+    void onExecuted(Key key, uint64_t kv_bytes) VREX_EXCLUDES(mu);
 
     /** Forget the session entirely (closeSession). */
-    void onClose(Key key);
+    void onClose(Key key) VREX_EXCLUDES(mu);
 
     /** Track a mid-stream scheduling-class change (affects victim
      *  ordering only). No-op on unknown keys. */
-    void setClass(Key key, SchedClass cls);
+    void setClass(Key key, SchedClass cls) VREX_EXCLUDES(mu);
 
     /** Transition @p key to hibernated: its KV bytes leave the
      *  resident set; @p blob_bytes and @p ns feed the counters. */
-    void markHibernated(Key key, uint64_t blob_bytes, uint64_t ns);
+    void markHibernated(Key key, uint64_t blob_bytes, uint64_t ns)
+        VREX_EXCLUDES(mu);
 
     /** Transition @p key back to resident with @p kv_bytes of KV
      *  (also bumps recency — the waking verb is an execution). */
     void markWoken(Key key, uint64_t kv_bytes, uint64_t blob_bytes,
-                   uint64_t ns);
+                   uint64_t ns) VREX_EXCLUDES(mu);
 
     /** True when @p key is currently hibernated. */
-    bool hibernated(Key key) const;
+    bool hibernated(Key key) const VREX_EXCLUDES(mu);
 
     /** Resident KV bytes across all non-hibernated sessions. */
-    uint64_t residentBytes() const;
+    uint64_t residentBytes() const VREX_EXCLUDES(mu);
 
     /** True when the budget is enabled and the resident set
      *  (excluding nothing) exceeds it. */
-    bool overBudget() const;
+    bool overBudget() const VREX_EXCLUDES(mu);
 
     /**
      * Hibernation candidates, in eviction order: Bulk sessions
@@ -103,10 +104,11 @@ class KvBudget
      * sessions. The caller must still tryPinIdle() each candidate:
      * busy sessions are skipped, not waited for.
      */
-    std::vector<Key> victims(Key exclude) const;
+    std::vector<Key> victims(Key exclude) const VREX_EXCLUDES(mu);
 
     /** Snapshot (cold-store numbers come from @p store). */
-    KvBudgetStats snapshot(const ColdStore &store) const;
+    KvBudgetStats snapshot(const ColdStore &store) const
+        VREX_EXCLUDES(mu);
 
   private:
     struct Entry
@@ -118,16 +120,18 @@ class KvBudget
     };
 
     KvBudgetConfig cfg;
-    mutable std::mutex mu;
-    std::map<Key, Entry> entries;
-    uint64_t clock = 0;       //!< Logical recency tick.
-    uint64_t resident = 0;    //!< Sum of non-hibernated kvBytes.
-    uint64_t hibernates = 0;
-    uint64_t wakes = 0;
-    uint64_t hibernatedBlobBytes = 0;
-    uint64_t wokenBlobBytes = 0;
-    LatencyHistogram hibernateLatency;
-    LatencyHistogram wakeLatency;
+    mutable Mutex mu;
+    std::map<Key, Entry> entries VREX_GUARDED_BY(mu);
+    /** Logical recency tick. */
+    uint64_t clock VREX_GUARDED_BY(mu) = 0;
+    /** Sum of non-hibernated kvBytes. */
+    uint64_t resident VREX_GUARDED_BY(mu) = 0;
+    uint64_t hibernates VREX_GUARDED_BY(mu) = 0;
+    uint64_t wakes VREX_GUARDED_BY(mu) = 0;
+    uint64_t hibernatedBlobBytes VREX_GUARDED_BY(mu) = 0;
+    uint64_t wokenBlobBytes VREX_GUARDED_BY(mu) = 0;
+    LatencyHistogram hibernateLatency VREX_GUARDED_BY(mu);
+    LatencyHistogram wakeLatency VREX_GUARDED_BY(mu);
 };
 
 } // namespace vrex::serve

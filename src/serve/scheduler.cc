@@ -1,6 +1,7 @@
 #include "serve/scheduler.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <stdexcept>
 #include <string>
@@ -50,7 +51,7 @@ Scheduler::idleLocked(const Queue &q) const
 bool
 Scheduler::tryAdmit(Key key, SchedClass cls, uint32_t rate_limit)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     if (cfg.maxLiveSessions > 0 &&
         queues.size() >= cfg.maxLiveSessions) {
         ++agg.rejectedAdmissions;
@@ -73,7 +74,7 @@ Scheduler::tryAdmit(Key key, SchedClass cls, uint32_t rate_limit)
 bool
 Scheduler::setClass(Key key, SchedClass cls)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     Queue *q = find(key);
     if (!q)
         return false;
@@ -93,19 +94,23 @@ Scheduler::setClass(Key key, SchedClass cls)
 }
 
 Scheduler::Queue *
-Scheduler::waitIdleLocked(std::unique_lock<std::mutex> &lock, Key key)
+Scheduler::waitIdleLocked(UniqueLock &lock, Key key)
 {
-    cv.wait(lock, [this, key] {
+    // Inline predicate loop (not a wait-lambda): the guarded reads
+    // must happen in this function's scope for the thread-safety
+    // analysis to see the lock held.
+    for (;;) {
         Queue *q = find(key);
-        return !q || idleLocked(*q);
-    });
-    return find(key);
+        if (!q || idleLocked(*q))
+            return q;
+        cv.wait(lock);
+    }
 }
 
 bool
 Scheduler::remove(Key key)
 {
-    std::unique_lock<std::mutex> lock(mu);
+    UniqueLock lock(mu);
     if (!waitIdleLocked(lock, key))
         return false;
     queues.erase(key);
@@ -128,7 +133,7 @@ Scheduler::tryEnqueue(Key key,
         units += event.unitCount();
     r.items = static_cast<uint32_t>(units);
 
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     Queue *q = find(key);
     if (!q)
         throw std::out_of_range(
@@ -271,7 +276,7 @@ Scheduler::runSlice()
     Queue *q;
     SchedClass cls;
     {
-        std::lock_guard<std::mutex> lock(mu);
+        LockGuard lock(mu);
         // One job per ready entry: a ready key always exists.
         const ReadyEntry entry = popReadyLocked();
         key = entry.key;
@@ -348,7 +353,7 @@ Scheduler::runSlice()
             .count());
 
     {
-        std::lock_guard<std::mutex> lock(mu);
+        LockGuard lock(mu);
         // `q` stays valid: remove() cannot erase a running queue.
         q->running = false;
         --inFlight[static_cast<size_t>(cls)];
@@ -372,26 +377,32 @@ Scheduler::runSlice()
 bool
 Scheduler::wait(Key key)
 {
-    std::unique_lock<std::mutex> lock(mu);
+    UniqueLock lock(mu);
     return waitIdleLocked(lock, key) != nullptr;
 }
 
 void
 Scheduler::waitAll()
 {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] {
-        for (const auto &[key, q] : queues)
-            if (!idleLocked(q))
-                return false;
-        return true;
-    });
+    UniqueLock lock(mu);
+    for (;;) {
+        bool all_idle = true;
+        for (const auto &[key, q] : queues) {
+            if (!idleLocked(q)) {
+                all_idle = false;
+                break;
+            }
+        }
+        if (all_idle)
+            return;
+        cv.wait(lock);
+    }
 }
 
 bool
 Scheduler::pinWhenIdle(Key key)
 {
-    std::unique_lock<std::mutex> lock(mu);
+    UniqueLock lock(mu);
     Queue *q = waitIdleLocked(lock, key);
     if (!q)
         return false;
@@ -402,7 +413,7 @@ Scheduler::pinWhenIdle(Key key)
 bool
 Scheduler::tryPinIdle(Key key)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     Queue *q = find(key);
     if (!q || !idleLocked(*q))
         return false;
@@ -413,7 +424,7 @@ Scheduler::tryPinIdle(Key key)
 void
 Scheduler::unpin(Key key)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     Queue *q = find(key);
     VREX_ASSERT(q && q->pinned, "unpin without a matching pin");
     q->pinned = false;
@@ -426,14 +437,14 @@ Scheduler::unpin(Key key)
 void
 Scheduler::pause()
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     paused = true;
 }
 
 void
 Scheduler::resume()
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     if (!paused)
         return;
     paused = false;
@@ -444,7 +455,7 @@ Scheduler::resume()
 Stats
 Scheduler::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     Stats out = agg;
     out.liveSessions = static_cast<uint32_t>(queues.size());
     out.wrrTurnClass = static_cast<SchedClass>(classCursor);
@@ -455,7 +466,7 @@ Scheduler::stats() const
 QueueStats
 Scheduler::queueStats(Key key) const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     const Queue *q = find(key);
     if (!q)
         throw std::out_of_range(

@@ -29,15 +29,14 @@
 #define VREX_SERVE_SCHEDULER_HH
 
 #include <array>
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hh"
+#include "common/wallclock.hh"
 #include "serve/stats.hh"
 #include "serve/thread_pool.hh"
 #include "video/workload.hh"
@@ -91,7 +90,7 @@ class Scheduler
      *  slice; 0 = none). False when the live-session cap is reached
      *  (counted in Stats::rejectedAdmissions). */
     bool tryAdmit(Key key, SchedClass cls = SchedClass::Interactive,
-                  uint32_t rate_limit = 0);
+                  uint32_t rate_limit = 0) VREX_EXCLUDES(mu);
 
     /** Move @p key to scheduling class @p cls mid-stream. When the
      *  session is in its old class's ready list it is re-queued at
@@ -99,12 +98,12 @@ class Scheduler
      *  measurement origin — is preserved). Per-session results are
      *  unaffected; only dispatch order changes. False when the key
      *  is unknown. */
-    bool setClass(Key key, SchedClass cls);
+    bool setClass(Key key, SchedClass cls) VREX_EXCLUDES(mu);
 
     /** Drain @p key's queue, then forget it (its counters stay in
      *  the aggregate). False when the key is unknown — e.g. a lost
      *  race against a concurrent remove(). */
-    bool remove(Key key);
+    bool remove(Key key) VREX_EXCLUDES(mu);
 
     // ---- work --------------------------------------------------
 
@@ -121,32 +120,33 @@ class Scheduler
      * @throws std::out_of_range on an unknown key.
      */
     EnqueueResult tryEnqueue(Key key,
-                             const std::vector<SessionEvent> &events);
+                             const std::vector<SessionEvent> &events)
+        VREX_EXCLUDES(mu);
 
     /** Block until @p key's queue is drained and idle. False when
      *  the key is unknown or removed while waiting. */
-    bool wait(Key key);
+    bool wait(Key key) VREX_EXCLUDES(mu);
 
     /** Block until every queue is drained and idle. Deadlocks if the
      *  scheduler is left paused with queued work — resume() first. */
-    void waitAll();
+    void waitAll() VREX_EXCLUDES(mu);
 
     // ---- exclusive access --------------------------------------
 
     /** Wait until @p key is drained, then pin it: the dispatcher
      *  skips it until unpin(), giving the caller exclusive access to
      *  the session state. False when the key vanished. */
-    bool pinWhenIdle(Key key);
+    bool pinWhenIdle(Key key) VREX_EXCLUDES(mu);
 
     /** Non-blocking pinWhenIdle(): pin @p key only if it is idle
      *  *right now* (drained, not running, not pinned). False when
      *  the key is unknown or busy — never waits. The hibernation
      *  sweep uses this to pass over busy sessions instead of
      *  stalling the dispatch path behind them. */
-    bool tryPinIdle(Key key);
+    bool tryPinIdle(Key key) VREX_EXCLUDES(mu);
 
     /** Release a pinWhenIdle() pin and reschedule queued work. */
-    void unpin(Key key);
+    void unpin(Key key) VREX_EXCLUDES(mu);
 
     // ---- staging -----------------------------------------------
 
@@ -155,22 +155,24 @@ class Scheduler
      *  Caution: wait()/waitAll()/pinWhenIdle()/remove() block until
      *  queues drain, which cannot happen while paused — resume()
      *  first (or from another thread). */
-    void pause();
+    void pause() VREX_EXCLUDES(mu);
 
     /** Undo pause() and dispatch everything that became ready. */
-    void resume();
+    void resume() VREX_EXCLUDES(mu);
 
     // ---- observability -----------------------------------------
 
     /** Aggregate snapshot (includes closed sessions' counters). */
-    Stats stats() const;
+    Stats stats() const VREX_EXCLUDES(mu);
 
     /** Snapshot of one live queue's counters.
      *  @throws std::out_of_range on an unknown key. */
-    QueueStats queueStats(Key key) const;
+    QueueStats queueStats(Key key) const VREX_EXCLUDES(mu);
 
   private:
-    using Clock = std::chrono::steady_clock;
+    /** Wall time feeds latency histograms only (common/wallclock.hh
+     *  carries the lint suppression and the rationale). */
+    using Clock = WallClock;
 
     /** One queued (possibly compressed) event plus the dispatch-clock
      *  value when it was enqueued — the age base for deadline-aware
@@ -209,48 +211,52 @@ class Scheduler
         Queue *queue;
     };
 
-    Queue *find(Key key);
-    const Queue *find(Key key) const;
+    Queue *find(Key key) VREX_REQUIRES(mu);
+    const Queue *find(Key key) const VREX_REQUIRES(mu);
     /** Block until @p key's queue is idle or gone; returns the
      *  still-registered queue, or nullptr when removed/unknown. */
-    Queue *waitIdleLocked(std::unique_lock<std::mutex> &lock, Key key);
+    Queue *waitIdleLocked(UniqueLock &lock, Key key) VREX_REQUIRES(mu);
     /** Append to the class ready list (and submit a job unless
      *  paused). */
-    void makeReadyLocked(Key key, Queue &q);
-    void submitSliceJob();
-    void runSlice();
+    void makeReadyLocked(Key key, Queue &q) VREX_REQUIRES(mu);
+    /** Called with `mu` held by design: the job must be queued in
+     *  the same critical section that made the key ready, or a
+     *  concurrent slice could observe a job/ready-entry mismatch. */
+    void submitSliceJob() VREX_REQUIRES(mu);
+    void runSlice() VREX_EXCLUDES(mu);
     /** Pick + pop the next ready entry: weighted round-robin over
      *  the class lists (with work-conserving loan slices when the
      *  turn class is busy but not ready), deadline promotion within
      *  the chosen class. */
-    ReadyEntry popReadyLocked();
+    ReadyEntry popReadyLocked() VREX_REQUIRES(mu);
     uint32_t weightOf(uint32_t cls_index) const;
-    bool idleLocked(const Queue &q) const;
+    bool idleLocked(const Queue &q) const VREX_REQUIRES(mu);
 
     ThreadPool &pool;
     SchedulerConfig cfg;
     Executor executor;
 
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::map<Key, Queue> queues;
+    mutable Mutex mu;
+    CondVar cv;
+    std::map<Key, Queue> queues VREX_GUARDED_BY(mu);
     /** One ready list per scheduling class. */
-    std::array<std::deque<ReadyEntry>, kSchedClasses> readyKeys;
+    std::array<std::deque<ReadyEntry>, kSchedClasses> readyKeys
+        VREX_GUARDED_BY(mu);
     /** Weighted round-robin rotation state: the class currently
      *  holding the dispatch turn and its remaining slice credit. */
-    uint32_t classCursor = 0;
-    uint32_t classCredit = 0;
+    uint32_t classCursor VREX_GUARDED_BY(mu) = 0;
+    uint32_t classCredit VREX_GUARDED_BY(mu) = 0;
     /** Slices currently executing, per class: a class with in-flight
      *  work keeps its turn (other classes run loan slices that
      *  consume no credit) instead of forfeiting it. */
-    std::array<uint32_t, kSchedClasses> inFlight{};
-    bool paused = false;
+    std::array<uint32_t, kSchedClasses> inFlight VREX_GUARDED_BY(mu){};
+    bool paused VREX_GUARDED_BY(mu) = false;
     /** Ready entries accumulated while paused (jobs not submitted). */
-    uint32_t unsubmitted = 0;
+    uint32_t unsubmitted VREX_GUARDED_BY(mu) = 0;
     /** Total slices dispatched (the logical clock for fairness). */
-    uint64_t dispatches = 0;
+    uint64_t dispatches VREX_GUARDED_BY(mu) = 0;
     /** Aggregate counters, merged incrementally (survives remove). */
-    Stats agg;
+    Stats agg VREX_GUARDED_BY(mu);
 };
 
 } // namespace vrex::serve

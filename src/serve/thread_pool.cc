@@ -27,7 +27,7 @@ ThreadPool::ThreadPool(uint32_t workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu);
+        LockGuard lock(mu);
         stopping = true;
     }
     cv.notify_all();
@@ -39,7 +39,7 @@ void
 ThreadPool::submit(std::function<void()> job)
 {
     {
-        std::lock_guard<std::mutex> lock(mu);
+        LockGuard lock(mu);
         VREX_ASSERT(!stopping, "submit on a stopping thread pool");
         jobs.push_back(std::move(job));
     }
@@ -52,8 +52,11 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mu);
-            cv.wait(lock, [this] { return stopping || !jobs.empty(); });
+            UniqueLock lock(mu);
+            // Inline predicate loop: guarded reads stay visible to
+            // the thread-safety analysis (a wait-lambda would not).
+            while (!stopping && jobs.empty())
+                cv.wait(lock);
             if (jobs.empty())
                 return; // stopping and fully drained
             job = std::move(jobs.front());

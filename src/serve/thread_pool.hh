@@ -3,18 +3,23 @@
  * A minimal fixed-size worker pool for the serving engine. Jobs are
  * plain closures executed FIFO; the destructor drains every queued
  * job before joining, so submitted work is never silently dropped.
+ *
+ * Thread-safety contract (statically checked under clang, see
+ * common/thread_annotations.hh): `jobs` and `stopping` are only
+ * touched with `mu` held; `threads` is written by the constructor
+ * alone and immutable afterwards, so workerCount() reads it lock-free.
  */
 
 #ifndef VREX_SERVE_THREAD_POOL_HH
 #define VREX_SERVE_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace vrex::serve
 {
@@ -36,7 +41,7 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /** Enqueue one job; runs on some worker in submission order. */
-    void submit(std::function<void()> job);
+    void submit(std::function<void()> job) VREX_EXCLUDES(mu);
 
     uint32_t workerCount() const
     {
@@ -44,12 +49,13 @@ class ThreadPool
     }
 
   private:
-    void workerLoop();
+    void workerLoop() VREX_EXCLUDES(mu);
 
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> jobs;
-    bool stopping = false;
+    Mutex mu;
+    CondVar cv;
+    std::deque<std::function<void()>> jobs VREX_GUARDED_BY(mu);
+    bool stopping VREX_GUARDED_BY(mu) = false;
+    /** Written only by the constructor; const thereafter. */
     std::vector<std::thread> threads;
 };
 

@@ -1,0 +1,5 @@
+// Fixture: allow() naming a rule the linter does not know is an
+// allow-syntax finding (catches typos that would silently suppress
+// nothing).
+// vrex-lint: allow(nondet-clocks) -- justified, but the rule id has a typo
+int fx = 0;

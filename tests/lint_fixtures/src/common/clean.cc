@@ -1,0 +1,41 @@
+// Fixture: a file that violates nothing. Exercises every rule's
+// negative path at once: deterministic RNG, no wall clock, a matched
+// assert format, and a mirrored serialize/restore pair.
+#include "common/logging.hh"
+#include "common/serial.hh"
+
+namespace fx
+{
+
+struct Blob
+{
+    unsigned a = 0;
+    unsigned long b = 0;
+    bool flag = false;
+
+    void
+    serialize(vrex::serial::ByteWriter &w) const
+    {
+        w.put<uint32_t>(a);
+        w.put<uint64_t>(b);
+        w.putBool(flag);
+    }
+
+    void
+    restore(vrex::serial::ByteReader &r)
+    {
+        a = r.get<uint32_t>();
+        b = r.get<uint64_t>();
+        flag = r.getBool();
+    }
+};
+
+unsigned
+check(unsigned x)
+{
+    VREX_ASSERT(x < 100, "x out of range: %u (limit %d)", x, 100);
+    VREX_ASSERT(x != 7); // condition-only form: nothing to pair
+    return x + 1;
+}
+
+} // namespace fx

@@ -1,0 +1,11 @@
+// Fixture: assert-format must catch every mispairing class — too few
+// varargs, too many, and a non-literal format expression.
+#include "common/logging.hh"
+
+void
+fx(unsigned x, const char *name)
+{
+    VREX_ASSERT(x < 4, "x=%u name=%s", x);            // 2 vs 1
+    VREX_DEBUG_ASSERT(x != 9, "x ok", x);             // 0 vs 1
+    VREX_ASSERT(name != nullptr, name);               // non-literal
+}

@@ -1,0 +1,22 @@
+// Fixture: well-paired asserts must pass — including %% escapes,
+// `*` width (consumes an extra vararg), adjacent-literal
+// concatenation, commas nested in call arguments, and the
+// condition-only form.
+#include "common/logging.hh"
+
+int
+sum(int a, int b)
+{
+    return a + b;
+}
+
+void
+fx(unsigned x, double load)
+{
+    VREX_ASSERT(x < 4, "x=%u at 100%% load %.2f", x, load);
+    VREX_ASSERT(x != 9, "sum=%d width=%*d", sum(1, 2), 8, 3);
+    VREX_DEBUG_ASSERT(x != 11, "two-part "
+                               "literal: %u",
+                      x);
+    VREX_ASSERT(x != 12);
+}

@@ -1,0 +1,24 @@
+// Fixture: serial-pairing must flag a restore() whose reads do not
+// mirror the writes — here serialize emits two uint32 fields and a
+// vector, restore consumes one uint32 and no vector.
+#include "common/serial.hh"
+
+struct Skewed
+{
+    unsigned a = 0, b = 0;
+    std::vector<float> v;
+
+    void
+    serialize(vrex::serial::ByteWriter &w) const
+    {
+        w.put<uint32_t>(a);
+        w.put<uint32_t>(b);
+        w.putVec(v);
+    }
+
+    void
+    restore(vrex::serial::ByteReader &r)
+    {
+        a = r.get<uint32_t>();
+    }
+};

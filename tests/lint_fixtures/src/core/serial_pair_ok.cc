@@ -1,0 +1,52 @@
+// Fixture: a mirrored pair passes — including out-of-line qualified
+// definitions, `std::` spelling differences in put<T>/get<T> type
+// arguments, nested member serialize/restore calls, and error-message
+// strings that *mention* restore (strings must not count as ops).
+#include "common/serial.hh"
+
+struct Inner
+{
+    unsigned x = 0;
+    void serialize(vrex::serial::ByteWriter &w) const;
+    void restore(vrex::serial::ByteReader &r);
+};
+
+struct Outer
+{
+    Inner inner;
+    std::uint64_t count = 0;
+    std::string tag;
+    void serialize(vrex::serial::ByteWriter &w) const;
+    void restore(vrex::serial::ByteReader &r);
+};
+
+void
+Inner::serialize(vrex::serial::ByteWriter &w) const
+{
+    w.put<std::uint32_t>(x);
+}
+
+void
+Inner::restore(vrex::serial::ByteReader &r)
+{
+    x = r.get<uint32_t>();
+}
+
+void
+Outer::serialize(vrex::serial::ByteWriter &w) const
+{
+    w.put<uint64_t>(count);
+    w.putString(tag);
+    inner.serialize(w);
+}
+
+void
+Outer::restore(vrex::serial::ByteReader &r)
+{
+    count = r.get<std::uint64_t>();
+    tag = r.getString();
+    if (tag.empty())
+        throw vrex::serial::SerialError(
+            "Outer::restore: empty tag in blob");
+    inner.restore(r);
+}

@@ -1,0 +1,5 @@
+// Fixture: the same unordered container in a file with no
+// serialize() is fine — the rule scopes to the blob contract only.
+#include <unordered_map>
+
+std::unordered_map<int, int> fxCache;

@@ -1,0 +1,23 @@
+// Fixture: an unordered container in a file that defines serialize()
+// — iteration order could leak into the blob, breaking byte-exact
+// restore. Must fire.
+#include <unordered_map>
+
+#include "common/serial.hh"
+
+struct Table
+{
+    std::unordered_map<int, int> rows;
+
+    void
+    serialize(vrex::serial::ByteWriter &w) const
+    {
+        w.put<uint64_t>(rows.size());
+    }
+
+    void
+    restore(vrex::serial::ByteReader &r)
+    {
+        rows.reserve(r.get<uint64_t>());
+    }
+};

@@ -1,0 +1,11 @@
+// Fixture: serve sits at the top of the DAG — including llm, kvstore
+// and pipeline headers is legal, as are system and same-directory
+// includes.
+#include <vector>
+
+#include "kvstore/cold_store.hh"
+#include "llm/kv_cache.hh"
+#include "pipeline/driver.hh"
+#include "scheduler_local.hh"
+
+int fx = 0;

@@ -1,0 +1,8 @@
+// Fixture: nondet-clock fires on a bare steady_clock read.
+#include <chrono>
+
+long
+now()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

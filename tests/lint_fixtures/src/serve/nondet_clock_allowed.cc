@@ -1,0 +1,19 @@
+// Fixture: a justified allow() suppresses the finding — both the
+// same-line form and the standalone-comment-line form.
+#include <chrono>
+
+long
+nowInline()
+{
+    return std::chrono::steady_clock::now() // vrex-lint: allow(nondet-clock) -- fixture: observability-only read
+        .time_since_epoch()
+        .count();
+}
+
+long
+nowAbove()
+{
+    // vrex-lint: allow(nondet-clock) -- fixture: the directive on a
+    // comment line covers the next code line, across wrapped text.
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,11 @@
+// Fixture: an allow() with no justification is rejected — the
+// suppression does NOT take effect (nondet-clock still fires) and the
+// bare directive is itself reported (allow-syntax).
+#include <chrono>
+
+long
+now()
+{
+    // vrex-lint: allow(nondet-clock)
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,12 @@
+// Fixture: nondet-rand must fire on every banned randomness API,
+// and must NOT fire on the same tokens inside strings or comments
+// (std::rand in this comment is invisible to the scan).
+#include <cstdlib>
+
+int
+roll()
+{
+    const char *msg = "rand in a string does not count";
+    (void)msg;
+    return std::rand() % 6; // line 11: the violation
+}

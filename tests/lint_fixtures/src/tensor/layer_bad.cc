@@ -1,0 +1,6 @@
+// Fixture: tensor is below serve in the layer DAG; this include is
+// an upward edge and must be flagged.
+#include "serve/engine.hh"
+#include "tensor/matrix.hh"
+
+int fx = 0;

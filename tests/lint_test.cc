@@ -1,0 +1,237 @@
+/**
+ * @file
+ * vrex_lint self-tests: every rule exercised against the fixture zoo
+ * in tests/lint_fixtures/ (violation caught, clean file passes,
+ * justified allow honored, bare allow rejected), plus inline-snippet
+ * unit tests for the trickier parsing paths, plus the gate itself —
+ * the real src/ tree must lint clean.
+ *
+ * VREX_LINT_FIXTURE_DIR and VREX_LINT_SRC_DIR are injected by the
+ * build (tests/CMakeLists.txt).
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vrex_lint/lint.hh"
+
+namespace
+{
+
+using vrex::lint::Finding;
+using vrex::lint::lintSource;
+using vrex::lint::lintTree;
+
+/** The fixture findings, grouped by file. Computed once: the zoo is
+ *  static input and every test slices the same scan. */
+const std::map<std::string, std::vector<Finding>> &
+fixtureFindings()
+{
+    static const auto *by_file = [] {
+        auto *m = new std::map<std::string, std::vector<Finding>>;
+        for (Finding &f :
+             lintTree(std::string(VREX_LINT_FIXTURE_DIR) + "/src"))
+            (*m)[f.file].push_back(std::move(f));
+        return m;
+    }();
+    return *by_file;
+}
+
+std::vector<std::string>
+rulesIn(const std::string &file)
+{
+    std::vector<std::string> rules;
+    const auto it = fixtureFindings().find(file);
+    if (it == fixtureFindings().end())
+        return rules;
+    for (const Finding &f : it->second)
+        rules.push_back(f.rule);
+    return rules;
+}
+
+TEST(LintFixtures, CleanFilePasses)
+{
+    EXPECT_TRUE(rulesIn("common/clean.cc").empty());
+}
+
+TEST(LintFixtures, NondetRandCaught)
+{
+    // Exactly one hit, on the call line — not on the tokens inside
+    // the comment or the string literal.
+    const auto &fs = fixtureFindings().at("serve/nondet_rand.cc");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "nondet-rand");
+    EXPECT_EQ(fs[0].line, 11);
+}
+
+TEST(LintFixtures, NondetClockCaught)
+{
+    EXPECT_EQ(rulesIn("serve/nondet_clock.cc"),
+              std::vector<std::string>{"nondet-clock"});
+}
+
+TEST(LintFixtures, JustifiedAllowHonored)
+{
+    // Same-line form and standalone-comment form both suppress.
+    EXPECT_TRUE(rulesIn("serve/nondet_clock_allowed.cc").empty());
+}
+
+TEST(LintFixtures, BareAllowRejectedAndIneffective)
+{
+    const auto rules = rulesIn("serve/nondet_clock_bare_allow.cc");
+    EXPECT_EQ(std::count(rules.begin(), rules.end(), "allow-syntax"),
+              1);
+    EXPECT_EQ(std::count(rules.begin(), rules.end(), "nondet-clock"),
+              1);
+}
+
+TEST(LintFixtures, UnknownRuleInAllowRejected)
+{
+    EXPECT_EQ(rulesIn("common/allow_unknown_rule.cc"),
+              std::vector<std::string>{"allow-syntax"});
+}
+
+TEST(LintFixtures, LayerViolationCaught)
+{
+    const auto &fs = fixtureFindings().at("tensor/layer_bad.cc");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "layer-dag");
+    EXPECT_EQ(fs[0].line, 3);
+    EXPECT_NE(fs[0].message.find("serve/engine.hh"),
+              std::string::npos);
+}
+
+TEST(LintFixtures, TopLayerIncludesPass)
+{
+    EXPECT_TRUE(rulesIn("serve/layer_ok.cc").empty());
+}
+
+TEST(LintFixtures, UnorderedInSerializingFileCaught)
+{
+    // Include line and member line both flagged.
+    const auto rules = rulesIn("llm/unordered_serial.cc");
+    EXPECT_EQ(std::count(rules.begin(), rules.end(),
+                         "unordered-serial"),
+              2);
+    EXPECT_EQ(rules.size(), 2u);
+}
+
+TEST(LintFixtures, UnorderedWithoutSerializePasses)
+{
+    EXPECT_TRUE(rulesIn("llm/unordered_noserial.cc").empty());
+}
+
+TEST(LintFixtures, AssertFormatMispairingsCaught)
+{
+    // Too few varargs, too many varargs, non-literal format.
+    EXPECT_EQ(rulesIn("core/assert_format_bad.cc"),
+              (std::vector<std::string>{
+                  "assert-format", "assert-format", "assert-format"}));
+}
+
+TEST(LintFixtures, WellFormedAssertsPass)
+{
+    EXPECT_TRUE(rulesIn("core/assert_format_ok.cc").empty());
+}
+
+TEST(LintFixtures, SkewedSerializeRestoreCaught)
+{
+    const auto &fs = fixtureFindings().at("core/serial_pair_bad.cc");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "serial-pairing");
+    EXPECT_NE(fs[0].message.find("put<uint32_t>x2 vs get<uint32_t>x1"),
+              std::string::npos);
+}
+
+TEST(LintFixtures, MirroredSerializeRestorePasses)
+{
+    EXPECT_TRUE(rulesIn("core/serial_pair_ok.cc").empty());
+}
+
+// ---------------------------------------------------------------
+// Inline-snippet unit tests for parsing corners.
+
+TEST(LintUnit, TokensInStringsAndCommentsIgnored)
+{
+    EXPECT_TRUE(lintSource("serve/a.cc",
+                           "// steady_clock\n"
+                           "const char *s = \"std::rand()\";\n")
+                    .empty());
+}
+
+TEST(LintUnit, RawStringContentsIgnored)
+{
+    EXPECT_TRUE(
+        lintSource("serve/a.cc",
+                   "const char *s = R\"(system_clock rand)\";\n")
+            .empty());
+}
+
+TEST(LintUnit, SubstringTokensDoNotMatch)
+{
+    // "srand" inside "mysrandom" / "rand" inside "operand" must not
+    // fire: scans are word-bounded.
+    EXPECT_TRUE(lintSource("serve/a.cc",
+                           "int mysrandom = 0;\n"
+                           "int operand = 1;\n")
+                    .empty());
+}
+
+TEST(LintUnit, MacroDefinitionIsNotACallSite)
+{
+    EXPECT_TRUE(
+        lintSource("common/a.hh",
+                   "#define VREX_ASSERT(cond, ...)              \\\n"
+                   "    ::vrex::panicAt(#cond, \"\" __VA_ARGS__)\n")
+            .empty());
+}
+
+TEST(LintUnit, UnknownLayerSkipsDagRule)
+{
+    EXPECT_TRUE(lintSource("thirdparty/x.cc",
+                           "#include \"serve/engine.hh\"\n")
+                    .empty());
+}
+
+TEST(LintUnit, RuleIdsStable)
+{
+    const auto &ids = vrex::lint::ruleIds();
+    const std::set<std::string> got(ids.begin(), ids.end());
+    const std::set<std::string> want = {
+        "nondet-rand",   "nondet-clock",   "unordered-serial",
+        "layer-dag",     "assert-format",  "serial-pairing",
+        "allow-syntax"};
+    EXPECT_EQ(got, want);
+}
+
+TEST(LintUnit, FormatFinding)
+{
+    const Finding f{"serve/engine.cc", 42, "nondet-clock", "boom"};
+    EXPECT_EQ(vrex::lint::formatFinding(f),
+              "serve/engine.cc:42: [nondet-clock] boom");
+}
+
+TEST(LintUnit, LintTreeThrowsOnMissingRoot)
+{
+    EXPECT_THROW(lintTree("/nonexistent/vrex/src"),
+                 std::runtime_error);
+}
+
+// ---------------------------------------------------------------
+// The gate: the real tree must be clean. Running it here (not just
+// as the standalone ctest binary check) puts the production rules on
+// real input under ASan/UBSan in the sanitizer CI legs.
+
+TEST(LintTree, RealSrcTreeIsClean)
+{
+    std::vector<Finding> fs = lintTree(VREX_LINT_SRC_DIR);
+    for (const Finding &f : fs)
+        ADD_FAILURE() << vrex::lint::formatFinding(f);
+}
+
+} // namespace

@@ -1,0 +1,987 @@
+#include "vrex_lint/lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace vrex::lint
+{
+
+namespace
+{
+
+// -------------------------------------------------------------------
+// Source views
+//
+// `noComments`: comments replaced by spaces (newlines kept), string
+// and character literals intact — for the rules that must read
+// literal text (assert-format) or code structure (serial-pairing).
+// `codeOnly`: additionally blanks string/char literal *contents* —
+// for token scans, so "steady_clock" inside a message string never
+// trips a rule.
+
+struct Views
+{
+    std::string noComments;
+    std::string codeOnly;
+};
+
+Views
+buildViews(const std::string &s)
+{
+    Views v;
+    v.noComments.assign(s.size(), ' ');
+    v.codeOnly.assign(s.size(), ' ');
+    enum State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString,
+    };
+    State st = Code;
+    std::string raw_delim; // )delim" terminator of a raw string
+    for (size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        const char n = i + 1 < s.size() ? s[i + 1] : '\0';
+        if (c == '\n') { // newlines survive in every view/state
+            v.noComments[i] = '\n';
+            v.codeOnly[i] = '\n';
+            if (st == LineComment)
+                st = Code;
+            continue;
+        }
+        switch (st) {
+        case Code:
+            if (c == '/' && n == '/') {
+                st = LineComment;
+            } else if (c == '/' && n == '*') {
+                st = BlockComment;
+                ++i;
+            } else if (c == '"') {
+                // R"delim( ... )delim" — the R must directly abut.
+                if (i > 0 && s[i - 1] == 'R' &&
+                    (i < 2 || !(std::isalnum(
+                                    static_cast<unsigned char>(s[i - 2])) ||
+                                s[i - 2] == '_'))) {
+                    raw_delim = ")";
+                    for (size_t j = i + 1;
+                         j < s.size() && s[j] != '('; ++j)
+                        raw_delim += s[j];
+                    raw_delim += '"';
+                    st = RawString;
+                } else {
+                    st = String;
+                }
+                v.noComments[i] = '"';
+                v.codeOnly[i] = '"';
+            } else if (c == '\'') {
+                st = Char;
+                v.noComments[i] = '\'';
+                v.codeOnly[i] = '\'';
+            } else {
+                v.noComments[i] = c;
+                v.codeOnly[i] = c;
+            }
+            break;
+        case LineComment:
+            break; // blanked
+        case BlockComment:
+            if (c == '*' && n == '/') {
+                st = Code;
+                ++i;
+            }
+            break;
+        case String:
+            v.noComments[i] = c;
+            if (c == '\\' && n != '\0') {
+                v.noComments[i + 1] = n;
+                ++i;
+            } else if (c == '"') {
+                v.codeOnly[i] = '"';
+                st = Code;
+            }
+            break;
+        case Char:
+            v.noComments[i] = c;
+            if (c == '\\' && n != '\0') {
+                v.noComments[i + 1] = n;
+                ++i;
+            } else if (c == '\'') {
+                v.codeOnly[i] = '\'';
+                st = Code;
+            }
+            break;
+        case RawString:
+            v.noComments[i] = c;
+            if (c == ')' &&
+                s.compare(i, raw_delim.size(), raw_delim) == 0) {
+                const size_t last = i + raw_delim.size() - 1;
+                for (size_t j = i; j <= last && j < s.size(); ++j)
+                    v.noComments[j] = s[j];
+                v.codeOnly[last] = '"';
+                i = last;
+                st = Code;
+            }
+            break;
+        }
+    }
+    return v;
+}
+
+std::vector<std::string>
+splitLines(const std::string &s)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : s) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    lines.push_back(cur);
+    return lines;
+}
+
+int
+lineOfOffset(const std::string &s, size_t off)
+{
+    return 1 + static_cast<int>(
+                   std::count(s.begin(), s.begin() +
+                              static_cast<long>(std::min(off, s.size())),
+                              '\n'));
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isBlank(const std::string &s)
+{
+    return std::all_of(s.begin(), s.end(), [](char c) {
+        return std::isspace(static_cast<unsigned char>(c));
+    });
+}
+
+/** Word-bounded occurrences of @p token in @p text (offsets). */
+std::vector<size_t>
+findToken(const std::string &text, const std::string &token)
+{
+    std::vector<size_t> hits;
+    size_t at = 0;
+    while ((at = text.find(token, at)) != std::string::npos) {
+        const bool left_ok = at == 0 || !isIdentChar(text[at - 1]);
+        const size_t end = at + token.size();
+        const bool right_ok =
+            end >= text.size() || !isIdentChar(text[end]);
+        if (left_ok && right_ok)
+            hits.push_back(at);
+        at = end;
+    }
+    return hits;
+}
+
+// -------------------------------------------------------------------
+// allow() directives
+
+struct Allows
+{
+    /** rule -> set of 1-based lines where it is suppressed. */
+    std::map<std::string, std::set<int>> lines;
+    std::vector<Finding> syntaxFindings;
+};
+
+Allows
+parseAllows(const std::string &rel_path,
+            const std::vector<std::string> &raw_lines,
+            const std::vector<std::string> &code_lines)
+{
+    static const std::string kTag = "vrex-lint:";
+    Allows out;
+    for (size_t li = 0; li < raw_lines.size(); ++li) {
+        const std::string &line = raw_lines[li];
+        size_t at = line.find(kTag);
+        if (at == std::string::npos)
+            continue;
+        const int lineno = static_cast<int>(li) + 1;
+        size_t p = at + kTag.size();
+        while (p < line.size() && line[p] == ' ')
+            ++p;
+        if (line.compare(p, 6, "allow(") != 0) {
+            out.syntaxFindings.push_back(
+                {rel_path, lineno, "allow-syntax",
+                 "unrecognized vrex-lint directive (expected "
+                 "`vrex-lint: allow(<rule>) -- <justification>`)"});
+            continue;
+        }
+        p += 6;
+        const size_t close = line.find(')', p);
+        if (close == std::string::npos) {
+            out.syntaxFindings.push_back(
+                {rel_path, lineno, "allow-syntax",
+                 "unterminated allow( directive"});
+            continue;
+        }
+        const std::string rule = line.substr(p, close - p);
+        const auto &known = ruleIds();
+        if (std::find(known.begin(), known.end(), rule) ==
+            known.end()) {
+            out.syntaxFindings.push_back(
+                {rel_path, lineno, "allow-syntax",
+                 "allow() names unknown rule '" + rule + "'"});
+            continue;
+        }
+        // Mandatory justification: ` -- <non-empty text>` after the
+        // closing paren. A suppression without a recorded reason is
+        // itself a violation.
+        const size_t dashes = line.find("--", close);
+        std::string just;
+        if (dashes != std::string::npos)
+            just = line.substr(dashes + 2);
+        if (isBlank(just)) {
+            out.syntaxFindings.push_back(
+                {rel_path, lineno, "allow-syntax",
+                 "allow(" + rule +
+                     ") without a justification (append `-- <why "
+                     "this use is correct>`)"});
+            continue;
+        }
+        // The allow covers its own line, and — when the directive
+        // stands on a pure comment line — the next line that carries
+        // code (skipping blank and further comment lines, so a
+        // multi-line justification can wrap).
+        out.lines[rule].insert(lineno);
+        if (isBlank(code_lines[li])) {
+            for (size_t j = li + 1; j < code_lines.size(); ++j) {
+                if (isBlank(code_lines[j]))
+                    continue;
+                out.lines[rule].insert(static_cast<int>(j) + 1);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+// -------------------------------------------------------------------
+// Rule: layer-dag
+
+/** The src/ layer DAG (transitive closure), mirroring the component
+ *  link edges in the top-level CMakeLists. bench/tests/examples are
+ *  exempt by construction: the linter only scans src/. */
+const std::map<std::string, std::set<std::string>> &
+layerAllowedIncludes()
+{
+    static const std::map<std::string, std::set<std::string>> dag = {
+        {"common", {"common"}},
+        {"tensor", {"common", "tensor"}},
+        {"llm", {"common", "tensor", "llm"}},
+        {"core", {"common", "tensor", "llm", "core"}},
+        {"video", {"common", "tensor", "video"}},
+        {"retrieval", {"common", "tensor", "llm", "retrieval"}},
+        {"kvstore", {"common", "kvstore"}},
+        {"sim", {"common", "tensor", "llm", "kvstore", "sim"}},
+        {"pipeline",
+         {"common", "tensor", "llm", "core", "video", "kvstore",
+          "sim", "pipeline"}},
+        {"serve",
+         {"common", "tensor", "llm", "core", "video", "retrieval",
+          "kvstore", "sim", "pipeline", "serve"}},
+    };
+    return dag;
+}
+
+void
+checkLayerDag(const std::string &rel_path,
+              const std::vector<std::string> &raw_lines,
+              std::vector<Finding> &out)
+{
+    const size_t slash = rel_path.find('/');
+    if (slash == std::string::npos)
+        return; // file directly under src/: no layer
+    const std::string layer = rel_path.substr(0, slash);
+    const auto &dag = layerAllowedIncludes();
+    const auto it = dag.find(layer);
+    if (it == dag.end())
+        return; // unknown layer: out of the DAG's scope
+    for (size_t li = 0; li < raw_lines.size(); ++li) {
+        const std::string &line = raw_lines[li];
+        size_t p = line.find_first_not_of(" \t");
+        if (p == std::string::npos || line[p] != '#')
+            continue;
+        p = line.find_first_not_of(" \t", p + 1);
+        if (p == std::string::npos ||
+            line.compare(p, 7, "include") != 0)
+            continue;
+        const size_t q1 = line.find('"', p);
+        if (q1 == std::string::npos)
+            continue; // <system> includes carry no layer edge
+        const size_t q2 = line.find('"', q1 + 1);
+        if (q2 == std::string::npos)
+            continue;
+        const std::string inc = line.substr(q1 + 1, q2 - q1 - 1);
+        const size_t inc_slash = inc.find('/');
+        if (inc_slash == std::string::npos)
+            continue; // same-directory include
+        const std::string target = inc.substr(0, inc_slash);
+        if (dag.find(target) == dag.end())
+            continue; // not a src/ layer (e.g. third-party path)
+        if (it->second.count(target) == 0)
+            out.push_back(
+                {rel_path, static_cast<int>(li) + 1, "layer-dag",
+                 "layer '" + layer + "' must not include '" + inc +
+                     "' (allowed layers: lower in the common < "
+                     "tensor < llm < ... < serve DAG; see "
+                     "src/README.md)"});
+    }
+}
+
+// -------------------------------------------------------------------
+// Rules: nondet-rand / nondet-clock / unordered-serial (token scans)
+
+void
+checkTokens(const std::string &rel_path, const std::string &code,
+            const std::vector<std::string> &tokens,
+            const std::string &rule, const std::string &why,
+            std::vector<Finding> &out)
+{
+    for (const std::string &tok : tokens)
+        for (size_t off : findToken(code, tok))
+            out.push_back({rel_path, lineOfOffset(code, off), rule,
+                           "'" + tok + "' " + why});
+}
+
+void
+checkNondetRand(const std::string &rel_path, const std::string &code,
+                std::vector<Finding> &out)
+{
+    static const std::vector<std::string> toks = {
+        "rand",          "srand",          "rand_r",
+        "drand48",       "lrand48",        "mrand48",
+        "random_device", "mt19937",        "mt19937_64",
+        "minstd_rand",   "minstd_rand0",   "ranlux24",
+        "ranlux48",      "default_random_engine",
+    };
+    checkTokens(rel_path, code, toks, "nondet-rand",
+                "is nondeterministic randomness; use the seeded "
+                "common/rng.hh streams so results stay a pure "
+                "function of (config, seed)",
+                out);
+}
+
+void
+checkNondetClock(const std::string &rel_path, const std::string &code,
+                 std::vector<Finding> &out)
+{
+    static const std::vector<std::string> toks = {
+        "system_clock",  "steady_clock", "high_resolution_clock",
+        "clock_gettime", "gettimeofday", "timespec_get",
+        "localtime",     "gmtime",       "mktime",
+        "utc_clock",     "file_clock",   "tai_clock",
+    };
+    checkTokens(rel_path, code, toks, "nondet-clock",
+                "reads wall-clock time; results must not depend on "
+                "it — route latency observability through "
+                "common/wallclock.hh (the one allowed site)",
+                out);
+}
+
+void
+checkUnorderedSerial(const std::string &rel_path,
+                     const std::string &code,
+                     std::vector<Finding> &out)
+{
+    // Scope: files that define (or declare) a serialize() — exactly
+    // where unspecified iteration order could leak into the
+    // byte-exact blob contract.
+    bool defines_serialize = false;
+    for (size_t off : findToken(code, "serialize")) {
+        size_t p = off + 9;
+        while (p < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[p])))
+            ++p;
+        if (p < code.size() && code[p] == '(') {
+            defines_serialize = true;
+            break;
+        }
+    }
+    if (!defines_serialize)
+        return;
+    static const std::vector<std::string> toks = {"unordered_map",
+                                                  "unordered_set"};
+    checkTokens(rel_path, code, toks, "unordered-serial",
+                "has unspecified iteration order, in a file that "
+                "defines serialize(); use std::map or a sorted "
+                "vector so blobs are byte-stable",
+                out);
+}
+
+// -------------------------------------------------------------------
+// Rule: assert-format
+
+/** Top-level comma split of the argument text of a macro call whose
+ *  '(' sits at @p open in @p text. Returns the offset one past the
+ *  matching ')' (or npos on imbalance). Strings are intact in the
+ *  nocomment view, so the walk tracks them. */
+size_t
+splitArgs(const std::string &text, size_t open,
+          std::vector<std::string> &args)
+{
+    int depth = 0;
+    bool in_str = false, in_chr = false;
+    std::string cur;
+    for (size_t i = open; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_str || in_chr) {
+            cur += c;
+            if (c == '\\' && i + 1 < text.size()) {
+                cur += text[i + 1];
+                ++i;
+            } else if (in_str && c == '"') {
+                in_str = false;
+            } else if (in_chr && c == '\'') {
+                in_chr = false;
+            }
+            continue;
+        }
+        switch (c) {
+        case '"':
+            in_str = true;
+            cur += c;
+            break;
+        case '\'':
+            in_chr = true;
+            cur += c;
+            break;
+        case '(':
+        case '[':
+        case '{':
+            ++depth;
+            if (depth > 1)
+                cur += c;
+            break;
+        case ')':
+        case ']':
+        case '}':
+            --depth;
+            if (depth == 0) {
+                args.push_back(cur);
+                return i + 1;
+            }
+            cur += c;
+            break;
+        case ',':
+            if (depth == 1) {
+                args.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+            break;
+        default:
+            cur += c;
+        }
+    }
+    return std::string::npos;
+}
+
+/** Concatenate the string-literal segments of @p arg. False when the
+ *  argument contains anything that is not a string literal or
+ *  whitespace (macro concatenation etc. — unverifiable). */
+bool
+literalText(const std::string &arg, std::string &text)
+{
+    text.clear();
+    size_t i = 0;
+    bool any = false;
+    while (i < arg.size()) {
+        const char c = arg[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c != '"')
+            return false;
+        ++i;
+        while (i < arg.size() && arg[i] != '"') {
+            if (arg[i] == '\\' && i + 1 < arg.size()) {
+                text += arg[i];
+                text += arg[i + 1];
+                i += 2;
+            } else {
+                text += arg[i];
+                ++i;
+            }
+        }
+        if (i >= arg.size())
+            return false; // unterminated (split across lines?)
+        ++i;              // closing quote
+        any = true;
+    }
+    return any;
+}
+
+/** printf conversions consumed by @p fmt (each `*` width/precision
+ *  counts as one extra argument). -1 when the format is malformed. */
+int
+countConversions(const std::string &fmt)
+{
+    int n = 0;
+    for (size_t i = 0; i < fmt.size(); ++i) {
+        if (fmt[i] != '%')
+            continue;
+        ++i;
+        if (i >= fmt.size())
+            return -1;
+        if (fmt[i] == '%')
+            continue;
+        // flags
+        while (i < fmt.size() && std::string("-+ #0").find(fmt[i]) !=
+                                     std::string::npos)
+            ++i;
+        // width
+        if (i < fmt.size() && fmt[i] == '*') {
+            ++n;
+            ++i;
+        } else {
+            while (i < fmt.size() &&
+                   std::isdigit(static_cast<unsigned char>(fmt[i])))
+                ++i;
+        }
+        // precision
+        if (i < fmt.size() && fmt[i] == '.') {
+            ++i;
+            if (i < fmt.size() && fmt[i] == '*') {
+                ++n;
+                ++i;
+            } else {
+                while (i < fmt.size() &&
+                       std::isdigit(
+                           static_cast<unsigned char>(fmt[i])))
+                    ++i;
+            }
+        }
+        // length modifiers
+        while (i < fmt.size() && std::string("hljztL").find(fmt[i]) !=
+                                     std::string::npos)
+            ++i;
+        if (i >= fmt.size() ||
+            std::string("diouxXeEfFgGaAcspn").find(fmt[i]) ==
+                std::string::npos)
+            return -1;
+        ++n;
+    }
+    return n;
+}
+
+/** 1-based lines that are preprocessor directives, including `\`
+ *  continuation lines — a macro *definition* mentioning VREX_ASSERT
+ *  is not a call site. */
+std::set<int>
+directiveLines(const std::vector<std::string> &raw_lines)
+{
+    std::set<int> out;
+    bool continued = false;
+    for (size_t i = 0; i < raw_lines.size(); ++i) {
+        const std::string &line = raw_lines[i];
+        const size_t first = line.find_first_not_of(" \t");
+        const bool directive =
+            continued ||
+            (first != std::string::npos && line[first] == '#');
+        if (directive)
+            out.insert(static_cast<int>(i) + 1);
+        const size_t last = line.find_last_not_of(" \t\r");
+        continued = directive && last != std::string::npos &&
+                    line[last] == '\\';
+    }
+    return out;
+}
+
+void
+checkAssertFormat(const std::string &rel_path,
+                  const std::string &nocomment,
+                  const std::vector<std::string> &raw_lines,
+                  std::vector<Finding> &out)
+{
+    const std::set<int> directives = directiveLines(raw_lines);
+    for (const char *macro : {"VREX_ASSERT", "VREX_DEBUG_ASSERT"}) {
+        for (size_t off : findToken(nocomment, macro)) {
+            if (directives.count(lineOfOffset(nocomment, off)))
+                continue; // inside a #define, not a call
+            size_t p = off + std::string(macro).size();
+            while (p < nocomment.size() &&
+                   std::isspace(
+                       static_cast<unsigned char>(nocomment[p])))
+                ++p;
+            if (p >= nocomment.size() || nocomment[p] != '(')
+                continue; // the macro definition itself, not a call
+            std::vector<std::string> args;
+            if (splitArgs(nocomment, p, args) == std::string::npos)
+                continue;
+            const int lineno = lineOfOffset(nocomment, off);
+            if (args.size() < 2)
+                continue; // condition-only form: nothing to pair
+            std::string fmt;
+            if (!literalText(args[1], fmt)) {
+                out.push_back(
+                    {rel_path, lineno, "assert-format",
+                     std::string(macro) +
+                         " message must be a string literal (got `" +
+                         args[1] + "`)"});
+                continue;
+            }
+            const int want = countConversions(fmt);
+            const int got = static_cast<int>(args.size()) - 2;
+            if (want < 0) {
+                out.push_back({rel_path, lineno, "assert-format",
+                               std::string(macro) +
+                                   " format \"" + fmt +
+                                   "\" is malformed"});
+            } else if (want != got) {
+                out.push_back(
+                    {rel_path, lineno, "assert-format",
+                     std::string(macro) + " format \"" + fmt +
+                         "\" consumes " + std::to_string(want) +
+                         " argument(s) but " + std::to_string(got) +
+                         " were passed — the PR-2 vararg mispairing "
+                         "bug class"});
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Rule: serial-pairing
+
+/** Typed op counts of one serialize()/restore() body. */
+struct SerialOps
+{
+    std::map<std::string, int> typed; //!< put<T>/get<T>, by type T
+    int boolOps = 0;
+    int stringOps = 0;
+    int bytesOps = 0;
+    int vecOps = 0;
+    int nestedOps = 0; //!< member.serialize(w) / member.restore(r)
+    bool operator==(const SerialOps &) const = default;
+};
+
+struct SerialFn
+{
+    std::string scope; //!< "HCTable" for HCTable::serialize; "" inline
+    int line = 0;
+    SerialOps ops;
+};
+
+std::string
+normalizeType(std::string t)
+{
+    std::string out;
+    for (char c : t)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            out += c;
+    static const std::string kStd = "std::";
+    size_t at;
+    while ((at = out.find(kStd)) != std::string::npos)
+        out.erase(at, kStd.size());
+    return out;
+}
+
+/** Matching '>' for the '<' at @p open (nested template args). */
+size_t
+closeAngle(const std::string &s, size_t open)
+{
+    int depth = 0;
+    for (size_t i = open; i < s.size(); ++i) {
+        if (s[i] == '<')
+            ++depth;
+        else if (s[i] == '>' && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+SerialOps
+countOps(const std::string &body, bool write_side)
+{
+    SerialOps ops;
+    const std::string typed_tok = write_side ? "put" : "get";
+    for (size_t off : findToken(body, typed_tok)) {
+        const size_t p = off + typed_tok.size();
+        if (p < body.size() && body[p] == '<') {
+            const size_t close = closeAngle(body, p);
+            if (close != std::string::npos)
+                ++ops.typed[normalizeType(
+                    body.substr(p + 1, close - p - 1))];
+        }
+    }
+    auto count = [&body](const std::string &tok) {
+        return static_cast<int>(findToken(body, tok).size());
+    };
+    ops.boolOps = count(write_side ? "putBool" : "getBool");
+    ops.stringOps = count(write_side ? "putString" : "getString");
+    ops.bytesOps = count(write_side ? "putBytes" : "getBytes");
+    ops.vecOps = count(write_side ? "putVec" : "getVec");
+    ops.nestedOps = count(write_side ? "serialize" : "restore");
+    return ops;
+}
+
+/** Definitions of `...serialize(ByteWriter...) {` (write side) or
+ *  `...restore(ByteReader...) {` (read side) in the nocomment view,
+ *  with per-body op counts. */
+std::vector<SerialFn>
+findSerialFns(const std::string &text, bool write_side)
+{
+    const std::string fn_name = write_side ? "serialize" : "restore";
+    const std::string param_type =
+        write_side ? "ByteWriter" : "ByteReader";
+    std::vector<SerialFn> fns;
+    for (size_t off : findToken(text, fn_name)) {
+        size_t p = off + fn_name.size();
+        while (p < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[p])))
+            ++p;
+        if (p >= text.size() || text[p] != '(')
+            continue;
+        std::vector<std::string> params;
+        const size_t after = splitArgs(text, p, params);
+        if (after == std::string::npos)
+            continue;
+        const std::string sig = params.empty() ? "" : params[0];
+        if (sig.find(param_type) == std::string::npos)
+            continue;
+        // Definition? Skip cv-qualifiers etc. up to '{' or ';'.
+        size_t q = after;
+        while (q < text.size() && text[q] != '{' && text[q] != ';' &&
+               text[q] != '(')
+            ++q;
+        if (q >= text.size() || text[q] != '{')
+            continue;
+        // Qualified scope: identifiers + "::" directly before the
+        // name, e.g. "HCTable::" -> "HCTable".
+        size_t s = off;
+        while (s > 0 && (isIdentChar(text[s - 1]) ||
+                         text[s - 1] == ':'))
+            --s;
+        std::string qual = text.substr(s, off - s);
+        if (qual.size() >= 2 &&
+            qual.compare(qual.size() - 2, 2, "::") == 0)
+            qual.erase(qual.size() - 2);
+        // Body extent: match braces (strings already intact — use a
+        // splitArgs walk starting at the '{').
+        int depth = 0;
+        bool in_str = false, in_chr = false;
+        size_t end = q;
+        for (size_t i = q; i < text.size(); ++i) {
+            const char c = text[i];
+            if (in_str || in_chr) {
+                if (c == '\\')
+                    ++i;
+                else if (in_str && c == '"')
+                    in_str = false;
+                else if (in_chr && c == '\'')
+                    in_chr = false;
+                continue;
+            }
+            if (c == '"')
+                in_str = true;
+            else if (c == '\'')
+                in_chr = true;
+            else if (c == '{')
+                ++depth;
+            else if (c == '}' && --depth == 0) {
+                end = i;
+                break;
+            }
+        }
+        SerialFn fn;
+        fn.scope = qual;
+        fn.line = lineOfOffset(text, off);
+        fn.ops = countOps(text.substr(q, end - q), write_side);
+        fns.push_back(std::move(fn));
+    }
+    return fns;
+}
+
+std::string
+describeImbalance(const SerialOps &w, const SerialOps &r)
+{
+    std::ostringstream os;
+    std::set<std::string> types;
+    for (const auto &[t, n] : w.typed)
+        types.insert(t);
+    for (const auto &[t, n] : r.typed)
+        types.insert(t);
+    for (const std::string &t : types) {
+        const int pw = w.typed.count(t) ? w.typed.at(t) : 0;
+        const int pr = r.typed.count(t) ? r.typed.at(t) : 0;
+        if (pw != pr)
+            os << " put<" << t << ">x" << pw << " vs get<" << t
+               << ">x" << pr << ";";
+    }
+    auto pair = [&os](const char *name, int pw, int pr) {
+        if (pw != pr)
+            os << " " << name << " " << pw << " vs " << pr << ";";
+    };
+    pair("Bool", w.boolOps, r.boolOps);
+    pair("String", w.stringOps, r.stringOps);
+    pair("Bytes", w.bytesOps, r.bytesOps);
+    pair("Vec", w.vecOps, r.vecOps);
+    pair("nested serialize/restore", w.nestedOps, r.nestedOps);
+    return os.str();
+}
+
+void
+checkSerialPairing(const std::string &rel_path,
+                   const std::string &nocomment,
+                   std::vector<Finding> &out)
+{
+    std::vector<SerialFn> writers = findSerialFns(nocomment, true);
+    std::vector<SerialFn> readers = findSerialFns(nocomment, false);
+    if (writers.empty() || readers.empty())
+        return;
+    // Qualified definitions pair by scope name; inline (unqualified)
+    // definitions pair by order of appearance — the codebase defines
+    // each struct's serialize and restore adjacently.
+    auto unqualified = [](const std::vector<SerialFn> &fns) {
+        std::vector<const SerialFn *> out_fns;
+        for (const SerialFn &f : fns)
+            if (f.scope.empty())
+                out_fns.push_back(&f);
+        return out_fns;
+    };
+    std::vector<std::pair<const SerialFn *, const SerialFn *>> pairs;
+    for (const SerialFn &w : writers) {
+        if (w.scope.empty())
+            continue;
+        for (const SerialFn &r : readers)
+            if (r.scope == w.scope)
+                pairs.emplace_back(&w, &r);
+    }
+    const auto uw = unqualified(writers);
+    const auto ur = unqualified(readers);
+    if (uw.size() == ur.size())
+        for (size_t i = 0; i < uw.size(); ++i)
+            pairs.emplace_back(uw[i], ur[i]);
+    for (const auto &[w, r] : pairs) {
+        if (w->ops == r->ops)
+            continue;
+        const std::string scope =
+            w->scope.empty() ? "<inline>" : w->scope;
+        out.push_back(
+            {rel_path, r->line, "serial-pairing",
+             scope + "::restore() reads do not mirror " + scope +
+                 "::serialize() writes:" +
+                 describeImbalance(w->ops, r->ops) +
+                 " a skewed blob layout breaks the byte-exact "
+                 "restore contract"});
+    }
+}
+
+} // namespace
+
+// -------------------------------------------------------------------
+// Public API
+
+const std::vector<std::string> &
+ruleIds()
+{
+    static const std::vector<std::string> ids = {
+        "nondet-rand",   "nondet-clock",   "unordered-serial",
+        "layer-dag",     "assert-format",  "serial-pairing",
+        "allow-syntax",
+    };
+    return ids;
+}
+
+std::vector<Finding>
+lintSource(const std::string &rel_path, const std::string &content)
+{
+    const Views views = buildViews(content);
+    const std::vector<std::string> raw_lines = splitLines(content);
+    const std::vector<std::string> code_lines =
+        splitLines(views.codeOnly);
+    const Allows allows =
+        parseAllows(rel_path, raw_lines, code_lines);
+
+    std::vector<Finding> found;
+    checkNondetRand(rel_path, views.codeOnly, found);
+    checkNondetClock(rel_path, views.codeOnly, found);
+    checkUnorderedSerial(rel_path, views.codeOnly, found);
+    checkLayerDag(rel_path, raw_lines, found);
+    checkAssertFormat(rel_path, views.noComments, raw_lines, found);
+    // The string-blanked view: "HCTable::restore: bad blob" in an
+    // error message must not count as a nested restore() op.
+    checkSerialPairing(rel_path, views.codeOnly, found);
+
+    std::vector<Finding> out;
+    for (Finding &f : found) {
+        const auto it = allows.lines.find(f.rule);
+        if (it != allows.lines.end() && it->second.count(f.line))
+            continue; // suppressed, with justification on record
+        out.push_back(std::move(f));
+    }
+    // allow-syntax findings are not themselves suppressible.
+    for (const Finding &f : allows.syntaxFindings)
+        out.push_back(f);
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    return out;
+}
+
+std::vector<Finding>
+lintTree(const std::string &src_root)
+{
+    namespace fs = std::filesystem;
+    if (!fs::is_directory(src_root))
+        throw std::runtime_error("vrex_lint: not a directory: " +
+                                 src_root);
+    std::vector<std::string> rels;
+    for (const auto &entry :
+         fs::recursive_directory_iterator(src_root)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext != ".cc" && ext != ".hh")
+            continue;
+        rels.push_back(
+            fs::relative(entry.path(), src_root).generic_string());
+    }
+    std::sort(rels.begin(), rels.end());
+    std::vector<Finding> out;
+    for (const std::string &rel : rels) {
+        std::ifstream in(src_root + "/" + rel, std::ios::binary);
+        if (!in)
+            throw std::runtime_error("vrex_lint: cannot read " +
+                                     src_root + "/" + rel);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::vector<Finding> fs_found = lintSource(rel, buf.str());
+        out.insert(out.end(), fs_found.begin(), fs_found.end());
+    }
+    return out;
+}
+
+std::string
+formatFinding(const Finding &f)
+{
+    return f.file + ":" + std::to_string(f.line) + ": [" + f.rule +
+           "] " + f.message;
+}
+
+} // namespace vrex::lint

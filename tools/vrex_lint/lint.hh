@@ -1,0 +1,73 @@
+/**
+ * @file
+ * vrex-lint: a repo-owned static checker for project contracts that
+ * no off-the-shelf tool knows about. Rules (see tools/README.md for
+ * the full catalog and rationale):
+ *
+ *   nondet-rand     banned nondeterministic randomness APIs in src/
+ *   nondet-clock    wall-clock reads outside common/wallclock.hh
+ *   unordered-serial  unordered containers in serialize-defining files
+ *   layer-dag       #include edges must respect the src/ layer DAG
+ *   assert-format   VREX_ASSERT printf format / vararg arity pairing
+ *   serial-pairing  serialize()/restore() typed write/read symmetry
+ *   allow-syntax    malformed `vrex-lint: allow(...)` directives
+ *
+ * Suppression: `// vrex-lint: allow(<rule>) -- <justification>` on
+ * the offending line, or on a standalone comment line directly above
+ * it. The justification text is mandatory; a bare allow() is itself
+ * reported (rule `allow-syntax`), as is an allow() naming an unknown
+ * rule.
+ *
+ * The checker is deliberately line- and token-based (with comments
+ * and string literals stripped where that matters): it trades
+ * precision for zero build-time dependencies and total portability.
+ * False positives are expected to be rare and are silenced with an
+ * allow() + justification, which doubles as documentation.
+ */
+
+#ifndef VREX_TOOLS_VREX_LINT_LINT_HH
+#define VREX_TOOLS_VREX_LINT_LINT_HH
+
+#include <string>
+#include <vector>
+
+namespace vrex::lint
+{
+
+/** One rule violation. */
+struct Finding
+{
+    std::string file; //!< Path as given to the linter.
+    int line = 0;     //!< 1-based.
+    std::string rule;
+    std::string message;
+};
+
+/** Every rule id the linter knows (allow() targets). */
+const std::vector<std::string> &ruleIds();
+
+/**
+ * Lint one source file.
+ *
+ * @param rel_path  Path relative to the src root, e.g.
+ *                  "serve/engine.cc". The first directory component
+ *                  names the layer for the layer-DAG rule; a file
+ *                  with no directory (or an unknown layer) skips
+ *                  that rule. Used verbatim in Finding::file.
+ * @param content   The file's full text.
+ */
+std::vector<Finding> lintSource(const std::string &rel_path,
+                                const std::string &content);
+
+/** lintSource over every *.cc / *.hh under @p src_root (recursive),
+ *  findings sorted by (file, line). Paths in the findings are
+ *  relative to @p src_root. Throws std::runtime_error when the root
+ *  is missing or unreadable. */
+std::vector<Finding> lintTree(const std::string &src_root);
+
+/** "file:line: [rule] message" (one line, no trailing newline). */
+std::string formatFinding(const Finding &f);
+
+} // namespace vrex::lint
+
+#endif // VREX_TOOLS_VREX_LINT_LINT_HH

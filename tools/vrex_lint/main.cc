@@ -1,0 +1,90 @@
+/**
+ * @file
+ * vrex_lint CLI.
+ *
+ *   vrex_lint --src-root <dir> [rel-file...]
+ *
+ * With no file arguments, lints every *.cc / *.hh under the root.
+ * With file arguments (paths relative to the root), lints just those.
+ * Findings print as `file:line: [rule] message`, one per line.
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage / IO error.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vrex_lint/lint.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr << "usage: vrex_lint --src-root <dir> [rel-file...]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string src_root;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--src-root") {
+            if (i + 1 >= argc)
+                return usage();
+            src_root = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (src_root.empty())
+        return usage();
+
+    std::vector<vrex::lint::Finding> findings;
+    try {
+        if (files.empty()) {
+            findings = vrex::lint::lintTree(src_root);
+        } else {
+            for (const std::string &rel : files) {
+                std::ifstream in(src_root + "/" + rel,
+                                 std::ios::binary);
+                if (!in) {
+                    std::cerr << "vrex_lint: cannot read "
+                              << src_root << "/" << rel << "\n";
+                    return 2;
+                }
+                std::ostringstream buf;
+                buf << in.rdbuf();
+                for (auto &f :
+                     vrex::lint::lintSource(rel, buf.str()))
+                    findings.push_back(std::move(f));
+            }
+        }
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+
+    for (const auto &f : findings)
+        std::cout << vrex::lint::formatFinding(f) << "\n";
+    if (!findings.empty()) {
+        std::cerr << "vrex_lint: " << findings.size()
+                  << " finding(s)\n";
+        return 1;
+    }
+    return 0;
+}
