@@ -11,6 +11,7 @@
  *           [--cache N] [--batch N] [--frame-tokens N] [--serve N]
  *           [--max-live M] [--class-mix N]
  *           [--sessions N] [--kv-budget BYTES]
+ *           [--workload NAME]
  *
  * With --serve N the CLI additionally runs N concurrent *functional*
  * sessions through vrex::serve::Engine under the same retrieval
@@ -39,6 +40,15 @@
  * with the hibernation panel from serve::Stats::kv: resident vs.
  * hibernated sessions, cold-store bytes, hibernate/wake counts and
  * latency percentiles.
+ *
+ * With --workload NAME the CLI replays a named scenario from the
+ * traffic-shape zoo (src/video/workload.hh) through the *open-loop*
+ * load generator: arrivals fire on the deterministic virtual clock
+ * regardless of completions, so overload produces measured
+ * rejections instead of retry waves. Prints the per-class
+ * offered/admitted/rejected counts, SLO attainment, virtual
+ * flow-time percentiles and goodput. --max-live M overrides the
+ * admission cap (default 10). Unknown names panic with the catalog.
  */
 
 #include <cstdio>
@@ -49,6 +59,7 @@
 
 #include "common/logging.hh"
 #include "serve/engine.hh"
+#include "serve/loadgen.hh"
 #include "sim/hw_config.hh"
 #include "sim/method_model.hh"
 #include "sim/roofline.hh"
@@ -354,6 +365,52 @@ serveHibernation(const std::string &method, uint32_t sessions,
 }
 
 void
+serveWorkload(const std::string &method, const std::string &name,
+              uint32_t max_live)
+{
+    serve::LoadGenConfig cfg;
+    cfg.model = ModelConfig::tiny();
+    cfg.policy = specForMethod(method);
+    cfg.sched.maxLiveSessions = max_live > 0 ? max_live : 10;
+    cfg.sched.classWeights = {2, 1};
+
+    const TrafficTrace trace = buildTrace(traceSpecByName(name));
+    serve::LoadGen gen(cfg);
+    const serve::LoadReport r = gen.run(trace);
+
+    std::printf("\n[open-loop workload '%s'] %s arrivals, %u "
+                "sessions over %.2f virtual s, policy '%s', "
+                "admission cap %u\n", name.c_str(),
+                arrivalKindName(trace.spec.arrivals.kind),
+                r.offered(), r.horizonUs / 1e6,
+                serve::policyKindName(cfg.policy.kind).c_str(),
+                cfg.sched.maxLiveSessions);
+    std::printf("  %-12s %8s %9s %9s %11s %11s | %9s | %s\n",
+                "class", "offered", "admitted", "rejected",
+                "items-enq", "items-rej", "slo-met",
+                "virtual flow p50/p95/p99 ms");
+    for (uint32_t c = 0; c < kTrafficClasses; ++c) {
+        const auto cls = static_cast<TrafficClass>(c);
+        const serve::LoadClassReport &cr = r.forClass(cls);
+        if (cr.offered == 0)
+            continue;
+        std::printf("  %-12s %8u %9u %9u %11llu %11llu | %8.1f%% | "
+                    "%.1f / %.1f / %.1f\n", trafficClassName(cls),
+                    cr.offered, cr.admitted, cr.rejectedSessions,
+                    static_cast<unsigned long long>(cr.itemsEnqueued),
+                    static_cast<unsigned long long>(cr.itemsRejected),
+                    100.0 * cr.attainment(), cr.flowP50Us / 1e3,
+                    cr.flowP95Us / 1e3, cr.flowP99Us / 1e3);
+    }
+    std::printf("  total: rejection rate %.1f%%, goodput %.2f "
+                "sessions/s, %.1f items/s, %llu items executed\n",
+                100.0 * r.rejectionRate(), r.goodputPerSec(),
+                r.itemThroughputPerSec(),
+                static_cast<unsigned long long>(
+                    r.engine.itemsExecuted));
+}
+
+void
 printPhase(const char *title, const PhaseResult &r)
 {
     std::printf("\n[%s]\n", title);
@@ -388,6 +445,7 @@ main(int argc, char **argv)
     uint32_t serve_sessions = 0, max_live = 0, class_mix = 0;
     uint32_t hib_sessions = 0;
     uint64_t kv_budget = 0;
+    std::string workload;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -422,6 +480,8 @@ main(int argc, char **argv)
         else if (arg == "--kv-budget")
             kv_budget =
                 static_cast<uint64_t>(std::atoll(next().c_str()));
+        else if (arg == "--workload")
+            workload = next();
         else
             fatal("unknown argument '%s'", arg.c_str());
     }
@@ -459,5 +519,7 @@ main(int argc, char **argv)
                   "disables hibernation)");
         serveHibernation(method, hib_sessions, kv_budget);
     }
+    if (!workload.empty())
+        serveWorkload(method, workload, max_live);
     return 0;
 }

@@ -1,0 +1,258 @@
+#include "serve/loadgen.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace vrex::serve
+{
+
+namespace
+{
+
+/** rank = ceil(q*n) percentile of a sorted sample (us). */
+uint64_t
+percentileUs(const std::vector<uint64_t> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const auto n = static_cast<double>(sorted.size());
+    auto rank = static_cast<size_t>(std::ceil(q * n));
+    rank = std::min(std::max<size_t>(rank, 1), sorted.size());
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+uint32_t
+LoadReport::offered() const
+{
+    uint32_t n = 0;
+    for (const auto &c : classes)
+        n += c.offered;
+    return n;
+}
+
+uint32_t
+LoadReport::admitted() const
+{
+    uint32_t n = 0;
+    for (const auto &c : classes)
+        n += c.admitted;
+    return n;
+}
+
+uint32_t
+LoadReport::rejectedSessions() const
+{
+    uint32_t n = 0;
+    for (const auto &c : classes)
+        n += c.rejectedSessions;
+    return n;
+}
+
+uint32_t
+LoadReport::sloMet() const
+{
+    uint32_t n = 0;
+    for (const auto &c : classes)
+        n += c.sloMet;
+    return n;
+}
+
+uint64_t
+LoadReport::itemsEnqueued() const
+{
+    uint64_t n = 0;
+    for (const auto &c : classes)
+        n += c.itemsEnqueued;
+    return n;
+}
+
+uint64_t
+LoadReport::itemsRejected() const
+{
+    uint64_t n = 0;
+    for (const auto &c : classes)
+        n += c.itemsRejected;
+    return n;
+}
+
+double
+LoadReport::rejectionRate() const
+{
+    const uint32_t off = offered();
+    return off == 0
+               ? 0.0
+               : static_cast<double>(rejectedSessions()) / off;
+}
+
+double
+LoadReport::goodputPerSec() const
+{
+    return endUs == 0
+               ? 0.0
+               : static_cast<double>(sloMet()) /
+                     (static_cast<double>(endUs) / 1e6);
+}
+
+double
+LoadReport::itemThroughputPerSec() const
+{
+    return endUs == 0
+               ? 0.0
+               : static_cast<double>(itemsEnqueued()) /
+                     (static_cast<double>(endUs) / 1e6);
+}
+
+LoadGen::LoadGen(LoadGenConfig config) : cfg(std::move(config))
+{
+    VREX_ASSERT(cfg.virtualServers > 0,
+                "LoadGen needs at least one virtual server");
+    VREX_ASSERT(cfg.virtualUsPerItem > 0,
+                "LoadGen needs a positive virtual service time");
+}
+
+LoadReport
+LoadGen::run(const TrafficTrace &trace)
+{
+    EngineConfig ecfg;
+    ecfg.model = cfg.model;
+    ecfg.policy = cfg.policy;
+    ecfg.workers = cfg.workers;
+    ecfg.sessionSeed = cfg.sessionSeed;
+    ecfg.sched = cfg.sched;
+    Engine engine(ecfg);
+
+    LoadReport rep;
+    rep.trace = trace.spec.name;
+    rep.horizonUs = trace.horizonUs();
+
+    // Virtual FCFS service model: admitted sessions occupy the
+    // earliest-free of `virtualServers` servers for
+    // items * virtualUsPerItem virtual us.
+    std::priority_queue<uint64_t, std::vector<uint64_t>,
+                        std::greater<>>
+        serverFreeUs;
+    for (uint32_t s = 0; s < cfg.virtualServers; ++s)
+        serverFreeUs.push(0);
+
+    struct LiveSession
+    {
+        uint64_t completionUs;
+        SessionId id;
+        bool operator>(const LiveSession &o) const
+        {
+            // Tie-break on id: retirement order is deterministic.
+            return completionUs != o.completionUs
+                       ? completionUs > o.completionUs
+                       : id > o.id;
+        }
+    };
+    std::priority_queue<LiveSession, std::vector<LiveSession>,
+                        std::greater<>>
+        live;
+
+    std::array<std::vector<uint64_t>, kSchedClasses> flows;
+    uint64_t lastCompletionUs = 0;
+
+    for (const TraceArrival &arrival : trace.arrivals) {
+        LoadClassReport &cls =
+            rep.classes[static_cast<size_t>(arrival.cls)];
+        const uint32_t items = arrival.unitItems();
+        ++cls.offered;
+        cls.itemsOffered += items;
+
+        // Retire every session whose virtual completion has passed —
+        // the only thing that frees admission slots. closeSession
+        // drains the session's real work first, so the engine's
+        // logical counters are settled for it.
+        while (!live.empty() &&
+               live.top().completionUs <= arrival.atUs) {
+            engine.closeSession(live.top().id);
+            live.pop();
+        }
+
+        // Open loop: offer the arrival, count the verdict, move on.
+        SessionOptions options =
+            SessionOptions::fromScript(arrival.script);
+        options.schedClass = schedClassFor(arrival.cls);
+        const Admission adm = engine.tryCreateSession(options);
+        if (!adm.admitted()) {
+            ++cls.rejectedSessions;
+            cls.itemsRejected += items;
+            continue;
+        }
+        ++cls.admitted;
+
+        // Feed the script through the backpressure verbs in
+        // verb-sized chunks (frame runs, QA rounds): each chunk is
+        // all-or-nothing, rejected chunks are lost, not retried.
+        uint64_t enq = 0, rej = 0;
+        const auto &events = arrival.script.events;
+        for (size_t i = 0; i < events.size();) {
+            EnqueueResult r;
+            if (events[i].type == SessionEvent::Type::Frame) {
+                uint32_t n = 0;
+                while (i + n < events.size() &&
+                       events[i + n].type ==
+                           SessionEvent::Type::Frame)
+                    ++n;
+                r = engine.tryFeedFrame(adm.id, n);
+                i += n;
+            } else if (events[i].type ==
+                           SessionEvent::Type::Question &&
+                       i + 1 < events.size() &&
+                       events[i + 1].type ==
+                           SessionEvent::Type::Generate) {
+                r = engine.tryAsk(adm.id, events[i].tokens,
+                                  events[i + 1].tokens);
+                i += 2;
+            } else {
+                r = engine.tryEnqueue(adm.id, {events[i]});
+                i += 1;
+            }
+            (r.accepted() ? enq : rej) += r.items;
+        }
+        cls.itemsEnqueued += enq;
+        cls.itemsRejected += rej;
+
+        // Virtual service: FCFS over the enqueued items.
+        const uint64_t start =
+            std::max(arrival.atUs, serverFreeUs.top());
+        serverFreeUs.pop();
+        const uint64_t completion =
+            start + enq * cfg.virtualUsPerItem;
+        serverFreeUs.push(completion);
+        live.push({completion, adm.id});
+        lastCompletionUs = std::max(lastCompletionUs, completion);
+
+        const uint64_t flow = completion - arrival.atUs;
+        flows[static_cast<size_t>(arrival.cls)].push_back(flow);
+        if (rej == 0 &&
+            flow <= cfg.sloUs[static_cast<size_t>(arrival.cls)])
+            ++cls.sloMet;
+    }
+
+    // Drain the tail in virtual retirement order.
+    while (!live.empty()) {
+        engine.closeSession(live.top().id);
+        live.pop();
+    }
+
+    rep.endUs = std::max(rep.horizonUs, lastCompletionUs);
+    for (uint32_t c = 0; c < kSchedClasses; ++c) {
+        auto &fl = flows[c];
+        std::sort(fl.begin(), fl.end());
+        LoadClassReport &cls = rep.classes[c];
+        cls.flowP50Us = percentileUs(fl, 0.50);
+        cls.flowP95Us = percentileUs(fl, 0.95);
+        cls.flowP99Us = percentileUs(fl, 0.99);
+        cls.flowMaxUs = fl.empty() ? 0 : fl.back();
+    }
+    rep.engine = engine.stats();
+    return rep;
+}
+
+} // namespace vrex::serve

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Open-loop load generator: arrivals fire on a deterministic virtual
+ * clock regardless of completions, so overload is *real* — the
+ * closed-loop drivers (examples/sim_cli --serve, kvmu_layout
+ * --saturate) retry rejected sessions in waves and therefore never
+ * observe sustained overload; this harness measures it instead.
+ *
+ * A `TrafficTrace` (video/workload.hh) provides session arrivals in
+ * virtual microseconds. The driver walks them in time order and, at
+ * each arrival, offers the session to the Engine through the
+ * admission verbs: `tryCreateSession` for the session itself, then
+ * `tryFeedFrame`/`tryAsk`/`tryEnqueue` in verb-sized chunks for its
+ * script — rejections are *counted*, never retried. Live sessions
+ * retire on the same virtual clock through a small analytic service
+ * model (`virtualServers` FCFS servers, `virtualUsPerItem` per unit
+ * item), so the live set — and with it every admission decision — is
+ * a pure function of (trace, config): the whole run is replayable and
+ * a concurrent run reports byte-identical logical stats to a
+ * sequential one (locked by tests/workload_test.cc). The Engine still
+ * executes every admitted session's *functional* work for real on its
+ * worker pool; only admission and retirement follow the virtual
+ * clock.
+ *
+ * Reported per class (Interactive/Bulk): offered/admitted/rejected
+ * sessions, offered/enqueued/rejected unit items, virtual flow-time
+ * percentiles, and SLO attainment — the fraction of admitted sessions
+ * that were fully served (no item rejected) within the class's
+ * virtual deadline. Goodput counts only those sessions. All of it is
+ * logical or virtual-time derived, so the loadzoo bench panels sit
+ * under the drift gate at a tight tolerance.
+ */
+
+#ifndef VREX_SERVE_LOADGEN_HH
+#define VREX_SERVE_LOADGEN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hh"
+#include "video/workload.hh"
+
+namespace vrex::serve
+{
+
+static_assert(kTrafficClasses == kSchedClasses,
+              "TrafficClass mirrors SchedClass one-to-one");
+
+/** TrafficClass (video layer) -> SchedClass (serve layer). */
+inline SchedClass
+schedClassFor(TrafficClass c)
+{
+    return static_cast<SchedClass>(c);
+}
+
+/** Knobs of one open-loop run. */
+struct LoadGenConfig
+{
+    /** Backbone geometry of every session. */
+    ModelConfig model = ModelConfig::tiny();
+    /** Retrieval policy of every session. */
+    PolicySpec policy;
+    /** Engine worker threads; 0 picks from hardware concurrency.
+     *  Logical results are identical for any value (the concurrent ==
+     *  sequential contract). */
+    uint32_t workers = 0;
+    /** Per-session master seed (mirrors EngineConfig). */
+    uint64_t sessionSeed = 42;
+    /** Admission + dispatch knobs. maxLiveSessions is the overload
+     *  surface: arrivals beyond it are rejected, not queued. */
+    SchedulerConfig sched;
+
+    // ---- virtual service model ---------------------------------
+    /** FCFS virtual servers retiring admitted sessions. > 0. */
+    uint32_t virtualServers = 4;
+    /** Virtual service time per unit work item (us). > 0. */
+    uint64_t virtualUsPerItem = 2000;
+    /** Per-class flow-time deadline (us): a session meets its SLO
+     *  when fully enqueued and virtually completed within this many
+     *  us of its arrival. */
+    std::array<uint64_t, kSchedClasses> sloUs{400'000, 4'000'000};
+};
+
+/** Per-class outcome counters of one run (all logical/virtual). */
+struct LoadClassReport
+{
+    /** Sessions the trace offered to this class. */
+    uint32_t offered = 0;
+    /** Sessions past admission control. */
+    uint32_t admitted = 0;
+    /** Sessions rejected at the live-session cap. */
+    uint32_t rejectedSessions = 0;
+    /** Admitted sessions fully served within the class SLO. */
+    uint32_t sloMet = 0;
+    /** Unit work items across all offered scripts. */
+    uint64_t itemsOffered = 0;
+    /** Items accepted into session queues. */
+    uint64_t itemsEnqueued = 0;
+    /** Items refused by backpressure (bounded queues) or lost with
+     *  a rejected admission. */
+    uint64_t itemsRejected = 0;
+    /** Virtual flow-time (arrival -> virtual completion) percentiles
+     *  over admitted sessions, microseconds. rank = ceil(q*n), the
+     *  Histogram convention; 0 when no session was admitted. */
+    uint64_t flowP50Us = 0;
+    uint64_t flowP95Us = 0;
+    uint64_t flowP99Us = 0;
+    uint64_t flowMaxUs = 0;
+
+    /** Fraction of offered sessions rejected at admission. */
+    double
+    rejectionRate() const
+    {
+        return offered == 0
+                   ? 0.0
+                   : static_cast<double>(rejectedSessions) / offered;
+    }
+
+    /** SLO attainment: fully-served-in-deadline / admitted. */
+    double
+    attainment() const
+    {
+        return admitted == 0
+                   ? 0.0
+                   : static_cast<double>(sloMet) / admitted;
+    }
+};
+
+/** Outcome of one open-loop run over a trace. */
+struct LoadReport
+{
+    std::string trace;
+    /** Last arrival timestamp (virtual us). */
+    uint64_t horizonUs = 0;
+    /** Last virtual completion (>= horizonUs; the denominator of the
+     *  rate metrics). */
+    uint64_t endUs = 0;
+    std::array<LoadClassReport, kSchedClasses> classes;
+    /** Engine scheduler snapshot at the end of the run. Logical
+     *  counters are deterministic; the wall-clock latency fields are
+     *  observability only. */
+    Stats engine;
+
+    const LoadClassReport &
+    forClass(TrafficClass c) const
+    {
+        return classes[static_cast<size_t>(c)];
+    }
+
+    uint32_t offered() const;
+    uint32_t admitted() const;
+    uint32_t rejectedSessions() const;
+    uint32_t sloMet() const;
+    uint64_t itemsEnqueued() const;
+    uint64_t itemsRejected() const;
+
+    /** Sessions rejected / sessions offered. */
+    double rejectionRate() const;
+    /** SLO-met sessions per virtual second. */
+    double goodputPerSec() const;
+    /** Enqueued (= executed, once drained) items per virtual sec. */
+    double itemThroughputPerSec() const;
+};
+
+/**
+ * The open-loop driver. Each run() builds a fresh Engine from the
+ * config (sessions must not leak across scenarios), walks the trace
+ * on the virtual clock, and returns the report. Degenerate configs
+ * (0 virtual servers, 0 us per item) assert.
+ */
+class LoadGen
+{
+  public:
+    explicit LoadGen(LoadGenConfig config);
+
+    LoadReport run(const TrafficTrace &trace);
+
+    const LoadGenConfig &config() const { return cfg; }
+
+  private:
+    LoadGenConfig cfg;
+};
+
+} // namespace vrex::serve
+
+#endif // VREX_SERVE_LOADGEN_HH

@@ -1,7 +1,9 @@
 #include "video/workload.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/logging.hh"
-#include "common/rng.hh"
 
 namespace vrex
 {
@@ -148,12 +150,19 @@ WorkloadGenerator::multiTurn(uint32_t frames, uint32_t turns,
     s.task = CoinTask::Next;
     s.seed = seed;
     VREX_ASSERT(turns > 0, "multiTurn needs at least one turn");
-    uint32_t frames_per_turn = frames / turns;
+    VREX_ASSERT(frames > 0, "multiTurn needs at least one frame");
+    // Contract: every turn leads with at least one frame (a Question
+    // never precedes its video context), so the turn count is clamped
+    // to the frame count. Frames spread as evenly as possible: the
+    // first `frames % turns` turns carry one extra frame. Callers
+    // whose frames divide evenly (every pre-existing user) get the
+    // byte-identical script they always did.
+    turns = std::min(turns, frames);
+    const uint32_t base = frames / turns;
+    const uint32_t extra = frames % turns;
     Rng rng(seed, "multi-turn");
     for (uint32_t turn = 0; turn < turns; ++turn) {
-        uint32_t n = turn + 1 == turns
-            ? frames - frames_per_turn * (turns - 1)
-            : frames_per_turn;
+        const uint32_t n = base + (turn < extra ? 1 : 0);
         for (uint32_t f = 0; f < n; ++f)
             s.events.push_back({SessionEvent::Type::Frame, 0});
         s.events.push_back(
@@ -170,11 +179,405 @@ std::vector<uint32_t>
 WorkloadGenerator::questionTokens(uint32_t n, uint32_t vocab,
                                   uint64_t seed)
 {
+    // Degenerate-input contract: an empty request is fine for any
+    // vocab, but n > 0 ids cannot be drawn from an empty vocabulary
+    // (uniformInt(0) has no valid range).
+    VREX_ASSERT(vocab > 0 || n == 0,
+                "questionTokens needs vocab > 0 when n > 0 (n=%u)",
+                n);
     Rng rng(seed, "question-tokens");
     std::vector<uint32_t> ids(n);
     for (auto &id : ids)
         id = static_cast<uint32_t>(rng.uniformInt(vocab));
     return ids;
+}
+
+// -------------------------------------------------------------------
+// Traffic-shape zoo
+// -------------------------------------------------------------------
+
+const char *
+trafficClassName(TrafficClass c)
+{
+    return c == TrafficClass::Interactive ? "interactive" : "bulk";
+}
+
+const char *
+arrivalKindName(ArrivalSpec::Kind kind)
+{
+    switch (kind) {
+      case ArrivalSpec::Kind::Uniform:    return "uniform";
+      case ArrivalSpec::Kind::Poisson:    return "poisson";
+      case ArrivalSpec::Kind::Diurnal:    return "diurnal";
+      case ArrivalSpec::Kind::FlashCrowd: return "flash-crowd";
+    }
+    panic("unknown ArrivalSpec::Kind");
+}
+
+namespace
+{
+
+/** Peak instantaneous rate of a spec (thinning envelope). */
+double
+peakRate(const ArrivalSpec &spec)
+{
+    switch (spec.kind) {
+      case ArrivalSpec::Kind::Uniform:
+      case ArrivalSpec::Kind::Poisson:
+        return spec.ratePerSec;
+      case ArrivalSpec::Kind::Diurnal:
+        return spec.ratePerSec * (1.0 + spec.diurnalDepth);
+      case ArrivalSpec::Kind::FlashCrowd:
+        return spec.ratePerSec * spec.burstMultiplier;
+    }
+    panic("unknown ArrivalSpec::Kind");
+}
+
+void
+validateArrivalSpec(const ArrivalSpec &spec)
+{
+    VREX_ASSERT(spec.ratePerSec > 0.0,
+                "arrival rate must be positive (got %g)",
+                spec.ratePerSec);
+    if (spec.kind == ArrivalSpec::Kind::Diurnal) {
+        VREX_ASSERT(spec.diurnalDepth >= 0.0 &&
+                        spec.diurnalDepth < 1.0,
+                    "diurnal depth must be in [0, 1) (got %g)",
+                    spec.diurnalDepth);
+        VREX_ASSERT(spec.diurnalPeriodSec > 0.0,
+                    "diurnal period must be positive (got %g)",
+                    spec.diurnalPeriodSec);
+    }
+    if (spec.kind == ArrivalSpec::Kind::FlashCrowd) {
+        VREX_ASSERT(spec.burstMultiplier >= 1.0,
+                    "flash-crowd multiplier must be >= 1 (got %g)",
+                    spec.burstMultiplier);
+        VREX_ASSERT(spec.burstLenSec >= 0.0,
+                    "flash-crowd burst length must be >= 0 (got %g)",
+                    spec.burstLenSec);
+    }
+}
+
+} // namespace
+
+ArrivalProcess::ArrivalProcess(const ArrivalSpec &spec, uint64_t seed)
+    : spec_(spec), rng(seed, "arrivals")
+{
+    validateArrivalSpec(spec_);
+}
+
+double
+ArrivalProcess::rateAt(uint64_t at_us) const
+{
+    const double t = static_cast<double>(at_us) / 1e6;
+    switch (spec_.kind) {
+      case ArrivalSpec::Kind::Uniform:
+      case ArrivalSpec::Kind::Poisson:
+        return spec_.ratePerSec;
+      case ArrivalSpec::Kind::Diurnal:
+        return spec_.ratePerSec *
+               (1.0 + spec_.diurnalDepth *
+                          std::sin(2.0 * 3.14159265358979323846 * t /
+                                   spec_.diurnalPeriodSec));
+      case ArrivalSpec::Kind::FlashCrowd:
+        return t >= spec_.burstStartSec &&
+                       t < spec_.burstStartSec + spec_.burstLenSec
+                   ? spec_.ratePerSec * spec_.burstMultiplier
+                   : spec_.ratePerSec;
+    }
+    panic("unknown ArrivalSpec::Kind");
+}
+
+uint64_t
+ArrivalProcess::nextArrivalUs()
+{
+    if (spec_.kind == ArrivalSpec::Kind::Uniform) {
+        // Exact spacing, no cumulative rounding drift: the i-th
+        // arrival lands at round(i / rate) independent of history.
+        const double period_us = 1e6 / spec_.ratePerSec;
+        const auto idx = static_cast<double>(uniformCount++);
+        nowUs = static_cast<uint64_t>(std::llround(idx * period_us));
+        return nowUs;
+    }
+    // Thinning: candidate arrivals at the peak rate, accepted with
+    // probability rate(t)/peak — an exact inhomogeneous Poisson
+    // process, deterministic given (spec, seed).
+    const double peak = peakRate(spec_);
+    for (;;) {
+        const double dt_s = -std::log1p(-rng.uniform()) / peak;
+        const auto dt_us = static_cast<uint64_t>(
+            std::max<long long>(1, std::llround(dt_s * 1e6)));
+        nowUs += dt_us;
+        if (rng.uniform() * peak <= rateAt(nowUs))
+            return nowUs;
+    }
+}
+
+uint32_t
+paretoLength(Rng &rng, uint32_t lo, uint32_t hi, double alpha)
+{
+    VREX_ASSERT(lo > 0 && lo <= hi,
+                "paretoLength needs 0 < lo <= hi (got [%u, %u])", lo,
+                hi);
+    VREX_ASSERT(alpha > 0.0,
+                "paretoLength needs a positive tail index (got %g)",
+                alpha);
+    if (lo == hi)
+        return lo;
+    // Inverse-CDF of the bounded Pareto on [lo, hi].
+    const double l = lo, h = hi;
+    const double u = rng.uniform();
+    const double la = std::pow(l, alpha), ha = std::pow(h, alpha);
+    const double x =
+        std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+    const auto v = static_cast<uint32_t>(x);
+    return std::clamp(v, lo, hi);
+}
+
+const char *
+sessionProfileName(SessionProfile p)
+{
+    switch (p) {
+      case SessionProfile::QaAverage:         return "qa-average";
+      case SessionProfile::ChattyAdversary:   return "chatty-adversary";
+      case SessionProfile::LongVideoMarathon: return "marathon";
+      case SessionProfile::BulkIngest:        return "bulk-ingest";
+    }
+    panic("unknown SessionProfile");
+}
+
+TrafficClass
+profileClass(SessionProfile p)
+{
+    switch (p) {
+      case SessionProfile::QaAverage:
+      case SessionProfile::ChattyAdversary:
+        return TrafficClass::Interactive;
+      case SessionProfile::LongVideoMarathon:
+      case SessionProfile::BulkIngest:
+        return TrafficClass::Bulk;
+    }
+    panic("unknown SessionProfile");
+}
+
+SessionScript
+profileScript(SessionProfile p, uint64_t seed)
+{
+    switch (p) {
+      case SessionProfile::QaAverage:
+        return WorkloadGenerator::coinAverage(seed);
+      case SessionProfile::ChattyAdversary: {
+        // Short clip, a heavy-tailed burst of tiny QA turns: the
+        // adversary hammering the interactive path with chatter.
+        SessionScript s;
+        s.name = "chatty-adversary";
+        s.task = CoinTask::Step;
+        s.video.driftRate = 0.16;
+        s.video.sceneCutProb = 0.12;
+        s.seed = seed;
+        Rng rng(seed, "chatty-adversary");
+        const uint32_t turns = paretoLength(rng, 4, 32, 1.2);
+        s.events.push_back({SessionEvent::Type::Frame, 0});
+        for (uint32_t t = 0; t < turns; ++t) {
+            if (t > 0 && rng.bernoulli(0.25))
+                s.events.push_back({SessionEvent::Type::Frame, 0});
+            s.events.push_back(
+                {SessionEvent::Type::Question,
+                 2 + static_cast<uint32_t>(rng.uniformInt(4))});
+            s.events.push_back(
+                {SessionEvent::Type::Generate,
+                 2 + static_cast<uint32_t>(rng.uniformInt(5))});
+        }
+        return s;
+      }
+      case SessionProfile::LongVideoMarathon: {
+        // Bounded-Pareto video length: most marathons are merely
+        // long, a few are enormous — the heavy tail that stresses
+        // ingest capacity and KV growth.
+        SessionScript s;
+        s.name = "marathon";
+        s.task = CoinTask::Proc;
+        s.video.driftRate = 0.05;
+        s.video.sceneCutProb = 0.02;
+        s.seed = seed;
+        Rng rng(seed, "marathon");
+        const uint32_t frames = paretoLength(rng, 48, 320, 1.1);
+        for (uint32_t f = 0; f < frames; ++f)
+            s.events.push_back({SessionEvent::Type::Frame, 0});
+        s.events.push_back(
+            {SessionEvent::Type::Question,
+             8 + static_cast<uint32_t>(rng.uniformInt(8))});
+        s.events.push_back(
+            {SessionEvent::Type::Generate,
+             12 + static_cast<uint32_t>(rng.uniformInt(12))});
+        return s;
+      }
+      case SessionProfile::BulkIngest: {
+        // Background backlog upload: frames only, one token QA round
+        // to close the session out.
+        SessionScript s;
+        s.name = "bulk-ingest";
+        s.task = CoinTask::Task;
+        s.video.driftRate = 0.03;
+        s.video.sceneCutProb = 0.01;
+        s.seed = seed;
+        Rng rng(seed, "bulk-ingest");
+        const uint32_t frames = paretoLength(rng, 12, 96, 1.5);
+        for (uint32_t f = 0; f < frames; ++f)
+            s.events.push_back({SessionEvent::Type::Frame, 0});
+        s.events.push_back({SessionEvent::Type::Question, 2});
+        s.events.push_back({SessionEvent::Type::Generate, 2});
+        return s;
+      }
+    }
+    panic("unknown SessionProfile");
+}
+
+uint32_t
+TraceArrival::unitItems() const
+{
+    uint32_t n = 0;
+    for (const auto &e : script.events)
+        n += e.unitCount();
+    return n;
+}
+
+uint64_t
+TrafficTrace::horizonUs() const
+{
+    return arrivals.empty() ? 0 : arrivals.back().atUs;
+}
+
+uint64_t
+TrafficTrace::totalUnitItems() const
+{
+    uint64_t n = 0;
+    for (const auto &a : arrivals)
+        n += a.unitItems();
+    return n;
+}
+
+uint32_t
+TrafficTrace::countClass(TrafficClass c) const
+{
+    uint32_t n = 0;
+    for (const auto &a : arrivals)
+        n += a.cls == c;
+    return n;
+}
+
+TrafficTrace
+buildTrace(const TraceSpec &spec)
+{
+    VREX_ASSERT(spec.sessions > 0,
+                "trace '%s' needs at least one session",
+                spec.name.c_str());
+    double mix_total = 0.0;
+    for (double w : spec.profileMix) {
+        VREX_ASSERT(w >= 0.0,
+                    "trace '%s' has a negative profile weight",
+                    spec.name.c_str());
+        mix_total += w;
+    }
+    VREX_ASSERT(mix_total > 0.0,
+                "trace '%s' needs a non-empty profile mix",
+                spec.name.c_str());
+
+    TrafficTrace trace;
+    trace.spec = spec;
+    trace.arrivals.reserve(spec.sessions);
+    ArrivalProcess arrivals(spec.arrivals, spec.seed);
+    Rng mix_rng(spec.seed, "profile-mix");
+    Rng seed_rng(spec.seed, "script-seeds");
+    for (uint32_t i = 0; i < spec.sessions; ++i) {
+        TraceArrival a;
+        a.atUs = arrivals.nextArrivalUs();
+        double pick = mix_rng.uniform() * mix_total;
+        uint32_t p = 0;
+        while (p + 1 < kSessionProfiles &&
+               pick >= spec.profileMix[p])
+            pick -= spec.profileMix[p], ++p;
+        a.profile = static_cast<SessionProfile>(p);
+        a.cls = profileClass(a.profile);
+        a.script = profileScript(a.profile, seed_rng.nextU64());
+        a.script.name += "-" + std::to_string(i);
+        trace.arrivals.push_back(std::move(a));
+    }
+    return trace;
+}
+
+const std::vector<std::string> &
+traceZoo()
+{
+    static const std::vector<std::string> names = {
+        "steady-qa",      "diurnal-mix",   "flash-crowd",
+        "chatty-adversary", "marathon-tail", "mixed-classes",
+    };
+    return names;
+}
+
+TraceSpec
+traceSpecByName(const std::string &name, uint32_t sessions)
+{
+    TraceSpec spec;
+    spec.name = name;
+    if (name == "steady-qa") {
+        // Baseline: homogeneous Poisson of average QA sessions.
+        spec.seed = 101;
+        spec.sessions = 48;
+        spec.arrivals.kind = ArrivalSpec::Kind::Poisson;
+        spec.arrivals.ratePerSec = 16.0;
+        spec.profileMix = {1.0, 0.0, 0.0, 0.0};
+    } else if (name == "diurnal-mix") {
+        // Day/night swing over a mixed population.
+        spec.seed = 202;
+        spec.sessions = 48;
+        spec.arrivals.kind = ArrivalSpec::Kind::Diurnal;
+        spec.arrivals.ratePerSec = 14.0;
+        spec.arrivals.diurnalDepth = 0.8;
+        spec.arrivals.diurnalPeriodSec = 3.0;
+        spec.profileMix = {0.6, 0.15, 0.0, 0.25};
+    } else if (name == "flash-crowd") {
+        // Viral spike: 8x the base rate for one virtual second.
+        spec.seed = 303;
+        spec.sessions = 56;
+        spec.arrivals.kind = ArrivalSpec::Kind::FlashCrowd;
+        spec.arrivals.ratePerSec = 8.0;
+        spec.arrivals.burstStartSec = 2.0;
+        spec.arrivals.burstLenSec = 1.0;
+        spec.arrivals.burstMultiplier = 8.0;
+        spec.profileMix = {0.8, 0.2, 0.0, 0.0};
+    } else if (name == "chatty-adversary") {
+        // Interactive path under chatter pressure.
+        spec.seed = 404;
+        spec.sessions = 40;
+        spec.arrivals.kind = ArrivalSpec::Kind::Poisson;
+        spec.arrivals.ratePerSec = 20.0;
+        spec.profileMix = {0.3, 0.7, 0.0, 0.0};
+    } else if (name == "marathon-tail") {
+        // Heavy-tailed video lengths dominating ingest.
+        spec.seed = 505;
+        spec.sessions = 24;
+        spec.arrivals.kind = ArrivalSpec::Kind::Poisson;
+        spec.arrivals.ratePerSec = 6.0;
+        spec.profileMix = {0.4, 0.0, 0.5, 0.1};
+    } else if (name == "mixed-classes") {
+        // The full Interactive/Bulk population in one trace.
+        spec.seed = 606;
+        spec.sessions = 48;
+        spec.arrivals.kind = ArrivalSpec::Kind::Poisson;
+        spec.arrivals.ratePerSec = 14.0;
+        spec.profileMix = {0.4, 0.15, 0.15, 0.3};
+    } else {
+        std::string zoo;
+        for (const auto &n : traceZoo())
+            zoo += (zoo.empty() ? "" : ", ") + n;
+        panic("unknown trace '%s' (catalog: %s)", name.c_str(),
+              zoo.c_str());
+    }
+    if (sessions > 0)
+        spec.sessions = sessions;
+    return spec;
 }
 
 } // namespace vrex

@@ -1,6 +1,6 @@
 /**
  * @file
- * COIN-like streaming workloads.
+ * COIN-like streaming workloads and the production traffic-shape zoo.
  *
  * The paper evaluates on five COIN benchmark tasks. The real dataset
  * is unavailable offline, so we synthesize five task archetypes whose
@@ -9,15 +9,30 @@
  * heads that Table II and Fig. 20 depend on. The paper's "average
  * working scenario" (26 frames, 25 question tokens, 39 answer tokens)
  * is provided as `coinAverage()`.
+ *
+ * On top of the per-session scripts sits the workload layer: named,
+ * seeded, replayable **traffic traces** (`TrafficTrace`) that model
+ * production shapes — Poisson / diurnal / flash-crowd arrival
+ * processes on a virtual microsecond clock, heavy-tailed session
+ * lengths (bounded Pareto), and per-session profiles (chatty
+ * adversary, long-video marathon, bulk ingest) composing the
+ * SessionScript factories. A trace is a pure function of its
+ * `TraceSpec`: building it twice yields byte-identical event streams
+ * (locked by tests/workload_test.cc), which is what makes the
+ * open-loop load harness (`serve/loadgen.hh`) and its bench panels
+ * deterministic. The scenario catalog lives in `traceZoo()` /
+ * `traceSpecByName()`; see src/video/README.md.
  */
 
 #ifndef VREX_VIDEO_WORKLOAD_HH
 #define VREX_VIDEO_WORKLOAD_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/rng.hh"
 #include "video/frame_generator.hh"
 
 namespace vrex
@@ -92,11 +107,210 @@ class WorkloadGenerator
     static SessionScript multiTurn(uint32_t frames, uint32_t turns,
                                    uint64_t seed);
 
-    /** Random question token ids of length @p n in [0, vocab). */
+    /** Random question token ids of length @p n in [0, vocab).
+     *  Degenerate-input contract: n == 0 returns an empty vector for
+     *  any vocab; n > 0 requires vocab > 0 (asserted — there is no
+     *  valid id to draw from an empty vocabulary). */
     static std::vector<uint32_t> questionTokens(uint32_t n,
                                                 uint32_t vocab,
                                                 uint64_t seed);
 };
+
+// -------------------------------------------------------------------
+// Traffic-shape zoo: arrival processes, heavy tails, session profiles
+// -------------------------------------------------------------------
+
+/**
+ * Traffic class of one arriving session. Mirrors the serve layer's
+ * Interactive/Bulk scheduling classes without depending on it (video
+ * sits below serve in the layer DAG); the open-loop driver maps this
+ * onto serve::SchedClass one-to-one.
+ */
+enum class TrafficClass : uint8_t
+{
+    Interactive = 0,
+    Bulk = 1,
+};
+
+/** Number of traffic classes (array dimension of per-class knobs). */
+inline constexpr uint32_t kTrafficClasses = 2;
+
+const char *trafficClassName(TrafficClass c);
+
+/**
+ * Shape of a session arrival process on the virtual clock. Rates are
+ * arrivals per virtual second; the process emits arrival timestamps
+ * in virtual microseconds. Every shape is a pure function of
+ * (spec, seed): replaying a spec yields the identical timestamp
+ * sequence.
+ */
+struct ArrivalSpec
+{
+    enum class Kind : uint8_t
+    {
+        /** Evenly spaced arrivals at exactly `ratePerSec`. */
+        Uniform,
+        /** Homogeneous Poisson: iid exponential interarrivals. */
+        Poisson,
+        /** Sinusoidal rate curve (day/night load swing): the rate
+         *  oscillates in [ratePerSec*(1-depth), ratePerSec*(1+depth)]
+         *  with period `diurnalPeriodSec` (thinning-sampled). */
+        Diurnal,
+        /** Poisson base load plus a flash crowd: the rate jumps to
+         *  ratePerSec*burstMultiplier inside
+         *  [burstStartSec, burstStartSec+burstLenSec). */
+        FlashCrowd,
+    };
+
+    Kind kind = Kind::Poisson;
+    /** Mean arrival rate (peak-of-mean for Diurnal base). > 0. */
+    double ratePerSec = 20.0;
+    /** Diurnal swing depth in [0, 1): 0 degenerates to Poisson. */
+    double diurnalDepth = 0.8;
+    double diurnalPeriodSec = 20.0;
+    /** Flash-crowd window and intensity (multiplier >= 1). */
+    double burstStartSec = 2.0;
+    double burstLenSec = 1.0;
+    double burstMultiplier = 8.0;
+};
+
+const char *arrivalKindName(ArrivalSpec::Kind kind);
+
+/**
+ * Deterministic arrival-time generator: `nextArrivalUs()` returns the
+ * virtual-microsecond timestamp of each successive session arrival
+ * (non-decreasing; at least 1 us apart for the stochastic shapes'
+ * candidate draws). Non-homogeneous shapes (Diurnal, FlashCrowd) are
+ * sampled by thinning against their peak rate, so they stay exact
+ * inhomogeneous-Poisson processes and stay replayable.
+ */
+class ArrivalProcess
+{
+  public:
+    ArrivalProcess(const ArrivalSpec &spec, uint64_t seed);
+
+    /** Virtual timestamp (us) of the next arrival. */
+    uint64_t nextArrivalUs();
+
+    const ArrivalSpec &spec() const { return spec_; }
+
+  private:
+    /** Instantaneous rate at virtual time @p at_us. */
+    double rateAt(uint64_t at_us) const;
+
+    ArrivalSpec spec_;
+    Rng rng;
+    uint64_t nowUs = 0;
+    /** Arrivals emitted so far (Uniform's drift-free index). */
+    uint64_t uniformCount = 0;
+};
+
+/**
+ * Bounded-Pareto sample in [lo, hi] with tail index @p alpha (lower
+ * alpha = heavier tail; production session lengths are commonly
+ * alpha ~ 1-2). Requires 0 < lo <= hi and alpha > 0; lo == hi is the
+ * degenerate point mass.
+ */
+uint32_t paretoLength(Rng &rng, uint32_t lo, uint32_t hi,
+                      double alpha);
+
+/**
+ * Per-session behavioural archetypes composed from the script
+ * factories. Lengths are heavy-tailed where production traffic is
+ * (marathon video length, adversary turn count).
+ */
+enum class SessionProfile : uint8_t
+{
+    /** The paper's average COIN QA session (Interactive). */
+    QaAverage = 0,
+    /** Few frames, a heavy-tailed burst of tiny QA turns — the
+     *  chatty adversary hammering the interactive path. */
+    ChattyAdversary = 1,
+    /** Bounded-Pareto long video, one trailing QA round — the
+     *  long-video marathon (Bulk). */
+    LongVideoMarathon = 2,
+    /** Pure frame backlog plus a token QA round (Bulk ingest). */
+    BulkIngest = 3,
+};
+
+inline constexpr uint32_t kSessionProfiles = 4;
+
+const char *sessionProfileName(SessionProfile p);
+
+/** The traffic class a profile's sessions dispatch under. */
+TrafficClass profileClass(SessionProfile p);
+
+/** Build one session script of profile @p p (seed-deterministic). */
+SessionScript profileScript(SessionProfile p, uint64_t seed);
+
+/** One session arrival inside a trace. */
+struct TraceArrival
+{
+    /** Virtual arrival timestamp (microseconds). */
+    uint64_t atUs = 0;
+    SessionProfile profile = SessionProfile::QaAverage;
+    TrafficClass cls = TrafficClass::Interactive;
+    SessionScript script;
+
+    /** Unit work items the session's script expands to. */
+    uint32_t unitItems() const;
+};
+
+/**
+ * Declarative identity of a traffic trace. The trace is a pure
+ * function of this spec: same spec -> byte-identical TrafficTrace.
+ */
+struct TraceSpec
+{
+    std::string name = "trace";
+    uint64_t seed = 1;
+    /** Session arrivals in the trace. > 0. */
+    uint32_t sessions = 64;
+    ArrivalSpec arrivals;
+    /** Relative profile weights (need not sum to 1; all-zero is a
+     *  degenerate input and asserts). Drawn iid per arrival. */
+    std::array<double, kSessionProfiles> profileMix{1.0, 0.0, 0.0,
+                                                    0.0};
+};
+
+/** A materialized, replayable traffic trace. */
+struct TrafficTrace
+{
+    TraceSpec spec;
+    /** Arrivals in non-decreasing virtual-time order. */
+    std::vector<TraceArrival> arrivals;
+
+    /** Virtual timestamp of the last arrival (0 when empty). */
+    uint64_t horizonUs() const;
+    /** Total unit work items across all arrivals' scripts. */
+    uint64_t totalUnitItems() const;
+    /** Arrivals of one traffic class. */
+    uint32_t countClass(TrafficClass c) const;
+};
+
+/**
+ * Materialize @p spec into a trace: sample the arrival process, draw
+ * a profile per arrival from the mix, and build its session script.
+ * Deterministic and replayable: byte-identical output for equal
+ * specs. Degenerate inputs (0 sessions, rate <= 0, all-zero mix,
+ * depth outside [0,1), multiplier < 1) assert.
+ */
+TrafficTrace buildTrace(const TraceSpec &spec);
+
+/**
+ * The named scenario catalog (see src/video/README.md for shapes and
+ * intent): "steady-qa", "diurnal-mix", "flash-crowd",
+ * "chatty-adversary", "marathon-tail", "mixed-classes".
+ */
+const std::vector<std::string> &traceZoo();
+
+/**
+ * Catalog spec by name; panics on an unknown name (listing the
+ * catalog). @p sessions > 0 overrides the scenario's default arrival
+ * count, scaling the scenario without changing its shape.
+ */
+TraceSpec traceSpecByName(const std::string &name,
+                          uint32_t sessions = 0);
 
 } // namespace vrex
 

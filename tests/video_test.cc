@@ -161,3 +161,85 @@ TEST(Workload, QuestionTokensInVocab)
     auto ids2 = WorkloadGenerator::questionTokens(50, 100, 3);
     EXPECT_EQ(ids, ids2);
 }
+
+// Regression: turns > frames used to emit `turns` frame-less QA
+// rounds (integer division gave 0 frames per turn) and pile every
+// frame into nothing — a Question preceded its video context. The
+// contract now clamps the turn count to the frame count.
+TEST(Workload, MultiTurnMoreTurnsThanFramesClamps)
+{
+    SessionScript s = WorkloadGenerator::multiTurn(3, 5, 1);
+    EXPECT_EQ(s.frameCount(), 3u);
+    uint32_t questions = 0;
+    for (const auto &e : s.events)
+        questions += e.type == SessionEvent::Type::Question;
+    EXPECT_EQ(questions, 3u); // clamped: pre-fix this was 5
+    // Every turn leads with at least one frame.
+    bool frame_seen = false;
+    for (const auto &e : s.events) {
+        if (e.type == SessionEvent::Type::Frame)
+            frame_seen = true;
+        else if (e.type == SessionEvent::Type::Question) {
+            EXPECT_TRUE(frame_seen);
+            frame_seen = false;
+        }
+    }
+}
+
+// Uneven splits spread the remainder over the leading turns; frame
+// and question counts are both exact.
+TEST(Workload, MultiTurnUnevenSplit)
+{
+    SessionScript s = WorkloadGenerator::multiTurn(7, 3, 1);
+    EXPECT_EQ(s.frameCount(), 7u);
+    std::vector<uint32_t> per_turn;
+    uint32_t run = 0;
+    for (const auto &e : s.events) {
+        if (e.type == SessionEvent::Type::Frame)
+            ++run;
+        else if (e.type == SessionEvent::Type::Question) {
+            per_turn.push_back(run);
+            run = 0;
+        }
+    }
+    EXPECT_EQ(per_turn, (std::vector<uint32_t>{3, 2, 2}));
+}
+
+TEST(Workload, MultiTurnDegenerateInputsDie)
+{
+    EXPECT_DEATH((void)WorkloadGenerator::multiTurn(0, 2, 1),
+                 "at least one frame");
+    EXPECT_DEATH((void)WorkloadGenerator::multiTurn(10, 0, 1),
+                 "at least one turn");
+}
+
+// Regression: questionTokens(n > 0, vocab == 0) used to call
+// rng.uniformInt(0) — an empty range. The contract: n == 0 is fine
+// for any vocab, n > 0 requires a non-empty vocabulary.
+TEST(Workload, QuestionTokensEmptyVocab)
+{
+    EXPECT_TRUE(WorkloadGenerator::questionTokens(0, 0, 3).empty());
+    EXPECT_TRUE(WorkloadGenerator::questionTokens(0, 100, 3).empty());
+    EXPECT_DEATH((void)WorkloadGenerator::questionTokens(5, 0, 3),
+                 "vocab > 0");
+}
+
+// Degenerate-input sweep across the rest of the script surface: the
+// contracts the serve layer leans on.
+TEST(Workload, EmptyScriptAccessorsAreZero)
+{
+    SessionScript s;
+    EXPECT_EQ(s.frameCount(), 0u);
+    EXPECT_EQ(s.questionTokens(), 0u);
+    EXPECT_EQ(s.answerTokens(), 0u);
+}
+
+TEST(Workload, ZeroTokenGenerateIsZeroUnits)
+{
+    SessionEvent gen{SessionEvent::Type::Generate, 0};
+    EXPECT_EQ(gen.unitCount(), 0u);
+    SessionEvent frame{SessionEvent::Type::Frame, 0};
+    EXPECT_EQ(frame.unitCount(), 1u);
+    SessionEvent q{SessionEvent::Type::Question, 0};
+    EXPECT_EQ(q.unitCount(), 1u);
+}
