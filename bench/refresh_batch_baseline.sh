@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Refresh bench/batch_baseline.json from a fig_batch run on THIS
+# machine.
+#
+# The batch baseline floor-gates the batched/sequential generation
+# throughput multiplier of the cross-session fused dispatch path
+# (see src/serve/README.md): rows with >= 8 same-geometry sessions
+# that measure >= 1.5x get a floor at the measured value (the 25%
+# relative tolerance is the headroom), the fused-step shape counters
+# band-gate as exact logical counts, and raw steps/s are recorded as
+# "info" and never compared. Regenerate it when the fused kernels or
+# the dispatch path change shape — and run it on a machine
+# representative of CI, since multipliers written on a large-cache
+# desktop may be unreachable on shared runners.
+#
+# usage: bench/refresh_batch_baseline.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/bench/fig_batch" --quiet --json "$TMP/BENCH_fig_batch.json" \
+    --write-batch-baseline bench/batch_baseline.json
+
+# Sanity: the run that produced the baseline must pass its own gate.
+"$BUILD/bench/drift_check" --baseline bench/batch_baseline.json \
+    "$TMP/BENCH_fig_batch.json"

@@ -19,6 +19,86 @@ LayerSelection::selectedRatio(uint32_t past_len) const
     return sum / static_cast<double>(kvHeads.size());
 }
 
+namespace
+{
+
+/** Shared per-(head, token) scratch for the attention kernels. */
+struct AttendScratch
+{
+    std::vector<float> scores;
+    std::vector<uint32_t> attended;
+};
+
+/** Check the degenerate-input contract of one (kv, past, sel, T)
+ *  tuple (see attentionForward() docs). O(nKvHeads). */
+void
+checkAttentionInputs(const ModelConfig &cfg, const LayerKV &kv,
+                     uint32_t past_len, const LayerSelection *sel,
+                     uint32_t block_len)
+{
+    VREX_ASSERT(kv.keys.rows() == past_len + block_len,
+                "attention expects the block appended to the cache");
+    VREX_ASSERT(kv.values.rows() == kv.keys.rows(),
+                "attention cache keys/values row mismatch");
+    VREX_ASSERT(sel == nullptr ||
+                sel->kvHeads.size() == cfg.nKvHeads,
+                "selection has wrong head count");
+    if (sel != nullptr) {
+        for (const HeadSelection &h : sel->kvHeads)
+            // Indices are ascending, so the back is the max: every
+            // explicit selection must point below past_len (which
+            // at past_len == 0 means it must be empty).
+            VREX_ASSERT(h.selectAll || h.indices.empty() ||
+                            h.indices.back() < past_len,
+                        "selection index beyond the past");
+    }
+}
+
+/**
+ * Attend one query token of one head: @p qv against the selected
+ * past tokens plus the causal block prefix ending at block offset
+ * @p t. Both the block path and the batched path funnel through
+ * here, which is what makes them bit-identical per session.
+ */
+void
+attendToken(const float *qv, const LayerKV &kv, uint32_t kv_off,
+            uint32_t head_dim, uint32_t past_len, uint32_t t,
+            const HeadSelection *hsel, float *ov, AttendScratch &s)
+{
+    // Tokens this query may attend: selected past tokens plus
+    // the causal prefix of the current block.
+    s.attended.clear();
+    if (!hsel || hsel->selectAll) {
+        for (uint32_t i = 0; i < past_len; ++i)
+            s.attended.push_back(i);
+    } else {
+        s.attended.assign(hsel->indices.begin(),
+                          hsel->indices.end());
+    }
+    for (uint32_t i = 0; i <= t; ++i)
+        s.attended.push_back(past_len + i);
+
+    s.scores.resize(s.attended.size());
+    const float scale = 1.0f / std::sqrt((float)head_dim);
+    for (size_t i = 0; i < s.attended.size(); ++i) {
+        const float *kvec = kv.keys.row(s.attended[i]) + kv_off;
+        s.scores[i] = dot(qv, kvec, head_dim) * scale;
+    }
+    softmax(s.scores.data(),
+            static_cast<uint32_t>(s.scores.size()));
+
+    for (size_t i = 0; i < s.attended.size(); ++i) {
+        const float p = s.scores[i];
+        if (p == 0.0f)
+            continue;
+        const float *vvec = kv.values.row(s.attended[i]) + kv_off;
+        for (uint32_t d = 0; d < head_dim; ++d)
+            ov[d] += p * vvec[d];
+    }
+}
+
+} // namespace
+
 void
 attentionForward(const ModelConfig &cfg, const Matrix &q,
                  const LayerKV &kv, uint32_t past_len,
@@ -28,15 +108,16 @@ attentionForward(const ModelConfig &cfg, const Matrix &q,
     const uint32_t n_heads = cfg.nHeads;
     const uint32_t group = cfg.groupSize();
     const uint32_t block_len = q.rows();
-    VREX_ASSERT(kv.keys.rows() == past_len + block_len,
-                "attention expects the block appended to the cache");
-    VREX_ASSERT(sel == nullptr ||
-                sel->kvHeads.size() == cfg.nKvHeads,
-                "selection has wrong head count");
+    if (block_len == 0) {
+        // Explicit empty-block contract: nothing to attend, nothing
+        // read from the cache or the selection.
+        out = Matrix(0, cfg.dModel);
+        return;
+    }
+    checkAttentionInputs(cfg, kv, past_len, sel, block_len);
 
     out = Matrix(block_len, cfg.dModel);
-    std::vector<float> scores;
-    std::vector<uint32_t> attended;
+    AttendScratch scratch;
 
     for (uint32_t h = 0; h < n_heads; ++h) {
         const uint32_t kv_head = h / group;
@@ -45,39 +126,46 @@ attentionForward(const ModelConfig &cfg, const Matrix &q,
         const HeadSelection *hsel =
             sel ? &sel->kvHeads[kv_head] : nullptr;
 
-        for (uint32_t t = 0; t < block_len; ++t) {
-            // Tokens this query may attend: selected past tokens plus
-            // the causal prefix of the current block.
-            attended.clear();
-            if (!hsel || hsel->selectAll) {
-                for (uint32_t i = 0; i < past_len; ++i)
-                    attended.push_back(i);
-            } else {
-                attended.assign(hsel->indices.begin(),
-                                hsel->indices.end());
-            }
-            for (uint32_t i = 0; i <= t; ++i)
-                attended.push_back(past_len + i);
+        for (uint32_t t = 0; t < block_len; ++t)
+            attendToken(q.row(t) + q_off, kv, kv_off, head_dim,
+                        past_len, t, hsel, out.row(t) + q_off,
+                        scratch);
+    }
+}
 
-            scores.resize(attended.size());
-            const float *qv = q.row(t) + q_off;
-            const float scale = 1.0f / std::sqrt((float)head_dim);
-            for (size_t i = 0; i < attended.size(); ++i) {
-                const float *kvec = kv.keys.row(attended[i]) + kv_off;
-                scores[i] = dot(qv, kvec, head_dim) * scale;
-            }
-            softmax(scores.data(),
-                    static_cast<uint32_t>(scores.size()));
+void
+attentionForwardBatched(const ModelConfig &cfg, const Matrix &q,
+                        const std::vector<AttentionBatchItem> &items,
+                        Matrix &out)
+{
+    const uint32_t head_dim = cfg.headDim();
+    const uint32_t n_heads = cfg.nHeads;
+    const uint32_t group = cfg.groupSize();
+    const uint32_t n = static_cast<uint32_t>(items.size());
+    VREX_ASSERT(q.rows() == n, "batched attention row/item mismatch");
+    for (const AttentionBatchItem &item : items) {
+        VREX_ASSERT(item.kv != nullptr, "batched attention null cache");
+        checkAttentionInputs(cfg, *item.kv, item.pastLen, item.sel, 1);
+    }
 
-            float *ov = out.row(t) + q_off;
-            for (size_t i = 0; i < attended.size(); ++i) {
-                const float p = scores[i];
-                if (p == 0.0f)
-                    continue;
-                const float *vvec = kv.values.row(attended[i]) + kv_off;
-                for (uint32_t d = 0; d < head_dim; ++d)
-                    ov[d] += p * vvec[d];
-            }
+    out = Matrix(n, cfg.dModel);
+    AttendScratch scratch;
+
+    // Head outer / session inner: the same attendToken() calls a
+    // per-session attentionForward() would make (T == 1 so the head
+    // and token loops commute), just reordered across sessions.
+    for (uint32_t h = 0; h < n_heads; ++h) {
+        const uint32_t kv_head = h / group;
+        const uint32_t q_off = h * head_dim;
+        const uint32_t kv_off = kv_head * head_dim;
+
+        for (uint32_t i = 0; i < n; ++i) {
+            const AttentionBatchItem &item = items[i];
+            const HeadSelection *hsel =
+                item.sel ? &item.sel->kvHeads[kv_head] : nullptr;
+            attendToken(q.row(i) + q_off, *item.kv, kv_off, head_dim,
+                        item.pastLen, 0, hsel, out.row(i) + q_off,
+                        scratch);
         }
     }
 }

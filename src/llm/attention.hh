@@ -8,6 +8,8 @@
 #ifndef VREX_LLM_ATTENTION_HH
 #define VREX_LLM_ATTENTION_HH
 
+#include <vector>
+
 #include "llm/config.hh"
 #include "llm/kv_cache.hh"
 #include "llm/selection.hh"
@@ -18,6 +20,17 @@ namespace vrex
 
 /**
  * Compute attention output for a block of T query tokens.
+ *
+ * Degenerate-input contract (asserted, not silently tolerated):
+ *  - kv.keys and kv.values must both hold exactly past_len + T rows
+ *    (the block must already be appended to the cache);
+ *  - a non-null selection must carry cfg.nKvHeads head entries, and
+ *    every explicit (selectAll == false) index list must stay below
+ *    past_len — in particular, at past_len == 0 only selectAll or an
+ *    empty index list is legal;
+ *  - T == 0 (an empty query block) is handled explicitly: the result
+ *    is an empty 0 x dModel matrix and the cache/selection are not
+ *    read.
  *
  * @param cfg       Model geometry.
  * @param q         Post-RoPE queries, T x (nHeads*headDim).
@@ -31,6 +44,37 @@ namespace vrex
 void attentionForward(const ModelConfig &cfg, const Matrix &q,
                       const LayerKV &kv, uint32_t past_len,
                       const LayerSelection *sel, Matrix &out);
+
+/**
+ * One member of a cross-session batched generation step: a single
+ * query token attending that session's own cache under that
+ * session's own selection. The same degenerate-input contract as
+ * attentionForward() applies per item (with T == 1, so
+ * kv->keys.rows() == pastLen + 1).
+ */
+struct AttentionBatchItem
+{
+    const LayerKV *kv = nullptr;
+    uint32_t pastLen = 0;
+    /** Per-KV-head past-token selection; nullptr = full. */
+    const LayerSelection *sel = nullptr;
+};
+
+/**
+ * Fused single-token attention over N independent sessions.
+ *
+ * @param cfg   Model geometry shared by every item.
+ * @param q     Post-RoPE queries, N x (nHeads*headDim); row i is
+ *              item i's single query token.
+ * @param items One (cache, past length, selection) tuple per row.
+ * @param out   Result, N x dModel; row i is bit-identical to
+ *              attentionForward() over a 1-row q for item i — both
+ *              paths run the same per-(head, token) kernel, so
+ *              batching cannot change any session's bytes.
+ */
+void attentionForwardBatched(const ModelConfig &cfg, const Matrix &q,
+                             const std::vector<AttentionBatchItem> &items,
+                             Matrix &out);
 
 } // namespace vrex
 

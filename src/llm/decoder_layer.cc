@@ -1,7 +1,9 @@
 #include "llm/decoder_layer.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "tensor/ops.hh"
 
@@ -24,7 +26,7 @@ randomWeight(uint32_t out_dim, uint32_t in_dim, Rng &rng)
 
 DecoderLayer::DecoderLayer(const ModelConfig &config, uint32_t index,
                            uint64_t seed)
-    : cfg(config), layerIndex(index)
+    : cfg(config), layerIndex(index), weightSeed(seed)
 {
     Rng rng(seed, cfg.name + "/layer" + std::to_string(index));
     const uint32_t d = cfg.dModel;
@@ -43,6 +45,123 @@ DecoderLayer::DecoderLayer(const ModelConfig &config, uint32_t index,
         attnNorm[i] += 0.05f * static_cast<float>(rng.gaussian());
         ffnNorm[i] += 0.05f * static_cast<float>(rng.gaussian());
     }
+}
+
+std::vector<LayerSelection>
+DecoderLayer::forwardBatched(
+    const std::vector<const DecoderLayer *> &layers, Matrix &x,
+    const std::vector<BatchItem> &items, TokenStage stage)
+{
+    const uint32_t n = static_cast<uint32_t>(layers.size());
+    VREX_ASSERT(n > 0, "batched layer forward needs sessions");
+    VREX_ASSERT(items.size() == n && x.rows() == n,
+                "batched layer forward row/item mismatch");
+    const ModelConfig &cfg = layers[0]->cfg;
+    const uint32_t d = cfg.dModel;
+    const uint32_t head_dim = cfg.headDim();
+    const uint32_t kv_dim = cfg.nKvHeads * head_dim;
+    const uint32_t layer_index = layers[0]->layerIndex;
+    for (const DecoderLayer *l : layers)
+        VREX_ASSERT(l->layerIndex == layer_index &&
+                        l->cfg.dModel == d &&
+                        l->cfg.nHeads == cfg.nHeads &&
+                        l->cfg.nKvHeads == cfg.nKvHeads &&
+                        l->cfg.ffnDim == cfg.ffnDim,
+                    "batched layer forward needs one geometry");
+
+    // Contiguous equal-seed runs share one weight stream: equal
+    // (config, seed) means byte-identical weights, so any member of
+    // the run can lend its matrices to the whole group.
+    std::vector<std::pair<uint32_t, uint32_t>> runs;
+    uint32_t begin = 0;
+    for (uint32_t i = 1; i <= n; ++i) {
+        if (i == n ||
+            layers[i]->weightSeed != layers[begin]->weightSeed) {
+            runs.emplace_back(begin, i);
+            begin = i;
+        }
+    }
+    auto groupsFor = [&](const Matrix DecoderLayer::*w) {
+        std::vector<RowGroup> gs;
+        gs.reserve(runs.size());
+        for (const auto &[b, e] : runs)
+            gs.push_back({b, e, &(layers[b]->*w)});
+        return gs;
+    };
+
+    // Attention sub-block: forward()'s exact steps, one row per
+    // session, with the projections fused across the batch.
+    Matrix h = x;
+    for (uint32_t i = 0; i < n; ++i)
+        rmsNorm(h.row(i), layers[i]->attnNorm.data(), d);
+
+    Matrix q, k, v;
+    matmulTransposedGrouped(h, groupsFor(&DecoderLayer::wq), q);
+    matmulTransposedGrouped(h, groupsFor(&DecoderLayer::wk), k);
+    matmulTransposedGrouped(h, groupsFor(&DecoderLayer::wv), v);
+
+    for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t pos = items[i].basePos;
+        for (uint32_t hh = 0; hh < cfg.nHeads; ++hh)
+            applyRope(q.row(i) + hh * head_dim, head_dim, pos,
+                      cfg.ropeTheta);
+        for (uint32_t hh = 0; hh < cfg.nKvHeads; ++hh)
+            applyRope(k.row(i) + hh * head_dim, head_dim, pos,
+                      cfg.ropeTheta);
+    }
+
+    // Cache append + policy consultation touch session-private
+    // state: per session, in the order forward() performs them.
+    std::vector<LayerSelection> sels;
+    sels.reserve(n);
+    Matrix k1(1, kv_dim), v1(1, kv_dim), q1(1, d);
+    for (uint32_t i = 0; i < n; ++i) {
+        KVCache &cache = *items[i].cache;
+        std::copy_n(k.row(i), kv_dim, k1.row(0));
+        std::copy_n(v.row(i), kv_dim, v1.row(0));
+        cache.appendLayer(layer_index, k1, v1);
+        LayerSelection sel = LayerSelection::full(cfg.nKvHeads);
+        if (items[i].policy) {
+            items[i].policy->onBlockAppended(
+                layer_index, cache, items[i].basePos, 1, stage);
+            std::copy_n(q.row(i), d, q1.row(0));
+            sel = items[i].policy->select(layer_index, q1, cache,
+                                          items[i].basePos, stage);
+        }
+        sels.push_back(std::move(sel));
+    }
+
+    Matrix attn_out;
+    std::vector<AttentionBatchItem> attn_items(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        attn_items[i].kv = &items[i].cache->layer(layer_index);
+        attn_items[i].pastLen = items[i].basePos;
+        attn_items[i].sel = &sels[i];
+    }
+    attentionForwardBatched(cfg, q, attn_items, attn_out);
+
+    Matrix proj;
+    matmulTransposedGrouped(attn_out, groupsFor(&DecoderLayer::wo),
+                            proj);
+    for (uint32_t i = 0; i < n; ++i)
+        addInPlace(x.row(i), proj.row(i), d);
+
+    // FFN sub-block.
+    Matrix h2 = x;
+    for (uint32_t i = 0; i < n; ++i)
+        rmsNorm(h2.row(i), layers[i]->ffnNorm.data(), d);
+    Matrix gate, up, down;
+    matmulTransposedGrouped(h2, groupsFor(&DecoderLayer::w1), gate);
+    matmulTransposedGrouped(h2, groupsFor(&DecoderLayer::w3), up);
+    for (uint32_t i = 0; i < n; ++i) {
+        silu(gate.row(i), cfg.ffnDim);
+        hadamard(gate.row(i), up.row(i), cfg.ffnDim);
+    }
+    matmulTransposedGrouped(gate, groupsFor(&DecoderLayer::w2), down);
+    for (uint32_t i = 0; i < n; ++i)
+        addInPlace(x.row(i), down.row(i), d);
+
+    return sels;
 }
 
 LayerSelection

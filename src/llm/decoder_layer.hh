@@ -44,11 +44,44 @@ class DecoderLayer
                            SelectionPolicy *policy, TokenStage stage,
                            uint32_t base_pos) const;
 
+    /** One session's slot in a batched single-token forward. */
+    struct BatchItem
+    {
+        KVCache *cache = nullptr;
+        SelectionPolicy *policy = nullptr; //!< nullptr = full.
+        uint32_t basePos = 0;              //!< Past length / position.
+    };
+
+    /**
+     * Fused single-token forward over N independent sessions:
+     * layers[i] is session i's copy of the *same* layer index, row i
+     * of @p x is session i's hidden state (updated in place), and
+     * items[i] carries session i's cache/policy/position.
+     *
+     * The projections run through the row-grouped matmul (sessions
+     * with equal weight seeds share one weight stream); every
+     * per-row op (norms, RoPE, activations, residuals), the cache
+     * append, the policy calls and the attention kernel are the
+     * per-session operations forward() performs, in the same
+     * per-session order — so each session's bytes are identical to
+     * a solo forward() with a 1-row block.
+     */
+    static std::vector<LayerSelection>
+    forwardBatched(const std::vector<const DecoderLayer *> &layers,
+                   Matrix &x, const std::vector<BatchItem> &items,
+                   TokenStage stage);
+
     uint32_t index() const { return layerIndex; }
+
+    /** The weight-stream seed this layer was built from: layers with
+     *  equal (config, seed) have byte-identical weights, which is
+     *  what lets batched rows share one weight matrix. */
+    uint64_t seed() const { return weightSeed; }
 
   private:
     ModelConfig cfg;
     uint32_t layerIndex;
+    uint64_t weightSeed;
 
     // Weights stored as [out_features x in_features] for matmulT.
     Matrix wq, wk, wv, wo;

@@ -20,7 +20,7 @@ BlockStats::meanRatio() const
 }
 
 Model::Model(const ModelConfig &config, uint64_t seed)
-    : cfg(config), kv(config)
+    : cfg(config), weightSeed(seed), kv(config)
 {
     layers.reserve(cfg.nLayers);
     for (uint32_t l = 0; l < cfg.nLayers; ++l)
@@ -76,6 +76,98 @@ Model::forwardBlock(Matrix x, int32_t frame_id, TokenStage stage)
 
     blockHistory.push_back(stats);
     return blockHistory.back();
+}
+
+std::vector<BlockStats>
+Model::forwardBlockBatched(const std::vector<Model *> &models,
+                          Matrix x, int32_t frame_id, TokenStage stage)
+{
+    const uint32_t n = static_cast<uint32_t>(models.size());
+    VREX_ASSERT(n > 0, "batched forward needs models");
+    const ModelConfig &cfg = models[0]->cfg;
+    VREX_ASSERT(x.rows() == n && x.cols() == cfg.dModel,
+                "batched forward row/model mismatch");
+    for (const Model *m : models)
+        VREX_ASSERT(m->cfg.nLayers == cfg.nLayers &&
+                        m->cfg.dModel == cfg.dModel &&
+                        m->cfg.nHeads == cfg.nHeads &&
+                        m->cfg.nKvHeads == cfg.nKvHeads &&
+                        m->cfg.ffnDim == cfg.ffnDim &&
+                        m->cfg.vocabSize == cfg.vocabSize,
+                    "batched forward needs one geometry");
+
+    std::vector<BlockStats> stats(n);
+    std::vector<DecoderLayer::BatchItem> items(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        Model &m = *models[i];
+        const uint32_t base = m.kv.tokenCount();
+        m.kv.beginTokens(1, frame_id, stage);
+        items[i].cache = &m.kv;
+        items[i].policy = m.selPolicy;
+        items[i].basePos = base;
+        stats[i].stage = stage;
+        stats[i].blockLen = 1;
+        stats[i].pastLen = base;
+        stats[i].layerRatios.reserve(cfg.nLayers);
+        stats[i].selectedPerHead.reserve(cfg.nLayers);
+    }
+
+    std::vector<const DecoderLayer *> layer_ptrs(n);
+    for (uint32_t l = 0; l < cfg.nLayers; ++l) {
+        for (uint32_t i = 0; i < n; ++i)
+            layer_ptrs[i] = &models[i]->layers[l];
+        std::vector<LayerSelection> sels =
+            DecoderLayer::forwardBatched(layer_ptrs, x, items, stage);
+        for (uint32_t i = 0; i < n; ++i) {
+            const LayerSelection &sel = sels[i];
+            const uint32_t base = items[i].basePos;
+            stats[i].layerRatios.push_back(sel.selectedRatio(base));
+            std::vector<uint32_t> per_head;
+            per_head.reserve(sel.kvHeads.size());
+            for (const auto &h : sel.kvHeads)
+                per_head.push_back(h.selectedCount(base));
+            stats[i].selectedPerHead.push_back(std::move(per_head));
+        }
+    }
+
+    // Final norm of each model's row becomes its decoding state.
+    for (uint32_t i = 0; i < n; ++i) {
+        Model &m = *models[i];
+        m.lastHid.assign(x.row(i), x.row(i) + cfg.dModel);
+        rmsNorm(m.lastHid.data(), m.finalNorm.data(), cfg.dModel);
+        m.blockHistory.push_back(stats[i]);
+    }
+    return stats;
+}
+
+Matrix
+Model::lastLogitsBatched(const std::vector<Model *> &models)
+{
+    const uint32_t n = static_cast<uint32_t>(models.size());
+    VREX_ASSERT(n > 0, "batched logits need models");
+    const ModelConfig &cfg = models[0]->cfg;
+
+    Matrix hid(n, cfg.dModel);
+    std::vector<RowGroup> groups;
+    for (uint32_t i = 0; i < n; ++i) {
+        const Model &m = *models[i];
+        VREX_ASSERT(m.cfg.dModel == cfg.dModel &&
+                        m.cfg.vocabSize == cfg.vocabSize,
+                    "batched logits need one geometry");
+        std::copy_n(m.lastHid.data(), cfg.dModel, hid.row(i));
+        if (groups.empty() ||
+            models[groups.back().rowBegin]->weightSeed != m.weightSeed)
+            groups.push_back({i, i + 1, &m.embedding});
+        else
+            groups.back().rowEnd = i + 1;
+    }
+
+    // logits = lastHid · embedding^T, fused so one streamed
+    // embedding row serves every model of a seed group. Each element
+    // is the dot() lastLogits() computes.
+    Matrix logits;
+    matmulTransposedGrouped(hid, groups, logits);
+    return logits;
 }
 
 BlockStats

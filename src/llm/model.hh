@@ -58,6 +58,24 @@ class Model
      */
     BlockStats forwardBlock(Matrix x, int32_t frame_id, TokenStage stage);
 
+    /**
+     * Fused single-token forwardBlock() over N independent models
+     * sharing one geometry: row i of @p x is model i's token
+     * embedding. Projections are fused across models (rows with
+     * equal weight seeds share one weight stream via the row-grouped
+     * matmul); caches, policies, history and hidden state advance
+     * per model exactly as a solo forwardBlock() would, so every
+     * model's bytes are identical to N sequential calls.
+     */
+    static std::vector<BlockStats>
+    forwardBlockBatched(const std::vector<Model *> &models, Matrix x,
+                        int32_t frame_id, TokenStage stage);
+
+    /** Fused lastLogits() over N models: row i of the result equals
+     *  models[i]->lastLogits() bit for bit (same per-element dot
+     *  against that model's tied embedding). */
+    static Matrix lastLogitsBatched(const std::vector<Model *> &models);
+
     /** Prefill one video frame's projected embeddings. */
     BlockStats prefillFrame(const Matrix &frame_embeds, int32_t frame_id);
 
@@ -83,6 +101,11 @@ class Model
     /** The installed retrieval policy (nullptr = full attention). */
     SelectionPolicy *policy() const { return selPolicy; }
 
+    /** The weight seed this model was constructed with: equal
+     *  (config, seed) pairs have byte-identical weights, the
+     *  grouping key of the batched execution path. */
+    uint64_t seed() const { return weightSeed; }
+
     /**
      * Serialize the mutable model state: KV cache, last hidden
      * state, and block history. Weights are NOT serialized — they
@@ -96,6 +119,7 @@ class Model
 
   private:
     ModelConfig cfg;
+    uint64_t weightSeed;
     KVCache kv;
     std::vector<DecoderLayer> layers;
     Matrix embedding;             //!< vocab x dModel (tied output).

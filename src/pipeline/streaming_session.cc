@@ -116,6 +116,60 @@ StreamingSession::generate(uint32_t tokens)
 }
 
 void
+StreamingSession::generateStepBatched(
+    const std::vector<StreamingSession *> &sessions)
+{
+    VREX_ASSERT(!sessions.empty(), "batched step needs sessions");
+    if (sessions.size() == 1) {
+        sessions[0]->generate(1);
+        return;
+    }
+
+    // Stable-sort by weight seed so equal-seed sessions form
+    // contiguous runs for the grouped matmuls. Order cannot change
+    // results: every fused op is row-independent.
+    std::vector<StreamingSession *> ordered = sessions;
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const StreamingSession *a,
+                        const StreamingSession *b) {
+                         return a->seed < b->seed;
+                     });
+
+    const uint32_t n = static_cast<uint32_t>(ordered.size());
+    std::vector<Model *> models(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        VREX_ASSERT(ordered[i]->stream != nullptr,
+                    "generate before begin()");
+        models[i] = &ordered[i]->llm;
+    }
+
+    // Fused logits, then the per-session argmax / recording /
+    // forcing steps of generate(), in session order.
+    Matrix logits = Model::lastLogitsBatched(models);
+    const uint32_t vocab = models[0]->config().vocabSize;
+    const uint32_t d = models[0]->config().dModel;
+    Matrix x(n, d);
+    for (uint32_t i = 0; i < n; ++i) {
+        StreamingSession &s = *ordered[i];
+        const float *row = logits.row(i);
+        const uint32_t best = static_cast<uint32_t>(
+            std::max_element(row, row + vocab) - row);
+        s.generatedTokens.push_back(best);
+        s.logitsPerStep.emplace_back(row, row + vocab);
+        uint32_t next = best;
+        if (s.forcedPos < s.forced.size())
+            next = s.forced[s.forcedPos++];
+        const Matrix embed = s.llm.embedTokens({next});
+        std::copy_n(embed.row(0), d, x.row(i));
+    }
+
+    std::vector<BlockStats> stats = Model::forwardBlockBatched(
+        models, std::move(x), -1, TokenStage::GeneratedText);
+    for (uint32_t i = 0; i < n; ++i)
+        ordered[i]->accumulate(stats[i]);
+}
+
+void
 StreamingSession::apply(const SessionEvent &event)
 {
     switch (event.type) {

@@ -86,6 +86,23 @@ class StreamingSession
      *  begin() received forced tokens). */
     void generate(uint32_t tokens);
 
+    /**
+     * Run ONE fused generation step across N independent sessions
+     * sharing one model geometry (the serve layer's cross-session
+     * batched dispatch). Logits and the block forward are computed
+     * in one fused pass (weight streams shared between sessions with
+     * equal seeds); argmax, token/logits recording, teacher forcing
+     * and accumulators advance per session.
+     *
+     * Contract: each session's state and results after this call are
+     * byte-identical to that session running generate(1) alone — all
+     * fused arithmetic is row-independent, so members cannot affect
+     * each other's bytes. Sessions must be distinct, begun, and of
+     * one geometry.
+     */
+    static void
+    generateStepBatched(const std::vector<StreamingSession *> &sessions);
+
     /** Apply one scripted event via the verbs above. */
     void apply(const SessionEvent &event);
 

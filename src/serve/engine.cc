@@ -26,6 +26,10 @@ Engine::Engine(EngineConfig config)
             [this](Scheduler::Key key,
                    const std::vector<SessionEvent> &batch) {
                 runItems(key, batch);
+            },
+            cfg.batching,
+            [this](const std::vector<Scheduler::Key> &keys) {
+                runBatch(keys);
             }),
       coldStore(cfg.kvBudget.store
                     ? cfg.kvBudget.store
@@ -71,6 +75,31 @@ Engine::runItems(SessionId id, const std::vector<SessionEvent> &batch)
         budget.onExecuted(
             id, exec->kvBytes(budget.config().bytesPerElem));
         enforceBudget(id);
+    }
+}
+
+void
+Engine::runBatch(const std::vector<SessionId> &ids)
+{
+    // Exclusive access to every member: the scheduler marked each
+    // one running before handing us the fused step.
+    std::vector<StreamingSession *> execs;
+    execs.reserve(ids.size());
+    for (SessionId id : ids) {
+        Session *s = sessionFor(id);
+        if (s->hibernated)
+            wakeSession(id, *s);
+        execs.push_back(s->exec.get());
+    }
+    StreamingSession::generateStepBatched(execs);
+    if (budget.enabled()) {
+        for (size_t i = 0; i < ids.size(); ++i)
+            budget.onExecuted(
+                ids[i],
+                execs[i]->kvBytes(budget.config().bytesPerElem));
+        // One sweep covers the whole fused step; members are all
+        // running, so tryPinIdle skips them as victims anyway.
+        enforceBudget(ids[0]);
     }
 }
 

@@ -149,6 +149,19 @@ struct EngineConfig
     /** KV working-set budget + hibernation knobs. Default (budget 0)
      *  disables hibernation entirely. */
     KvBudgetConfig kvBudget;
+    /** Cross-session batched generation (PR 10): when enabled, a
+     *  dispatch round whose next item is a single-token Generate step
+     *  coalesces with other sessions' ready Generate steps into one
+     *  fused forward pass (StreamingSession::generateStepBatched) —
+     *  every session shares one weight stream per fused step. All
+     *  sessions share the engine's ModelConfig, so geometry always
+     *  matches; sessions with equal master seeds additionally share
+     *  weight *values* and run under grouped matmuls. Per-session
+     *  results are byte-identical to solo execution whether or not
+     *  steps coalesce; with the default (disabled) the dispatch path
+     *  is byte-identical to the pre-batching engine. Stats::batch
+     *  reports fused-step counters. */
+    BatchConfig batching;
 };
 
 /** Per-session creation parameters. */
@@ -338,6 +351,9 @@ class Engine
     /** Executes one dispatch slice (Scheduler callback). */
     void runItems(SessionId id,
                   const std::vector<SessionEvent> &batch);
+    /** Executes one fused generation step for every listed session
+     *  (Scheduler batch callback; each member advances one token). */
+    void runBatch(const std::vector<SessionId> &ids);
     Session *sessionFor(SessionId id);
     Session &pinnedSession(SessionId id);
     /** pinWhenIdle or std::out_of_range for unknown/closed ids. */

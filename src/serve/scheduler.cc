@@ -13,10 +13,14 @@ namespace vrex::serve
 {
 
 Scheduler::Scheduler(ThreadPool &pool_ref, SchedulerConfig config,
-                     Executor executor_fn)
-    : pool(pool_ref), cfg(config), executor(std::move(executor_fn))
+                     Executor executor_fn, BatchConfig batch,
+                     BatchExecutor batch_executor)
+    : pool(pool_ref), cfg(config), executor(std::move(executor_fn)),
+      batchExecutor(std::move(batch_executor)), planner(batch)
 {
     VREX_ASSERT(executor != nullptr, "scheduler needs an executor");
+    VREX_ASSERT(!planner.enabled() || batchExecutor != nullptr,
+                "batching enabled without a batch executor");
     agg.config = cfg;
     classCredit = weightOf(classCursor);
 }
@@ -269,14 +273,143 @@ Scheduler::submitSliceJob()
 }
 
 void
+Scheduler::accountDispatchLocked(Queue &q)
+{
+    ClassStats &cs = agg.classes[static_cast<size_t>(q.cls)];
+    const uint64_t waited = dispatches - q.readyMark;
+    ++dispatches;
+    q.stats.maxWaitSlices = std::max(q.stats.maxWaitSlices, waited);
+    agg.maxWaitSlices = std::max(agg.maxWaitSlices, waited);
+    const auto wait_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - q.readyAt)
+            .count());
+    q.stats.waitNs += wait_ns;
+    agg.waitNs += wait_ns;
+    q.stats.maxWaitNs = std::max(q.stats.maxWaitNs, wait_ns);
+    agg.maxWaitNs = std::max(agg.maxWaitNs, wait_ns);
+    q.stats.waitHist.add(wait_ns);
+    cs.wait.add(wait_ns);
+}
+
+void
+Scheduler::takeGenerateUnitLocked(Queue &q)
+{
+    Pending &front = q.pending.front();
+    VREX_ASSERT(front.event.type == SessionEvent::Type::Generate &&
+                    front.event.tokens >= 1,
+                "fused-step member without Generate work");
+    if (front.event.tokens > 1)
+        front.event.tokens -= 1;
+    else
+        q.pending.pop_front();
+    q.stats.depth -= 1;
+    q.sliceUnits = 1;
+    // Note: the one-unit clamp here comes from batching, not the
+    // session's rate limit — rateLimitedSlices stays untouched.
+}
+
+void
+Scheduler::claimBatchPeersLocked(SchedClass primary_cls,
+                                 std::vector<Key> &member_keys,
+                                 std::vector<Queue *> &member_queues,
+                                 std::vector<SchedClass> &member_cls)
+{
+    // First pass: count eligible ready peers (capped at what a full
+    // fused step could use) so the planner can veto a below-minimum
+    // step before any ready-list surgery happens.
+    const uint32_t want = planner.config().maxBatch - 1;
+    const auto primary = static_cast<uint32_t>(primary_cls);
+    uint32_t eligible = 0;
+    for (uint32_t off = 0;
+         off < kSchedClasses && eligible < want; ++off) {
+        const auto &list = readyKeys[(primary + off) % kSchedClasses];
+        for (const ReadyEntry &entry : list) {
+            if (eligible >= want)
+                break;
+            if (BatchPlanner::eligible(entry.queue->pending.front()
+                                           .event))
+                ++eligible;
+        }
+    }
+    const uint32_t members = planner.planStepSize(eligible);
+    if (members < 2)
+        return;
+
+    // Second pass: claim the same peers in the same scan order.
+    // Claimed peers get the full solo-dispatch accounting; their
+    // already-submitted pool jobs are absorbed (each will return
+    // without popping — one ready entry just disappeared per claim).
+    uint32_t needed = members - 1;
+    for (uint32_t off = 0;
+         off < kSchedClasses && needed > 0; ++off) {
+        auto &list = readyKeys[(primary + off) % kSchedClasses];
+        for (auto it = list.begin();
+             it != list.end() && needed > 0;) {
+            Queue *pq = it->queue;
+            if (!BatchPlanner::eligible(
+                    pq->pending.front().event)) {
+                ++it;
+                continue;
+            }
+            VREX_ASSERT(pq->ready && !pq->running && !pq->pinned,
+                        "ready key in inconsistent state");
+            pq->ready = false;
+            pq->running = true;
+            const SchedClass pcls = pq->cls;
+            ++inFlight[static_cast<size_t>(pcls)];
+            accountDispatchLocked(*pq);
+            takeGenerateUnitLocked(*pq);
+            ++absorbed;
+            member_keys.push_back(it->key);
+            member_queues.push_back(pq);
+            member_cls.push_back(pcls);
+            it = list.erase(it);
+            --needed;
+        }
+    }
+    VREX_ASSERT(needed == 0, "planned fused step lost its peers");
+}
+
+void
+Scheduler::finalizeSliceLocked(Key key, Queue &q, SchedClass cls,
+                               uint64_t service_ns)
+{
+    q.running = false;
+    --inFlight[static_cast<size_t>(cls)];
+    ++q.stats.slices;
+    ++agg.slices;
+    q.stats.itemsExecuted += q.sliceUnits;
+    agg.itemsExecuted += q.sliceUnits;
+    q.stats.serviceNs += service_ns;
+    agg.serviceNs += service_ns;
+    q.stats.serviceHist.add(service_ns);
+    ClassStats &cs = agg.classes[static_cast<size_t>(cls)];
+    ++cs.slices;
+    cs.itemsExecuted += q.sliceUnits;
+    cs.service.add(service_ns);
+    if (!q.pending.empty())
+        makeReadyLocked(key, q); // Rotate to the back: fairness.
+}
+
+void
 Scheduler::runSlice()
 {
     std::vector<SessionEvent> batch;
+    std::vector<Key> member_keys;
+    std::vector<Queue *> member_queues;
+    std::vector<SchedClass> member_cls;
     Key key;
     Queue *q;
     SchedClass cls;
     {
         LockGuard lock(mu);
+        // A fused step claimed a ready entry this job was submitted
+        // for; the claiming slice already dispatched that work.
+        if (absorbed > 0) {
+            --absorbed;
+            return;
+        }
         // One job per ready entry: a ready key always exists.
         const ReadyEntry entry = popReadyLocked();
         key = entry.key;
@@ -288,59 +421,94 @@ Scheduler::runSlice()
         cls = q->cls; // Sample under the dispatching class, even if
                       // setClass() retags the session mid-slice.
         ++inFlight[static_cast<size_t>(cls)];
-        ClassStats &cs = agg.classes[static_cast<size_t>(cls)];
+        accountDispatchLocked(*q);
 
-        const uint64_t waited = dispatches - q->readyMark;
-        ++dispatches;
-        q->stats.maxWaitSlices =
-            std::max(q->stats.maxWaitSlices, waited);
-        agg.maxWaitSlices = std::max(agg.maxWaitSlices, waited);
-        const auto wait_ns = static_cast<uint64_t>(
+        // Fused dispatch: when enabled and this queue's next item is
+        // a Generate step, claim eligible ready peers into one fused
+        // generation step of exactly one unit per member. Never while
+        // paused: paused ready entries carry no pool jobs, so a claim
+        // would starve them of their job on resume(). The primary
+        // forgoes the rest of its slice budget — its remainder
+        // re-readies and rotates like any other unfinished slice.
+        if (planner.enabled() && !paused &&
+            BatchPlanner::eligible(q->pending.front().event)) {
+            claimBatchPeersLocked(cls, member_keys, member_queues,
+                                  member_cls);
+        }
+        if (!member_keys.empty()) {
+            takeGenerateUnitLocked(*q);
+            member_keys.insert(member_keys.begin(), key);
+            member_queues.insert(member_queues.begin(), q);
+            member_cls.insert(member_cls.begin(), cls);
+        } else {
+            ClassStats &cs = agg.classes[static_cast<size_t>(cls)];
+            // Take up to sliceEvents *units* — clamped by the
+            // session's rate limit — splitting a Generate run at the
+            // slice boundary (Generate{n} == n single steps, so the
+            // split is byte-identical).
+            uint64_t budget = cfg.sliceEvents > 0 ? cfg.sliceEvents
+                                                  : q->stats.depth;
+            if (q->rateLimit > 0 && budget > q->rateLimit) {
+                budget = q->rateLimit;
+                if (q->stats.depth > q->rateLimit) {
+                    // The cap left work queued: the session was rate
+                    // limited this rotation turn.
+                    ++q->stats.rateLimitedSlices;
+                    ++cs.rateLimitedSlices;
+                }
+            }
+            while (budget > 0 && !q->pending.empty()) {
+                Pending &front = q->pending.front();
+                const uint32_t units = front.event.unitCount();
+                if (units > budget) {
+                    const auto take = static_cast<uint32_t>(budget);
+                    batch.push_back(
+                        {SessionEvent::Type::Generate, take});
+                    front.event.tokens -= take;
+                    budget = 0;
+                } else {
+                    batch.push_back(front.event);
+                    q->pending.pop_front();
+                    budget -= units;
+                }
+            }
+            uint64_t batch_units = 0;
+            for (const SessionEvent &event : batch)
+                batch_units += event.unitCount();
+            q->stats.depth -= static_cast<uint32_t>(batch_units);
+            q->sliceUnits = batch_units;
+            if (planner.enabled()) {
+                uint64_t gen_units = 0;
+                for (const SessionEvent &event : batch)
+                    if (event.type == SessionEvent::Type::Generate)
+                        gen_units += event.unitCount();
+                if (gen_units > 0)
+                    planner.recordSolo(gen_units);
+            }
+        }
+    }
+
+    if (!member_keys.empty()) {
+        // Exclusive access to every member: each one's `running`
+        // stays true until the locked block below.
+        const Clock::time_point t0 = Clock::now();
+        batchExecutor(member_keys);
+        const auto service_ns = static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
-                Clock::now() - q->readyAt)
+                Clock::now() - t0)
                 .count());
-        q->stats.waitNs += wait_ns;
-        agg.waitNs += wait_ns;
-        q->stats.maxWaitNs = std::max(q->stats.maxWaitNs, wait_ns);
-        agg.maxWaitNs = std::max(agg.maxWaitNs, wait_ns);
-        q->stats.waitHist.add(wait_ns);
-        cs.wait.add(wait_ns);
 
-        // Take up to sliceEvents *units* — clamped by the session's
-        // rate limit — splitting a Generate run at the slice
-        // boundary (Generate{n} == n single steps, so the split is
-        // byte-identical).
-        uint64_t budget = cfg.sliceEvents > 0 ? cfg.sliceEvents
-                                              : q->stats.depth;
-        if (q->rateLimit > 0 && budget > q->rateLimit) {
-            budget = q->rateLimit;
-            if (q->stats.depth > q->rateLimit) {
-                // The cap left work queued: the session was rate
-                // limited this rotation turn.
-                ++q->stats.rateLimitedSlices;
-                ++cs.rateLimitedSlices;
-            }
-        }
-        while (budget > 0 && !q->pending.empty()) {
-            Pending &front = q->pending.front();
-            const uint32_t units = front.event.unitCount();
-            if (units > budget) {
-                const auto take = static_cast<uint32_t>(budget);
-                batch.push_back(
-                    {SessionEvent::Type::Generate, take});
-                front.event.tokens -= take;
-                budget = 0;
-            } else {
-                batch.push_back(front.event);
-                q->pending.pop_front();
-                budget -= units;
-            }
-        }
-        uint64_t batch_units = 0;
-        for (const SessionEvent &event : batch)
-            batch_units += event.unitCount();
-        q->stats.depth -= static_cast<uint32_t>(batch_units);
-        q->sliceUnits = batch_units;
+        LockGuard lock(mu);
+        // Each member experienced the fused step's full wall time;
+        // it is merged into every member's service accounting (so
+        // aggregate serviceNs still equals the per-queue sum).
+        for (size_t i = 0; i < member_keys.size(); ++i)
+            finalizeSliceLocked(member_keys[i], *member_queues[i],
+                                member_cls[i], service_ns);
+        planner.recordCoalesced(
+            static_cast<uint32_t>(member_keys.size()));
+        cv.notify_all();
+        return;
     }
 
     // Exclusive access: `running` stays true until the locked block
@@ -355,21 +523,7 @@ Scheduler::runSlice()
     {
         LockGuard lock(mu);
         // `q` stays valid: remove() cannot erase a running queue.
-        q->running = false;
-        --inFlight[static_cast<size_t>(cls)];
-        ++q->stats.slices;
-        ++agg.slices;
-        q->stats.itemsExecuted += q->sliceUnits;
-        agg.itemsExecuted += q->sliceUnits;
-        q->stats.serviceNs += service_ns;
-        agg.serviceNs += service_ns;
-        q->stats.serviceHist.add(service_ns);
-        ClassStats &cs = agg.classes[static_cast<size_t>(cls)];
-        ++cs.slices;
-        cs.itemsExecuted += q->sliceUnits;
-        cs.service.add(service_ns);
-        if (!q->pending.empty())
-            makeReadyLocked(key, *q); // Rotate to the back: fairness.
+        finalizeSliceLocked(key, *q, cls, service_ns);
         cv.notify_all();
     }
 }
@@ -460,6 +614,7 @@ Scheduler::stats() const
     out.liveSessions = static_cast<uint32_t>(queues.size());
     out.wrrTurnClass = static_cast<SchedClass>(classCursor);
     out.wrrTurnCredit = classCredit;
+    out.batch = planner.stats();
     return out;
 }
 

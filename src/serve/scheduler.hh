@@ -37,6 +37,7 @@
 
 #include "common/thread_annotations.hh"
 #include "common/wallclock.hh"
+#include "serve/batch_planner.hh"
 #include "serve/stats.hh"
 #include "serve/thread_pool.hh"
 #include "video/workload.hh"
@@ -71,9 +72,18 @@ class Scheduler
      *  the scheduler lock, never concurrently for the same key. */
     using Executor =
         std::function<void(Key, const std::vector<SessionEvent> &)>;
+    /** Executes one fused generation step: each listed key advances
+     *  by exactly one Generate unit. Called outside the scheduler
+     *  lock; every member key is owned (running) by this call, so the
+     *  callee has exclusive access to all member sessions at once. */
+    using BatchExecutor = std::function<void(const std::vector<Key> &)>;
 
+    /** @p batch / @p batch_executor arm the fused dispatch path; the
+     *  defaults (batching disabled) keep dispatch byte-identical to a
+     *  scheduler built without them. */
     Scheduler(ThreadPool &pool, SchedulerConfig config,
-              Executor executor);
+              Executor executor, BatchConfig batch = {},
+              BatchExecutor batch_executor = nullptr);
 
     /** Requires all queues drained (Engine calls waitAll first). */
     ~Scheduler() = default;
@@ -231,10 +241,35 @@ class Scheduler
     ReadyEntry popReadyLocked() VREX_REQUIRES(mu);
     uint32_t weightOf(uint32_t cls_index) const;
     bool idleLocked(const Queue &q) const VREX_REQUIRES(mu);
+    /** Primary-dispatch bookkeeping shared by the solo and fused
+     *  paths: wait-latency accounting against the dispatch clock,
+     *  then advance the clock. */
+    void accountDispatchLocked(Queue &q) VREX_REQUIRES(mu);
+    /** Take exactly one Generate unit off @p q's front for a fused
+     *  step. A split Generate keeps its enqueue mark — the remainder
+     *  is still the original, aging item. */
+    void takeGenerateUnitLocked(Queue &q) VREX_REQUIRES(mu);
+    /** Claim up to maxBatch-1 eligible ready peers for a fused step
+     *  led by a queue of class @p primary_cls: scan the primary's
+     *  class list first, then the other classes in index order,
+     *  front-to-back. Claimed peers leave their ready lists with full
+     *  per-member accounting; their already-submitted pool jobs are
+     *  absorbed. Appends (key, queue, class) to the member arrays. */
+    void claimBatchPeersLocked(SchedClass primary_cls,
+                               std::vector<Key> &member_keys,
+                               std::vector<Queue *> &member_queues,
+                               std::vector<SchedClass> &member_cls)
+        VREX_REQUIRES(mu);
+    /** Post-execution bookkeeping for one slice (or one fused-step
+     *  member): drop running, merge service time, re-ready when work
+     *  remains. */
+    void finalizeSliceLocked(Key key, Queue &q, SchedClass cls,
+                             uint64_t service_ns) VREX_REQUIRES(mu);
 
     ThreadPool &pool;
     SchedulerConfig cfg;
     Executor executor;
+    BatchExecutor batchExecutor;
 
     mutable Mutex mu;
     CondVar cv;
@@ -253,8 +288,17 @@ class Scheduler
     bool paused VREX_GUARDED_BY(mu) = false;
     /** Ready entries accumulated while paused (jobs not submitted). */
     uint32_t unsubmitted VREX_GUARDED_BY(mu) = 0;
-    /** Total slices dispatched (the logical clock for fairness). */
+    /** Total slices dispatched (the logical clock for fairness).
+     *  Every fused-step member advances it by one: a member's turn
+     *  was dispatched, just coalesced with its peers'. */
     uint64_t dispatches VREX_GUARDED_BY(mu) = 0;
+    /** Pool jobs whose ready entry was claimed into a fused step:
+     *  each such job returns immediately instead of popping. The
+     *  standing invariant is
+     *      jobs-in-pool + unsubmitted - absorbed == ready entries. */
+    uint32_t absorbed VREX_GUARDED_BY(mu) = 0;
+    /** Fused-dispatch policy + counters (Stats::batch). */
+    BatchPlanner planner VREX_GUARDED_BY(mu);
     /** Aggregate counters, merged incrementally (survives remove). */
     Stats agg VREX_GUARDED_BY(mu);
 };

@@ -132,6 +132,68 @@ struct SchedulerConfig
     uint64_t deadlineSlices = 0;
 };
 
+/**
+ * Cross-session batched-generation knobs (EngineConfig::batching).
+ * Default off: the scheduler dispatches exactly as before and the
+ * engine never takes the fused path, byte-identical to PR 9. When
+ * enabled, per-session results are STILL byte-identical to a
+ * sequential run — batching only fuses weight streams across
+ * sessions (see serve/README.md, "Cross-session batched
+ * generation").
+ */
+struct BatchConfig
+{
+    /** Master switch for the fused generation path. */
+    bool enabled = false;
+    /** Max member sessions one fused step may coalesce (>= 2). */
+    uint32_t maxBatch = 16;
+    /** Fewer claimable members than this run solo instead (a fused
+     *  step of 1 is just overhead); clamped to >= 2. */
+    uint32_t minBatch = 2;
+};
+
+/**
+ * Batched-dispatch counters (Stats::batch). All logical: exact
+ * under staged bursts, schedule-dependent (but internally
+ * consistent) in live feeding. With batching disabled everything
+ * stays zero.
+ */
+struct BatchStats
+{
+    /** The knobs the planner was built with. */
+    BatchConfig config;
+    /** Fused multi-session steps executed. */
+    uint64_t coalescedSteps = 0;
+    /** Member generation steps inside fused steps (one unit work
+     *  item per member session per step). */
+    uint64_t coalescedMembers = 0;
+    /** Generation unit items that ran down the solo path while
+     *  batching was enabled (not enough claimable peers). */
+    uint64_t soloSteps = 0;
+    /** Largest fused step observed. */
+    uint32_t maxBatchObserved = 0;
+    /** Distribution of fused-step sizes (members per step). */
+    Histogram sizeHist{0.5, 64.5, 64};
+
+    /** Mean members per fused step (0 when none ran). */
+    double
+    meanBatchSize() const
+    {
+        return coalescedSteps
+                   ? static_cast<double>(coalescedMembers) /
+                         static_cast<double>(coalescedSteps)
+                   : 0.0;
+    }
+
+    /** meanBatchSize() relative to the maxBatch cap. */
+    double
+    fillRatio() const
+    {
+        return config.maxBatch > 0 ? meanBatchSize() / config.maxBatch
+                                   : 0.0;
+    }
+};
+
 /** Per-class dispatch counters + latency histograms (in Stats). */
 struct ClassStats
 {
@@ -271,6 +333,10 @@ struct Stats
      *  this default; Engine::stats() fills it in (the budget manager
      *  lives in the engine, not the dispatcher). */
     KvBudgetStats kv;
+
+    /** Cross-session batched-dispatch counters (all zero when
+     *  batching is disabled). */
+    BatchStats batch;
 
     const ClassStats &
     forClass(SchedClass c) const

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace vrex
@@ -41,6 +42,38 @@ matmulTransposed(const Matrix &a, const Matrix &bT, Matrix &out)
 }
 
 void
+matmulTransposedGrouped(const Matrix &a,
+                        const std::vector<RowGroup> &groups,
+                        Matrix &out)
+{
+    VREX_ASSERT(!groups.empty(), "grouped matmulT needs groups");
+    const Matrix *first = groups.front().bT;
+    VREX_ASSERT(first != nullptr, "grouped matmulT null weights");
+    out = Matrix(a.rows(), first->rows());
+    uint32_t next_row = 0;
+    for (const RowGroup &g : groups) {
+        VREX_ASSERT(g.bT != nullptr, "grouped matmulT null weights");
+        VREX_ASSERT(g.bT->rows() == first->rows() &&
+                        g.bT->cols() == a.cols(),
+                    "grouped matmulT shape mismatch");
+        VREX_ASSERT(g.rowBegin == next_row && g.rowEnd >= g.rowBegin &&
+                        g.rowEnd <= a.rows(),
+                    "grouped matmulT groups must tile the rows");
+        next_row = g.rowEnd;
+        // Weight row outer / batch row inner: one streamed weight row
+        // serves the whole group. Each element is still one dot(), so
+        // every output row is bit-identical to matmulTransposed().
+        for (uint32_t j = 0; j < g.bT->rows(); ++j) {
+            const float *brow = g.bT->row(j);
+            for (uint32_t i = g.rowBegin; i < g.rowEnd; ++i)
+                out.row(i)[j] = dot(a.row(i), brow, a.cols());
+        }
+    }
+    VREX_ASSERT(next_row == a.rows(),
+                "grouped matmulT groups must cover every row");
+}
+
+void
 softmax(float *row, uint32_t n)
 {
     if (n == 0)
@@ -48,6 +81,15 @@ softmax(float *row, uint32_t n)
     float mx = row[0];
     for (uint32_t i = 1; i < n; ++i)
         mx = std::max(mx, row[i]);
+    if (mx == -std::numeric_limits<float>::infinity()) {
+        // Fully masked row (all -inf): exp(-inf - -inf) would turn
+        // every entry into NaN and the sum<=0 guard below cannot
+        // catch NaN. Contract: a fully masked row is uniform.
+        const float u = 1.0f / static_cast<float>(n);
+        for (uint32_t i = 0; i < n; ++i)
+            row[i] = u;
+        return;
+    }
     float sum = 0.0f;
     for (uint32_t i = 0; i < n; ++i) {
         row[i] = std::exp(row[i] - mx);

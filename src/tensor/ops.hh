@@ -22,10 +22,44 @@ void matmul(const Matrix &a, const Matrix &b, Matrix &out);
 /** out = a (m×k) * b^T (n×k). */
 void matmulTransposed(const Matrix &a, const Matrix &bT, Matrix &out);
 
-/** Row-wise in-place softmax. */
+/**
+ * One contiguous run of `a` rows sharing a weight matrix in
+ * matmulTransposedGrouped(): rows [rowBegin, rowEnd) multiply
+ * against @p bT. Groups must tile a's rows in order without gaps.
+ */
+struct RowGroup
+{
+    uint32_t rowBegin = 0;
+    uint32_t rowEnd = 0;
+    const Matrix *bT = nullptr;
+};
+
+/**
+ * Row-grouped out = a * b^T: every group's rows multiply against
+ * that group's weight matrix (all groups must agree on bT shape).
+ * Each output element is the same single dot() call
+ * matmulTransposed() would make, so per-row results are
+ * bit-identical to per-group matmulTransposed() calls — the loop is
+ * merely reordered (weight row outer, batch row inner) so one
+ * streamed weight row serves every row of the group. This is the
+ * fused kernel under cross-session batched generation.
+ */
+void matmulTransposedGrouped(const Matrix &a,
+                             const std::vector<RowGroup> &groups,
+                             Matrix &out);
+
+/** Row-wise in-place softmax (same contract as softmax()). */
 void softmaxRows(Matrix &m);
 
-/** Numerically stable softmax of one row buffer. */
+/**
+ * Numerically stable softmax of one row buffer.
+ *
+ * Contract for degenerate rows: a fully masked row (every entry
+ * -inf, e.g. a score row whose tokens were all masked out) becomes
+ * the uniform distribution 1/n — not NaN. Rows containing NaN stay
+ * untouched garbage-in-garbage-out; rows whose exp-sum underflows to
+ * zero are left as the (all-zero) exponentials.
+ */
 void softmax(float *row, uint32_t n);
 
 /** RMSNorm of @p x (length n) with learned gain @p weight, in place. */

@@ -11,8 +11,10 @@
  */
 
 #include <algorithm>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -232,6 +234,26 @@ TEST(LintTree, RealSrcTreeIsClean)
     std::vector<Finding> fs = lintTree(VREX_LINT_SRC_DIR);
     for (const Finding &f : fs)
         ADD_FAILURE() << vrex::lint::formatFinding(f);
+}
+
+// The batch planner decides which sessions fuse into one forward
+// pass; any nondeterminism there (clock- or rand-driven step sizing)
+// would silently break the batched == sequential byte-identity
+// contract. The tree gate above covers it transitively — this test
+// names the TU so the scan cannot quietly lose it to a rename.
+TEST(LintTree, BatchPlannerTuIsCovered)
+{
+    for (const char *rel :
+         {"serve/batch_planner.cc", "serve/batch_planner.hh"}) {
+        std::ifstream in(std::string(VREX_LINT_SRC_DIR) + "/" + rel,
+                         std::ios::binary);
+        ASSERT_TRUE(in.is_open())
+            << rel << " missing from the linted tree";
+        std::stringstream body;
+        body << in.rdbuf();
+        for (const Finding &f : lintSource(rel, body.str()))
+            ADD_FAILURE() << vrex::lint::formatFinding(f);
+    }
 }
 
 } // namespace

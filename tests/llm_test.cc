@@ -173,6 +173,108 @@ TEST(Attention, EmptySelectionAttendsOnlyBlock)
     }
 }
 
+TEST(Attention, ZeroLengthQueryBlockYieldsEmptyOutput)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    KVCache kv(cfg); // Empty: T == 0 must not read the cache.
+    Matrix q(0, cfg.nHeads * cfg.headDim());
+    Matrix out(3, 3); // Stale shape, must be replaced.
+    attentionForward(cfg, q, kv.layer(0), 0, nullptr, out);
+    EXPECT_EQ(out.rows(), 0u);
+    EXPECT_EQ(out.cols(), cfg.dModel);
+}
+
+TEST(AttentionDeathTest, RejectsCacheMissingTheBlock)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    KVCache kv(cfg);
+    Rng rng(20);
+    fillLayer(kv, cfg, 5, rng);
+    Matrix q(1, cfg.nHeads * cfg.headDim());
+    rng.fillGaussian(q.raw(), q.size(), 1.0f);
+    Matrix out;
+    // The cache holds 5 rows; past_len 5 + block 1 claims 6.
+    EXPECT_DEATH(
+        attentionForward(cfg, q, kv.layer(0), 5, nullptr, out),
+        "block appended to the cache");
+    // And past_len 2 + block 1 leaves 2 unexplained trailing rows.
+    EXPECT_DEATH(
+        attentionForward(cfg, q, kv.layer(0), 2, nullptr, out),
+        "block appended to the cache");
+}
+
+TEST(AttentionDeathTest, RejectsMalformedSelection)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    KVCache kv(cfg);
+    Rng rng(21);
+    fillLayer(kv, cfg, 1, rng);
+    Matrix q(1, cfg.nHeads * cfg.headDim());
+    rng.fillGaussian(q.raw(), q.size(), 1.0f);
+    Matrix out;
+
+    LayerSelection wrong_heads;
+    wrong_heads.kvHeads.resize(cfg.nKvHeads + 1);
+    EXPECT_DEATH(
+        attentionForward(cfg, q, kv.layer(0), 0, &wrong_heads, out),
+        "wrong head count");
+
+    // past_len == 0: only selectAll or an empty index list is legal.
+    LayerSelection stale;
+    stale.kvHeads.resize(cfg.nKvHeads);
+    for (auto &h : stale.kvHeads) {
+        h.selectAll = false;
+        h.indices = {0};
+    }
+    EXPECT_DEATH(
+        attentionForward(cfg, q, kv.layer(0), 0, &stale, out),
+        "beyond the past");
+}
+
+TEST(Attention, BatchedStepMatchesSoloBitExact)
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    Rng rng(22);
+    // Three sessions with distinct cache depths and selections.
+    KVCache kv_a(cfg), kv_b(cfg), kv_c(cfg);
+    fillLayer(kv_a, cfg, 6, rng);
+    fillLayer(kv_b, cfg, 10, rng);
+    fillLayer(kv_c, cfg, 1, rng); // A freshly started session.
+
+    LayerSelection partial;
+    partial.kvHeads.resize(cfg.nKvHeads);
+    for (auto &h : partial.kvHeads) {
+        h.selectAll = false;
+        h.indices = {0, 2, 4};
+    }
+    LayerSelection all = LayerSelection::full(cfg.nKvHeads);
+
+    Matrix q(3, cfg.nHeads * cfg.headDim());
+    rng.fillGaussian(q.raw(), q.size(), 1.0f);
+
+    std::vector<AttentionBatchItem> items = {
+        {&kv_a.layer(0), 5, nullptr},
+        {&kv_b.layer(0), 9, &partial},
+        {&kv_c.layer(0), 0, &all},
+    };
+    Matrix fused;
+    attentionForwardBatched(cfg, q, items, fused);
+    ASSERT_EQ(fused.rows(), 3u);
+    ASSERT_EQ(fused.cols(), cfg.dModel);
+
+    for (uint32_t i = 0; i < 3; ++i) {
+        Matrix qi(1, q.cols());
+        for (uint32_t c = 0; c < q.cols(); ++c)
+            qi.at(0, c) = q.at(i, c);
+        Matrix solo;
+        attentionForward(cfg, qi, *items[i].kv, items[i].pastLen,
+                         items[i].sel, solo);
+        for (uint32_t c = 0; c < cfg.dModel; ++c)
+            EXPECT_EQ(fused.at(i, c), solo.at(0, c))
+                << "session " << i << " col " << c;
+    }
+}
+
 TEST(LayerSelection, SelectedRatio)
 {
     LayerSelection sel;

@@ -719,3 +719,219 @@ TEST(PrioStats, DefaultConfigReportsSingleClassUnlimited)
     EXPECT_EQ(st.forClass(SchedClass::Interactive).slices, st.slices);
     engine.closeSession(id);
 }
+
+// ---------------------------------------------------------------
+// Batched dispatch: marks, rate limits and per-member accounting
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** RecordingScheduler with the fused path armed: the batch executor
+ *  records one unit per member (in member order) plus the fused-step
+ *  composition, so dispatch traces stay exact under coalescing. */
+class RecordingBatchScheduler
+{
+  public:
+    RecordingBatchScheduler(SchedulerConfig cfg, BatchConfig batch)
+        : pool(1),
+          sched(
+              pool, cfg,
+              [this](Scheduler::Key key,
+                     const std::vector<SessionEvent> &batch_events) {
+                  std::lock_guard<std::mutex> lock(mu);
+                  for (const SessionEvent &e : batch_events)
+                      order.push_back({key, e.unitCount()});
+              },
+              batch,
+              [this](const std::vector<Scheduler::Key> &members) {
+                  std::lock_guard<std::mutex> lock(mu);
+                  fusedSteps.push_back(members);
+                  for (Scheduler::Key k : members)
+                      order.push_back({k, 1});
+              })
+    {
+    }
+
+    /** (key, units) per executed event/member, in dispatch order. */
+    std::vector<std::pair<Scheduler::Key, uint32_t>>
+    dispatched()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return order;
+    }
+
+    /** Member lists of the fused steps, in execution order. */
+    std::vector<std::vector<Scheduler::Key>>
+    fused()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return fusedSteps;
+    }
+
+    ThreadPool pool;
+    Scheduler sched;
+
+  private:
+    std::mutex mu;
+    std::vector<std::pair<Scheduler::Key, uint32_t>> order;
+    std::vector<std::vector<Scheduler::Key>> fusedSteps;
+};
+
+std::vector<SessionEvent>
+gen(uint32_t tokens)
+{
+    return {{SessionEvent::Type::Generate, tokens}};
+}
+
+} // namespace
+
+TEST(BatchDispatch, ExactTraceMixedEligibility)
+{
+    // A and B carry Generate runs; C carries frames (never fuses).
+    // One worker, staged burst: the full dispatch order — who fused
+    // with whom, which slices ran solo — is exact, and so is every
+    // member's one-unit-per-step accounting.
+    SchedulerConfig cfg;
+    cfg.sliceEvents = 4;
+    BatchConfig batch;
+    batch.enabled = true;
+    RecordingBatchScheduler rs(cfg, batch);
+    Scheduler &s = rs.sched;
+
+    const Scheduler::Key A = 1, B = 2, C = 3;
+    ASSERT_TRUE(s.tryAdmit(A));
+    ASSERT_TRUE(s.tryAdmit(B));
+    ASSERT_TRUE(s.tryAdmit(C));
+
+    s.pause();
+    EXPECT_TRUE(s.tryEnqueue(A, gen(3)).accepted());
+    EXPECT_TRUE(s.tryEnqueue(B, gen(2)).accepted());
+    EXPECT_TRUE(s.tryEnqueue(C, frames(2)).accepted());
+    s.resume();
+    s.waitAll();
+
+    // Step 1 fuses [A,B] (C's front is a Frame — ineligible); C's
+    // solo slice takes both frames in one go (slice budget 4); then
+    // [A,B] fuse again, B drains, and A's last unit runs solo.
+    const std::vector<std::pair<Scheduler::Key, uint32_t>> expected =
+        {{A, 1}, {B, 1}, {C, 1}, {C, 1}, {A, 1}, {B, 1}, {A, 1}};
+    EXPECT_EQ(rs.dispatched(), expected);
+    const std::vector<std::vector<Scheduler::Key>> expected_fused = {
+        {A, B}, {A, B}};
+    EXPECT_EQ(rs.fused(), expected_fused);
+
+    // Per-member accounting: every fused step cost its members one
+    // slice and one unit item each.
+    EXPECT_EQ(s.queueStats(A).slices, 3u);
+    EXPECT_EQ(s.queueStats(A).itemsExecuted, 3u);
+    EXPECT_EQ(s.queueStats(B).slices, 2u);
+    EXPECT_EQ(s.queueStats(B).itemsExecuted, 2u);
+    EXPECT_EQ(s.queueStats(C).slices, 1u);
+    EXPECT_EQ(s.queueStats(C).itemsExecuted, 2u);
+
+    Stats st = s.stats();
+    EXPECT_EQ(st.batch.coalescedSteps, 2u);
+    EXPECT_EQ(st.batch.coalescedMembers, 4u);
+    EXPECT_EQ(st.batch.soloSteps, 1u); // A's last Generate unit.
+    EXPECT_EQ(st.itemsExecuted, 7u);
+    EXPECT_EQ(st.slices, 6u); // 2 fused x2 members + C + A solo.
+}
+
+TEST(BatchDispatch, SplitGenerateKeepsDeadlineMarkNoRateLimitNoise)
+{
+    // The two bugfix contracts of batched dispatch, observed through
+    // exact traces:
+    //  - a Generate split by fused one-unit steps keeps its enqueue
+    //    mark, so its *remainder* still ages for deadline promotion
+    //    (C is promoted twice; the second promotion is only possible
+    //    because the first fused step did not refresh C's mark);
+    //  - the one-unit clamp of a fused step is not a rate-limit
+    //    clamp: every queue here carries rateLimit 1 with depth > 1,
+    //    yet rateLimitedSlices stays zero because no solo slice was
+    //    ever clamped.
+    SchedulerConfig cfg;
+    cfg.sliceEvents = 4;
+    cfg.deadlineSlices = 2;
+    BatchConfig batch;
+    batch.enabled = true;
+    batch.maxBatch = 2;
+    RecordingBatchScheduler rs(cfg, batch);
+    Scheduler &s = rs.sched;
+
+    const Scheduler::Key A = 1, B = 2, C = 3;
+    ASSERT_TRUE(s.tryAdmit(A, SchedClass::Interactive, 1));
+    ASSERT_TRUE(s.tryAdmit(B, SchedClass::Interactive, 1));
+    ASSERT_TRUE(s.tryAdmit(C, SchedClass::Interactive, 1));
+    ASSERT_TRUE(s.pinWhenIdle(C));
+
+    // Burst 1: C's Generate{2} ages while pinned (marks 0); A and B
+    // run 3 two-member fused steps, advancing the clock to 6.
+    s.pause();
+    EXPECT_TRUE(s.tryEnqueue(C, gen(2)).accepted());
+    EXPECT_TRUE(s.tryEnqueue(A, gen(3)).accepted());
+    EXPECT_TRUE(s.tryEnqueue(B, gen(3)).accepted());
+    s.resume();
+    // waitAll() would wait on pinned C (never idle while pinned).
+    ASSERT_TRUE(s.wait(A));
+    ASSERT_TRUE(s.wait(B));
+
+    // Burst 2: fresh work for A and B (marks 6), C unpinned behind
+    // them. C's front item (mark 0, age 6 > 2) is promoted past
+    // [A, B] and fuses with A (maxBatch 2). The fused step consumes
+    // one of C's two units; the remainder keeps mark 0, so C is
+    // promoted AGAIN past B and fuses with it.
+    s.pause();
+    EXPECT_TRUE(s.tryEnqueue(A, gen(1)).accepted());
+    EXPECT_TRUE(s.tryEnqueue(B, gen(1)).accepted());
+    s.unpin(C);
+    s.resume();
+    s.waitAll();
+
+    const std::vector<std::vector<Scheduler::Key>> expected_fused = {
+        {A, B}, {A, B}, {A, B}, {C, A}, {C, B}};
+    EXPECT_EQ(rs.fused(), expected_fused);
+    EXPECT_EQ(s.queueStats(C).deadlinePromotions, 2u);
+    EXPECT_EQ(s.queueStats(A).deadlinePromotions, 0u);
+    EXPECT_EQ(s.queueStats(B).deadlinePromotions, 0u);
+
+    // rateLimit 1 never fired: the one-unit steps came from fusing.
+    EXPECT_EQ(s.queueStats(A).rateLimitedSlices, 0u);
+    EXPECT_EQ(s.queueStats(B).rateLimitedSlices, 0u);
+    EXPECT_EQ(s.queueStats(C).rateLimitedSlices, 0u);
+    Stats st = s.stats();
+    EXPECT_EQ(st.forClass(SchedClass::Interactive).rateLimitedSlices,
+              0u);
+    EXPECT_EQ(st.batch.coalescedSteps, 5u);
+    EXPECT_EQ(st.batch.maxBatchObserved, 2u);
+    EXPECT_EQ(st.itemsExecuted, 10u);
+}
+
+TEST(BatchDispatch, SoloRateLimitAccountingSurvivesArming)
+{
+    // With the fused path armed but no peers to fuse with, the solo
+    // path's rate-limit clamp (and its accounting) is unchanged.
+    SchedulerConfig cfg;
+    cfg.sliceEvents = 4;
+    BatchConfig batch;
+    batch.enabled = true;
+    RecordingBatchScheduler rs(cfg, batch);
+    Scheduler &s = rs.sched;
+
+    const Scheduler::Key D = 9;
+    ASSERT_TRUE(s.tryAdmit(D, SchedClass::Interactive, 2));
+    s.pause();
+    EXPECT_TRUE(s.tryEnqueue(D, gen(4)).accepted());
+    s.resume();
+    s.waitAll();
+
+    // Slice 1 clamps 4 -> 2 with work left (rate limited); slice 2
+    // takes the remaining 2 unclamped.
+    EXPECT_EQ(s.queueStats(D).slices, 2u);
+    EXPECT_EQ(s.queueStats(D).rateLimitedSlices, 1u);
+    EXPECT_EQ(s.queueStats(D).itemsExecuted, 4u);
+    Stats st = s.stats();
+    EXPECT_EQ(st.batch.coalescedSteps, 0u);
+    EXPECT_EQ(st.batch.soloSteps, 4u);
+    EXPECT_TRUE(rs.fused().empty());
+}

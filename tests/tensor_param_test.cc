@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <tuple>
+#include <vector>
 
 #include "common/rng.hh"
 #include "tensor/matrix.hh"
@@ -173,3 +175,104 @@ TEST_P(SoftmaxSizes, SumsToOneAndOrderPreserving)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SoftmaxSizes,
                          ::testing::Values(1u, 2u, 5u, 64u, 511u));
+
+// Regression: a fully masked row (every score -inf, as a selection
+// policy that drops all past tokens would produce) used to become
+// all-NaN — exp(-inf - -inf) — and the NaN slipped past the
+// `sum <= 0` renormalization guard. The contract is now uniform.
+TEST_P(SoftmaxSizes, FullyMaskedRowIsUniformNotNaN)
+{
+    const uint32_t n = GetParam();
+    const float ninf = -std::numeric_limits<float>::infinity();
+    std::vector<float> row(n, ninf);
+    softmax(row.data(), n);
+    for (uint32_t i = 0; i < n; ++i)
+        EXPECT_FLOAT_EQ(row[i], 1.0f / static_cast<float>(n)) << i;
+}
+
+TEST(SoftmaxMasked, PartiallyMaskedRowIgnoresMaskedEntries)
+{
+    const float ninf = -std::numeric_limits<float>::infinity();
+    std::vector<float> row = {ninf, 0.0f, ninf, 0.0f};
+    softmax(row.data(), 4);
+    EXPECT_FLOAT_EQ(row[0], 0.0f);
+    EXPECT_FLOAT_EQ(row[2], 0.0f);
+    EXPECT_FLOAT_EQ(row[1], 0.5f);
+    EXPECT_FLOAT_EQ(row[3], 0.5f);
+}
+
+TEST(SoftmaxMasked, SoftmaxRowsHandlesMixedMaskedRows)
+{
+    const float ninf = -std::numeric_limits<float>::infinity();
+    Matrix m(2, 3);
+    m.at(0, 0) = ninf;
+    m.at(0, 1) = ninf;
+    m.at(0, 2) = ninf;
+    m.at(1, 0) = 1.0f;
+    m.at(1, 1) = 1.0f;
+    m.at(1, 2) = ninf;
+    softmaxRows(m);
+    for (uint32_t j = 0; j < 3; ++j)
+        EXPECT_FLOAT_EQ(m.at(0, j), 1.0f / 3.0f);
+    EXPECT_FLOAT_EQ(m.at(1, 0), 0.5f);
+    EXPECT_FLOAT_EQ(m.at(1, 1), 0.5f);
+    EXPECT_FLOAT_EQ(m.at(1, 2), 0.0f);
+}
+
+// The fused batched-generation kernel: per output row, grouped
+// matmul must be BIT-identical to a per-group matmulTransposed —
+// same dot() per element, only the loop order differs.
+TEST(MatmulGrouped, BitIdenticalToPerGroupTransposed)
+{
+    const uint32_t k = 24, n = 10;
+    Matrix a = randomMatrix(7, k, 501);
+    Matrix w0 = randomMatrix(n, k, 502);
+    Matrix w1 = randomMatrix(n, k, 503);
+    // Three groups over two distinct weight matrices (a shared one
+    // reappearing, as equal-seed sessions produce).
+    std::vector<RowGroup> groups = {
+        {0, 3, &w0}, {3, 4, &w1}, {4, 7, &w0}};
+    Matrix fused;
+    matmulTransposedGrouped(a, groups, fused);
+    ASSERT_EQ(fused.rows(), 7u);
+    ASSERT_EQ(fused.cols(), n);
+    for (const RowGroup &g : groups) {
+        Matrix part(g.rowEnd - g.rowBegin, k);
+        for (uint32_t r = g.rowBegin; r < g.rowEnd; ++r)
+            for (uint32_t c = 0; c < k; ++c)
+                part.at(r - g.rowBegin, c) = a.at(r, c);
+        Matrix solo;
+        matmulTransposed(part, *g.bT, solo);
+        for (uint32_t r = 0; r < part.rows(); ++r)
+            for (uint32_t c = 0; c < n; ++c)
+                EXPECT_EQ(fused.at(g.rowBegin + r, c), solo.at(r, c))
+                    << "row " << g.rowBegin + r << " col " << c;
+    }
+}
+
+TEST(MatmulGrouped, SingleGroupMatchesMatmulTransposedExactly)
+{
+    Matrix a = randomMatrix(5, 16, 601);
+    Matrix w = randomMatrix(9, 16, 602);
+    Matrix fused, solo;
+    matmulTransposedGrouped(a, {{0, 5, &w}}, fused);
+    matmulTransposed(a, w, solo);
+    ASSERT_TRUE(fused.sameShape(solo));
+    for (uint32_t i = 0; i < fused.size(); ++i)
+        EXPECT_EQ(fused.raw()[i], solo.raw()[i]) << i;
+}
+
+TEST(MatmulGroupedDeathTest, RejectsGappyOrShortTiling)
+{
+    Matrix a = randomMatrix(4, 8, 701);
+    Matrix w = randomMatrix(3, 8, 702);
+    Matrix out;
+    EXPECT_DEATH(
+        matmulTransposedGrouped(a, {{0, 2, &w}, {3, 4, &w}}, out),
+        "tile");
+    EXPECT_DEATH(matmulTransposedGrouped(a, {{0, 3, &w}}, out),
+                 "cover every row");
+    Matrix bad = randomMatrix(3, 9, 703); // Wrong inner dim.
+    EXPECT_DEATH(
+        matmulTransposedGrouped(a, {{0, 4, &bad}}, out), "");
+}
